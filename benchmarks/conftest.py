@@ -1,0 +1,9 @@
+"""Benchmark-suite conftest: make the src layout importable when the package
+has not been installed (mirrors the root conftest)."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

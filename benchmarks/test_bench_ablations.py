@@ -1,0 +1,146 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Beyond regenerating the paper's artifacts, these benches quantify each design
+decision in isolation:
+
+* critical-path (LN&Res) fusion on/off;
+* head-wise pipelining on/off;
+* transmission-latency hiding on/off (only matters for multi-node);
+* HBM channel count / MAC group size sweep (hardware design space);
+* node-count sweep beyond the paper's 4 nodes (where scaling saturates).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.config import (
+    HardwareConfig,
+    OptimizationConfig,
+    SystemConfig,
+    paper_system,
+)
+from repro.core.multi_node import LoopLynxSystem
+from repro.model.config import ModelConfig
+
+
+def _latency(system: LoopLynxSystem, opts: OptimizationConfig) -> float:
+    return system.average_token_latency_ms(optimizations=opts)
+
+
+def test_bench_ablation_critical_path_fusion(benchmark):
+    system = LoopLynxSystem.paper_configuration(num_nodes=1)
+    off = OptimizationConfig(critical_path_fusion=False, headwise_pipelining=True,
+                             transmission_hiding=True)
+    on = OptimizationConfig.paper_default()
+    result = benchmark(lambda: (_latency(system, off), _latency(system, on)))
+    latency_off, latency_on = result
+    assert latency_on < latency_off
+    print()
+    print(format_table([
+        {"Critical-path fusion": "off", "Token latency (ms)": latency_off},
+        {"Critical-path fusion": "on", "Token latency (ms)": latency_on},
+        {"Critical-path fusion": "saving", "Token latency (ms)": latency_off - latency_on},
+    ], title="Ablation — critical-path (LN&Res) fusion"))
+
+
+def test_bench_ablation_headwise_pipelining(benchmark):
+    system = LoopLynxSystem.paper_configuration(num_nodes=1)
+    off = OptimizationConfig(critical_path_fusion=True, headwise_pipelining=False,
+                             transmission_hiding=True)
+    on = OptimizationConfig.paper_default()
+    result = benchmark(lambda: (_latency(system, off), _latency(system, on)))
+    latency_off, latency_on = result
+    assert latency_on < latency_off
+    print()
+    print(format_table([
+        {"Head-wise pipelining": "off", "Token latency (ms)": latency_off},
+        {"Head-wise pipelining": "on", "Token latency (ms)": latency_on},
+    ], title="Ablation — head-wise pipelining (softmax hiding)"))
+
+
+def test_bench_ablation_transmission_hiding(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for nodes in (2, 4):
+            system = LoopLynxSystem.paper_configuration(num_nodes=nodes)
+            hidden = _latency(system, OptimizationConfig.paper_default())
+            exposed = _latency(system, OptimizationConfig(
+                critical_path_fusion=True, headwise_pipelining=True,
+                transmission_hiding=False))
+            rows.append({"# Nodes": nodes, "Hidden sync (ms)": hidden,
+                         "Exposed sync (ms)": exposed,
+                         "Penalty (%)": 100 * (exposed / hidden - 1)})
+        return rows
+
+    result = benchmark(sweep)
+    assert all(row["Exposed sync (ms)"] > row["Hidden sync (ms)"] for row in result)
+    print()
+    print(format_table(result, title="Ablation — transmission latency hiding"))
+
+
+def test_bench_ablation_hbm_channel_sweep(benchmark):
+    def sweep():
+        rows = []
+        for channels in (2, 4, 8, 16):
+            hardware = HardwareConfig(mp_channels=channels)
+            system = LoopLynxSystem(SystemConfig(model=ModelConfig.gpt2_medium(),
+                                                 num_nodes=1, hardware=hardware))
+            rows.append({"MP channels": channels,
+                         "Token latency (ms)": system.average_token_latency_ms(),
+                         "Throughput (tok/s)": system.throughput_tokens_per_second()})
+        return rows
+
+    rows = benchmark(sweep)
+    latencies = [row["Token latency (ms)"] for row in rows]
+    assert latencies == sorted(latencies, reverse=True)  # more channels -> faster
+    print()
+    print(format_table(rows, title="Design space — HBM channels per node"))
+
+
+def test_bench_ablation_node_scaling_beyond_paper(benchmark):
+    def sweep():
+        rows = []
+        base = None
+        for nodes in (1, 2, 4, 8, 16):
+            system = LoopLynxSystem(paper_system(num_nodes=nodes))
+            tps = system.throughput_tokens_per_second()
+            if base is None:
+                base = tps
+            rows.append({"# Nodes": nodes, "Tokens/s": tps,
+                         "Speed-up vs 1-node": tps / base,
+                         "Parallel efficiency (%)": 100 * tps / base / nodes})
+        return rows
+
+    rows = benchmark(sweep)
+    efficiencies = [row["Parallel efficiency (%)"] for row in rows]
+    assert efficiencies == sorted(efficiencies, reverse=True)  # efficiency decays
+    assert rows[-1]["Parallel efficiency (%)"] < 60  # saturation is visible by 16 nodes
+    print()
+    print(format_table(rows, title="Extension — node scaling beyond the paper's 4 nodes"))
+
+
+def test_bench_ablation_gpu_sensitivity(benchmark):
+    """How sensitive the Fig. 8 headline is to the A100 calibration: sweep the
+    per-kernel overhead (the dominant uncertain constant)."""
+    from repro.baselines.gpu_a100 import A100Config, A100Model
+
+    def sweep():
+        rows = []
+        system = LoopLynxSystem.paper_configuration(num_nodes=2)
+        ours = system.run_scenario(32, 512).total_ms
+        for overhead_us in (5.0, 8.0, 10.5, 13.0):
+            gpu = A100Model(ModelConfig.gpt2_medium(),
+                            A100Config(per_kernel_overhead_s=overhead_us * 1e-6))
+            theirs = gpu.scenario_latency_ms(32, 512)
+            rows.append({"GPU per-kernel overhead (us)": overhead_us,
+                         "A100 [32:512] (ms)": theirs,
+                         "2-node speed-up": theirs / ours})
+        return rows
+
+    rows = benchmark(sweep)
+    speedups = [row["2-node speed-up"] for row in rows]
+    assert speedups == sorted(speedups)  # more GPU overhead -> larger speed-up
+    print()
+    print(format_table(rows, title="Sensitivity — A100 framework-overhead calibration"))

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 5 (latency breakdown + optimization walkthrough).
+
+Paper values: linear + MHA = 81.5% of the un-optimized single-node latency,
+critical-path operators 18.5%; ~11% improvement from critical-path fusion and
+~15% total with the head-wise pipeline.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import fig5_breakdown
+
+
+def test_bench_fig5_breakdown(benchmark):
+    result = benchmark(fig5_breakdown.run)
+    measured = result["measured"]
+    assert 0.7 < measured["matrix_fraction_baseline"] < 0.9
+    assert 0.05 < measured["improvement_critical_path"] < 0.20
+    assert measured["improvement_total"] > measured["improvement_critical_path"]
+
+    print()
+    print(format_table(fig5_breakdown.rows(result),
+                       title="Fig. 5 — Latency breakdown and optimization walkthrough"))
+    print()
+    print(format_table(
+        [{"Quantity": key, "Paper": result["paper"][key], "Measured": measured[key]}
+         for key in result["paper"]],
+        title="Paper vs. measured", float_digits=3))

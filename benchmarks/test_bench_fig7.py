@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 7 (resource utilization of the dual-node U50).
+
+The component rows must sum to the paper's accelerator/device totals and the
+device must fit inside an Alveo U50.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import fig7_resources
+
+
+def test_bench_fig7_resources(benchmark):
+    result = benchmark(fig7_resources.run)
+    assert result["fits_on_u50"]
+    assert result["device_total"]["DSP"] == 1132
+
+    print()
+    print(format_table(result["component_table"],
+                       title="Fig. 7 — Resource utilization (dual-node device, Alveo U50)"))
+    print()
+    print(format_table(
+        [{"Resource": name, "Used": used,
+          "U50 utilization %": 100 * result["u50_utilization"][name]}
+         for name, used in result["device_total"].items()],
+        title="Device feasibility on the Alveo U50"))

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 8 (latency + energy efficiency vs the A100).
+
+Headline claims checked as shapes: 2-node ~1.67x average speed-up at ~37% of
+the GPU's energy, 4-node ~2.52x at ~48%, the GPU winning only the
+prefill-heavy [128:32] setting, the 2-node point being the tokens/J sweet
+spot.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import fig8_gpu_comparison
+
+
+def test_bench_fig8_gpu_comparison(benchmark):
+    result = benchmark.pedantic(fig8_gpu_comparison.run, rounds=1, iterations=1)
+    summary = result["summary"]
+    assert summary["4-node"]["average_speedup_vs_gpu"] > summary["2-node"]["average_speedup_vs_gpu"]
+    assert summary["2-node"]["average_speedup_vs_gpu"] > 1.3
+    assert summary["2-node"]["average_energy_fraction"] < 0.6
+    assert result["speedup_by_scenario"]["[128:32]"]["2-node"] < 1.0
+    assert result["speedup_by_scenario"]["[32:512]"]["2-node"] > 1.5
+
+    print()
+    print(format_table(fig8_gpu_comparison.latency_rows(result),
+                       title="Fig. 8(a) — Latency normalized to the 4-node deployment"))
+    print()
+    print(format_table(fig8_gpu_comparison.efficiency_rows(result),
+                       title="Fig. 8(b) — Energy efficiency normalized to the A100"))
+    print()
+    print(format_table(
+        [{"Deployment": label,
+          "Avg speed-up vs A100": values["average_speedup_vs_gpu"],
+          "Avg energy fraction": values["average_energy_fraction"],
+          "Avg tokens/J ratio": values["average_efficiency_ratio"]}
+         for label, values in summary.items()],
+        title="Headline summary (paper: 1.67x @ 37.3% for 2-node, 2.52x @ 48.1% for 4-node)"))

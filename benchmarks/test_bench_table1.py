@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table I (platform comparison catalogue).
+
+Trivially fast — it exists so every table and figure of the paper has a
+benchmark target and `pytest benchmarks/ --benchmark-only` regenerates the
+complete evaluation.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import table1_platforms
+
+
+def test_bench_table1_platforms(benchmark):
+    rows = benchmark(table1_platforms.run)
+    assert len(rows) == 3
+    print()
+    print(format_table(rows, title="Table I — Comparison of GPU and FPGA platforms"))

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table III (throughput and scalability).
+
+Paper values: 151.7 / 259.7 / 392.2 tokens/s for 1/2/4 nodes with step
+speed-ups of 1.71x and 1.51x.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import table3_scalability
+
+
+def test_bench_table3_scalability(benchmark):
+    result = benchmark(table3_scalability.run)
+    rows = {row.num_nodes: row for row in result["rows"]}
+    assert rows[1].tokens_per_second < rows[2].tokens_per_second < rows[4].tokens_per_second
+    assert rows[2].speedup_vs_previous < 2.0
+    assert rows[4].speedup_vs_previous < 2.0
+
+    print()
+    print(format_table([row.as_dict() for row in result["rows"]],
+                       title="Table III — Throughput and scalability"))
+    print()
+    print(format_table(
+        [{"# Nodes": f"{n}-node", "Paper token/s": result["paper_throughput"][n],
+          "Measured token/s": rows[n].tokens_per_second}
+         for n in (1, 2, 4)],
+        title="Paper vs. measured"))

@@ -1,0 +1,14 @@
+"""Pytest root conftest.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. on an offline machine where ``pip install -e .`` cannot build
+a PEP 660 editable wheel).  When the package is properly installed this is a
+no-op: the installed location wins if it appears earlier on ``sys.path``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

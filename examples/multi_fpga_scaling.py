@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Multi-FPGA scaling study: how far does the ring-connected design scale?
+
+The paper deploys up to 4 accelerator nodes (2 Alveo U50 cards).  This example
+sweeps node counts beyond that, separates the scaling and non-scaling latency
+components, quantifies the ring-synchronization exposure with and without
+transmission hiding, and reports the resources and power of each deployment.
+
+Run with::
+
+    python examples/multi_fpga_scaling.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import LoopLynxSystem, OptimizationConfig
+from repro.analysis.breakdown import latency_breakdown
+from repro.analysis.report import format_table
+from repro.core.config import paper_system
+from repro.energy.power import FpgaPowerModel
+
+
+def main() -> None:
+    print("LoopLynx multi-FPGA scaling study\n")
+    node_counts = (1, 2, 4, 8, 16)
+    fpga_power = FpgaPowerModel()
+
+    # ------------------------------------------------------------------
+    # 1. throughput, efficiency, power, resources per node count
+    # ------------------------------------------------------------------
+    rows = []
+    base_tps = None
+    for nodes in node_counts:
+        system = LoopLynxSystem(paper_system(num_nodes=nodes))
+        tps = system.throughput_tokens_per_second()
+        if base_tps is None:
+            base_tps = tps
+        resources = system.resource_usage()
+        power = fpga_power.total_power_watts(nodes)
+        rows.append({
+            "# Nodes": nodes,
+            "Cards": system.config.num_cards,
+            "Latency (ms)": system.average_token_latency_ms(),
+            "Tokens/s": tps,
+            "Speed-up": tps / base_tps,
+            "Efficiency (%)": 100 * tps / base_tps / nodes,
+            "Power (W)": power,
+            "Tokens/J": tps / power,
+            "DSPs": resources.dsp,
+        })
+    print(format_table(rows, title="Node-count sweep (GPT-2 345M, context = 512)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. why scaling saturates: scaling vs non-scaling latency components
+    # ------------------------------------------------------------------
+    component_rows = []
+    for nodes in node_counts:
+        system = LoopLynxSystem(paper_system(num_nodes=nodes))
+        breakdown = latency_breakdown(system)
+        component_rows.append({
+            "# Nodes": nodes,
+            "Linear (ms)": breakdown.get("linear_layers", 0.0),
+            "Attention (ms)": breakdown.get("multi_head_attention", 0.0),
+            "Critical path (ms)": breakdown.get("critical_path", 0.0),
+            "Sync exposed (ms)": breakdown.get("synchronization", 0.0),
+        })
+    print(format_table(component_rows,
+                       title="Latency components vs node count "
+                             "(only linear + attention distribute)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. the cost of not hiding the ring transfers
+    # ------------------------------------------------------------------
+    hiding_rows = []
+    for nodes in (2, 4, 8):
+        system = LoopLynxSystem(paper_system(num_nodes=nodes))
+        hidden = system.average_token_latency_ms()
+        exposed = system.average_token_latency_ms(optimizations=OptimizationConfig(
+            critical_path_fusion=True, headwise_pipelining=True,
+            transmission_hiding=False))
+        hiding_rows.append({"# Nodes": nodes, "Hidden (ms)": hidden,
+                            "Exposed (ms)": exposed,
+                            "Penalty (%)": 100 * (exposed / hidden - 1)})
+    print(format_table(hiding_rows, title="Transmission-latency hiding matters more "
+                                          "as nodes are added"))
+
+
+if __name__ == "__main__":
+    main()

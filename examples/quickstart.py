@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: model a LoopLynx deployment and ask it the paper's questions.
+
+Builds the paper's GPT-2 345M deployment for 1, 2 and 4 accelerator nodes,
+reports per-token decode latency, throughput and the latency breakdown, and
+compares a long-generation request against the A100 baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import LoopLynxSystem, ModelConfig
+from repro.analysis.breakdown import latency_breakdown
+from repro.analysis.report import format_table
+from repro.baselines import A100Model
+from repro.energy.power import FpgaPowerModel, GpuPowerModel
+
+
+def main() -> None:
+    print("LoopLynx quickstart — GPT-2 345M, W8A8, Alveo U50 nodes at 285 MHz\n")
+
+    # ------------------------------------------------------------------
+    # 1. per-token decode latency and throughput for 1/2/4 nodes
+    # ------------------------------------------------------------------
+    rows = []
+    for num_nodes in (1, 2, 4):
+        system = LoopLynxSystem.paper_configuration(num_nodes=num_nodes)
+        rows.append({
+            "# Nodes": num_nodes,
+            "Token latency (ms)": system.average_token_latency_ms(),
+            "Throughput (tok/s)": system.throughput_tokens_per_second(),
+            "DSPs": system.resource_usage().dsp,
+        })
+    print(format_table(rows, title="Per-token decode latency (context = 512)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. where do the cycles go on a single node?
+    # ------------------------------------------------------------------
+    single = LoopLynxSystem.paper_configuration(num_nodes=1)
+    breakdown = latency_breakdown(single)
+    print(format_table(
+        [{"Category": name, "Latency (ms)": value,
+          "Share (%)": 100 * value / sum(breakdown.values())}
+         for name, value in sorted(breakdown.items(), key=lambda kv: -kv[1])],
+        title="Single-node latency breakdown"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. a chatbot-style request vs. the A100
+    # ------------------------------------------------------------------
+    prefill, decode = 64, 512
+    gpu = A100Model(ModelConfig.gpt2_medium())
+    gpu_ms = gpu.scenario_latency_ms(prefill, decode)
+    gpu_energy = GpuPowerModel().report(gpu_ms, decode).energy_joules
+    comparison = [{
+        "Platform": "Nvidia A100",
+        "Latency (s)": gpu_ms / 1e3,
+        "Energy (J)": gpu_energy,
+        "Speed-up": 1.0,
+    }]
+    fpga_power = FpgaPowerModel()
+    for num_nodes in (2, 4):
+        system = LoopLynxSystem.paper_configuration(num_nodes=num_nodes)
+        report = system.run_scenario(prefill, decode)
+        energy = fpga_power.report(num_nodes, report.total_ms, decode).energy_joules
+        comparison.append({
+            "Platform": f"LoopLynx {num_nodes}-node",
+            "Latency (s)": report.total_ms / 1e3,
+            "Energy (J)": energy,
+            "Speed-up": gpu_ms / report.total_ms,
+        })
+    print(format_table(comparison,
+                       title=f"Chatbot request [{prefill}:{decode}] — LoopLynx vs A100"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation in one run.
+
+Iterates over the experiment registry (Table I/II/III, Fig. 5/7/8) and prints
+each artifact's reproduction next to the paper's reported values.  This is the
+script behind EXPERIMENTS.md.
+
+Run with::
+
+    python examples/reproduce_paper.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments import EXPERIMENTS
+
+
+def main() -> None:
+    print("=" * 78)
+    print("LoopLynx (DATE 2025) — full evaluation reproduction")
+    print("=" * 78)
+    for experiment_id in ("table1", "fig5", "fig7", "table2", "table3", "fig8"):
+        spec = EXPERIMENTS[experiment_id]
+        print()
+        print("#" * 78)
+        print(f"# {experiment_id}: {spec.description}")
+        print("#" * 78)
+        spec.main()
+    print()
+    print("Done. See EXPERIMENTS.md for the paper-vs-measured record.")
+
+
+if __name__ == "__main__":
+    main()

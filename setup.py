@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (PEP
+660 editable installs need it), e.g. ``python setup.py develop`` on an
+offline machine.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LoopLynx reproduction: a scalable dataflow architecture simulator "
+        "for efficient LLM inference (DATE 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,120 @@
+"""Quantization-accuracy analysis for the W8A8 scheme.
+
+The paper compares LoopLynx and the A100 "under the same quantization
+strategy" (SmoothQuant W8A8) and treats accuracy as a solved problem.  This
+module makes the accuracy side measurable inside the reproduction: it runs
+the float and the W8A8 quantized forward passes of the in-repo GPT-2 over a
+set of prompts and reports logit-error and prediction-agreement metrics, plus
+an alpha sweep of the SmoothQuant migration strength.
+
+These are extension experiments (not paper artifacts): they document that the
+functional datapath's quantization behaves sensibly, and they give a
+downstream user the tool to validate accuracy before trusting latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.gpt2 import GPT2Model
+
+
+@dataclass
+class AccuracyReport:
+    """Agreement between the float and quantized forward passes."""
+
+    model_name: str
+    alpha: float
+    num_prompts: int
+    num_positions: int
+    relative_logit_error: float
+    top1_agreement: float
+    top5_overlap: float
+    mean_logit_correlation: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "Model": self.model_name,
+            "alpha": self.alpha,
+            "Positions": self.num_positions,
+            "Rel. logit error": self.relative_logit_error,
+            "Top-1 agreement": self.top1_agreement,
+            "Top-5 overlap": self.top5_overlap,
+            "Logit correlation": self.mean_logit_correlation,
+        }
+
+
+def _default_prompts(config: ModelConfig, num_prompts: int, prompt_len: int,
+                     seed: int) -> List[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, config.vocab_size, size=prompt_len)
+            for _ in range(num_prompts)]
+
+
+def evaluate_quantization(model: Optional[GPT2Model] = None,
+                          config: Optional[ModelConfig] = None,
+                          alpha: float = 0.5, num_prompts: int = 4,
+                          prompt_len: int = 12, seed: int = 0) -> AccuracyReport:
+    """Compare float vs W8A8 forward passes over random prompts.
+
+    A fresh model is created from ``config`` (default: the tiny test
+    configuration) unless an existing one is supplied; the model is
+    (re)calibrated at the requested SmoothQuant ``alpha``.
+    """
+    if model is None:
+        config = config or ModelConfig.tiny()
+        model = GPT2Model(config, seed=seed)
+    else:
+        config = model.config
+    model.calibrate_quantization(alpha=alpha)
+
+    prompts = _default_prompts(config, num_prompts, prompt_len, seed + 1)
+    relative_errors: List[float] = []
+    correlations: List[float] = []
+    top1_hits = 0
+    top5_overlap_total = 0.0
+    positions = 0
+
+    for prompt in prompts:
+        float_logits = model.forward(prompt)
+        quant_logits = model.forward_quantized(prompt)
+        diff = np.linalg.norm(float_logits - quant_logits)
+        norm = np.linalg.norm(float_logits)
+        relative_errors.append(diff / norm if norm > 0 else 0.0)
+        for position in range(float_logits.shape[0]):
+            positions += 1
+            f_row = float_logits[position]
+            q_row = quant_logits[position]
+            correlations.append(float(np.corrcoef(f_row, q_row)[0, 1]))
+            if int(np.argmax(f_row)) == int(np.argmax(q_row)):
+                top1_hits += 1
+            f_top5 = set(np.argsort(f_row)[-5:].tolist())
+            q_top5 = set(np.argsort(q_row)[-5:].tolist())
+            top5_overlap_total += len(f_top5 & q_top5) / 5.0
+
+    return AccuracyReport(
+        model_name=config.name,
+        alpha=alpha,
+        num_prompts=num_prompts,
+        num_positions=positions,
+        relative_logit_error=float(np.mean(relative_errors)),
+        top1_agreement=top1_hits / positions if positions else 0.0,
+        top5_overlap=top5_overlap_total / positions if positions else 0.0,
+        mean_logit_correlation=float(np.mean(correlations)) if correlations else 0.0,
+    )
+
+
+def alpha_sweep(alphas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+                config: Optional[ModelConfig] = None, seed: int = 0
+                ) -> List[AccuracyReport]:
+    """SmoothQuant migration-strength sweep on a fixed model."""
+    config = config or ModelConfig.tiny()
+    reports: List[AccuracyReport] = []
+    for alpha in alphas:
+        model = GPT2Model(config, seed=seed)
+        reports.append(evaluate_quantization(model=model, alpha=alpha, seed=seed))
+    return reports

@@ -1,0 +1,221 @@
+"""Cross-platform comparisons: Table II (FPGA baselines) and Fig. 8 (A100).
+
+:func:`fpga_comparison_table` reproduces Table II: average per-token latency
+and resource utilization of the LoopLynx 1/2/4-node deployments next to the
+DFX temporal baseline and the spatial-architecture baseline.
+
+:func:`gpu_comparison` reproduces Fig. 8: for every ``[prefill : decode]``
+scenario, the end-to-end latency of the A100 and of each LoopLynx deployment
+(normalized to the 4-node configuration, as in the paper's Fig. 8(a)) and the
+energy efficiency in tokens per joule normalized to the GPU (Fig. 8(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.gpu_a100 import A100Model
+from repro.baselines.spatial import SpatialArchitectureModel
+from repro.baselines.temporal_dfx import DfxTemporalModel
+from repro.core.multi_node import LoopLynxSystem
+from repro.energy.power import (
+    EnergyReport,
+    FpgaPowerModel,
+    GpuPowerModel,
+    efficiency_ratio,
+    energy_fraction,
+)
+from repro.model.config import ModelConfig
+from repro.workloads.scenarios import FIG8_SCENARIOS, Scenario
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+
+@dataclass
+class FpgaComparisonRow:
+    """One row of Table II."""
+
+    architecture: str
+    nodes: str
+    frequency_mhz: float
+    quantization: str
+    token_latency_ms: float
+    dsp: float
+    bram: float
+    lut_k: float
+    ff_k: float
+    uram: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "Architecture": self.architecture,
+            "# Nodes": self.nodes,
+            "Freq.": f"{self.frequency_mhz:.0f} MHz",
+            "Quantization": self.quantization,
+            "Token Latency (ms)": self.token_latency_ms,
+            "DSP": self.dsp,
+            "BRAM": self.bram,
+            "LUT (K)": self.lut_k,
+            "FF (K)": self.ff_k,
+            "URAM": self.uram,
+        }
+
+
+#: Published resource utilization of the two FPGA baselines (from the
+#: paper's Table II); their RTL is not available, so these columns are
+#: catalogue data rather than model output.
+DFX_PUBLISHED_RESOURCES = {"dsp": 3533, "bram": 1192, "lut_k": 520, "ff_k": 1107,
+                           "uram": 104}
+SPATIAL_PUBLISHED_RESOURCES = {"dsp": 1780, "bram": 389, "lut_k": 653, "ff_k": 569,
+                               "uram": 111}
+
+
+def fpga_comparison_table(context_len: int = 512,
+                          node_counts: Sequence[int] = (4, 2, 1),
+                          model: Optional[ModelConfig] = None
+                          ) -> List[FpgaComparisonRow]:
+    """Regenerate Table II (LoopLynx node sweep + DFX + spatial baselines)."""
+    model = model or ModelConfig.gpt2_medium()
+    rows: List[FpgaComparisonRow] = []
+    for num_nodes in node_counts:
+        system = LoopLynxSystem.paper_configuration(num_nodes=num_nodes)
+        latency = system.average_token_latency_ms(context_len)
+        resources = system.resource_usage()
+        cards = system.config.num_cards
+        node_word = "Node" if num_nodes == 1 else "Nodes"
+        rows.append(FpgaComparisonRow(
+            architecture="LoopLynx",
+            nodes=f"{num_nodes} {node_word} (U50 x{cards})",
+            frequency_mhz=system.clock_hz / 1e6,
+            quantization="W8A8",
+            token_latency_ms=latency,
+            dsp=resources.dsp,
+            bram=resources.bram,
+            lut_k=resources.lut / 1e3,
+            ff_k=resources.ff / 1e3,
+            uram=resources.uram,
+        ))
+    dfx = DfxTemporalModel(model)
+    rows.append(FpgaComparisonRow(
+        architecture="Temporal Architecture (DFX)",
+        nodes="U280",
+        frequency_mhz=dfx.config.clock_hz / 1e6,
+        quantization="Float16",
+        token_latency_ms=dfx.decode_token_latency_ms(context_len),
+        **{k: float(v) for k, v in DFX_PUBLISHED_RESOURCES.items()},
+    ))
+    spatial = SpatialArchitectureModel(model)
+    rows.append(FpgaComparisonRow(
+        architecture="Spatial Architecture",
+        nodes="U280",
+        frequency_mhz=spatial.config.clock_hz / 1e6,
+        quantization="W8A8",
+        token_latency_ms=spatial.decode_token_latency_ms(context_len),
+        **{k: float(v) for k, v in SPATIAL_PUBLISHED_RESOURCES.items()},
+    ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 8
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig8Row:
+    """One scenario point of Fig. 8 (latency + energy efficiency)."""
+
+    scenario: str
+    prefill_len: int
+    decode_len: int
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    normalized_latency: Dict[str, float] = field(default_factory=dict)
+    energy_joules: Dict[str, float] = field(default_factory=dict)
+    normalized_efficiency: Dict[str, float] = field(default_factory=dict)
+    speedup_vs_gpu: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"Scenario": self.scenario}
+        for platform, value in self.normalized_latency.items():
+            row[f"lat {platform}"] = value
+        for platform, value in self.normalized_efficiency.items():
+            row[f"eff {platform}"] = value
+        return row
+
+
+def _platform_label(num_nodes: int) -> str:
+    return f"{num_nodes}-node"
+
+
+def gpu_comparison(scenarios: Sequence[Scenario] = FIG8_SCENARIOS,
+                   node_counts: Sequence[int] = (1, 2, 4),
+                   model: Optional[ModelConfig] = None,
+                   fpga_power: Optional[FpgaPowerModel] = None,
+                   gpu_power: Optional[GpuPowerModel] = None) -> List[Fig8Row]:
+    """Regenerate the Fig. 8 data: per-scenario latency (normalized to the
+    4-node deployment) and energy efficiency (normalized to the A100)."""
+    model = model or ModelConfig.gpt2_medium()
+    fpga_power = fpga_power or FpgaPowerModel()
+    gpu_power = gpu_power or GpuPowerModel()
+    gpu = A100Model(model)
+    systems = {n: LoopLynxSystem.paper_configuration(num_nodes=n) for n in node_counts}
+    reference_label = _platform_label(max(node_counts))
+
+    rows: List[Fig8Row] = []
+    for scenario in scenarios:
+        row = Fig8Row(scenario=scenario.label, prefill_len=scenario.prefill_len,
+                      decode_len=scenario.decode_len)
+        gpu_latency = gpu.scenario_latency_ms(scenario.prefill_len, scenario.decode_len)
+        row.latency_ms["A100"] = gpu_latency
+        gpu_report = gpu_power.report(gpu_latency, tokens=scenario.decode_len)
+        row.energy_joules["A100"] = gpu_report.energy_joules
+
+        for num_nodes, system in systems.items():
+            label = _platform_label(num_nodes)
+            report = system.run_scenario(scenario.prefill_len, scenario.decode_len)
+            row.latency_ms[label] = report.total_ms
+            fpga_report = fpga_power.report(num_nodes, report.total_ms,
+                                            tokens=scenario.decode_len,
+                                            nodes_per_card=system.config.nodes_per_card)
+            row.energy_joules[label] = fpga_report.energy_joules
+            row.normalized_efficiency[label] = efficiency_ratio(fpga_report, gpu_report)
+            row.speedup_vs_gpu[label] = (gpu_latency / report.total_ms
+                                         if report.total_ms > 0 else 0.0)
+
+        reference_latency = row.latency_ms[reference_label]
+        for platform, latency in row.latency_ms.items():
+            row.normalized_latency[platform] = (latency / reference_latency
+                                                if reference_latency > 0 else 0.0)
+        row.normalized_efficiency["A100"] = 1.0
+        rows.append(row)
+    return rows
+
+
+def summarize_gpu_comparison(rows: Sequence[Fig8Row],
+                             node_counts: Sequence[int] = (1, 2, 4)
+                             ) -> Dict[str, Dict[str, float]]:
+    """Average speed-up, energy-efficiency ratio and energy fraction per
+    deployment — the headline numbers of the abstract (2-node: 1.67x speed-up
+    at 37.3% of the A100's energy; 4-node: 2.52x at 48.1%)."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for num_nodes in node_counts:
+        label = _platform_label(num_nodes)
+        speedups = [row.speedup_vs_gpu[label] for row in rows if label in row.speedup_vs_gpu]
+        efficiencies = [row.normalized_efficiency[label] for row in rows
+                        if label in row.normalized_efficiency]
+        fpga_energy = sum(row.energy_joules[label] for row in rows
+                          if label in row.energy_joules)
+        gpu_energy = sum(row.energy_joules["A100"] for row in rows
+                         if "A100" in row.energy_joules)
+        summary[label] = {
+            "average_speedup_vs_gpu": sum(speedups) / len(speedups) if speedups else 0.0,
+            "average_efficiency_ratio": (sum(efficiencies) / len(efficiencies)
+                                         if efficiencies else 0.0),
+            # total energy over the whole scenario mix, relative to the GPU
+            # (the paper's "consumes only X% of the energy" figure)
+            "average_energy_fraction": (fpga_energy / gpu_energy
+                                        if gpu_energy > 0 else 0.0),
+        }
+    return summary

@@ -1,0 +1,146 @@
+"""HBM memory-footprint planning for LoopLynx deployments.
+
+The paper's model-parallel scheme partitions linear-layer weights along the
+output dimension and the KV cache head-wise "to minimize the memory footprint
+on each device".  This module quantifies that: per-node HBM bytes for weights,
+KV cache and activations, checked against the Alveo U50's 8 GiB of HBM2, and
+the largest context length / model size a deployment can hold.
+
+Used by the design-space example and by capacity-planning tests; it is an
+extension (the paper reports no footprint numbers) but derives directly from
+the published architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.memory.kv_cache import KVCacheLayout
+from repro.model.config import ModelConfig, layer_linear_specs
+
+GIB = 1 << 30
+
+#: usable HBM capacity of one Alveo U50 (8 GiB of HBM2)
+ALVEO_U50_HBM_BYTES = 8 * GIB
+
+#: HBM channels available on one U50 and per SLR (accelerator node)
+ALVEO_U50_HBM_CHANNELS = 32
+
+
+@dataclass
+class NodeFootprint:
+    """Per-node HBM footprint of one deployment."""
+
+    model_name: str
+    num_nodes: int
+    context_len: int
+    weight_bytes: int
+    kv_cache_bytes: int
+    activation_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.kv_cache_bytes + self.activation_bytes
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / GIB
+
+    def fits(self, capacity_bytes: int = ALVEO_U50_HBM_BYTES,
+             nodes_per_card: int = 2) -> bool:
+        """True when this node's footprint fits its share of the card's HBM."""
+        per_node_capacity = capacity_bytes // nodes_per_card
+        return self.total_bytes <= per_node_capacity
+
+    def utilization(self, capacity_bytes: int = ALVEO_U50_HBM_BYTES,
+                    nodes_per_card: int = 2) -> float:
+        per_node_capacity = capacity_bytes // nodes_per_card
+        if per_node_capacity <= 0:
+            return 0.0
+        return self.total_bytes / per_node_capacity
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "Model": self.model_name,
+            "# Nodes": self.num_nodes,
+            "Context": self.context_len,
+            "Weights (MiB)": self.weight_bytes / (1 << 20),
+            "KV cache (MiB)": self.kv_cache_bytes / (1 << 20),
+            "Activations (MiB)": self.activation_bytes / (1 << 20),
+            "Total (GiB)": self.total_gib,
+            "Per-node HBM use (%)": 100 * self.utilization(),
+        }
+
+
+def node_footprint(model: ModelConfig, num_nodes: int = 1,
+                   context_len: Optional[int] = None,
+                   bytes_per_weight: int = 1,
+                   kv_bytes_per_element: int = 1) -> NodeFootprint:
+    """Per-node HBM footprint of serving ``model`` on ``num_nodes`` nodes."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    context = context_len if context_len is not None else model.max_seq_len
+    if context <= 0:
+        raise ValueError("context_len must be positive")
+
+    # weights: output-dimension split, so each node stores 1/N of every matrix
+    weight_bytes = 0
+    for spec in layer_linear_specs(model):
+        weight_bytes += spec.out_features_per_node(num_nodes) * spec.in_features
+    weight_bytes *= model.num_layers * bytes_per_weight
+    # embeddings stay on the host in the paper's system design
+
+    layout = KVCacheLayout(num_layers=model.num_layers, num_heads=model.num_heads,
+                           head_dim=model.head_dim, max_seq_len=context,
+                           bytes_per_element=kv_bytes_per_element,
+                           num_nodes=num_nodes)
+    kv_bytes = layout.capacity_bytes_per_node()
+
+    # activations: double-buffered full embedding + MLP intermediate per node
+    activation_bytes = 2 * (model.d_model + model.d_ff) * 4
+
+    return NodeFootprint(model_name=model.name, num_nodes=num_nodes,
+                         context_len=context, weight_bytes=weight_bytes,
+                         kv_cache_bytes=kv_bytes, activation_bytes=activation_bytes)
+
+
+def footprint_table(models: Optional[List[ModelConfig]] = None,
+                    node_counts: (tuple) = (1, 2, 4),
+                    context_len: int = 1024) -> List[Dict[str, object]]:
+    """Footprint rows for a set of models and node counts."""
+    models = models or [ModelConfig.gpt2_medium()]
+    rows: List[Dict[str, object]] = []
+    for model in models:
+        for num_nodes in node_counts:
+            if num_nodes > model.num_heads:
+                continue
+            footprint = node_footprint(model, num_nodes, context_len)
+            row = footprint.as_dict()
+            row["Fits U50 share"] = footprint.fits()
+            rows.append(row)
+    return rows
+
+
+def max_context_length(model: ModelConfig, num_nodes: int = 1,
+                       capacity_bytes: int = ALVEO_U50_HBM_BYTES,
+                       nodes_per_card: int = 2,
+                       bytes_per_weight: int = 1) -> int:
+    """Largest context length whose per-node footprint still fits the HBM.
+
+    Binary-searches the KV-cache length given the fixed weight footprint.
+    Returns 0 if even an empty cache does not fit.
+    """
+    low, high = 0, 1 << 20
+    baseline = node_footprint(model, num_nodes, context_len=1,
+                              bytes_per_weight=bytes_per_weight)
+    per_node_capacity = capacity_bytes // nodes_per_card
+    fixed = baseline.weight_bytes + baseline.activation_bytes
+    if fixed > per_node_capacity:
+        return 0
+    per_token = KVCacheLayout(model.num_layers, model.num_heads, model.head_dim,
+                              max_seq_len=2, num_nodes=num_nodes
+                              ).bytes_per_token_per_node()
+    if per_token <= 0:
+        return high
+    return int((per_node_capacity - fixed) // per_token)

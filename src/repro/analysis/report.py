@@ -1,0 +1,66 @@
+"""Plain-text and markdown table rendering for experiment outputs.
+
+The benchmark harnesses print the same rows/series the paper reports; these
+helpers keep that output aligned and readable without any plotting
+dependency (the environment is offline and headless).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object, float_digits: int = 2) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def _normalize_rows(rows: Sequence[Mapping[str, object]],
+                    columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    ordered: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in ordered:
+                ordered.append(key)
+    return ordered
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 float_digits: int = 2, title: Optional[str] = None) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return title + "\n(no rows)" if title else "(no rows)"
+    cols = _normalize_rows(rows, columns)
+    rendered = [[_format_value(row.get(col, ""), float_digits) for col in cols]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(rows: Sequence[Mapping[str, object]],
+                          columns: Optional[Sequence[str]] = None,
+                          float_digits: int = 2) -> str:
+    """Render rows of dictionaries as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    cols = _normalize_rows(rows, columns)
+    lines = ["| " + " | ".join(cols) + " |",
+             "|" + "|".join(["---"] * len(cols)) + "|"]
+    for row in rows:
+        cells = [_format_value(row.get(col, ""), float_digits) for col in cols]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Throughput and scalability analysis (Table III).
+
+Table III of the paper reports decode throughput for 1/2/4-node deployments
+(151.7 / 259.7 / 392.2 tokens/s) and the step speed-ups (2-node vs 1-node:
+1.71x; 4-node vs 2-node: 1.51x), noting the sub-linear growth caused by the
+non-distributable critical-path operators and by exposed quantization /
+synchronization when the per-node matrix blocks become small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.multi_node import LoopLynxSystem
+
+
+@dataclass
+class ScalabilityRow:
+    """One node-count point of the scalability table."""
+
+    num_nodes: int
+    token_latency_ms: float
+    tokens_per_second: float
+    speedup_vs_previous: Optional[float]
+    speedup_vs_single: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "# Nodes": f"{self.num_nodes}-node",
+            "Token Latency (ms)": self.token_latency_ms,
+            "Tokens Per Second": self.tokens_per_second,
+            "Speed-up vs prev": (f"{self.speedup_vs_previous:.2f}x"
+                                 if self.speedup_vs_previous is not None else "-"),
+            "Speed-up vs 1-node": f"{self.speedup_vs_single:.2f}x",
+        }
+
+
+def throughput_table(node_counts: Sequence[int] = (1, 2, 4),
+                     context_len: Optional[int] = None) -> List[ScalabilityRow]:
+    """Regenerate Table III for the given node counts."""
+    if not node_counts:
+        raise ValueError("need at least one node count")
+    rows: List[ScalabilityRow] = []
+    previous_tps: Optional[float] = None
+    single_tps: Optional[float] = None
+    for num_nodes in node_counts:
+        system = LoopLynxSystem.paper_configuration(num_nodes=num_nodes)
+        latency = system.average_token_latency_ms(context_len)
+        tps = system.throughput_tokens_per_second(context_len)
+        if single_tps is None:
+            single_tps = tps
+        rows.append(ScalabilityRow(
+            num_nodes=num_nodes,
+            token_latency_ms=latency,
+            tokens_per_second=tps,
+            speedup_vs_previous=(tps / previous_tps if previous_tps else None),
+            speedup_vs_single=tps / single_tps,
+        ))
+        previous_tps = tps
+    return rows
+
+
+def scaling_efficiency(rows: Sequence[ScalabilityRow]) -> Dict[int, float]:
+    """Parallel efficiency relative to ideal linear scaling from the first
+    row: ``speedup / (nodes / nodes_first)``."""
+    if not rows:
+        return {}
+    base_nodes = rows[0].num_nodes
+    out: Dict[int, float] = {}
+    for row in rows:
+        ideal = row.num_nodes / base_nodes
+        out[row.num_nodes] = row.speedup_vs_single / ideal if ideal > 0 else 0.0
+    return out

@@ -1,0 +1,40 @@
+"""Baseline accelerator and GPU models.
+
+The paper compares LoopLynx against three systems; each gets a model here:
+
+* :mod:`repro.baselines.temporal_dfx` — a DFX-like temporal (instruction
+  overlay) FPGA architecture on an Alveo U280 with FP16 weights;
+* :mod:`repro.baselines.spatial` — the spatial dataflow architecture of
+  Chen et al. (TRETS 2024) on an Alveo U280 with W8A8;
+* :mod:`repro.baselines.gpu_a100` — an Nvidia A100 running GPT-2 with
+  SmoothQuant W8A8 through torch-int (analytical roofline + per-layer
+  framework overhead model).
+
+:mod:`repro.baselines.base` carries the platform catalogue behind Table I and
+the common baseline interface.
+"""
+
+from repro.baselines.base import (
+    NVIDIA_A100,
+    PLATFORM_CATALOGUE,
+    XILINX_ALVEO_U280,
+    XILINX_ALVEO_U50,
+    BaselineAccelerator,
+    PlatformSpec,
+)
+from repro.baselines.gpu_a100 import A100Config, A100Model
+from repro.baselines.spatial import SpatialArchitectureModel
+from repro.baselines.temporal_dfx import DfxTemporalModel
+
+__all__ = [
+    "NVIDIA_A100",
+    "PLATFORM_CATALOGUE",
+    "XILINX_ALVEO_U280",
+    "XILINX_ALVEO_U50",
+    "BaselineAccelerator",
+    "PlatformSpec",
+    "A100Config",
+    "A100Model",
+    "SpatialArchitectureModel",
+    "DfxTemporalModel",
+]

@@ -1,0 +1,89 @@
+"""Platform catalogue (Table I) and the shared baseline interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.model.config import ModelConfig
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One row of the paper's Table I (GPU vs. FPGA platform comparison)."""
+
+    name: str
+    process_nm: int
+    frequency_mhz: float
+    compute_units: str
+    memory_bandwidth_gb_s: float
+    tdp_watts: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "Platform": self.name,
+            "Process": f"{self.process_nm}nm",
+            "Frequency": f"{self.frequency_mhz:.0f}MHz",
+            "Computing Units": self.compute_units,
+            "Bandwidth": f"{self.memory_bandwidth_gb_s:.0f} GB/s",
+            "TDP": f"{self.tdp_watts:.0f}W",
+        }
+
+
+NVIDIA_A100 = PlatformSpec(
+    name="Nvidia A100", process_nm=7, frequency_mhz=1065,
+    compute_units="432 Tensor Cores", memory_bandwidth_gb_s=1935, tdp_watts=300)
+
+XILINX_ALVEO_U280 = PlatformSpec(
+    name="Xilinx Alveo U280", process_nm=16, frequency_mhz=250,
+    compute_units="9024 DSPs", memory_bandwidth_gb_s=460, tdp_watts=215)
+
+XILINX_ALVEO_U50 = PlatformSpec(
+    name="Xilinx Alveo U50", process_nm=16, frequency_mhz=250,
+    compute_units="5952 DSPs", memory_bandwidth_gb_s=201, tdp_watts=75)
+
+PLATFORM_CATALOGUE: List[PlatformSpec] = [NVIDIA_A100, XILINX_ALVEO_U280,
+                                          XILINX_ALVEO_U50]
+
+
+class BaselineAccelerator(ABC):
+    """Common interface of the comparison systems.
+
+    Every baseline answers the same questions LoopLynx answers: per-token
+    decode latency at a context length, prefill latency for a prompt, and the
+    total latency of a ``[prefill : decode]`` scenario.
+    """
+
+    name: str = "baseline"
+
+    def __init__(self, model: ModelConfig) -> None:
+        self.model = model
+
+    @abstractmethod
+    def decode_token_latency_ms(self, context_len: int) -> float:
+        """Per-token latency of one decode step."""
+
+    @abstractmethod
+    def prefill_latency_ms(self, prompt_len: int) -> float:
+        """Latency of processing the whole prompt."""
+
+    def decode_latency_ms(self, prompt_len: int, decode_len: int) -> float:
+        """Latency of generating ``decode_len`` tokens after the prompt."""
+        if decode_len < 0:
+            raise ValueError("decode_len cannot be negative")
+        total = 0.0
+        for step in range(decode_len):
+            total += self.decode_token_latency_ms(prompt_len + step)
+        return total
+
+    def scenario_latency_ms(self, prefill_len: int, decode_len: int) -> float:
+        """End-to-end latency of one request (Fig. 8 workload point)."""
+        return (self.prefill_latency_ms(prefill_len)
+                + self.decode_latency_ms(prefill_len, decode_len))
+
+    def average_token_latency_ms(self, context_len: int = 512) -> float:
+        """Average per-token decode latency at a reference context length."""
+        return self.decode_token_latency_ms(context_len)

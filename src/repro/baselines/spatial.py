@@ -1,0 +1,141 @@
+"""Spatial dataflow architecture model (Chen et al., TRETS 2024).
+
+The spatial baseline instantiates every neural-network operator as its own
+kernel and connects them in a dataflow/task-level pipeline (paper Fig. 3(b)).
+During the prefill stage the pipeline fills and throughput is excellent, but
+during token-by-token decoding the connected operators are forced to execute
+sequentially, so at any time only one (or a few) of the many instantiated
+kernels is active — the paper's core criticism of pure spatial designs.
+
+The model captures that structure:
+
+* the device's resources (DSPs, HBM channels) are **divided among** the
+  instantiated operator kernels, so each linear-layer kernel only owns a
+  fraction of the device's bandwidth and MACs;
+* during decode the operator kernels execute one after another (only
+  intra-kernel pipelining), so the per-token latency is the *sum* of the
+  per-operator latencies;
+* during prefill the task-level pipeline is active, so throughput approaches
+  the bottleneck operator's rate.
+
+Defaults are calibrated so the GPT-2 345M decode point lands near the
+published 4.17 ms weighted per-token latency on the U280.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.base import BaselineAccelerator, XILINX_ALVEO_U280
+from repro.model.config import ModelConfig, layer_linear_specs
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class SpatialConfig:
+    """Calibration of the spatial-architecture model."""
+
+    clock_hz: float = 245.0e6
+    bytes_per_weight: int = 1                  # W8A8
+    hbm_bandwidth_bytes_per_s: float = 460 * GB
+    memory_efficiency: float = 0.85
+    #: number of distinct operator kernels the device's HBM channels and DSPs
+    #: are partitioned across (linear systolic arrays + attention + misc)
+    operator_partitions: int = 4
+    #: MACs per cycle available to ONE operator kernel
+    macs_per_cycle_per_kernel: int = 2048
+    #: per-operator dataflow fill/drain overhead (cycles)
+    kernel_fill_overhead_cycles: float = 400.0
+    #: element-serial lanes for the critical-path operators
+    critical_path_lanes: int = 4
+    #: lanes of the softmax unit
+    softmax_lanes: int = 4
+
+
+class SpatialArchitectureModel(BaselineAccelerator):
+    """Per-token latency model of the spatial dataflow baseline."""
+
+    name = "Spatial dataflow (U280)"
+    platform = XILINX_ALVEO_U280
+
+    def __init__(self, model: ModelConfig, config: SpatialConfig | None = None) -> None:
+        super().__init__(model)
+        self.config = config or SpatialConfig()
+
+    # ------------------------------------------------------------------
+    def _cycles_to_ms(self, cycles: float) -> float:
+        return 1e3 * cycles / self.config.clock_hz
+
+    def _kernel_bytes_per_cycle(self) -> float:
+        """HBM bytes per cycle available to a single operator kernel."""
+        cfg = self.config
+        total = cfg.hbm_bandwidth_bytes_per_s * cfg.memory_efficiency / cfg.clock_hz
+        return total / cfg.operator_partitions
+
+    def _linear_cycles(self, in_features: int, out_features: int,
+                       batch_tokens: int = 1) -> float:
+        """One linear-layer kernel: intra-kernel pipelined (max of memory and
+        compute), but only this kernel's share of the device is available."""
+        cfg = self.config
+        weight_bytes = in_features * out_features * cfg.bytes_per_weight
+        memory = weight_bytes / self._kernel_bytes_per_cycle()
+        compute = in_features * out_features * batch_tokens / cfg.macs_per_cycle_per_kernel
+        return max(memory, compute) + cfg.kernel_fill_overhead_cycles
+
+    def _attention_cycles(self, context_len: int, batch_tokens: int = 1) -> float:
+        cfg = self.config
+        model = self.model
+        context_len = max(context_len, 1)
+        kv_bytes = 2 * context_len * model.d_model * cfg.bytes_per_weight * batch_tokens
+        memory = kv_bytes / self._kernel_bytes_per_cycle()
+        compute = 2 * context_len * model.d_model * batch_tokens / cfg.macs_per_cycle_per_kernel
+        softmax = model.num_heads * 2 * context_len / cfg.softmax_lanes
+        return max(memory, compute) + softmax + cfg.kernel_fill_overhead_cycles
+
+    def _critical_path_cycles(self, batch_tokens: int = 1) -> float:
+        model = self.model
+        lanes = self.config.critical_path_lanes
+        per_token = (2 * 3 * model.d_model + 2 * model.d_model + model.d_ff) / lanes
+        return per_token * batch_tokens
+
+    # ------------------------------------------------------------------
+    def decode_token_latency_ms(self, context_len: int) -> float:
+        """Decode: the task-level pipeline cannot fill, operators serialize."""
+        cycles = 0.0
+        for spec in layer_linear_specs(self.model):
+            cycles += self._linear_cycles(spec.in_features, spec.out_features)
+        cycles += self._attention_cycles(context_len)
+        cycles += self._critical_path_cycles()
+        return self._cycles_to_ms(cycles * self.model.num_layers)
+
+    def prefill_latency_ms(self, prompt_len: int) -> float:
+        """Prefill: the task-level pipeline is active, so the pass is governed
+        by the bottleneck operator processing all prompt tokens."""
+        if prompt_len <= 0:
+            raise ValueError("prompt_len must be positive")
+        per_operator = []
+        for spec in layer_linear_specs(self.model):
+            per_operator.append(self._linear_cycles(spec.in_features,
+                                                    spec.out_features,
+                                                    batch_tokens=prompt_len))
+        per_operator.append(self._attention_cycles((prompt_len + 1) // 2,
+                                                   batch_tokens=prompt_len))
+        per_operator.append(self._critical_path_cycles(batch_tokens=prompt_len))
+        fill = sum(per_operator)                 # pipeline fill (first token)
+        steady = max(per_operator)               # bottleneck stage
+        cycles = (fill / max(prompt_len, 1) + steady) * self.model.num_layers
+        return self._cycles_to_ms(cycles)
+
+    def latency_breakdown_ms(self, context_len: int = 512) -> Dict[str, float]:
+        linear = sum(self._linear_cycles(s.in_features, s.out_features)
+                     for s in layer_linear_specs(self.model))
+        attention = self._attention_cycles(context_len)
+        critical = self._critical_path_cycles()
+        layers = self.model.num_layers
+        return {
+            "linear": self._cycles_to_ms(linear * layers),
+            "attention": self._cycles_to_ms(attention * layers),
+            "critical_path": self._cycles_to_ms(critical * layers),
+        }

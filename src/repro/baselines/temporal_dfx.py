@@ -1,0 +1,133 @@
+"""DFX-like temporal (instruction overlay) architecture model.
+
+DFX (Hong et al., MICRO 2022) is the state-of-the-art temporal FPGA
+architecture the paper compares against: a multi-FPGA appliance whose
+processing engines execute an instruction stream, with FP16 weights streamed
+from HBM for every token.  The paper's Table II cites its single-U280 point:
+200 MHz, FP16, 5.37 ms per token for the evaluated GPT-2 workload.
+
+The model captures the two structural properties the paper attributes to
+temporal architectures (Fig. 3(a)):
+
+* **serialized execution** — every tile goes through read → compute →
+  write-back phases managed by instructions, so memory access and computation
+  do not overlap (the latency is their *sum*, not their maximum);
+* **off-chip traffic** — FP16 weights double the streamed bytes relative to
+  LoopLynx's W8A8, and intermediate results are written back to HBM between
+  operators, adding write traffic.
+
+Parameter defaults are calibrated so the GPT-2 345M point lands close to the
+published 5.37 ms; the structure (not the constants) is what the comparison
+exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.base import BaselineAccelerator, XILINX_ALVEO_U280
+from repro.model.config import ModelConfig, layer_linear_specs
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class DfxConfig:
+    """Calibration of the temporal-architecture model."""
+
+    clock_hz: float = 200.0e6
+    bytes_per_weight: int = 2                 # FP16
+    hbm_bandwidth_bytes_per_s: float = 460 * GB
+    #: fraction of the peak HBM bandwidth the instruction-driven DMA sustains
+    #: (no burst overlap with compute, address generation in the overlay)
+    memory_efficiency: float = 0.75
+    #: MAC units usable per cycle by the overlay's processing engines
+    macs_per_cycle: int = 1024
+    #: instruction issue / decode overhead per operator invocation (cycles)
+    instruction_overhead_cycles: float = 1000.0
+    #: fraction of activations written back to HBM between operators
+    writeback_fraction: float = 1.0
+    #: vector lanes of the overlay's special-function units (softmax, LN)
+    vector_lanes: int = 2
+    #: lanes of the softmax/exponent unit
+    softmax_lanes: int = 8
+
+
+class DfxTemporalModel(BaselineAccelerator):
+    """Per-token latency model of the DFX-like temporal architecture."""
+
+    name = "DFX (temporal, U280)"
+    platform = XILINX_ALVEO_U280
+
+    def __init__(self, model: ModelConfig, config: DfxConfig | None = None) -> None:
+        super().__init__(model)
+        self.config = config or DfxConfig()
+
+    # ------------------------------------------------------------------
+    def _cycles_to_ms(self, cycles: float) -> float:
+        return 1e3 * cycles / self.config.clock_hz
+
+    def _bytes_per_cycle(self) -> float:
+        return (self.config.hbm_bandwidth_bytes_per_s * self.config.memory_efficiency
+                / self.config.clock_hz)
+
+    def _linear_cycles(self, in_features: int, out_features: int,
+                       batch_tokens: int = 1) -> float:
+        """Serialized read + compute + write-back of one linear layer."""
+        cfg = self.config
+        weight_bytes = in_features * out_features * cfg.bytes_per_weight
+        read = weight_bytes / self._bytes_per_cycle()
+        compute = in_features * out_features * batch_tokens / cfg.macs_per_cycle
+        writeback = (out_features * batch_tokens * cfg.bytes_per_weight
+                     * cfg.writeback_fraction) / self._bytes_per_cycle()
+        return read + compute + writeback + cfg.instruction_overhead_cycles
+
+    def _attention_cycles(self, context_len: int, batch_tokens: int = 1) -> float:
+        cfg = self.config
+        model = self.model
+        context_len = max(context_len, 1)
+        kv_bytes = 2 * context_len * model.d_model * cfg.bytes_per_weight * batch_tokens
+        read = kv_bytes / self._bytes_per_cycle()
+        compute = 2 * context_len * model.d_model * batch_tokens / cfg.macs_per_cycle
+        softmax = model.num_heads * 2 * context_len * batch_tokens / cfg.softmax_lanes
+        return read + compute + softmax + cfg.instruction_overhead_cycles
+
+    def _critical_path_cycles(self, batch_tokens: int = 1) -> float:
+        """LayerNorm / residual / GELU executed on the overlay's vector unit."""
+        model = self.model
+        per_token = (2 * 3 * model.d_model + 2 * model.d_model
+                     + model.d_ff) / self.config.vector_lanes
+        return per_token * batch_tokens + 2 * self.config.instruction_overhead_cycles
+
+    # ------------------------------------------------------------------
+    def decode_token_latency_ms(self, context_len: int) -> float:
+        cycles = 0.0
+        for spec in layer_linear_specs(self.model):
+            cycles += self._linear_cycles(spec.in_features, spec.out_features)
+        cycles += self._attention_cycles(context_len)
+        cycles += self._critical_path_cycles()
+        return self._cycles_to_ms(cycles * self.model.num_layers)
+
+    def prefill_latency_ms(self, prompt_len: int) -> float:
+        """Prompt tokens processed sequentially through the overlay."""
+        if prompt_len <= 0:
+            raise ValueError("prompt_len must be positive")
+        total = 0.0
+        for position in range(prompt_len):
+            total += self.decode_token_latency_ms(position)
+        return total
+
+    def latency_breakdown_ms(self, context_len: int = 512) -> Dict[str, float]:
+        """Where the per-token cycles go — used by the architecture-comparison
+        example to contrast with LoopLynx's overlapped execution."""
+        linear = sum(self._linear_cycles(s.in_features, s.out_features)
+                     for s in layer_linear_specs(self.model))
+        attention = self._attention_cycles(context_len)
+        critical = self._critical_path_cycles()
+        layers = self.model.num_layers
+        return {
+            "linear": self._cycles_to_ms(linear * layers),
+            "attention": self._cycles_to_ms(attention * layers),
+            "critical_path": self._cycles_to_ms(critical * layers),
+        }

@@ -1,0 +1,167 @@
+"""Command-line interface for the LoopLynx reproduction.
+
+Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
+
+    python -m repro.cli list                      # list reproducible artifacts
+    python -m repro.cli experiment fig8           # regenerate one table/figure
+    python -m repro.cli experiment all            # regenerate everything
+    python -m repro.cli latency --nodes 2         # per-token latency report
+    python -m repro.cli scenario --nodes 4 --prefill 64 --decode 512
+    python -m repro.cli scaling --max-nodes 8     # node-count sweep
+    python -m repro.cli utilization               # Fig. 3 style area-utilization
+
+Every subcommand prints plain-text tables (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.breakdown import latency_breakdown
+from repro.analysis.report import format_table
+from repro.analysis.scalability import throughput_table
+from repro.analysis.utilization import architecture_comparison
+from repro.baselines.gpu_a100 import A100Model
+from repro.core.multi_node import LoopLynxSystem
+from repro.energy.power import FpgaPowerModel, GpuPowerModel
+from repro.experiments import EXPERIMENTS
+from repro.model.config import ModelConfig
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    rows = [{"Experiment": spec.experiment_id, "Description": spec.description}
+            for spec in EXPERIMENTS.values()]
+    print(format_table(rows, title="Reproducible artifacts"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.experiment_id == "all":
+        for spec in EXPERIMENTS.values():
+            print(f"\n### {spec.experiment_id}: {spec.description}\n")
+            spec.main()
+        return 0
+    if args.experiment_id not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment_id!r}; known: "
+              f"{', '.join(sorted(EXPERIMENTS))} or 'all'", file=sys.stderr)
+        return 2
+    EXPERIMENTS[args.experiment_id].main()
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    system = LoopLynxSystem.paper_configuration(num_nodes=args.nodes)
+    report = system.decode_token_report(context_len=args.context)
+    print(format_table([{
+        "# Nodes": args.nodes,
+        "Context": report.context_len,
+        "Token latency (ms)": report.latency_ms,
+        "Throughput (tok/s)": 1e3 / report.latency_ms,
+    }], title="Per-token decode latency"))
+    breakdown = latency_breakdown(system, context_len=args.context)
+    print()
+    print(format_table(
+        [{"Category": name, "Latency (ms)": value}
+         for name, value in sorted(breakdown.items(), key=lambda kv: -kv[1])],
+        title="Breakdown"))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    system = LoopLynxSystem.paper_configuration(num_nodes=args.nodes)
+    report = system.run_scenario(args.prefill, args.decode)
+    gpu = A100Model(ModelConfig.gpt2_medium())
+    gpu_ms = gpu.scenario_latency_ms(args.prefill, args.decode)
+    fpga_energy = FpgaPowerModel().report(args.nodes, report.total_ms,
+                                          args.decode).energy_joules
+    gpu_energy = GpuPowerModel().report(gpu_ms, args.decode).energy_joules
+    print(format_table([
+        {"Platform": f"LoopLynx {args.nodes}-node",
+         "Latency (s)": report.total_ms / 1e3, "Energy (J)": fpga_energy},
+        {"Platform": "Nvidia A100",
+         "Latency (s)": gpu_ms / 1e3, "Energy (J)": gpu_energy},
+    ], title=f"Scenario [{args.prefill}:{args.decode}]"))
+    print(f"\nSpeed-up vs A100: {gpu_ms / report.total_ms:.2f}x, "
+          f"energy fraction: {100 * fpga_energy / gpu_energy:.1f}%")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    node_counts: List[int] = []
+    nodes = 1
+    while nodes <= args.max_nodes:
+        node_counts.append(nodes)
+        nodes *= 2
+    rows = throughput_table(tuple(node_counts), context_len=args.context)
+    print(format_table([row.as_dict() for row in rows],
+                       title="Throughput and scalability"))
+    return 0
+
+
+def _cmd_utilization(args: argparse.Namespace) -> int:
+    rows = [entry.as_dict() for entry in architecture_comparison(args.context)]
+    print(format_table(rows, title="Decode-time area utilization by architecture style"))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_all
+
+    ids = None if args.experiments == ["all"] else args.experiments
+    paths = export_all(args.output_dir, experiment_ids=ids)
+    for experiment_id, path in sorted(paths.items()):
+        print(f"{experiment_id}: {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LoopLynx reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("list", help="list reproducible artifacts")
+    sub.set_defaults(func=_cmd_list)
+
+    sub = subparsers.add_parser("experiment", help="regenerate a paper artifact")
+    sub.add_argument("experiment_id", help="table1|table2|table3|fig5|fig7|fig8|all")
+    sub.set_defaults(func=_cmd_experiment)
+
+    sub = subparsers.add_parser("latency", help="per-token decode latency report")
+    sub.add_argument("--nodes", type=int, default=2)
+    sub.add_argument("--context", type=int, default=512)
+    sub.set_defaults(func=_cmd_latency)
+
+    sub = subparsers.add_parser("scenario", help="end-to-end request vs the A100")
+    sub.add_argument("--nodes", type=int, default=2)
+    sub.add_argument("--prefill", type=int, default=64)
+    sub.add_argument("--decode", type=int, default=512)
+    sub.set_defaults(func=_cmd_scenario)
+
+    sub = subparsers.add_parser("scaling", help="node-count sweep")
+    sub.add_argument("--max-nodes", type=int, default=8)
+    sub.add_argument("--context", type=int, default=512)
+    sub.set_defaults(func=_cmd_scaling)
+
+    sub = subparsers.add_parser("utilization", help="area-utilization comparison")
+    sub.add_argument("--context", type=int, default=512)
+    sub.set_defaults(func=_cmd_utilization)
+
+    sub = subparsers.add_parser("export", help="save experiment results as JSON")
+    sub.add_argument("experiments", nargs="+",
+                     help="experiment ids (or 'all')")
+    sub.add_argument("--output-dir", default="results")
+    sub.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""LoopLynx core: the paper's primary contribution.
+
+The hybrid spatial-temporal dataflow architecture is modelled at three levels:
+
+* **kernels** (:mod:`repro.core.kernels`) — cycle + functional models of the
+  macro dataflow kernels (Fused MP, Fused MHA, Fused LN&Res, quantization
+  unit, DMA, router);
+* **scheduler** (:mod:`repro.core.scheduler`) — the temporal state machine
+  that reuses those kernels across the stages of a transformer block;
+* **system** (:mod:`repro.core.accelerator`, :mod:`repro.core.multi_node`) —
+  per-node composition and the N-node ring-connected deployment with host
+  interaction, scenario runs and throughput reporting.
+
+:mod:`repro.core.functional` executes real int8 data through the same
+structure and is validated against the NumPy GPT-2 reference;
+:mod:`repro.core.resources` carries the FPGA resource model.
+"""
+
+from repro.core.accelerator import AcceleratorNode
+from repro.core.config import (
+    HardwareConfig,
+    OptimizationConfig,
+    SystemConfig,
+    alveo_u50_node,
+    paper_system,
+)
+from repro.core.multi_node import (
+    LoopLynxSystem,
+    ScenarioReport,
+    TokenLatencyReport,
+)
+from repro.core.resources import (
+    ALVEO_U50_CAPACITY,
+    ALVEO_U280_CAPACITY,
+    ResourceUsage,
+    component_table,
+    device_resources,
+    kernel_resources,
+    node_resources,
+    system_resources,
+)
+from repro.core.scheduler import KernelScheduler, Stage, transformer_block_schedule
+
+__all__ = [
+    "AcceleratorNode",
+    "HardwareConfig",
+    "OptimizationConfig",
+    "SystemConfig",
+    "alveo_u50_node",
+    "paper_system",
+    "LoopLynxSystem",
+    "ScenarioReport",
+    "TokenLatencyReport",
+    "ALVEO_U50_CAPACITY",
+    "ALVEO_U280_CAPACITY",
+    "ResourceUsage",
+    "component_table",
+    "device_resources",
+    "kernel_resources",
+    "node_resources",
+    "system_resources",
+    "KernelScheduler",
+    "Stage",
+    "transformer_block_schedule",
+]

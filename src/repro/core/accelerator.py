@@ -1,0 +1,98 @@
+"""Single accelerator node: kernels + scheduler.
+
+An :class:`AcceleratorNode` instantiates the macro dataflow kernels of one
+LoopLynx node (Fused MP, Fused MHA, Fused LN&Res, router) and the temporal
+scheduler that reuses them.  Because every node performs symmetrical
+computation under the model-parallel scheme, one node's timing — computed
+with awareness of the total node count — is the system's per-token timing;
+the multi-node wrapper (:mod:`repro.core.multi_node`) adds host interaction,
+scenario runs and throughput reporting on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import OptimizationConfig, SystemConfig
+from repro.core.kernels.attention import FusedMultiHeadAttentionKernel
+from repro.core.kernels.base import KernelTiming
+from repro.core.kernels.layernorm_residual import FusedLayerNormResidualKernel
+from repro.core.kernels.matrix_processing import FusedMatrixProcessingKernel
+from repro.core.kernels.router import RouterKernel
+from repro.core.resources import ResourceUsage, node_resources
+from repro.core.scheduler import KernelScheduler
+from repro.model.config import layer_linear_specs
+
+
+class AcceleratorNode:
+    """One LoopLynx accelerator node (one SLR of an Alveo U50)."""
+
+    def __init__(self, system: SystemConfig) -> None:
+        self.system = system
+        hardware = system.hardware
+        self.mp_kernel = FusedMatrixProcessingKernel(hardware)
+        self.mha_kernel = FusedMultiHeadAttentionKernel(hardware)
+        self.ln_kernel = FusedLayerNormResidualKernel(hardware)
+        self.router = RouterKernel(hardware, num_nodes=system.num_nodes,
+                                   link=system.link,
+                                   inter_card_link=system.inter_card_link,
+                                   nodes_per_card=system.nodes_per_card)
+        self.scheduler = KernelScheduler(system, self.mp_kernel, self.mha_kernel,
+                                         self.ln_kernel, self.router)
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def block_timing(self, context_len: int, batch_tokens: int = 1,
+                     optimizations: Optional[OptimizationConfig] = None) -> KernelTiming:
+        """Cycles of one transformer block (see
+        :meth:`repro.core.scheduler.KernelScheduler.block_timing`)."""
+        return self.scheduler.block_timing(context_len, batch_tokens, optimizations)
+
+    def token_cycles(self, context_len: int, batch_tokens: int = 1,
+                     optimizations: Optional[OptimizationConfig] = None) -> KernelTiming:
+        """Cycles of one full forward pass (all transformer blocks)."""
+        block = self.block_timing(context_len, batch_tokens, optimizations)
+        total = KernelTiming()
+        layers = self.system.model.num_layers
+        total.total = block.total * layers
+        for name, cycles in block.components.items():
+            total.add_component(name, cycles * layers)
+        return total
+
+    # ------------------------------------------------------------------
+    # traffic / utilization
+    # ------------------------------------------------------------------
+    def weight_bytes_per_token(self) -> int:
+        """HBM weight traffic of this node for one decode step."""
+        specs = layer_linear_specs(self.system.model)
+        per_layer = self.mp_kernel.weight_bytes_per_token(
+            specs, num_nodes=self.system.num_nodes)
+        return per_layer * self.system.model.num_layers
+
+    def kv_read_bytes_per_token(self, context_len: int) -> int:
+        """KV-cache read traffic of this node for one decode step."""
+        model = self.system.model
+        heads_per_node = -(-model.num_heads // self.system.num_nodes)
+        return (model.num_layers * 2 * heads_per_node * model.head_dim
+                * max(context_len, 1))
+
+    def kernel_utilization(self, elapsed_cycles: float) -> Dict[str, float]:
+        """Busy fractions of the macro kernels over ``elapsed_cycles`` (used
+        by the hybrid vs. spatial area-utilization comparison)."""
+        return {
+            kernel.name: kernel.utilization(elapsed_cycles)
+            for kernel in (self.mp_kernel, self.mha_kernel, self.ln_kernel)
+        }
+
+    def reset_stats(self) -> None:
+        for kernel in (self.mp_kernel, self.mha_kernel, self.ln_kernel, self.router):
+            kernel.reset_stats()
+
+    # ------------------------------------------------------------------
+    # resources
+    # ------------------------------------------------------------------
+    def resource_usage(self) -> ResourceUsage:
+        """Resources of this node (all kernels, no shell)."""
+        return node_resources()

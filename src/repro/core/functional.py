@@ -1,0 +1,241 @@
+"""Functional (bit-level) execution of the LoopLynx datapath.
+
+The cycle models answer "how long"; this module answers "does the hardware
+structure compute the right numbers".  It executes a calibrated W8A8 GPT-2
+through the same structure the accelerator uses:
+
+* every linear layer's weight shard is processed by the Fused MP kernel's
+  functional datapath (tiled int8 GEMV, wide accumulation, bias-add /
+  dequantize in the quantization unit);
+* under model parallelism, each node computes the output rows it owns and the
+  sub-vectors are gathered (the int8 transport itself is validated separately
+  against the ring all-gather's offset mechanism);
+* attention runs head-by-head per node on the heads that node owns, exactly
+  like the head-wise pipeline of the Fused MHA kernel;
+* layer norm / GELU / residual run on the Fused LN&Res kernel's functional
+  path.
+
+The top-level check (exercised by the integration tests) is that a full
+forward pass through :class:`FunctionalLoopLynxSystem` matches
+:meth:`repro.model.gpt2.GPT2Model.forward_quantized` exactly, for any node
+count that divides the head count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import HardwareConfig
+from repro.core.kernels.attention import FusedMultiHeadAttentionKernel
+from repro.core.kernels.layernorm_residual import FusedLayerNormResidualKernel
+from repro.core.kernels.matrix_processing import FusedMatrixProcessingKernel
+from repro.memory.kv_cache import KVCache, partition_heads
+from repro.model.config import ModelConfig
+from repro.model.gpt2 import GPT2Model
+from repro.model.layers import causal_attention, split_heads
+from repro.quant.int8 import quantize_per_tensor
+
+
+@dataclass
+class _ShardedLinear:
+    """Per-node shard of one quantized linear layer."""
+
+    weight_q: np.ndarray        # int8 [out_node, in]
+    weight_scale: np.ndarray    # per-output-channel scales of the shard
+    bias: np.ndarray            # float bias of the shard's rows
+    activation_scale: float
+    smoothing: np.ndarray       # per-input-channel smoothing factors
+    row_range: Tuple[int, int]  # rows of the full output this shard owns
+
+
+class FunctionalAcceleratorNode:
+    """One node's functional datapath: its linear shards and its heads."""
+
+    def __init__(self, model: GPT2Model, node_id: int, num_nodes: int,
+                 hardware: Optional[HardwareConfig] = None) -> None:
+        if not model.is_calibrated:
+            raise ValueError("the GPT-2 model must be calibrated for W8A8 first")
+        if not (0 <= node_id < num_nodes):
+            raise ValueError("node_id out of range")
+        self.model = model
+        self.config = model.config
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.hardware = hardware or HardwareConfig()
+        self.mp_kernel = FusedMatrixProcessingKernel(self.hardware)
+        self.mha_kernel = FusedMultiHeadAttentionKernel(self.hardware)
+        self.ln_kernel = FusedLayerNormResidualKernel(self.hardware)
+        self.heads = partition_heads(self.config.num_heads, num_nodes)[node_id]
+        self._shards: Dict[Tuple[int, str], _ShardedLinear] = {}
+        self._build_shards()
+
+    # ------------------------------------------------------------------
+    def _row_range(self, out_features: int) -> Tuple[int, int]:
+        """Rows of the full output this node owns (even split, remainder to
+        the lowest-numbered nodes), mirroring the output-dimension weight
+        distribution of the model-parallel scheme."""
+        base = out_features // self.num_nodes
+        extra = out_features % self.num_nodes
+        start = self.node_id * base + min(self.node_id, extra)
+        count = base + (1 if self.node_id < extra else 0)
+        return start, start + count
+
+    def _build_shards(self) -> None:
+        quantized = self.model._quantized_layers
+        assert quantized is not None
+        for (layer, name), entry in quantized.items():
+            weight_q = entry["weight_q"]
+            start, stop = self._row_range(weight_q.data.shape[0])
+            self._shards[(layer, name)] = _ShardedLinear(
+                weight_q=weight_q.data[start:stop],
+                weight_scale=weight_q.scale[start:stop],
+                bias=np.asarray(entry["bias"])[start:stop],
+                activation_scale=float(entry["activation_scale"]),
+                smoothing=np.asarray(entry["smoothing"]),
+                row_range=(start, stop),
+            )
+
+    # ------------------------------------------------------------------
+    def linear_subvector(self, layer: int, name: str, activations: np.ndarray
+                         ) -> np.ndarray:
+        """This node's output rows of one linear layer (float, bias added).
+
+        ``activations`` may be a single vector or a ``[tokens, in]`` matrix;
+        the int8 MAC path is applied per token exactly as the MPU would.
+        """
+        shard = self._shards[(layer, name)]
+        activations = np.asarray(activations, dtype=np.float64)
+        single = activations.ndim == 1
+        if single:
+            activations = activations[None, :]
+        outputs = np.zeros((activations.shape[0], shard.weight_q.shape[0]))
+        for row, activation in enumerate(activations):
+            smoothed = activation / shard.smoothing
+            act_q = quantize_per_tensor(smoothed, scale=shard.activation_scale)
+            outputs[row] = self.mp_kernel.functional_linear(
+                shard.weight_q, act_q.data, shard.activation_scale,
+                shard.weight_scale, bias=shard.bias)
+        return outputs[0] if single else outputs
+
+    def attention_subvector(self, query: np.ndarray, cache: KVCache,
+                            layer: int, new_keys: np.ndarray,
+                            new_values: np.ndarray,
+                            position_offset: int) -> np.ndarray:
+        """Attention output for this node's heads, one query block.
+
+        ``query`` is ``[tokens, d_model]`` (already the full QKV-derived Q);
+        ``new_keys`` / ``new_values`` are ``[heads, tokens, head_dim]`` for
+        the full head set — the node stores only its heads in its cache, as
+        the head-wise KV partition prescribes.
+        """
+        config = self.config
+        tokens = query.shape[0]
+        cache.append_block(layer, new_keys[self.heads], new_values[self.heads],
+                           start=position_offset)
+        keys = cache._keys[layer, :, : position_offset + tokens, :]
+        values = cache._values[layer, :, : position_offset + tokens, :]
+        q_heads = split_heads(query, config.num_heads)[self.heads]
+        head_dim = config.head_dim
+        total_len = position_offset + tokens
+        # full multi-head attention restricted to this node's heads
+        query_flat = q_heads.transpose(1, 0, 2).reshape(tokens, len(self.heads) * head_dim)
+        keys_flat = keys.transpose(1, 0, 2).reshape(total_len, len(self.heads) * head_dim)
+        values_flat = values.transpose(1, 0, 2).reshape(total_len, len(self.heads) * head_dim)
+        return causal_attention(query_flat, keys_flat, values_flat, len(self.heads))
+
+    def new_cache(self) -> KVCache:
+        """Head-wise partitioned KV cache holding only this node's heads."""
+        return KVCache(self.config.num_layers, len(self.heads),
+                       self.config.head_dim, self.config.max_seq_len)
+
+
+class FunctionalLoopLynxSystem:
+    """Functional multi-node execution of the full forward pass."""
+
+    def __init__(self, model: GPT2Model, num_nodes: int = 2,
+                 hardware: Optional[HardwareConfig] = None) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if model.config.num_heads % num_nodes != 0:
+            raise ValueError("num_nodes must divide the head count for the "
+                             "functional head-wise partition")
+        self.model = model
+        self.config = model.config
+        self.num_nodes = num_nodes
+        self.nodes = [FunctionalAcceleratorNode(model, node_id, num_nodes, hardware)
+                      for node_id in range(num_nodes)]
+        self.caches = [node.new_cache() for node in self.nodes]
+        self._length = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.caches = [node.new_cache() for node in self.nodes]
+        self._length = 0
+
+    def _gather(self, subvectors: List[np.ndarray], axis: int = -1) -> np.ndarray:
+        """Reassemble the full vector from per-node sub-vectors (the data
+        movement the ring all-gather performs)."""
+        return np.concatenate(subvectors, axis=axis)
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Forward pass of ``token_ids`` (appended after the cached context).
+
+        Returns logits ``[len(token_ids), vocab]``.  Matches
+        ``GPT2Model.forward_quantized`` with a shared cache exactly.
+        """
+        config = self.config
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        position_offset = self._length
+        hidden = self.model.embed(token_ids, position_offset)
+        ln_kernel = self.nodes[0].ln_kernel
+
+        for layer in range(config.num_layers):
+            block = self.model.weights.blocks[layer]
+            normed = ln_kernel.functional_layer_norm(
+                hidden, block.ln1_gamma, block.ln1_beta, config.layer_norm_eps)
+            qkv = self._gather([node.linear_subvector(layer, "qkv", normed)
+                                for node in self.nodes])
+            query, key, value = np.split(qkv, 3, axis=-1)
+            key_heads = split_heads(key, config.num_heads)
+            value_heads = split_heads(value, config.num_heads)
+            attn = self._gather([
+                node.attention_subvector(query, cache, layer, key_heads,
+                                         value_heads, position_offset)
+                for node, cache in zip(self.nodes, self.caches)
+            ])
+            attn = self._gather([node.linear_subvector(layer, "attn_proj", attn)
+                                 for node in self.nodes])
+            hidden = ln_kernel.functional_residual(hidden, attn)
+
+            normed = ln_kernel.functional_layer_norm(
+                hidden, block.ln2_gamma, block.ln2_beta, config.layer_norm_eps)
+            fc = self._gather([node.linear_subvector(layer, "mlp_fc", normed)
+                               for node in self.nodes])
+            activated = ln_kernel.functional_gelu(fc)
+            proj = self._gather([node.linear_subvector(layer, "mlp_proj", activated)
+                                 for node in self.nodes])
+            hidden = ln_kernel.functional_residual(hidden, proj)
+
+        for cache in self.caches:
+            cache.advance(token_ids.size)
+        self._length += token_ids.size
+        return self.model.lm_logits(hidden)
+
+    def generate(self, prompt_tokens: List[int], max_new_tokens: int) -> List[int]:
+        """Greedy prefill + decode through the functional multi-node system."""
+        if not prompt_tokens:
+            raise ValueError("prompt must contain at least one token")
+        self.reset()
+        logits = self.forward(np.asarray(prompt_tokens, dtype=np.int64))
+        generated: List[int] = []
+        next_token = int(np.argmax(logits[-1]))
+        for _ in range(max_new_tokens):
+            generated.append(next_token)
+            if self._length >= self.config.max_seq_len:
+                break
+            logits = self.forward(np.asarray([next_token], dtype=np.int64))
+            next_token = int(np.argmax(logits[-1]))
+        return generated

@@ -1,0 +1,45 @@
+"""Macro dataflow kernels (MDKs) of the LoopLynx accelerator.
+
+Each kernel groups all hardware of one functional class into a single large
+dataflow region (paper Fig. 3(c.2) and Fig. 6), which the temporal scheduler
+then reuses across the stages of a transformer block:
+
+* :class:`~repro.core.kernels.matrix_processing.FusedMatrixProcessingKernel`
+  — DMA engines + matrix-processing unit (MPU) + quantization unit + router;
+  executes every linear layer (QKV, attention projection, MLP fc / proj).
+* :class:`~repro.core.kernels.attention.FusedMultiHeadAttentionKernel`
+  — two MAC blocks (scores, token mixing), mask unit, softmax unit, forming a
+  head-wise task-level pipeline.
+* :class:`~repro.core.kernels.layernorm_residual.FusedLayerNormResidualKernel`
+  — parallelized layer normalization overlapped with the residual addition.
+* :class:`~repro.core.kernels.quantization_unit.QuantizationUnit`
+  — bias addition + requantization back to int8.
+* :class:`~repro.core.kernels.dma.DmaEngine` — burst-mode HBM access.
+* :class:`~repro.core.kernels.router.RouterKernel` — the per-node view of the
+  ring network synchronization.
+
+Every kernel exposes a cycle model (``*_cycles`` methods), a resource
+estimate (``resource_usage``), and where meaningful a functional datapath
+used by the correctness tests.
+"""
+
+from repro.core.kernels.base import KernelTiming, MacroDataflowKernel
+from repro.core.kernels.dma import DmaEngine
+from repro.core.kernels.matrix_processing import FusedMatrixProcessingKernel, MatrixOpTiming
+from repro.core.kernels.attention import AttentionTiming, FusedMultiHeadAttentionKernel
+from repro.core.kernels.layernorm_residual import FusedLayerNormResidualKernel
+from repro.core.kernels.quantization_unit import QuantizationUnit
+from repro.core.kernels.router import RouterKernel
+
+__all__ = [
+    "KernelTiming",
+    "MacroDataflowKernel",
+    "DmaEngine",
+    "FusedMatrixProcessingKernel",
+    "MatrixOpTiming",
+    "AttentionTiming",
+    "FusedMultiHeadAttentionKernel",
+    "FusedLayerNormResidualKernel",
+    "QuantizationUnit",
+    "RouterKernel",
+]

@@ -1,0 +1,211 @@
+"""Fused Multi-Head Attention (MHA) kernel.
+
+Paper Fig. 6(b): two separate MAC hardware blocks — the first computes
+attention scores against the cached keys streamed from HBM, the second mixes
+the cached values with the softmax-weighted scores — plus a mask unit and a
+softmax unit, forming a **head-wise task-level pipeline**.
+
+Cycle model
+-----------
+Per transformer layer and per node (which owns ``heads_per_node`` heads under
+the head-wise KV partition), each head requires:
+
+* ``score``   — stream the head's K cache (``seq_len x head_dim`` int8) and
+  MAC it against the query (memory bound on the key channels);
+* ``softmax`` — two passes over the ``seq_len`` scores (global exponent sum,
+  then the weighted scores) on ``softmax_lanes`` lanes;
+* ``mix``     — stream the head's V cache and accumulate the weighted values
+  (memory bound on the value channels).
+
+The two MAC blocks work on different heads concurrently (score of head ``i``
+overlaps with mixing of head ``i-1``).  Without the paper's head-wise
+pipelining the softmax's two-pass dependency stalls the chain once per head;
+with it, the softmax of head ``i-1`` hides behind the score computation of
+head ``i`` and only the final head's softmax remains exposed (Fig. 4(b)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import HardwareConfig
+from repro.core.kernels.base import KernelTiming, MacroDataflowKernel
+from repro.core.resources import ResourceUsage, kernel_resources
+from repro.model.layers import attention_single_head, softmax as softmax_ref
+
+#: fixed pipeline latency of the exponent/normalisation datapath
+SOFTMAX_FIXED_CYCLES = 24
+
+
+@dataclass
+class AttentionTiming:
+    """Cycle decomposition of one layer's multi-head attention on one node."""
+
+    total: float
+    score_cycles_per_head: float
+    softmax_cycles_per_head: float
+    mix_cycles_per_head: float
+    exposed_softmax_cycles: float
+    heads_per_node: int
+    seq_len: int
+
+    def as_kernel_timing(self) -> KernelTiming:
+        timing = KernelTiming(total=self.total)
+        timing.add_component("attention_score",
+                             self.score_cycles_per_head * self.heads_per_node)
+        timing.add_component("attention_mix",
+                             self.mix_cycles_per_head * self.heads_per_node)
+        timing.add_component("softmax_exposed", self.exposed_softmax_cycles)
+        return timing
+
+
+class FusedMultiHeadAttentionKernel(MacroDataflowKernel):
+    """The Fused MHA macro dataflow kernel of one accelerator node."""
+
+    name = "fused_mha"
+
+    def __init__(self, hardware: HardwareConfig) -> None:
+        super().__init__(hardware)
+        # split the MHA channels between the key-cache and value-cache MACs
+        self.key_channels = max(1, hardware.mha_channels // 2)
+        self.value_channels = max(1, hardware.mha_channels - self.key_channels)
+
+    # ------------------------------------------------------------------
+    # per-stage cycle helpers
+    # ------------------------------------------------------------------
+    def _cache_stream_cycles(self, seq_len: int, head_dim: int, channels: int,
+                             bytes_per_element: int = 1) -> float:
+        """Cycles to stream one head's K or V cache for ``seq_len`` positions."""
+        per_channel = self.hardware.hbm_bytes_per_cycle_per_channel
+        num_bytes = seq_len * head_dim * bytes_per_element
+        memory = num_bytes / (channels * per_channel)
+        compute = (seq_len * head_dim) / (channels * self.hardware.mac_group_size)
+        return max(memory, compute)
+
+    def softmax_cycles(self, seq_len: int) -> float:
+        """Two-pass softmax over ``seq_len`` scores on the softmax unit."""
+        if seq_len <= 0:
+            return 0.0
+        passes = 2 * math.ceil(seq_len / self.hardware.softmax_lanes)
+        return passes + SOFTMAX_FIXED_CYCLES
+
+    # ------------------------------------------------------------------
+    # decode cycle model
+    # ------------------------------------------------------------------
+    def decode_layer_cycles(self, seq_len: int, heads_per_node: int, head_dim: int,
+                            headwise_pipelining: bool = True,
+                            bytes_per_element: int = 1) -> AttentionTiming:
+        """Attention cycles of one transformer layer for one decode step."""
+        if seq_len < 0:
+            raise ValueError("negative sequence length")
+        if heads_per_node <= 0 or head_dim <= 0:
+            raise ValueError("heads_per_node and head_dim must be positive")
+        seq_len = max(seq_len, 1)
+
+        score = self._cache_stream_cycles(seq_len, head_dim, self.key_channels,
+                                          bytes_per_element)
+        mix = self._cache_stream_cycles(seq_len, head_dim, self.value_channels,
+                                        bytes_per_element)
+        smax = self.softmax_cycles(seq_len)
+        fill = float(self.hardware.kernel_fill_overhead_cycles)
+
+        if headwise_pipelining:
+            # 3-stage head-wise pipeline: steady state is governed by the
+            # slowest stage, softmax exposed only for the final head
+            steady = (heads_per_node - 1) * max(score, mix, smax)
+            total = score + mix + smax + steady + fill
+            exposed_softmax = smax + max(0.0, (heads_per_node - 1)
+                                         * max(smax - max(score, mix), 0.0))
+        else:
+            # the two-pass softmax stalls the chain once per head; score and
+            # mix still overlap across consecutive heads
+            steady = (heads_per_node - 1) * max(score, mix)
+            exposed_softmax = heads_per_node * smax
+            total = score + mix + steady + exposed_softmax + fill
+
+        timing = AttentionTiming(
+            total=total,
+            score_cycles_per_head=score,
+            softmax_cycles_per_head=smax,
+            mix_cycles_per_head=mix,
+            exposed_softmax_cycles=exposed_softmax,
+            heads_per_node=heads_per_node,
+            seq_len=seq_len,
+        )
+        self.record(timing.as_kernel_timing())
+        return timing
+
+    # ------------------------------------------------------------------
+    # prefill cycle model
+    # ------------------------------------------------------------------
+    def prefill_layer_cycles(self, prompt_len: int, heads_per_node: int,
+                             head_dim: int, headwise_pipelining: bool = True,
+                             bytes_per_element: int = 1) -> AttentionTiming:
+        """Attention cycles of one layer for a batched prefill pass.
+
+        Causal attention over a prompt of ``P`` positions touches on average
+        ``(P + 1) / 2`` cached positions per query, so the pass costs
+        approximately ``P`` decode steps at the average context length.
+        """
+        if prompt_len <= 0:
+            raise ValueError("prompt_len must be positive")
+        average_context = max(1, (prompt_len + 1) // 2)
+        single = self.decode_layer_cycles(average_context, heads_per_node, head_dim,
+                                          headwise_pipelining, bytes_per_element)
+        # queries stream back-to-back through the same head-wise pipeline;
+        # fill overhead is paid once
+        fill = float(self.hardware.kernel_fill_overhead_cycles)
+        steady = (single.total - fill) * prompt_len
+        timing = AttentionTiming(
+            total=steady + fill,
+            score_cycles_per_head=single.score_cycles_per_head * prompt_len,
+            softmax_cycles_per_head=single.softmax_cycles_per_head * prompt_len,
+            mix_cycles_per_head=single.mix_cycles_per_head * prompt_len,
+            exposed_softmax_cycles=single.exposed_softmax_cycles * prompt_len,
+            heads_per_node=heads_per_node,
+            seq_len=prompt_len,
+        )
+        return timing
+
+    # ------------------------------------------------------------------
+    # functional datapath
+    # ------------------------------------------------------------------
+    def functional_decode_attention(self, query: np.ndarray, keys: np.ndarray,
+                                    values: np.ndarray) -> np.ndarray:
+        """Head-by-head attention for one query token, as the hardware
+        pipeline computes it.
+
+        Shapes: ``query [heads, head_dim]``, ``keys/values [heads, seq, head_dim]``.
+        Returns ``[heads, head_dim]``.  Equivalent to the reference multi-head
+        attention restricted to this node's heads.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if query.ndim != 2 or keys.ndim != 3 or values.ndim != 3:
+            raise ValueError("expected query [H, hd], keys/values [H, seq, hd]")
+        if keys.shape != values.shape or keys.shape[0] != query.shape[0]:
+            raise ValueError("inconsistent head counts")
+        outputs = np.zeros_like(query)
+        for head in range(query.shape[0]):
+            outputs[head] = attention_single_head(query[head], keys[head], values[head])
+        return outputs
+
+    def functional_masked_scores(self, scores: np.ndarray, valid_len: int) -> np.ndarray:
+        """Mask unit: keep only forward (already generated) positions."""
+        scores = np.asarray(scores, dtype=np.float64).copy()
+        if valid_len < 0 or valid_len > scores.shape[-1]:
+            raise ValueError("valid_len out of range")
+        scores[..., valid_len:] = -1e30
+        return scores
+
+    def functional_softmax(self, scores: np.ndarray) -> np.ndarray:
+        """Softmax unit (two passes: exponent sum, then weighting)."""
+        return softmax_ref(scores, axis=-1)
+
+    def resource_usage(self) -> ResourceUsage:
+        return kernel_resources("fused_mha")

@@ -1,0 +1,71 @@
+"""Base class and timing record shared by all macro dataflow kernels."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import HardwareConfig
+from repro.core.resources import ResourceUsage
+
+
+@dataclass
+class KernelTiming:
+    """Cycle count of one kernel invocation, split into components.
+
+    ``total`` is the wall-clock cycles the invocation occupies on the
+    kernel's critical path; the component fields explain where they go and
+    are what the breakdown analysis aggregates.  Components need not sum to
+    ``total`` because overlapped work only contributes its exposed share.
+    """
+
+    total: float = 0.0
+    components: Dict[str, float] = field(default_factory=dict)
+
+    def add_component(self, name: str, cycles: float) -> None:
+        self.components[name] = self.components.get(name, 0.0) + float(cycles)
+
+    def component(self, name: str) -> float:
+        return self.components.get(name, 0.0)
+
+    def merge(self, other: "KernelTiming") -> None:
+        self.total += other.total
+        for name, cycles in other.components.items():
+            self.add_component(name, cycles)
+
+
+class MacroDataflowKernel(ABC):
+    """A large dataflow kernel reused temporally by the scheduler.
+
+    Concrete kernels provide cycle models parameterised by the per-node
+    :class:`~repro.core.config.HardwareConfig` and report the FPGA resources
+    they occupy (used by the Fig. 7 / Table II resource reproduction).
+    """
+
+    name: str = "kernel"
+
+    def __init__(self, hardware: HardwareConfig) -> None:
+        self.hardware = hardware
+        self.invocations = 0
+        self.total_cycles = 0.0
+
+    def record(self, timing: KernelTiming) -> KernelTiming:
+        """Book-keeping hook: accumulate per-kernel utilization statistics."""
+        self.invocations += 1
+        self.total_cycles += timing.total
+        return timing
+
+    def reset_stats(self) -> None:
+        self.invocations = 0
+        self.total_cycles = 0.0
+
+    @abstractmethod
+    def resource_usage(self) -> ResourceUsage:
+        """FPGA resources occupied by one instance of this kernel."""
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Busy fraction of this kernel over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(self.total_cycles / elapsed_cycles, 1.0)

@@ -1,0 +1,80 @@
+"""Quantization unit: bias addition + requantization to int8.
+
+Inside the Fused MP kernel, MAC accumulators are packed and handed to the
+quantization unit, which adds the bias and requantizes the int32 accumulator
+back to int8 before the datapacks are forwarded to the router.  Because the
+unit sits behind the MPU in the same dataflow region, its per-element work is
+hidden in steady state; only the drain of the final output block is exposed
+(the paper cites exactly this exposure as one reason the 4-node configuration
+scales sub-linearly).
+
+The class provides both the cycle model (throughput + drain) and the
+functional requantization used by the datapath tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config import HardwareConfig
+from repro.core.kernels.base import KernelTiming, MacroDataflowKernel
+from repro.core.resources import ResourceUsage, kernel_resources
+from repro.quant.int8 import requantize_int32
+
+
+class QuantizationUnit(MacroDataflowKernel):
+    """Bias-add + requantize stage of the Fused MP kernel."""
+
+    name = "quantization_unit"
+
+    def __init__(self, hardware: HardwareConfig, lanes: Optional[int] = None) -> None:
+        super().__init__(hardware)
+        # one lane per MP slice: the unit matches the MPU's result rate
+        self.lanes = lanes or hardware.mp_channels
+
+    # ------------------------------------------------------------------
+    # cycle model
+    # ------------------------------------------------------------------
+    def throughput_cycles(self, num_elements: int) -> float:
+        """Cycles to requantize ``num_elements`` outputs at full rate."""
+        if num_elements < 0:
+            raise ValueError("negative element count")
+        return math.ceil(num_elements / self.lanes)
+
+    def drain_cycles(self, block_elements: int) -> KernelTiming:
+        """Exposed cycles to drain the final output block after the MPU has
+        finished its last MACs (pipeline tail)."""
+        timing = KernelTiming()
+        cycles = self.throughput_cycles(block_elements)
+        timing.total = cycles
+        timing.add_component("quantization_drain", cycles)
+        return self.record(timing)
+
+    # ------------------------------------------------------------------
+    # functional datapath
+    # ------------------------------------------------------------------
+    def requantize(self, accumulator: np.ndarray, input_scale: float,
+                   weight_scale: Union[float, np.ndarray], output_scale: float,
+                   bias: Optional[np.ndarray] = None) -> np.ndarray:
+        """Hardware requantization: int32/int64 accumulator -> int8 output."""
+        return requantize_int32(accumulator, input_scale, weight_scale,
+                                output_scale, bias)
+
+    def dequantize_accumulator(self, accumulator: np.ndarray, input_scale: float,
+                               weight_scale: Union[float, np.ndarray],
+                               bias: Optional[np.ndarray] = None) -> np.ndarray:
+        """Bias-add + dequantize to float (the path used when the next
+        operator — layer norm, softmax — consumes floats)."""
+        accumulator = np.asarray(accumulator, dtype=np.int64)
+        weight_scale = np.asarray(weight_scale, dtype=np.float64)
+        real = accumulator.astype(np.float64) * float(input_scale) * weight_scale
+        if bias is not None:
+            real = real + np.asarray(bias, dtype=np.float64)
+        return real
+
+    def resource_usage(self) -> ResourceUsage:
+        # the quantization unit is part of the "other kernels / buffer" row
+        return kernel_resources("other")

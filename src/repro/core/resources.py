@@ -1,0 +1,167 @@
+"""FPGA resource model (DSP / LUT / FF / BRAM / URAM).
+
+The numbers come from the paper's implementation report (Fig. 7): the listed
+component utilizations are for one Alveo U50 device carrying **two**
+accelerator nodes (one per SLR), so the per-node figures used here are half
+of the listed component values.  The device additionally carries static shell
+logic (XDMA/PCIe, HBM controllers, clocking) that is paid once per card
+regardless of how many accelerator nodes it hosts — this reproduces why the
+Table II one-node row is much more than half of the two-node row for BRAM.
+
+The model exposes:
+
+* per-kernel resources (per node) — Fig. 7 component rows;
+* per-node accelerator totals;
+* per-card device totals (adds the shell);
+* per-system totals for an arbitrary node count — Table II resource columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """FPGA resource vector.  BRAM is counted in 18Kb blocks (halves allowed,
+    as vendor reports do)."""
+
+    dsp: float = 0.0
+    lut: float = 0.0
+    ff: float = 0.0
+    bram: float = 0.0
+    uram: float = 0.0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            dsp=self.dsp + other.dsp,
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram=self.bram + other.bram,
+            uram=self.uram + other.uram,
+        )
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        return ResourceUsage(dsp=self.dsp * factor, lut=self.lut * factor,
+                             ff=self.ff * factor, bram=self.bram * factor,
+                             uram=self.uram * factor)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"DSP": self.dsp, "LUT": self.lut, "FF": self.ff,
+                "BRAM": self.bram, "URAM": self.uram}
+
+    def fits_within(self, capacity: "ResourceUsage") -> bool:
+        """True when this usage fits inside ``capacity`` on every resource."""
+        return (self.dsp <= capacity.dsp and self.lut <= capacity.lut
+                and self.ff <= capacity.ff and self.bram <= capacity.bram
+                and self.uram <= capacity.uram)
+
+    def utilization_of(self, capacity: "ResourceUsage") -> Dict[str, float]:
+        """Fractional utilization against a device capacity."""
+        out: Dict[str, float] = {}
+        for key, used in self.as_dict().items():
+            cap = capacity.as_dict()[key]
+            out[key] = used / cap if cap > 0 else 0.0
+        return out
+
+
+# ----------------------------------------------------------------------
+# Device capacities (vendor datasheets; used for feasibility checks)
+# ----------------------------------------------------------------------
+
+ALVEO_U50_CAPACITY = ResourceUsage(dsp=5952, lut=872_000, ff=1_743_000,
+                                   bram=1344, uram=640)
+ALVEO_U280_CAPACITY = ResourceUsage(dsp=9024, lut=1_304_000, ff=2_607_000,
+                                    bram=2016, uram=960)
+
+
+# ----------------------------------------------------------------------
+# Per-node kernel resources (half of the Fig. 7 per-device component rows)
+# ----------------------------------------------------------------------
+
+PER_NODE_KERNEL_RESOURCES: Mapping[str, ResourceUsage] = {
+    "fused_mp": ResourceUsage(dsp=261, lut=17_000, ff=28_000, bram=120.5, uram=0),
+    "fused_mha": ResourceUsage(dsp=191, lut=19_000, ff=22_500, bram=8, uram=0),
+    "fused_ln_res": ResourceUsage(dsp=96, lut=11_500, ff=15_000, bram=120, uram=0),
+    "dma": ResourceUsage(dsp=0, lut=8_000, ff=14_000, bram=48.5, uram=2),
+    "other": ResourceUsage(dsp=16, lut=8_500, ff=13_000, bram=0.5, uram=0),
+}
+
+#: Static shell / platform logic paid once per FPGA card (XDMA, HBM
+#: controllers, clock/reset infrastructure).  Derived from the difference
+#: between the paper's "Device Total" and "Accelerator Total" rows.
+PER_CARD_SHELL_RESOURCES = ResourceUsage(dsp=4, lut=184_000, ff=293_000,
+                                         bram=329.5, uram=0)
+
+
+def kernel_resources(kernel_name: str) -> ResourceUsage:
+    """Per-node resources of one macro dataflow kernel."""
+    try:
+        return PER_NODE_KERNEL_RESOURCES[kernel_name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown kernel {kernel_name!r}; known: "
+            f"{sorted(PER_NODE_KERNEL_RESOURCES)}") from exc
+
+
+def node_resources() -> ResourceUsage:
+    """Resources of one accelerator node (all kernels, no shell)."""
+    total = ResourceUsage()
+    for usage in PER_NODE_KERNEL_RESOURCES.values():
+        total = total + usage
+    return total
+
+
+def device_resources(nodes_on_card: int = 2) -> ResourceUsage:
+    """Resources of one FPGA card hosting ``nodes_on_card`` accelerator nodes."""
+    if nodes_on_card <= 0:
+        raise ValueError("nodes_on_card must be positive")
+    return node_resources().scaled(nodes_on_card) + PER_CARD_SHELL_RESOURCES
+
+
+def system_resources(num_nodes: int, nodes_per_card: int = 2) -> ResourceUsage:
+    """Resources of a multi-node deployment (Table II resource columns).
+
+    Cards are filled greedily; a partially filled last card still pays its
+    full shell.  URAM follows the paper's accounting of 2 per node.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if nodes_per_card <= 0:
+        raise ValueError("nodes_per_card must be positive")
+    total = ResourceUsage()
+    remaining = num_nodes
+    while remaining > 0:
+        on_card = min(nodes_per_card, remaining)
+        total = total + node_resources().scaled(on_card) + PER_CARD_SHELL_RESOURCES
+        remaining -= on_card
+    return total
+
+
+def component_table(nodes_on_card: int = 2) -> List[Dict[str, float]]:
+    """The Fig. 7 component table for one device hosting ``nodes_on_card``
+    nodes: one row per kernel (scaled to the device), plus the accelerator
+    and device totals."""
+    display_names = {
+        "fused_mp": "Fused MP Kernel",
+        "fused_mha": "Fused MHA Kernel",
+        "fused_ln_res": "Fused LN Kernel",
+        "dma": "DMA",
+        "other": "Other Kernels/Buffer",
+    }
+    rows: List[Dict[str, float]] = []
+    accelerator_total = ResourceUsage()
+    for key, usage in PER_NODE_KERNEL_RESOURCES.items():
+        scaled = usage.scaled(nodes_on_card)
+        accelerator_total = accelerator_total + scaled
+        row: Dict[str, float] = {"Component": display_names[key]}
+        row.update(scaled.as_dict())
+        rows.append(row)
+    accel_row: Dict[str, float] = {"Component": "Accelerator Total"}
+    accel_row.update(accelerator_total.as_dict())
+    device_row: Dict[str, float] = {"Component": "Device Total"}
+    device_row.update((accelerator_total + PER_CARD_SHELL_RESOURCES).as_dict())
+    rows.append(accel_row)
+    rows.append(device_row)
+    return rows

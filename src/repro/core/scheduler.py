@@ -1,0 +1,227 @@
+"""Temporal scheduler: the state machine that reuses the macro dataflow kernels.
+
+The hybrid spatial-temporal design implements each operator class as one large
+dataflow kernel and then *reuses* those kernels across the stages of a
+transformer block (paper Fig. 3(c.1)): instead of instantiating a separate
+small kernel per linear layer (spatial) or serializing reads/computes/writes
+per instruction (temporal), the scheduler walks a fixed stage sequence and
+dispatches each stage to the matching macro kernel, so the kernel's full
+hardware is active during every activation.
+
+:func:`transformer_block_schedule` returns the stage sequence for one
+transformer block; :class:`KernelScheduler` composes the per-stage cycle
+models into a per-block :class:`~repro.core.kernels.base.KernelTiming`, which
+the accelerator and multi-node system then scale to per-token latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import OptimizationConfig, SystemConfig
+from repro.core.kernels.attention import FusedMultiHeadAttentionKernel
+from repro.core.kernels.base import KernelTiming
+from repro.core.kernels.layernorm_residual import FusedLayerNormResidualKernel
+from repro.core.kernels.matrix_processing import FusedMatrixProcessingKernel
+from repro.core.kernels.router import RouterKernel
+from repro.model.config import LinearLayerSpec, ModelConfig, layer_linear_specs
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One scheduler stage of a transformer block.
+
+    ``kind`` selects the macro dataflow kernel:
+
+    * ``"layer_norm"``      — Fused LN&Res kernel (LN, residual hidden inside)
+    * ``"linear"``          — Fused MP kernel (``linear_spec`` gives dimensions)
+    * ``"attention"``       — Fused MHA kernel
+    * ``"elementwise"``     — Fused LN&Res kernel's element-wise lanes (GELU)
+    * ``"residual"``        — residual addition not fused with an LN
+    """
+
+    name: str
+    kind: str
+    linear_spec: Optional[LinearLayerSpec] = None
+    elements: int = 0
+    synchronizes_output: bool = False
+
+    def __post_init__(self) -> None:
+        valid = {"layer_norm", "linear", "attention", "elementwise", "residual"}
+        if self.kind not in valid:
+            raise ValueError(f"unknown stage kind {self.kind!r}")
+        if self.kind == "linear" and self.linear_spec is None:
+            raise ValueError("linear stages need a linear_spec")
+
+
+def transformer_block_schedule(model: ModelConfig) -> List[Stage]:
+    """Stage sequence of one transformer block under the LoopLynx scheduler.
+
+    The sub-vector outputs of every linear layer and of the attention kernel
+    are synchronized over the ring (``synchronizes_output=True``); the
+    synchronization is hidden block-wise inside that same stage's computation
+    when the transmission-hiding optimization is on.
+    """
+    qkv, attn_proj, mlp_fc, mlp_proj = layer_linear_specs(model)
+    return [
+        Stage("ln_1", "layer_norm", elements=model.d_model),
+        Stage("qkv_projection", "linear", linear_spec=qkv),
+        Stage("multi_head_attention", "attention", synchronizes_output=True),
+        Stage("attention_projection", "linear", linear_spec=attn_proj,
+              synchronizes_output=True),
+        Stage("residual_attention", "residual", elements=model.d_model),
+        Stage("ln_2", "layer_norm", elements=model.d_model),
+        Stage("mlp_fc", "linear", linear_spec=mlp_fc, synchronizes_output=True),
+        Stage("gelu", "elementwise", elements=model.d_ff),
+        Stage("mlp_projection", "linear", linear_spec=mlp_proj,
+              synchronizes_output=True),
+        Stage("residual_mlp", "residual", elements=model.d_model),
+    ]
+
+
+class KernelScheduler:
+    """Composes per-stage kernel cycle models into per-block timings."""
+
+    def __init__(self, system: SystemConfig,
+                 mp_kernel: FusedMatrixProcessingKernel,
+                 mha_kernel: FusedMultiHeadAttentionKernel,
+                 ln_kernel: FusedLayerNormResidualKernel,
+                 router: RouterKernel) -> None:
+        self.system = system
+        self.mp_kernel = mp_kernel
+        self.mha_kernel = mha_kernel
+        self.ln_kernel = ln_kernel
+        self.router = router
+        self.schedule = transformer_block_schedule(system.model)
+
+    # ------------------------------------------------------------------
+    # per-stage timing
+    # ------------------------------------------------------------------
+    def _linear_stage(self, stage: Stage, batch_tokens: int,
+                      opts: OptimizationConfig) -> KernelTiming:
+        model = self.system.model
+        num_nodes = self.system.num_nodes
+        op = self.mp_kernel.linear_op_cycles(stage.linear_spec, num_nodes=num_nodes,
+                                             batch_tokens=batch_tokens)
+        timing = KernelTiming()
+        steady = op.steady_state_cycles
+        timing.add_component("linear", steady)
+        timing.add_component("kernel_fill", op.fill_overhead_cycles)
+        timing.add_component("quantization_drain", op.quant_drain_cycles)
+        total = steady + op.fill_overhead_cycles + op.quant_drain_cycles
+
+        if stage.synchronizes_output and num_nodes > 1:
+            subvector_bytes = op.out_features_node * batch_tokens
+            sync = self.router.synchronize(
+                subvector_bytes, compute_cycles=steady, blocks=op.num_blocks,
+                hide_transfers=opts.transmission_hiding)
+            timing.add_component("ring_sync_exposed", sync.exposed_cycles)
+            total += sync.exposed_cycles
+        timing.total = total
+        return timing
+
+    def _attention_stage(self, stage: Stage, context_len: int, batch_tokens: int,
+                         opts: OptimizationConfig) -> KernelTiming:
+        model = self.system.model
+        num_nodes = self.system.num_nodes
+        heads_per_node = -(-model.num_heads // num_nodes)
+        if batch_tokens == 1:
+            att = self.mha_kernel.decode_layer_cycles(
+                context_len, heads_per_node, model.head_dim,
+                headwise_pipelining=opts.headwise_pipelining)
+        else:
+            att = self.mha_kernel.prefill_layer_cycles(
+                batch_tokens, heads_per_node, model.head_dim,
+                headwise_pipelining=opts.headwise_pipelining)
+        timing = KernelTiming()
+        score_mix = (att.total - att.exposed_softmax_cycles
+                     - self.system.hardware.kernel_fill_overhead_cycles)
+        timing.add_component("attention", max(score_mix, 0.0))
+        timing.add_component("softmax_exposed", att.exposed_softmax_cycles)
+        timing.add_component("kernel_fill",
+                             float(self.system.hardware.kernel_fill_overhead_cycles))
+        total = att.total
+
+        if stage.synchronizes_output and num_nodes > 1:
+            # gather this node's heads back into the full attention output
+            subvector_bytes = heads_per_node * model.head_dim * batch_tokens
+            sync = self.router.synchronize(
+                subvector_bytes, compute_cycles=max(score_mix, 1.0),
+                blocks=max(heads_per_node, 1),
+                hide_transfers=opts.transmission_hiding)
+            timing.add_component("ring_sync_exposed", sync.exposed_cycles)
+            total += sync.exposed_cycles
+        timing.total = total
+        return timing
+
+    def _layer_norm_stage(self, stage: Stage, batch_tokens: int,
+                          opts: OptimizationConfig) -> KernelTiming:
+        optimized = opts.critical_path_fusion
+        ln = self.ln_kernel.layer_norm_cycles(stage.elements, optimized) * batch_tokens
+        res = self.ln_kernel.residual_cycles(stage.elements, optimized) * batch_tokens
+        timing = KernelTiming(total=ln + res)
+        timing.add_component("layer_norm", ln)
+        timing.add_component("residual", res)
+        return timing
+
+    def _residual_stage(self, stage: Stage, batch_tokens: int,
+                        opts: OptimizationConfig) -> KernelTiming:
+        optimized = opts.critical_path_fusion
+        if optimized:
+            # the residual add is folded into the quantization unit's output
+            # path and the following LN's first pass, so it is fully hidden
+            cycles = 0.0
+        else:
+            cycles = float(stage.elements) * batch_tokens
+        timing = KernelTiming(total=cycles)
+        timing.add_component("residual", cycles)
+        return timing
+
+    def _elementwise_stage(self, stage: Stage, batch_tokens: int,
+                           opts: OptimizationConfig) -> KernelTiming:
+        optimized = opts.critical_path_fusion
+        cycles = self.ln_kernel.elementwise_cycles(stage.elements, optimized) * batch_tokens
+        timing = KernelTiming(total=cycles)
+        timing.add_component("gelu_bias", cycles)
+        return timing
+
+    # ------------------------------------------------------------------
+    # per-block composition
+    # ------------------------------------------------------------------
+    def block_timing(self, context_len: int, batch_tokens: int = 1,
+                     optimizations: Optional[OptimizationConfig] = None) -> KernelTiming:
+        """Cycles of one transformer block on one node.
+
+        Parameters
+        ----------
+        context_len:
+            Cached sequence length attended over (decode), ignored for
+            batched prefill where the prompt length drives attention cost.
+        batch_tokens:
+            1 for a decode step; the prompt length for a batched prefill pass.
+        optimizations:
+            Override of the system's optimization switches (used by the
+            Fig. 5 and ablation experiments).
+        """
+        opts = optimizations or self.system.optimizations
+        block = KernelTiming()
+        overhead = float(self.system.hardware.stage_overhead_cycles)
+        for stage in self.schedule:
+            if stage.kind == "linear":
+                timing = self._linear_stage(stage, batch_tokens, opts)
+            elif stage.kind == "attention":
+                timing = self._attention_stage(stage, context_len, batch_tokens, opts)
+            elif stage.kind == "layer_norm":
+                timing = self._layer_norm_stage(stage, batch_tokens, opts)
+            elif stage.kind == "residual":
+                timing = self._residual_stage(stage, batch_tokens, opts)
+            else:
+                timing = self._elementwise_stage(stage, batch_tokens, opts)
+            timing.add_component("stage_overhead", overhead)
+            timing.total += overhead
+            block.merge(timing)
+        return block
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.schedule]

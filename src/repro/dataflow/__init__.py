@@ -1,0 +1,45 @@
+"""Dataflow simulation substrate.
+
+This package stands in for the Vitis HLS dataflow fabric used by the paper.
+It provides a small discrete-event simulation engine (:mod:`repro.dataflow.engine`),
+FIFO channels with bounded depth (:mod:`repro.dataflow.fifo`), kernel process
+abstractions (:mod:`repro.dataflow.kernel`), pipeline composition helpers that
+model overlap / initiation intervals (:mod:`repro.dataflow.pipeline`), and a
+trace recorder used by the latency-breakdown analysis
+(:mod:`repro.dataflow.trace`).
+
+The LoopLynx macro dataflow kernels in :mod:`repro.core.kernels` are built on
+top of these primitives: each hardware kernel is expressed as a set of pipeline
+stages with a latency and an initiation interval, and the engine computes the
+overlapped schedule exactly the way a free-running HLS dataflow region would.
+"""
+
+from repro.dataflow.engine import Event, SimulationEngine
+from repro.dataflow.fifo import Fifo, FifoClosed, FifoFull, FifoEmpty
+from repro.dataflow.kernel import KernelProcess, KernelPort
+from repro.dataflow.pipeline import (
+    PipelineStage,
+    StageTiming,
+    overlapped_latency,
+    pipeline_latency,
+    sequential_latency,
+)
+from repro.dataflow.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "Fifo",
+    "FifoClosed",
+    "FifoFull",
+    "FifoEmpty",
+    "KernelProcess",
+    "KernelPort",
+    "PipelineStage",
+    "StageTiming",
+    "overlapped_latency",
+    "pipeline_latency",
+    "sequential_latency",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,217 @@
+"""A small discrete-event simulation engine with generator-based processes.
+
+The engine is deliberately minimal: processes are Python generators that yield
+*commands*, the engine advances a cycle-accurate clock and resumes processes
+when the condition they wait for becomes true.  This is the substrate on which
+the FIFO-connected macro dataflow kernels of LoopLynx are simulated.
+
+Supported yield commands
+------------------------
+
+``("wait", n)``
+    Suspend the process for ``n`` cycles.
+
+``("wait_until", predicate)``
+    Suspend until ``predicate()`` is true.  The predicate is re-evaluated every
+    time the engine makes progress (cheap because the number of processes is
+    small -- a handful of kernels per accelerator node).
+
+``("done", value)``
+    Terminate the process and record ``value`` as its result.
+
+Processes may also simply ``return``; the return value (via ``StopIteration``)
+is recorded as the result.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+Command = Tuple[str, Any]
+Process = Generator[Command, Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation cannot make progress (deadlock) or a
+    process misbehaves (unknown command)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled resumption of a process at an absolute cycle time."""
+
+    time: int
+    seq: int
+    process_id: int = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+@dataclass
+class _ProcState:
+    """Book-keeping for one running process."""
+
+    name: str
+    generator: Process
+    finished: bool = False
+    result: Any = None
+    blocked_on: Optional[Callable[[], bool]] = None
+    start_time: int = 0
+    finish_time: Optional[int] = None
+
+
+class SimulationEngine:
+    """Cycle-accurate cooperative scheduler for kernel processes.
+
+    Parameters
+    ----------
+    max_cycles:
+        Safety limit; the simulation aborts with :class:`SimulationError` if
+        the clock exceeds this value (guards against accidental livelock in
+        user-written kernels).
+    """
+
+    def __init__(self, max_cycles: int = 10_000_000_000) -> None:
+        self.now: int = 0
+        self.max_cycles = int(max_cycles)
+        self._event_queue: List[Event] = []
+        self._seq = itertools.count()
+        self._processes: Dict[int, _ProcState] = {}
+        self._next_pid = itertools.count()
+        self._blocked: List[int] = []
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def add_process(self, generator: Process, name: str = "proc") -> int:
+        """Register a generator process and schedule its first step at the
+        current simulation time.  Returns the process id."""
+        pid = next(self._next_pid)
+        self._processes[pid] = _ProcState(name=name, generator=generator,
+                                          start_time=self.now)
+        self._schedule(self.now, pid)
+        return pid
+
+    def result_of(self, pid: int) -> Any:
+        """Return the result recorded for a finished process."""
+        state = self._processes[pid]
+        if not state.finished:
+            raise SimulationError(f"process {state.name} (pid={pid}) has not finished")
+        return state.result
+
+    def finish_time_of(self, pid: int) -> int:
+        """Cycle at which the given process finished."""
+        state = self._processes[pid]
+        if state.finish_time is None:
+            raise SimulationError(f"process {state.name} (pid={pid}) has not finished")
+        return state.finish_time
+
+    @property
+    def active_processes(self) -> int:
+        """Number of processes that have not yet finished."""
+        return sum(1 for s in self._processes.values() if not s.finished)
+
+    # ------------------------------------------------------------------
+    # scheduling internals
+    # ------------------------------------------------------------------
+    def _schedule(self, time: int, pid: int, payload: Any = None) -> None:
+        heapq.heappush(self._event_queue, Event(time, next(self._seq), pid, payload))
+
+    def _step_process(self, pid: int, send_value: Any = None) -> None:
+        state = self._processes[pid]
+        if state.finished:
+            return
+        try:
+            command = state.generator.send(send_value)
+        except StopIteration as stop:
+            state.finished = True
+            state.result = stop.value
+            state.finish_time = self.now
+            return
+        self._dispatch_command(pid, state, command)
+
+    def _dispatch_command(self, pid: int, state: _ProcState, command: Command) -> None:
+        if not isinstance(command, tuple) or not command:
+            raise SimulationError(
+                f"process {state.name} yielded malformed command {command!r}")
+        kind = command[0]
+        if kind == "wait":
+            delay = int(command[1])
+            if delay < 0:
+                raise SimulationError(f"negative wait of {delay} cycles")
+            self._schedule(self.now + delay, pid)
+        elif kind == "wait_until":
+            predicate = command[1]
+            if predicate():
+                # condition already true: resume on the same cycle
+                self._schedule(self.now, pid)
+            else:
+                state.blocked_on = predicate
+                self._blocked.append(pid)
+        elif kind == "done":
+            state.finished = True
+            state.result = command[1] if len(command) > 1 else None
+            state.finish_time = self.now
+        else:
+            raise SimulationError(
+                f"process {state.name} yielded unknown command kind {kind!r}")
+
+    def _unblock_ready(self) -> bool:
+        """Move blocked processes whose predicate became true back into the
+        event queue.  Returns True if anything was unblocked."""
+        if not self._blocked:
+            return False
+        still_blocked: List[int] = []
+        progressed = False
+        for pid in self._blocked:
+            state = self._processes[pid]
+            predicate = state.blocked_on
+            if predicate is not None and predicate():
+                state.blocked_on = None
+                self._schedule(self.now, pid)
+                progressed = True
+            else:
+                still_blocked.append(pid)
+        self._blocked = still_blocked
+        return progressed
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Run until all processes finish.  Returns the final cycle count."""
+        while True:
+            progressed = True
+            # drain all events at the current time, re-checking blocked
+            # processes whenever one of them may have been released.
+            while progressed:
+                progressed = False
+                while self._event_queue and self._event_queue[0].time <= self.now:
+                    event = heapq.heappop(self._event_queue)
+                    self._step_process(event.process_id, event.payload)
+                    progressed = True
+                if self._unblock_ready():
+                    progressed = True
+            if self.active_processes == 0:
+                return self.now
+            if not self._event_queue:
+                blocked_names = [self._processes[p].name for p in self._blocked]
+                raise SimulationError(
+                    "deadlock: no pending events but processes are blocked: "
+                    f"{blocked_names}")
+            next_time = self._event_queue[0].time
+            if next_time <= self.now:
+                continue
+            if next_time > self.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={self.max_cycles}")
+            self.now = next_time
+
+    def run_all(self, processes: Iterable[Tuple[str, Process]]) -> int:
+        """Convenience wrapper: register every ``(name, generator)`` pair and
+        run the simulation to completion."""
+        for name, generator in processes:
+            self.add_process(generator, name=name)
+        return self.run()

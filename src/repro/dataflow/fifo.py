@@ -1,0 +1,171 @@
+"""Bounded FIFO channels connecting macro dataflow kernel stages.
+
+In the LoopLynx hardware all units inside a macro dataflow kernel (DMA engine,
+matrix-processing unit, quantization unit, router, ...) are decoupled through
+HLS stream FIFOs; the paper credits this decoupling for the achievable
+285 MHz clock.  The :class:`Fifo` here mirrors the semantics needed by the
+cycle-level simulation: bounded depth, blocking push when full, blocking pop
+when empty, and an explicit *close* signal so downstream consumers can detect
+end-of-stream.
+
+Two interfaces are provided:
+
+* an **immediate** interface (:meth:`Fifo.try_push` / :meth:`Fifo.try_pop`)
+  used by analytical code and tests;
+* a **process** interface (:meth:`Fifo.push` / :meth:`Fifo.pop`) returning
+  generator commands for use inside :class:`repro.dataflow.engine.SimulationEngine`
+  processes (``yield from fifo.push(engine, item)``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional, Tuple
+
+
+class FifoError(RuntimeError):
+    """Base class for FIFO errors."""
+
+
+class FifoFull(FifoError):
+    """Raised by the immediate interface when pushing into a full FIFO."""
+
+
+class FifoEmpty(FifoError):
+    """Raised by the immediate interface when popping from an empty FIFO."""
+
+
+class FifoClosed(FifoError):
+    """Raised when pushing into a closed FIFO or popping a closed, drained one."""
+
+
+class Fifo:
+    """A bounded, closable FIFO channel.
+
+    Parameters
+    ----------
+    depth:
+        Maximum number of elements held at once.  ``depth <= 0`` is rejected:
+        HLS streams always have at least depth 1 (the paper's kernels use
+        depth 2 skid buffers between units).
+    name:
+        Human-readable name used in error messages and traces.
+    """
+
+    def __init__(self, depth: int = 2, name: str = "fifo") -> None:
+        if depth <= 0:
+            raise ValueError(f"FIFO depth must be positive, got {depth}")
+        self.depth = int(depth)
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._closed = False
+        # occupancy statistics for utilization analysis
+        self._peak_occupancy = 0
+        self._total_pushed = 0
+        self._total_popped = 0
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def drained(self) -> bool:
+        """True when the FIFO is closed and every item has been consumed."""
+        return self._closed and not self._items
+
+    @property
+    def peak_occupancy(self) -> int:
+        return self._peak_occupancy
+
+    @property
+    def total_pushed(self) -> int:
+        return self._total_pushed
+
+    @property
+    def total_popped(self) -> int:
+        return self._total_popped
+
+    # ------------------------------------------------------------------
+    # immediate interface
+    # ------------------------------------------------------------------
+    def try_push(self, item: Any) -> None:
+        if self._closed:
+            raise FifoClosed(f"push into closed FIFO {self.name!r}")
+        if self.full:
+            raise FifoFull(f"push into full FIFO {self.name!r} (depth={self.depth})")
+        self._items.append(item)
+        self._total_pushed += 1
+        self._peak_occupancy = max(self._peak_occupancy, len(self._items))
+
+    def try_pop(self) -> Any:
+        if not self._items:
+            if self._closed:
+                raise FifoClosed(f"pop from closed, drained FIFO {self.name!r}")
+            raise FifoEmpty(f"pop from empty FIFO {self.name!r}")
+        self._total_popped += 1
+        return self._items.popleft()
+
+    def close(self) -> None:
+        """Signal end-of-stream.  Items already enqueued remain poppable."""
+        self._closed = True
+
+    def drain(self) -> List[Any]:
+        """Pop every element currently enqueued (immediate interface)."""
+        out = list(self._items)
+        self._total_popped += len(self._items)
+        self._items.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    # process interface (for SimulationEngine generators)
+    # ------------------------------------------------------------------
+    def push(self, item: Any) -> Generator[Tuple[str, Any], Any, None]:
+        """Generator helper: block until space is available, then push."""
+        if self._closed:
+            raise FifoClosed(f"push into closed FIFO {self.name!r}")
+        if self.full:
+            yield ("wait_until", lambda: not self.full or self._closed)
+            if self._closed:
+                raise FifoClosed(f"FIFO {self.name!r} closed while waiting to push")
+        self.try_push(item)
+
+    def pop(self) -> Generator[Tuple[str, Any], Any, Any]:
+        """Generator helper: block until an item (or close) arrives, then pop.
+
+        Returns the popped item, or raises :class:`FifoClosed` if the FIFO is
+        closed and drained.
+        """
+        if self.empty and not self._closed:
+            yield ("wait_until", lambda: not self.empty or self._closed)
+        if self.empty and self._closed:
+            raise FifoClosed(f"pop from closed, drained FIFO {self.name!r}")
+        return self.try_pop()
+
+    def pop_or_none(self) -> Generator[Tuple[str, Any], Any, Optional[Any]]:
+        """Like :meth:`pop` but returns ``None`` on end-of-stream instead of
+        raising, which keeps consumer loops simple."""
+        if self.empty and not self._closed:
+            yield ("wait_until", lambda: not self.empty or self._closed)
+        if self.empty and self._closed:
+            return None
+        return self.try_pop()
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (f"Fifo(name={self.name!r}, depth={self.depth}, "
+                f"len={len(self._items)}, {state})")

@@ -1,0 +1,203 @@
+"""Kernel process abstraction for the dataflow simulation engine.
+
+A *kernel process* models one free-running HLS dataflow unit: it repeatedly
+pops work items from input FIFOs, spends a number of cycles on them, and
+pushes results to output FIFOs.  LoopLynx builds its macro dataflow kernels
+(MDKs) out of several such units connected by FIFOs — e.g. the Fused MP kernel
+is ``DMA -> MPU -> quantization -> router``.
+
+The cycle models in :mod:`repro.core.kernels` mostly use the analytical
+pipeline composition helpers in :mod:`repro.dataflow.pipeline`, but the
+process-level abstraction here is used by the integration tests and the
+fine-grained trace-producing simulations to validate that the analytical
+overlap formulas agree with an actual event-driven schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.dataflow.engine import SimulationEngine
+from repro.dataflow.fifo import Fifo
+from repro.dataflow.trace import TraceRecorder
+
+
+@dataclass
+class KernelPort:
+    """A named connection point of a kernel, bound to a FIFO."""
+
+    name: str
+    fifo: Fifo
+    direction: str = "in"  # "in" or "out"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out"):
+            raise ValueError(f"port direction must be 'in' or 'out', got {self.direction!r}")
+
+
+class KernelProcess:
+    """Base class for event-driven kernel processes.
+
+    Subclasses override :meth:`body`, a generator that uses the FIFO process
+    interface and ``yield ("wait", cycles)`` to model computation time.  The
+    :meth:`run` generator wraps the body with trace bookkeeping.
+    """
+
+    def __init__(self, name: str, trace: Optional[TraceRecorder] = None) -> None:
+        self.name = name
+        self.trace = trace
+        self.inputs: Dict[str, KernelPort] = {}
+        self.outputs: Dict[str, KernelPort] = {}
+        self.items_processed = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def add_input(self, name: str, fifo: Fifo) -> KernelPort:
+        port = KernelPort(name=name, fifo=fifo, direction="in")
+        self.inputs[name] = port
+        return port
+
+    def add_output(self, name: str, fifo: Fifo) -> KernelPort:
+        port = KernelPort(name=name, fifo=fifo, direction="out")
+        self.outputs[name] = port
+        return port
+
+    def input_fifo(self, name: str) -> Fifo:
+        return self.inputs[name].fifo
+
+    def output_fifo(self, name: str) -> Fifo:
+        return self.outputs[name].fifo
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def body(self, engine: SimulationEngine) -> Generator[Tuple[str, Any], Any, Any]:
+        """Override in subclasses.  Default body terminates immediately."""
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def run(self, engine: SimulationEngine) -> Generator[Tuple[str, Any], Any, Any]:
+        """Wrap :meth:`body` with start/stop trace events."""
+        start = engine.now
+        if self.trace is not None:
+            self.trace.record(self.name, "start", start)
+        result = yield from self.body(engine)
+        if self.trace is not None:
+            self.trace.record(self.name, "stop", engine.now)
+        self.busy_cycles += engine.now - start
+        return result
+
+    def register(self, engine: SimulationEngine) -> int:
+        """Register this kernel's process with the engine."""
+        return engine.add_process(self.run(engine), name=self.name)
+
+
+class SourceKernel(KernelProcess):
+    """Produces ``count`` items into its ``out`` port, one every
+    ``interval`` cycles.  Items are produced by ``make_item(index)``."""
+
+    def __init__(self, name: str, out: Fifo, count: int, interval: int = 1,
+                 make_item: Optional[Callable[[int], Any]] = None,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        super().__init__(name, trace)
+        self.add_output("out", out)
+        self.count = int(count)
+        self.interval = int(interval)
+        self.make_item = make_item or (lambda i: i)
+
+    def body(self, engine: SimulationEngine):
+        out = self.output_fifo("out")
+        for index in range(self.count):
+            if self.interval:
+                yield ("wait", self.interval)
+            yield from out.push(self.make_item(index))
+            self.items_processed += 1
+        out.close()
+
+
+class TransformKernel(KernelProcess):
+    """Pops from ``in``, spends ``latency`` cycles per item, pushes the
+    transformed item to ``out``.  Models a pipelined unit with an initiation
+    interval of ``interval`` cycles (default: fully pipelined, II=1)."""
+
+    def __init__(self, name: str, inp: Fifo, out: Fifo, latency: int = 1,
+                 interval: int = 1,
+                 func: Optional[Callable[[Any], Any]] = None,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        super().__init__(name, trace)
+        self.add_input("in", inp)
+        self.add_output("out", out)
+        self.latency = int(latency)
+        self.interval = int(interval)
+        self.func = func or (lambda item: item)
+
+    def body(self, engine: SimulationEngine):
+        inp = self.input_fifo("in")
+        out = self.output_fifo("out")
+        while True:
+            item = yield from inp.pop_or_none()
+            if item is None and inp.drained:
+                break
+            if self.interval:
+                yield ("wait", self.interval)
+            if self.trace is not None:
+                self.trace.record(self.name, "item", engine.now)
+            yield from out.push(self.func(item))
+            self.items_processed += 1
+        # model the pipeline drain latency of the last item
+        if self.latency > self.interval:
+            yield ("wait", self.latency - self.interval)
+        out.close()
+
+
+class SinkKernel(KernelProcess):
+    """Consumes every item from its ``in`` port and stores it."""
+
+    def __init__(self, name: str, inp: Fifo, interval: int = 1,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        super().__init__(name, trace)
+        self.add_input("in", inp)
+        self.interval = int(interval)
+        self.collected: List[Any] = []
+
+    def body(self, engine: SimulationEngine):
+        inp = self.input_fifo("in")
+        while True:
+            item = yield from inp.pop_or_none()
+            if item is None and inp.drained:
+                break
+            if self.interval:
+                yield ("wait", self.interval)
+            self.collected.append(item)
+            self.items_processed += 1
+        return self.collected
+
+
+def run_linear_chain(stage_latencies: List[int], items: int,
+                     fifo_depth: int = 2) -> Tuple[int, List[Any]]:
+    """Build and simulate a simple linear chain of pipelined kernels.
+
+    ``stage_latencies[i]`` is the per-item initiation interval of stage ``i``.
+    Returns ``(total_cycles, collected_items)``.  Used by tests to validate
+    that the analytical ``pipeline_latency`` formula matches the event-driven
+    schedule produced by the engine.
+    """
+    if not stage_latencies:
+        raise ValueError("need at least one stage")
+    engine = SimulationEngine()
+    fifos = [Fifo(depth=fifo_depth, name=f"f{i}") for i in range(len(stage_latencies) + 1)]
+    kernels: List[KernelProcess] = [
+        SourceKernel("source", fifos[0], count=items, interval=0)
+    ]
+    for i, latency in enumerate(stage_latencies):
+        kernels.append(TransformKernel(f"stage{i}", fifos[i], fifos[i + 1],
+                                       latency=latency, interval=latency))
+    sink = SinkKernel("sink", fifos[-1], interval=0)
+    kernels.append(sink)
+    for kernel in kernels:
+        kernel.register(engine)
+    total = engine.run()
+    return total, sink.collected

@@ -1,0 +1,24 @@
+"""Energy and power models.
+
+The paper reports energy efficiency (tokens per joule) and total energy
+relative to the A100, measured with the Xilinx power-analysis tool on the
+FPGA side and ``nvidia-smi`` on the GPU side.  Both reduce to
+``power x latency``; this package carries the power models and the
+energy/efficiency arithmetic used by the Fig. 8(b) reproduction.
+"""
+
+from repro.energy.power import (
+    EnergyReport,
+    FpgaPowerModel,
+    GpuPowerModel,
+    energy_joules,
+    tokens_per_joule,
+)
+
+__all__ = [
+    "EnergyReport",
+    "FpgaPowerModel",
+    "GpuPowerModel",
+    "energy_joules",
+    "tokens_per_joule",
+]

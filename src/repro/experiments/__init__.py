@@ -1,0 +1,13 @@
+"""Experiment harnesses: one module per table/figure of the evaluation.
+
+Each module exposes ``run(...)`` returning a structured result and ``main()``
+printing the same rows/series the paper reports.  :mod:`repro.experiments.registry`
+maps experiment ids (``fig5``, ``fig7``, ``fig8``, ``table1``, ``table2``,
+``table3``) to their run functions so the benchmark harness and the examples
+can iterate over all of them.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.export import export_all, export_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment", "export_all", "export_experiment"]

@@ -1,0 +1,66 @@
+"""Export experiment results to JSON files.
+
+`python examples/reproduce_paper.py` prints the artifacts; this module saves
+them as machine-readable JSON so downstream comparisons (e.g. against a real
+hardware run, or across calibration changes) can diff results instead of
+parsing tables.
+
+Dataclasses and numpy scalars inside results are converted recursively; every
+file is named ``<experiment_id>.json`` inside the chosen output directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Recursively convert results into JSON-serializable structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_to_jsonable(item) for item in value]
+    if hasattr(value, "item") and callable(value.item) and not isinstance(value, str):
+        try:
+            return value.item()  # numpy scalars
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def export_experiment(experiment_id: str, output_dir: str, **kwargs) -> str:
+    """Run one experiment and write its result to ``<output_dir>/<id>.json``.
+
+    Returns the path of the written file.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    os.makedirs(output_dir, exist_ok=True)
+    result = EXPERIMENTS[experiment_id].run(**kwargs)
+    payload = {
+        "experiment": experiment_id,
+        "description": EXPERIMENTS[experiment_id].description,
+        "result": _to_jsonable(result),
+    }
+    path = os.path.join(output_dir, f"{experiment_id}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def export_all(output_dir: str,
+               experiment_ids: Optional[Iterable[str]] = None) -> Dict[str, str]:
+    """Export every (or the selected) experiment(s); returns id -> file path."""
+    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    return {experiment_id: export_experiment(experiment_id, output_dir)
+            for experiment_id in ids}

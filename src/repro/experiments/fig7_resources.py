@@ -1,0 +1,62 @@
+"""Fig. 7 — FPGA resource utilization of the dual-node Alveo U50 device.
+
+The paper's Fig. 7 lists per-component DSP/LUT/FF/BRAM utilization for the
+dual-node implementation plus the accelerator and device totals, and shows
+that one accelerator node fits within one SLR of the U50.  ``run()``
+regenerates the component table from the resource model and additionally
+checks device feasibility against the U50's capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.core.resources import (
+    ALVEO_U50_CAPACITY,
+    component_table,
+    device_resources,
+    node_resources,
+)
+
+#: device totals reported by the paper (Fig. 7, "Device Total" row)
+PAPER_DEVICE_TOTAL = {"DSP": 1132, "LUT": 312_000, "FF": 478_000, "BRAM": 924.5}
+#: accelerator totals reported by the paper ("Accelerator Total" row)
+PAPER_ACCELERATOR_TOTAL = {"DSP": 1128, "LUT": 128_000, "FF": 185_000, "BRAM": 595}
+
+
+def run(nodes_on_card: int = 2) -> Dict[str, object]:
+    """Regenerate the Fig. 7 component table and feasibility check."""
+    table = component_table(nodes_on_card=nodes_on_card)
+    device = device_resources(nodes_on_card=nodes_on_card)
+    per_node = node_resources()
+    utilization = device.utilization_of(ALVEO_U50_CAPACITY)
+    return {
+        "component_table": table,
+        "device_total": device.as_dict(),
+        "per_node": per_node.as_dict(),
+        "fits_on_u50": device.fits_within(ALVEO_U50_CAPACITY),
+        "u50_utilization": utilization,
+        "paper_device_total": dict(PAPER_DEVICE_TOTAL),
+        "paper_accelerator_total": dict(PAPER_ACCELERATOR_TOTAL),
+    }
+
+
+def main() -> str:
+    result = run()
+    table = format_table(result["component_table"],
+                         title="Fig. 7 — Resource utilization (dual-node device, Alveo U50)")
+    util_rows: List[Dict[str, object]] = [
+        {"Resource": name, "Used": used,
+         "U50 utilization": f"{100 * result['u50_utilization'][name]:.1f}%"}
+        for name, used in result["device_total"].items()
+    ]
+    util_table = format_table(util_rows, title="Device feasibility on the Alveo U50")
+    output = table + "\n\n" + util_table
+    output += f"\nFits on one Alveo U50: {result['fits_on_u50']}"
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Fig. 8 — normalized latency and energy efficiency vs. the Nvidia A100.
+
+For every ``[prefill : decode]`` scenario the paper plots (a) the end-to-end
+latency normalized to the 4-node LoopLynx configuration and (b) the energy
+efficiency in tokens per joule normalized to the GPU.  Headline claims:
+
+* 2-node: 1.67x average speed-up over the A100 at 37.3% of its energy;
+* 4-node: 2.52x average speed-up at 48.1% of its energy;
+* the A100 remains ahead on the prefill-heavy ``[128:32]`` setting;
+* energy-efficiency ratios of roughly 2.3x / 2.7x / 2.1x for the
+  1/2/4-node deployments, the 2-node point being the sweet spot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.comparison import Fig8Row, gpu_comparison, summarize_gpu_comparison
+from repro.analysis.report import format_table
+from repro.workloads.scenarios import FIG8_SCENARIOS, Scenario
+
+#: headline values reported by the paper
+PAPER_SUMMARY = {
+    "1-node": {"average_efficiency_ratio": 2.3},
+    "2-node": {"average_speedup_vs_gpu": 1.67, "average_energy_fraction": 0.373,
+               "average_efficiency_ratio": 2.7},
+    "4-node": {"average_speedup_vs_gpu": 2.52, "average_energy_fraction": 0.481,
+               "average_efficiency_ratio": 2.1},
+}
+
+
+def run(scenarios: Sequence[Scenario] = FIG8_SCENARIOS,
+        node_counts: Sequence[int] = (1, 2, 4)) -> Dict[str, object]:
+    """Regenerate the Fig. 8 series and the summary statistics."""
+    rows: List[Fig8Row] = gpu_comparison(scenarios=scenarios, node_counts=node_counts)
+    summary = summarize_gpu_comparison(rows, node_counts=node_counts)
+    crossover = {row.scenario: row.speedup_vs_gpu for row in rows}
+    return {
+        "rows": rows,
+        "summary": summary,
+        "paper_summary": {k: dict(v) for k, v in PAPER_SUMMARY.items()},
+        "speedup_by_scenario": crossover,
+    }
+
+
+def latency_rows(result: Dict[str, object]) -> List[Dict[str, object]]:
+    out: List[Dict[str, object]] = []
+    for row in result["rows"]:
+        entry: Dict[str, object] = {"Scenario": row.scenario}
+        for platform in sorted(row.normalized_latency):
+            entry[f"norm. latency {platform}"] = row.normalized_latency[platform]
+        out.append(entry)
+    return out
+
+
+def efficiency_rows(result: Dict[str, object]) -> List[Dict[str, object]]:
+    out: List[Dict[str, object]] = []
+    for row in result["rows"]:
+        entry: Dict[str, object] = {"Scenario": row.scenario}
+        for platform in sorted(row.normalized_efficiency):
+            entry[f"norm. tokens/J {platform}"] = row.normalized_efficiency[platform]
+        out.append(entry)
+    return out
+
+
+def main() -> str:
+    result = run()
+    latency_table = format_table(
+        latency_rows(result),
+        title="Fig. 8(a) — Latency normalized to the 4-node deployment (higher = slower)")
+    efficiency_table = format_table(
+        efficiency_rows(result),
+        title="Fig. 8(b) — Energy efficiency normalized to the A100 (higher = better)")
+    summary_rows = []
+    for label, values in result["summary"].items():
+        paper = result["paper_summary"].get(label, {})
+        summary_rows.append({
+            "Deployment": label,
+            "Avg speed-up vs A100": values["average_speedup_vs_gpu"],
+            "Paper speed-up": paper.get("average_speedup_vs_gpu", "-"),
+            "Avg energy fraction": values["average_energy_fraction"],
+            "Paper energy fraction": paper.get("average_energy_fraction", "-"),
+            "Avg tokens/J ratio": values["average_efficiency_ratio"],
+            "Paper tokens/J ratio": paper.get("average_efficiency_ratio", "-"),
+        })
+    summary_table = format_table(summary_rows, title="Headline summary (paper vs. measured)")
+    output = "\n\n".join([latency_table, efficiency_table, summary_table])
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Registry mapping experiment ids to their run functions.
+
+The ids follow the paper's artifact names (``fig5``, ``fig7``, ``fig8``,
+``table1``, ``table2``, ``table3``).  ``run_experiment`` is the single entry
+point used by the benchmark harness and the reproduction example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+from repro.experiments import (
+    fig5_breakdown,
+    fig7_resources,
+    fig8_gpu_comparison,
+    table1_platforms,
+    table2_fpga_comparison,
+    table3_scalability,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible artifact of the paper's evaluation."""
+
+    experiment_id: str
+    description: str
+    run: Callable[..., object]
+    main: Callable[[], str]
+
+
+EXPERIMENTS: Mapping[str, ExperimentSpec] = {
+    "table1": ExperimentSpec(
+        "table1", "Platform comparison (A100 / U280 / U50)",
+        table1_platforms.run, table1_platforms.main),
+    "table2": ExperimentSpec(
+        "table2", "FPGA implementation comparison (LoopLynx vs DFX vs spatial)",
+        table2_fpga_comparison.run, table2_fpga_comparison.main),
+    "table3": ExperimentSpec(
+        "table3", "Throughput and scalability across node counts",
+        table3_scalability.run, table3_scalability.main),
+    "fig5": ExperimentSpec(
+        "fig5", "Latency breakdown and optimization walkthrough (1 node)",
+        fig5_breakdown.run, fig5_breakdown.main),
+    "fig7": ExperimentSpec(
+        "fig7", "Resource utilization of the dual-node Alveo U50 device",
+        fig7_resources.run, fig7_resources.main),
+    "fig8": ExperimentSpec(
+        "fig8", "Latency and energy efficiency vs the Nvidia A100",
+        fig8_gpu_comparison.run, fig8_gpu_comparison.main),
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> object:
+    """Run one experiment by id and return its structured result."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}") from exc
+    return spec.run(**kwargs)

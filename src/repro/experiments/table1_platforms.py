@@ -1,0 +1,30 @@
+"""Table I — comparison of GPU and FPGA platforms.
+
+A catalogue table (process node, frequency, computing units, memory
+bandwidth, TDP) for the Nvidia A100, Xilinx Alveo U280 and Xilinx Alveo U50.
+It contains no measurements, but the platform constants here are exactly the
+ones the baseline and energy models consume, so regenerating it documents the
+modelling inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.baselines.base import PLATFORM_CATALOGUE
+
+
+def run() -> List[Dict[str, object]]:
+    """Return the Table I rows."""
+    return [spec.as_row() for spec in PLATFORM_CATALOGUE]
+
+
+def main() -> str:
+    table = format_table(run(), title="Table I — Comparison of GPU and FPGA platforms")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Table III — throughput and scalability.
+
+Decode throughput of the GPT-2 model on 1/2/4-node LoopLynx deployments and
+the step speed-ups.  The paper reports 151.7 / 259.7 / 392.2 tokens/s with
+speed-ups of 1.71x (2-node vs 1-node) and 1.51x (4-node vs 2-node), i.e.
+sub-linear scaling caused by the non-distributable critical-path operators
+and by exposed quantization/synchronization at higher node counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.scalability import ScalabilityRow, scaling_efficiency, throughput_table
+
+#: Table III values reported by the paper
+PAPER_THROUGHPUT = {1: 151.7, 2: 259.7, 4: 392.2}
+PAPER_SPEEDUPS = {2: 1.71, 4: 1.51}
+
+
+def run(node_counts: Sequence[int] = (1, 2, 4),
+        context_len: Optional[int] = None) -> Dict[str, object]:
+    """Regenerate Table III plus parallel-efficiency figures."""
+    rows: List[ScalabilityRow] = throughput_table(node_counts, context_len)
+    efficiency = scaling_efficiency(rows)
+    return {
+        "rows": rows,
+        "efficiency": efficiency,
+        "paper_throughput": dict(PAPER_THROUGHPUT),
+        "paper_speedups": dict(PAPER_SPEEDUPS),
+    }
+
+
+def main() -> str:
+    result = run()
+    table_rows = [row.as_dict() for row in result["rows"]]
+    table = format_table(table_rows, title="Table III — Throughput and scalability")
+    comparison_rows = []
+    for row in result["rows"]:
+        paper_tps = result["paper_throughput"].get(row.num_nodes)
+        comparison_rows.append({
+            "# Nodes": f"{row.num_nodes}-node",
+            "Paper (token/s)": paper_tps if paper_tps is not None else "-",
+            "Measured (token/s)": row.tokens_per_second,
+            "Parallel efficiency": f"{100 * result['efficiency'][row.num_nodes]:.0f}%",
+        })
+    comparison_table = format_table(comparison_rows, title="Paper vs. measured")
+    output = table + "\n\n" + comparison_table
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

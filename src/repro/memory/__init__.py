@@ -1,0 +1,30 @@
+"""Memory substrate: HBM channel model, on-chip shared buffer, KV cache.
+
+The paper stores model weights and the KV cache in off-chip high-bandwidth
+memory (HBM) on the Alveo U50 and measures latency with a cycle-accurate
+simulation that "fully accounts for the per-channel HBM bandwidth (peak
+8.49 GB/s)".  This package provides that accounting:
+
+* :mod:`repro.memory.hbm` — per-channel bandwidth/burst model and a
+  multi-channel aggregate used by the DMA engines of the macro dataflow
+  kernels;
+* :mod:`repro.memory.buffer` — the on-chip shared buffer through which kernels
+  exchange activations (also the target of ring-network writes);
+* :mod:`repro.memory.kv_cache` — head-wise partitioned key/value cache layout
+  and the functional cache used by the NumPy GPT-2 reference.
+"""
+
+from repro.memory.hbm import HbmChannel, HbmConfig, HbmSubsystem, BurstAccess
+from repro.memory.buffer import SharedBuffer
+from repro.memory.kv_cache import KVCache, KVCacheLayout, partition_heads
+
+__all__ = [
+    "HbmChannel",
+    "HbmConfig",
+    "HbmSubsystem",
+    "BurstAccess",
+    "SharedBuffer",
+    "KVCache",
+    "KVCacheLayout",
+    "partition_heads",
+]

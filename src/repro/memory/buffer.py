@@ -1,0 +1,126 @@
+"""On-chip shared buffer model.
+
+LoopLynx's macro dataflow kernels exchange activations through a shared
+on-chip buffer managed by the scheduler; the ring-network router also writes
+datapacks received from neighbouring nodes into this buffer at a node-id
+derived offset so that, after a full round of synchronization, every node
+holds an identical copy of the full embedding vector.
+
+The functional model below is a named, bounds-checked byte/word store with
+region allocation.  It is used by the functional accelerator datapath (to hold
+intermediate int8/int32 vectors) and by the router model (offset writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BufferRegion:
+    """A named allocation inside the shared buffer."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class SharedBuffer:
+    """A fixed-capacity on-chip buffer with named regions.
+
+    Capacity is expressed in 32-bit words because the quantization unit packs
+    accumulated int32 results before requantization; int8 vectors simply use
+    one word per element (the functional model is about correctness of data
+    movement, not bit-packing).
+    """
+
+    def __init__(self, capacity_words: int, name: str = "shared_buffer") -> None:
+        if capacity_words <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.name = name
+        self.capacity_words = int(capacity_words)
+        self._data = np.zeros(self.capacity_words, dtype=np.int32)
+        self._regions: Dict[str, BufferRegion] = {}
+        self._next_free = 0
+        self.total_writes = 0
+        self.total_reads = 0
+
+    # ------------------------------------------------------------------
+    # region management
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, size: int) -> BufferRegion:
+        """Allocate a named region of ``size`` words at the next free offset."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        if self._next_free + size > self.capacity_words:
+            raise MemoryError(
+                f"shared buffer {self.name!r} overflow: requested {size} words, "
+                f"{self.capacity_words - self._next_free} free")
+        region = BufferRegion(name=name, offset=self._next_free, size=size)
+        self._regions[name] = region
+        self._next_free += size
+        return region
+
+    def region(self, name: str) -> BufferRegion:
+        return self._regions[name]
+
+    def has_region(self, name: str) -> bool:
+        return name in self._regions
+
+    def reset(self) -> None:
+        """Clear all regions and data (used between tokens/layers)."""
+        self._data[:] = 0
+        self._regions.clear()
+        self._next_free = 0
+
+    @property
+    def used_words(self) -> int:
+        return self._next_free
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity_words - self._next_free
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+    def write(self, name: str, values: np.ndarray, offset: int = 0) -> None:
+        """Write ``values`` into region ``name`` starting at ``offset`` words
+        from the region start (the router uses a node-id based offset)."""
+        region = self._regions[name]
+        values = np.asarray(values, dtype=np.int32).ravel()
+        if offset < 0 or offset + values.size > region.size:
+            raise IndexError(
+                f"write of {values.size} words at offset {offset} exceeds "
+                f"region {name!r} of size {region.size}")
+        start = region.offset + offset
+        self._data[start:start + values.size] = values
+        self.total_writes += int(values.size)
+
+    def read(self, name: str, size: Optional[int] = None, offset: int = 0) -> np.ndarray:
+        """Read ``size`` words (default: the rest of the region) from
+        region ``name`` starting at ``offset``."""
+        region = self._regions[name]
+        if size is None:
+            size = region.size - offset
+        if offset < 0 or size < 0 or offset + size > region.size:
+            raise IndexError(
+                f"read of {size} words at offset {offset} exceeds "
+                f"region {name!r} of size {region.size}")
+        start = region.offset + offset
+        self.total_reads += int(size)
+        return self._data[start:start + size].copy()
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the entire buffer contents (for consistency checks across
+        ring-synchronized nodes)."""
+        return self._data.copy()

@@ -1,0 +1,211 @@
+"""Key/value cache layout and functional cache.
+
+During the decode stage, LoopLynx reads previously cached keys and values from
+HBM for the fused multi-head attention kernel.  Under the multi-node model
+parallel scheme the cache is partitioned **head-wise**: each node stores only
+the heads it owns, minimizing the per-device memory footprint (Fig. 2(c)).
+
+Two classes live here:
+
+* :class:`KVCacheLayout` — sizes/byte counts for the performance model (how
+  many bytes a decode step reads per node at a given sequence length);
+* :class:`KVCache` — the functional numpy cache used by the GPT-2 reference
+  model and the functional accelerator datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+def partition_heads(num_heads: int, num_nodes: int) -> List[List[int]]:
+    """Split head indices across nodes as evenly as possible.
+
+    The paper uses head-wise partitioning for the KV cache; GPT-2 345M has 16
+    heads, so 1/2/4 node configurations own 16/8/4 heads each.  Uneven splits
+    are supported (extra heads go to the lowest-numbered nodes) so the design
+    space exploration can sweep arbitrary node counts.
+    """
+    if num_heads <= 0:
+        raise ValueError("num_heads must be positive")
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if num_nodes > num_heads:
+        raise ValueError(
+            f"cannot partition {num_heads} heads across {num_nodes} nodes: "
+            "each node needs at least one head")
+    base = num_heads // num_nodes
+    extra = num_heads % num_nodes
+    partitions: List[List[int]] = []
+    start = 0
+    for node in range(num_nodes):
+        count = base + (1 if node < extra else 0)
+        partitions.append(list(range(start, start + count)))
+        start += count
+    return partitions
+
+
+@dataclass(frozen=True)
+class KVCacheLayout:
+    """Byte-level layout of the per-node KV cache.
+
+    Attributes
+    ----------
+    num_layers, num_heads, head_dim:
+        Model dimensions.
+    max_seq_len:
+        Maximum cached sequence length.
+    bytes_per_element:
+        1 for int8 (W8A8 keeps the cache in int8), 2 for fp16.
+    num_nodes:
+        Head-wise partitions.
+    """
+
+    num_layers: int
+    num_heads: int
+    head_dim: int
+    max_seq_len: int
+    bytes_per_element: int = 1
+    num_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.num_layers, self.num_heads, self.head_dim, self.max_seq_len) <= 0:
+            raise ValueError("all dimensions must be positive")
+        if self.bytes_per_element <= 0:
+            raise ValueError("bytes_per_element must be positive")
+        if self.num_nodes <= 0 or self.num_nodes > self.num_heads:
+            raise ValueError("invalid node count for head-wise partitioning")
+
+    @property
+    def heads_per_node(self) -> int:
+        """Heads owned by the most-loaded node."""
+        return -(-self.num_heads // self.num_nodes)
+
+    def bytes_per_token_per_layer_per_node(self) -> int:
+        """Bytes appended to one node's cache per decoded token per layer
+        (K and V vectors for the heads this node owns)."""
+        return 2 * self.heads_per_node * self.head_dim * self.bytes_per_element
+
+    def bytes_per_token_per_node(self) -> int:
+        return self.num_layers * self.bytes_per_token_per_layer_per_node()
+
+    def read_bytes_per_decode_step_per_node(self, seq_len: int) -> int:
+        """Bytes a node must read from HBM to attend over ``seq_len`` cached
+        positions during one decode step (all its heads, K and V)."""
+        if seq_len < 0:
+            raise ValueError("negative sequence length")
+        seq_len = min(seq_len, self.max_seq_len)
+        return (self.num_layers * 2 * self.heads_per_node * self.head_dim
+                * seq_len * self.bytes_per_element)
+
+    def capacity_bytes_per_node(self) -> int:
+        """Total HBM footprint of one node's cache at max sequence length."""
+        return self.max_seq_len * self.bytes_per_token_per_node()
+
+
+class KVCache:
+    """Functional per-layer KV cache holding float or int8 arrays.
+
+    Shapes follow the usual ``[num_heads, seq, head_dim]`` convention.  The
+    cache can be head-sliced to emulate the per-node partition, and the
+    functional multi-node tests check that concatenating per-node caches
+    reproduces the single-node cache exactly.
+    """
+
+    def __init__(self, num_layers: int, num_heads: int, head_dim: int,
+                 max_seq_len: int, dtype=np.float64) -> None:
+        if min(num_layers, num_heads, head_dim, max_seq_len) <= 0:
+            raise ValueError("all dimensions must be positive")
+        self.num_layers = num_layers
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.max_seq_len = max_seq_len
+        self.dtype = dtype
+        self._keys = np.zeros((num_layers, num_heads, max_seq_len, head_dim), dtype=dtype)
+        self._values = np.zeros((num_layers, num_heads, max_seq_len, head_dim), dtype=dtype)
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def reset(self) -> None:
+        self._keys[:] = 0
+        self._values[:] = 0
+        self._length = 0
+
+    def append(self, layer: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append K/V for one new position in one layer.
+
+        Shapes: ``[num_heads, head_dim]``.  The caller appends layer by layer
+        for the same position; :meth:`advance` then bumps the shared length.
+        """
+        keys = np.asarray(keys, dtype=self.dtype)
+        values = np.asarray(values, dtype=self.dtype)
+        expected = (self.num_heads, self.head_dim)
+        if keys.shape != expected or values.shape != expected:
+            raise ValueError(
+                f"expected K/V of shape {expected}, got {keys.shape} / {values.shape}")
+        if self._length >= self.max_seq_len:
+            raise OverflowError("KV cache is full")
+        self._keys[layer, :, self._length, :] = keys
+        self._values[layer, :, self._length, :] = values
+
+    def append_block(self, layer: int, keys: np.ndarray, values: np.ndarray,
+                     start: Optional[int] = None) -> None:
+        """Append K/V for a block of positions (prefill).  Shapes:
+        ``[num_heads, block, head_dim]``."""
+        keys = np.asarray(keys, dtype=self.dtype)
+        values = np.asarray(values, dtype=self.dtype)
+        if keys.ndim != 3 or keys.shape[0] != self.num_heads or keys.shape[2] != self.head_dim:
+            raise ValueError(f"bad key block shape {keys.shape}")
+        if values.shape != keys.shape:
+            raise ValueError("key and value blocks must have the same shape")
+        block = keys.shape[1]
+        offset = self._length if start is None else start
+        if offset + block > self.max_seq_len:
+            raise OverflowError("KV cache block append overflows the cache")
+        self._keys[layer, :, offset:offset + block, :] = keys
+        self._values[layer, :, offset:offset + block, :] = values
+
+    def advance(self, count: int = 1) -> None:
+        """Advance the cached-length pointer after all layers appended."""
+        if count < 0:
+            raise ValueError("negative advance")
+        if self._length + count > self.max_seq_len:
+            raise OverflowError("KV cache advance overflows the cache")
+        self._length += count
+
+    def keys(self, layer: int, heads: Optional[List[int]] = None) -> np.ndarray:
+        """Cached keys for a layer: ``[num_heads(or len(heads)), length, head_dim]``."""
+        data = self._keys[layer, :, : self._length, :]
+        if heads is not None:
+            data = data[heads]
+        return data
+
+    def values(self, layer: int, heads: Optional[List[int]] = None) -> np.ndarray:
+        data = self._values[layer, :, : self._length, :]
+        if heads is not None:
+            data = data[heads]
+        return data
+
+    def head_slice(self, heads: List[int]) -> "KVCache":
+        """Return a new cache containing only the given heads (the per-node
+        partition used under model parallelism)."""
+        sliced = KVCache(self.num_layers, len(heads), self.head_dim,
+                         self.max_seq_len, dtype=self.dtype)
+        sliced._keys = self._keys[:, heads, :, :].copy()
+        sliced._values = self._values[:, heads, :, :].copy()
+        sliced._length = self._length
+        return sliced
+
+    def memory_bytes(self, bytes_per_element: int = 1) -> int:
+        """Footprint of the *used* portion of the cache."""
+        return int(2 * self.num_layers * self.num_heads * self._length
+                   * self.head_dim * bytes_per_element)

@@ -1,0 +1,45 @@
+"""LLM substrate: a from-scratch NumPy GPT-2 implementation.
+
+The paper evaluates LoopLynx on GPT-2 (345M).  This package provides the
+functional reference the accelerator's datapath is checked against and the
+architectural description (layer/dimension/FLOP/byte counts) that drives the
+performance models:
+
+* :mod:`repro.model.config` — :class:`ModelConfig` with the GPT-2 345M preset
+  and small test presets, plus per-layer operation inventories;
+* :mod:`repro.model.layers` — layer normalization, causal multi-head
+  attention with KV cache, GELU MLP;
+* :mod:`repro.model.gpt2` — the full transformer stack with synthetic
+  (seeded) weights and an optional W8A8 execution mode;
+* :mod:`repro.model.generation` — the prefill + auto-regressive decode loop
+  (Fig. 1 of the paper);
+* :mod:`repro.model.tokenizer` — a deterministic byte-pair-free tokenizer so
+  examples can run end to end without external vocabulary files.
+"""
+
+from repro.model.config import ModelConfig, LinearLayerSpec, layer_linear_specs
+from repro.model.gpt2 import GPT2Model, GPT2Weights
+from repro.model.generation import GenerationResult, generate, prefill_then_decode
+from repro.model.layers import (
+    causal_attention,
+    gelu,
+    layer_norm,
+    softmax,
+)
+from repro.model.tokenizer import ByteTokenizer
+
+__all__ = [
+    "ModelConfig",
+    "LinearLayerSpec",
+    "layer_linear_specs",
+    "GPT2Model",
+    "GPT2Weights",
+    "GenerationResult",
+    "generate",
+    "prefill_then_decode",
+    "causal_attention",
+    "gelu",
+    "layer_norm",
+    "softmax",
+    "ByteTokenizer",
+]

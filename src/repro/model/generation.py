@@ -1,0 +1,129 @@
+"""Prefill + auto-regressive decode loop (paper Fig. 1).
+
+The generation driver mirrors the system flow described in the paper: the
+host embeds the prompt, the prefill stage fills the KV cache (the output of
+every prefill step except the last is discarded), then the decode stage
+produces tokens auto-regressively until the requested length or an
+end-of-sequence id is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.memory.kv_cache import KVCache
+from repro.model.gpt2 import GPT2Model
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of a prefill + decode run."""
+
+    prompt_tokens: List[int]
+    generated_tokens: List[int]
+    prefill_steps: int
+    decode_steps: int
+    stopped_on_eos: bool = False
+
+    @property
+    def all_tokens(self) -> List[int]:
+        return list(self.prompt_tokens) + list(self.generated_tokens)
+
+    @property
+    def num_generated(self) -> int:
+        return len(self.generated_tokens)
+
+
+def _select_token(logits: np.ndarray, greedy: bool, rng: Optional[np.random.Generator],
+                  temperature: float) -> int:
+    """Pick the next token from the last position's logits."""
+    last = np.asarray(logits)[-1]
+    if greedy or rng is None:
+        return int(np.argmax(last))
+    if temperature <= 0:
+        raise ValueError("temperature must be positive for sampling")
+    scaled = last / temperature
+    scaled = scaled - np.max(scaled)
+    probs = np.exp(scaled)
+    probs = probs / probs.sum()
+    return int(rng.choice(last.size, p=probs))
+
+
+def prefill_then_decode(model: GPT2Model, prompt_tokens: Sequence[int],
+                        max_new_tokens: int, eos_token: Optional[int] = None,
+                        greedy: bool = True, seed: Optional[int] = None,
+                        temperature: float = 1.0, quantized: bool = False,
+                        step_callback: Optional[Callable[[str, int], None]] = None
+                        ) -> GenerationResult:
+    """Run the two-stage inference flow of Fig. 1 with a KV cache.
+
+    Parameters
+    ----------
+    model:
+        The functional GPT-2 model.
+    prompt_tokens:
+        Prompt token ids (the prefill stage input).
+    max_new_tokens:
+        Decode-stage budget.
+    eos_token:
+        Optional end-of-sequence id that stops decoding early.
+    greedy:
+        Greedy decoding (True) or temperature sampling (False).
+    quantized:
+        Use the W8A8 forward path (requires prior calibration).
+    step_callback:
+        Optional ``callback(stage, step)`` hook; the examples use it to show
+        progress and the tests use it to count stage transitions.
+    """
+    prompt = [int(t) for t in prompt_tokens]
+    if not prompt:
+        raise ValueError("prompt must contain at least one token")
+    if max_new_tokens < 0:
+        raise ValueError("max_new_tokens cannot be negative")
+    if len(prompt) + max_new_tokens > model.config.max_seq_len:
+        raise ValueError(
+            f"prompt ({len(prompt)}) + max_new_tokens ({max_new_tokens}) exceeds "
+            f"max_seq_len ({model.config.max_seq_len})")
+
+    forward = model.forward_quantized if quantized else model.forward
+    rng = np.random.default_rng(seed) if seed is not None else None
+    cache = model.new_cache()
+
+    # ----- prefill stage: fill the KV cache with the whole prompt ---------
+    logits = forward(np.array(prompt, dtype=np.int64), cache=cache, position_offset=0)
+    cache.advance(len(prompt))
+    if step_callback is not None:
+        step_callback("prefill", len(prompt))
+
+    generated: List[int] = []
+    stopped = False
+    next_token = _select_token(logits, greedy, rng, temperature)
+
+    # ----- decode stage: one token at a time, reusing the cache -----------
+    for step in range(max_new_tokens):
+        generated.append(next_token)
+        if step_callback is not None:
+            step_callback("decode", step)
+        if eos_token is not None and next_token == eos_token:
+            stopped = True
+            break
+        if len(prompt) + len(generated) >= model.config.max_seq_len:
+            break
+        logits = forward(np.array([next_token], dtype=np.int64), cache=cache,
+                         position_offset=cache.length)
+        cache.advance(1)
+        next_token = _select_token(logits, greedy, rng, temperature)
+
+    return GenerationResult(prompt_tokens=prompt, generated_tokens=generated,
+                            prefill_steps=len(prompt), decode_steps=len(generated),
+                            stopped_on_eos=stopped)
+
+
+def generate(model: GPT2Model, prompt_tokens: Sequence[int], max_new_tokens: int,
+             **kwargs) -> List[int]:
+    """Convenience wrapper returning only the generated token ids."""
+    result = prefill_then_decode(model, prompt_tokens, max_new_tokens, **kwargs)
+    return result.generated_tokens

@@ -1,0 +1,331 @@
+"""A from-scratch NumPy GPT-2 with KV cache and optional W8A8 execution.
+
+The model keeps the exact GPT-2 block structure (pre-LayerNorm, causal
+multi-head attention, GELU MLP, learned positional embeddings, weight-tied LM
+head) but uses **synthetic seeded weights**: the paper's latency and energy
+results do not depend on the weight values, and the functional tests only
+need structural equivalence between this reference and the accelerator's
+datapath.
+
+Two execution modes:
+
+* ``forward`` — float64 reference;
+* ``forward_quantized`` — W8A8 execution of every linear layer with
+  SmoothQuant smoothing, int8 GEMM with int32/int64 accumulation and
+  requantization.  This is the path the accelerator's functional model is
+  compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.memory.kv_cache import KVCache
+from repro.model.config import ModelConfig, layer_linear_specs
+from repro.model.layers import causal_attention, gelu, layer_norm, softmax, split_heads
+from repro.quant.gemm import int8_gemm
+from repro.quant.int8 import quantize_per_channel, quantize_per_tensor
+from repro.quant.smoothquant import SmoothQuantCalibration
+
+
+@dataclass
+class BlockWeights:
+    """Weights of one transformer block."""
+
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    qkv_weight: np.ndarray      # [3*d_model, d_model]
+    qkv_bias: np.ndarray
+    attn_proj_weight: np.ndarray  # [d_model, d_model]
+    attn_proj_bias: np.ndarray
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+    mlp_fc_weight: np.ndarray   # [d_ff, d_model]
+    mlp_fc_bias: np.ndarray
+    mlp_proj_weight: np.ndarray  # [d_model, d_ff]
+    mlp_proj_bias: np.ndarray
+
+    def linear_weights(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Map from linear-layer name to (weight, bias)."""
+        return {
+            "qkv": (self.qkv_weight, self.qkv_bias),
+            "attn_proj": (self.attn_proj_weight, self.attn_proj_bias),
+            "mlp_fc": (self.mlp_fc_weight, self.mlp_fc_bias),
+            "mlp_proj": (self.mlp_proj_weight, self.mlp_proj_bias),
+        }
+
+
+@dataclass
+class GPT2Weights:
+    """Full parameter set with synthetic, seeded initialization."""
+
+    config: ModelConfig
+    token_embedding: np.ndarray   # [vocab, d_model]
+    position_embedding: np.ndarray  # [max_seq, d_model]
+    blocks: List[BlockWeights]
+    final_ln_gamma: np.ndarray
+    final_ln_beta: np.ndarray
+
+    @staticmethod
+    def random(config: ModelConfig, seed: int = 0, scale: float = 0.02) -> "GPT2Weights":
+        """GPT-2-style initialization (normal, std=0.02) from a fixed seed."""
+        rng = np.random.default_rng(seed)
+
+        def normal(*shape: int) -> np.ndarray:
+            return rng.normal(0.0, scale, size=shape)
+
+        blocks: List[BlockWeights] = []
+        for _ in range(config.num_layers):
+            blocks.append(BlockWeights(
+                ln1_gamma=np.ones(config.d_model),
+                ln1_beta=np.zeros(config.d_model),
+                qkv_weight=normal(config.qkv_out_features, config.d_model),
+                qkv_bias=np.zeros(config.qkv_out_features),
+                attn_proj_weight=normal(config.d_model, config.d_model),
+                attn_proj_bias=np.zeros(config.d_model),
+                ln2_gamma=np.ones(config.d_model),
+                ln2_beta=np.zeros(config.d_model),
+                mlp_fc_weight=normal(config.d_ff, config.d_model),
+                mlp_fc_bias=np.zeros(config.d_ff),
+                mlp_proj_weight=normal(config.d_model, config.d_ff),
+                mlp_proj_bias=np.zeros(config.d_model),
+            ))
+        return GPT2Weights(
+            config=config,
+            token_embedding=normal(config.vocab_size, config.d_model),
+            position_embedding=normal(config.max_seq_len, config.d_model),
+            blocks=blocks,
+            final_ln_gamma=np.ones(config.d_model),
+            final_ln_beta=np.zeros(config.d_model),
+        )
+
+    def parameter_count(self) -> int:
+        total = self.token_embedding.size + self.position_embedding.size
+        total += self.final_ln_gamma.size + self.final_ln_beta.size
+        for block in self.blocks:
+            for array in (block.ln1_gamma, block.ln1_beta, block.qkv_weight,
+                          block.qkv_bias, block.attn_proj_weight, block.attn_proj_bias,
+                          block.ln2_gamma, block.ln2_beta, block.mlp_fc_weight,
+                          block.mlp_fc_bias, block.mlp_proj_weight, block.mlp_proj_bias):
+                total += array.size
+        return int(total)
+
+
+class GPT2Model:
+    """Functional GPT-2 with an external KV cache.
+
+    Parameters
+    ----------
+    config:
+        Model configuration.
+    weights:
+        Parameter set; when omitted, seeded random weights are created.
+    seed:
+        Seed for synthetic weights.
+    """
+
+    def __init__(self, config: ModelConfig, weights: Optional[GPT2Weights] = None,
+                 seed: int = 0) -> None:
+        self.config = config
+        self.weights = weights or GPT2Weights.random(config, seed=seed)
+        if self.weights.config != config:
+            raise ValueError("weights were built for a different configuration")
+        self._quantized_layers: Optional[Dict[Tuple[int, str], Dict[str, object]]] = None
+
+    # ------------------------------------------------------------------
+    # embedding / head
+    # ------------------------------------------------------------------
+    def embed(self, token_ids: np.ndarray, position_offset: int = 0) -> np.ndarray:
+        """Token + position embeddings: ``[seq] -> [seq, d_model]``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1:
+            raise ValueError("token_ids must be 1-D")
+        if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
+            raise ValueError("token id out of vocabulary range")
+        positions = np.arange(position_offset, position_offset + token_ids.size)
+        if positions.size and positions[-1] >= self.config.max_seq_len:
+            raise ValueError("sequence exceeds max_seq_len")
+        return (self.weights.token_embedding[token_ids]
+                + self.weights.position_embedding[positions])
+
+    def lm_logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Weight-tied LM head: ``[seq, d_model] -> [seq, vocab]``."""
+        hidden = layer_norm(hidden, self.weights.final_ln_gamma,
+                            self.weights.final_ln_beta, self.config.layer_norm_eps)
+        return hidden @ self.weights.token_embedding.T
+
+    # ------------------------------------------------------------------
+    # float reference forward
+    # ------------------------------------------------------------------
+    def _block_forward(self, layer: int, hidden: np.ndarray, cache: Optional[KVCache],
+                       position_offset: int) -> np.ndarray:
+        config = self.config
+        block = self.weights.blocks[layer]
+        seq = hidden.shape[0]
+
+        normed = layer_norm(hidden, block.ln1_gamma, block.ln1_beta, config.layer_norm_eps)
+        qkv = normed @ block.qkv_weight.T + block.qkv_bias
+        query, key, value = np.split(qkv, 3, axis=-1)
+
+        if cache is not None:
+            key_heads = split_heads(key, config.num_heads)      # [H, seq, hd]
+            value_heads = split_heads(value, config.num_heads)
+            cache.append_block(layer, key_heads, value_heads, start=position_offset)
+            cached_k = cache._keys[layer, :, : position_offset + seq, :]
+            cached_v = cache._values[layer, :, : position_offset + seq, :]
+            keys_full = cached_k.transpose(1, 0, 2).reshape(position_offset + seq, config.d_model)
+            values_full = cached_v.transpose(1, 0, 2).reshape(position_offset + seq, config.d_model)
+        else:
+            keys_full, values_full = key, value
+
+        attn = causal_attention(query, keys_full, values_full, config.num_heads)
+        attn = attn @ block.attn_proj_weight.T + block.attn_proj_bias
+        hidden = hidden + attn
+
+        normed = layer_norm(hidden, block.ln2_gamma, block.ln2_beta, config.layer_norm_eps)
+        mlp = gelu(normed @ block.mlp_fc_weight.T + block.mlp_fc_bias)
+        mlp = mlp @ block.mlp_proj_weight.T + block.mlp_proj_bias
+        return hidden + mlp
+
+    def forward(self, token_ids: np.ndarray, cache: Optional[KVCache] = None,
+                position_offset: int = 0) -> np.ndarray:
+        """Run ``token_ids`` through the stack.  Returns logits ``[seq, vocab]``.
+
+        With a cache, previously cached positions are attended to and the new
+        K/V are appended (the caller advances the cache length afterwards via
+        ``cache.advance(len(token_ids))``).
+        """
+        hidden = self.embed(token_ids, position_offset)
+        for layer in range(self.config.num_layers):
+            hidden = self._block_forward(layer, hidden, cache, position_offset)
+        return self.lm_logits(hidden)
+
+    def new_cache(self, dtype=np.float64) -> KVCache:
+        return KVCache(self.config.num_layers, self.config.num_heads,
+                       self.config.head_dim, self.config.max_seq_len, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # W8A8 quantized forward
+    # ------------------------------------------------------------------
+    def calibrate_quantization(self, sample_token_ids: Optional[np.ndarray] = None,
+                               alpha: float = 0.5) -> SmoothQuantCalibration:
+        """Run a short float forward pass to collect SmoothQuant calibration
+        statistics for every linear layer, then freeze per-layer int8 weights.
+        """
+        config = self.config
+        if sample_token_ids is None:
+            rng = np.random.default_rng(1234)
+            sample_token_ids = rng.integers(
+                0, config.vocab_size, size=min(16, config.max_seq_len))
+        sample_token_ids = np.asarray(sample_token_ids, dtype=np.int64)
+        calibration = SmoothQuantCalibration(alpha=alpha)
+
+        hidden = self.embed(sample_token_ids, 0)
+        for layer in range(config.num_layers):
+            block = self.weights.blocks[layer]
+            normed = layer_norm(hidden, block.ln1_gamma, block.ln1_beta,
+                                config.layer_norm_eps)
+            calibration.observe(f"block{layer}.qkv", normed)
+            qkv = normed @ block.qkv_weight.T + block.qkv_bias
+            query, key, value = np.split(qkv, 3, axis=-1)
+            attn = causal_attention(query, key, value, config.num_heads)
+            calibration.observe(f"block{layer}.attn_proj", attn)
+            attn = attn @ block.attn_proj_weight.T + block.attn_proj_bias
+            hidden = hidden + attn
+            normed = layer_norm(hidden, block.ln2_gamma, block.ln2_beta,
+                                config.layer_norm_eps)
+            calibration.observe(f"block{layer}.mlp_fc", normed)
+            mlp_hidden = gelu(normed @ block.mlp_fc_weight.T + block.mlp_fc_bias)
+            calibration.observe(f"block{layer}.mlp_proj", mlp_hidden)
+            mlp = mlp_hidden @ block.mlp_proj_weight.T + block.mlp_proj_bias
+            hidden = hidden + mlp
+
+        self._freeze_quantized_layers(calibration)
+        return calibration
+
+    def _freeze_quantized_layers(self, calibration: SmoothQuantCalibration) -> None:
+        quantized: Dict[Tuple[int, str], Dict[str, object]] = {}
+        for layer in range(self.config.num_layers):
+            block = self.weights.blocks[layer]
+            for name, (weight, bias) in block.linear_weights().items():
+                key = f"block{layer}.{name}"
+                q_weight, act_scale, factors = calibration.quantize_layer(key, weight)
+                quantized[(layer, name)] = {
+                    "weight_q": q_weight,
+                    "bias": bias,
+                    "activation_scale": act_scale,
+                    "smoothing": factors,
+                }
+        self._quantized_layers = quantized
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._quantized_layers is not None
+
+    def quantized_linear(self, layer: int, name: str, activations: np.ndarray) -> np.ndarray:
+        """Execute one linear layer through the W8A8 path and return floats.
+
+        This is the reference the accelerator's functional MP-kernel datapath
+        is checked against: smooth the activations, quantize per-tensor,
+        int8 GEMM with wide accumulation, dequantize with per-channel weight
+        scales, add bias.
+        """
+        if self._quantized_layers is None:
+            raise RuntimeError("call calibrate_quantization() first")
+        entry = self._quantized_layers[(layer, name)]
+        weight_q = entry["weight_q"]
+        activations = np.asarray(activations, dtype=np.float64)
+        single = activations.ndim == 1
+        if single:
+            activations = activations[None, :]
+        smoothed = activations / entry["smoothing"][None, :]
+        act_scale = float(entry["activation_scale"])
+        act_q = quantize_per_tensor(smoothed, scale=act_scale)
+        accumulator = int8_gemm(act_q.data, weight_q.data.T)
+        result = (accumulator.astype(np.float64) * act_scale
+                  * weight_q.scale[None, :]) + entry["bias"][None, :]
+        return result[0] if single else result
+
+    def forward_quantized(self, token_ids: np.ndarray, cache: Optional[KVCache] = None,
+                          position_offset: int = 0) -> np.ndarray:
+        """W8A8 forward pass (linear layers quantized, attention/LN in float).
+
+        The structure matches the accelerator: linear layers run on the int8
+        MAC path, layer norm / softmax / residual stay in higher precision.
+        """
+        if self._quantized_layers is None:
+            raise RuntimeError("call calibrate_quantization() first")
+        config = self.config
+        hidden = self.embed(token_ids, position_offset)
+        seq = hidden.shape[0]
+        for layer in range(config.num_layers):
+            block = self.weights.blocks[layer]
+            normed = layer_norm(hidden, block.ln1_gamma, block.ln1_beta,
+                                config.layer_norm_eps)
+            qkv = self.quantized_linear(layer, "qkv", normed)
+            query, key, value = np.split(qkv, 3, axis=-1)
+            if cache is not None:
+                key_heads = split_heads(key, config.num_heads)
+                value_heads = split_heads(value, config.num_heads)
+                cache.append_block(layer, key_heads, value_heads, start=position_offset)
+                cached_k = cache._keys[layer, :, : position_offset + seq, :]
+                cached_v = cache._values[layer, :, : position_offset + seq, :]
+                keys_full = cached_k.transpose(1, 0, 2).reshape(
+                    position_offset + seq, config.d_model)
+                values_full = cached_v.transpose(1, 0, 2).reshape(
+                    position_offset + seq, config.d_model)
+            else:
+                keys_full, values_full = key, value
+            attn = causal_attention(query, keys_full, values_full, config.num_heads)
+            attn = self.quantized_linear(layer, "attn_proj", attn)
+            hidden = hidden + attn
+
+            normed = layer_norm(hidden, block.ln2_gamma, block.ln2_beta,
+                                config.layer_norm_eps)
+            mlp_hidden = gelu(self.quantized_linear(layer, "mlp_fc", normed))
+            mlp = self.quantized_linear(layer, "mlp_proj", mlp_hidden)
+            hidden = hidden + mlp
+        return self.lm_logits(hidden)

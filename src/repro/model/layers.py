@@ -1,0 +1,145 @@
+"""Functional transformer layers (NumPy reference).
+
+These are the mathematical definitions the accelerator's functional datapath
+is validated against: layer normalization, GELU, softmax, and causal
+multi-head attention with an external KV cache.  They operate on float64
+arrays; the quantized execution path lives in :mod:`repro.model.gpt2` and
+:mod:`repro.core.functional`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+               eps: float = 1e-5) -> np.ndarray:
+    """Layer normalization over the last axis."""
+    x = np.asarray(x, dtype=np.float64)
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalized = (x - mean) / np.sqrt(var + eps)
+    return normalized * np.asarray(gamma, dtype=np.float64) + np.asarray(beta, dtype=np.float64)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation (tanh approximation, as used by GPT-2)."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax.
+
+    The two-pass structure (global max+sum of exponents, then the weighted
+    scores) is exactly why the paper's head-wise pipelining matters: the
+    reduction pass for head ``i-1`` is hidden behind the score computation of
+    head ``i``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def causal_mask(query_len: int, key_len: int) -> np.ndarray:
+    """Boolean mask that keeps position ``q`` attending only to keys
+    ``<= q + (key_len - query_len)`` (the standard causal mask with a cache
+    offset).  ``True`` marks positions that are **kept**."""
+    if query_len <= 0 or key_len <= 0:
+        raise ValueError("mask dimensions must be positive")
+    offset = key_len - query_len
+    if offset < 0:
+        raise ValueError("key_len must be >= query_len when using a KV cache")
+    rows = np.arange(query_len)[:, None]
+    cols = np.arange(key_len)[None, :]
+    return cols <= rows + offset
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """``[seq, d_model] -> [num_heads, seq, head_dim]``."""
+    seq, d_model = x.shape
+    if d_model % num_heads != 0:
+        raise ValueError("d_model not divisible by num_heads")
+    head_dim = d_model // num_heads
+    return x.reshape(seq, num_heads, head_dim).transpose(1, 0, 2)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """``[num_heads, seq, head_dim] -> [seq, d_model]``."""
+    num_heads, seq, head_dim = x.shape
+    return x.transpose(1, 0, 2).reshape(seq, num_heads * head_dim)
+
+
+def causal_attention(query: np.ndarray, keys: np.ndarray, values: np.ndarray,
+                     num_heads: int,
+                     mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Multi-head scaled-dot-product attention with a causal mask.
+
+    Parameters
+    ----------
+    query:
+        ``[q_len, d_model]`` — the new positions being processed.
+    keys, values:
+        ``[k_len, d_model]`` — cached + current keys/values (k_len >= q_len).
+    num_heads:
+        Number of attention heads.
+    mask:
+        Optional override of the causal mask, shape ``[q_len, k_len]`` with
+        ``True`` marking kept positions.
+
+    Returns
+    -------
+    ``[q_len, d_model]`` attention output (before the output projection).
+    """
+    query = np.asarray(query, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if query.ndim != 2 or keys.ndim != 2 or values.ndim != 2:
+        raise ValueError("query/keys/values must be 2-D [seq, d_model]")
+    if keys.shape != values.shape:
+        raise ValueError("keys and values must have identical shapes")
+    if query.shape[1] != keys.shape[1]:
+        raise ValueError("query and keys must share d_model")
+    q_len, d_model = query.shape
+    k_len = keys.shape[0]
+    head_dim = d_model // num_heads
+    if mask is None:
+        mask = causal_mask(q_len, k_len)
+    elif mask.shape != (q_len, k_len):
+        raise ValueError(f"mask shape {mask.shape} does not match ({q_len}, {k_len})")
+
+    q_heads = split_heads(query, num_heads)            # [H, q, hd]
+    k_heads = split_heads(keys, num_heads)             # [H, k, hd]
+    v_heads = split_heads(values, num_heads)           # [H, k, hd]
+
+    scores = q_heads @ k_heads.transpose(0, 2, 1)      # [H, q, k]
+    scores = scores / np.sqrt(float(head_dim))
+    scores = np.where(mask[None, :, :], scores, -1e30)
+    weights = softmax(scores, axis=-1)                 # [H, q, k]
+    context = weights @ v_heads                        # [H, q, hd]
+    return merge_heads(context)
+
+
+def attention_single_head(query: np.ndarray, keys: np.ndarray, values: np.ndarray,
+                          scale: Optional[float] = None) -> np.ndarray:
+    """Single-head attention for one query vector against cached K/V.
+
+    This mirrors the per-head computation of the Fused MHA kernel during
+    decode (one token, one head at a time, head-wise pipelined).  Shapes:
+    ``query [head_dim]``, ``keys/values [seq, head_dim]`` -> ``[head_dim]``.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if query.ndim != 1 or keys.ndim != 2 or values.ndim != 2:
+        raise ValueError("expected query [hd], keys/values [seq, hd]")
+    if keys.shape != values.shape or keys.shape[1] != query.shape[0]:
+        raise ValueError("inconsistent attention shapes")
+    if scale is None:
+        scale = 1.0 / np.sqrt(float(query.shape[0]))
+    scores = keys @ query * scale                      # [seq]
+    weights = softmax(scores, axis=-1)
+    return weights @ values                            # [head_dim]

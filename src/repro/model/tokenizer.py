@@ -1,0 +1,49 @@
+"""A deterministic byte-level tokenizer.
+
+GPT-2 uses a byte-pair-encoding vocabulary that requires external merge
+tables.  The examples in this repository only need a reversible mapping from
+text to token ids within the model's vocabulary, so this tokenizer maps each
+UTF-8 byte to its own id (0..255) and reserves id 256 as an end-of-sequence
+marker when the vocabulary is large enough.  It is exact, dependency-free and
+round-trips arbitrary text, which is all the end-to-end examples and tests
+require.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class ByteTokenizer:
+    """Maps text to byte-level token ids bounded by a vocabulary size."""
+
+    NUM_BYTES = 256
+
+    def __init__(self, vocab_size: int = 50257) -> None:
+        if vocab_size < self.NUM_BYTES:
+            raise ValueError(
+                f"vocab_size must be at least {self.NUM_BYTES}, got {vocab_size}")
+        self.vocab_size = vocab_size
+
+    @property
+    def eos_token(self) -> Optional[int]:
+        """End-of-sequence id (the first id after the byte range), when the
+        vocabulary has room for it."""
+        return self.NUM_BYTES if self.vocab_size > self.NUM_BYTES else None
+
+    def encode(self, text: str, add_eos: bool = False) -> List[int]:
+        """Encode text to token ids."""
+        ids = [int(b) for b in text.encode("utf-8")]
+        if add_eos:
+            if self.eos_token is None:
+                raise ValueError("vocabulary has no room for an EOS token")
+            ids.append(self.eos_token)
+        return ids
+
+    def decode(self, token_ids: Sequence[int]) -> str:
+        """Decode token ids back to text; non-byte ids (e.g. EOS) are skipped."""
+        data = bytes(t for t in token_ids if 0 <= t < self.NUM_BYTES)
+        return data.decode("utf-8", errors="replace")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ByteTokenizer(vocab_size={self.vocab_size})"

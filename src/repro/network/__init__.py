@@ -1,0 +1,31 @@
+"""Network substrate: ring interconnect between accelerator nodes.
+
+LoopLynx scales across multiple accelerator nodes (and multiple FPGAs) by
+connecting routers in a ring (AXI-Stream links, peak 8.49 GB/s in the paper's
+evaluation).  Synchronization of the per-node output sub-vectors is performed
+as ``n_nodes - 1`` rounds of neighbour exchange (each node writes ``n``
+datapacks to its successor and reads ``n`` from its predecessor per round),
+with received datapacks written into the shared buffer at a node-id derived
+offset so that all nodes converge to identical buffer contents.
+
+* :mod:`repro.network.datapack` — the 32-byte datapack unit moved by routers;
+* :mod:`repro.network.link` — point-to-point link bandwidth/latency model;
+* :mod:`repro.network.ring` — the ring all-gather, both functional (numpy
+  sub-vector exchange into shared buffers) and cycle-level (transfer cycles,
+  with or without overlap behind computation).
+"""
+
+from repro.network.datapack import Datapack, pack_int8_vector, unpack_int8_vector
+from repro.network.link import LinkConfig, RingLink
+from repro.network.ring import RingAllGather, RingNetwork, RingSyncResult
+
+__all__ = [
+    "Datapack",
+    "pack_int8_vector",
+    "unpack_int8_vector",
+    "LinkConfig",
+    "RingLink",
+    "RingAllGather",
+    "RingNetwork",
+    "RingSyncResult",
+]

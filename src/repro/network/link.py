@@ -1,0 +1,90 @@
+"""Point-to-point ring link model.
+
+Each accelerator node's router is connected to its successor by a simplex
+link.  Inside one FPGA the link is an on-chip AXI-Stream connection; across
+FPGAs the paper models a network link with a peak bandwidth equal to one HBM
+channel (8.49 GB/s).  The link model converts datapack counts into cycles and
+adds a fixed hop latency (serialization + protocol) that matters only when the
+transfer is not hidden behind computation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static parameters of one ring link.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Peak simplex bandwidth of the link (8.49 GB/s in the paper).
+    clock_hz:
+        Kernel clock used to express cycles (285 MHz).
+    hop_latency_cycles:
+        Fixed latency per message (serialization, CDC crossing, protocol).
+        On-chip node-to-node hops are short; chip-to-chip hops are longer.
+    datapack_bytes:
+        Size of one datapack (32 bytes).
+    """
+
+    bandwidth_bytes_per_s: float = 8.49 * GB
+    clock_hz: float = 285.0e6
+    hop_latency_cycles: int = 64
+    datapack_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        if self.datapack_bytes <= 0:
+            raise ValueError("datapack size must be positive")
+        if self.hop_latency_cycles < 0:
+            raise ValueError("hop latency cannot be negative")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Bytes the link moves per kernel clock cycle, bounded by the
+        datapack beat width."""
+        return min(float(self.datapack_bytes),
+                   self.bandwidth_bytes_per_s / self.clock_hz)
+
+
+class RingLink:
+    """Cycle accounting for one simplex ring link."""
+
+    def __init__(self, config: LinkConfig, source: int, destination: int) -> None:
+        self.config = config
+        self.source = source
+        self.destination = destination
+        self.bytes_sent = 0
+        self.messages = 0
+
+    def transfer_cycles(self, num_bytes: int, include_hop_latency: bool = True) -> float:
+        """Cycles to move ``num_bytes`` over this link."""
+        if num_bytes < 0:
+            raise ValueError("negative transfer size")
+        if num_bytes == 0:
+            return 0.0
+        stream = num_bytes / self.config.bytes_per_cycle
+        hop = self.config.hop_latency_cycles if include_hop_latency else 0
+        return stream + hop
+
+    def send(self, num_bytes: int, include_hop_latency: bool = True) -> float:
+        cycles = self.transfer_cycles(num_bytes, include_hop_latency)
+        self.bytes_sent += int(num_bytes)
+        self.messages += 1
+        return cycles
+
+    def datapack_cycles(self, num_datapacks: int, include_hop_latency: bool = True) -> float:
+        """Cycles to move ``num_datapacks`` 32-byte datapacks."""
+        if num_datapacks < 0:
+            raise ValueError("negative datapack count")
+        return self.transfer_cycles(num_datapacks * self.config.datapack_bytes,
+                                    include_hop_latency)

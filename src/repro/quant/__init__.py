@@ -1,0 +1,42 @@
+"""Quantization substrate: SmoothQuant-style W8A8 post-training quantization.
+
+The paper evaluates GPT-2 under the SmoothQuant W8A8 scheme on both the
+accelerator and the A100 baseline (via torch-int).  This package provides the
+same scheme from scratch:
+
+* :mod:`repro.quant.int8` — symmetric int8 quantization/dequantization,
+  per-tensor and per-channel scales, and the requantization step performed by
+  the accelerator's quantization unit;
+* :mod:`repro.quant.smoothquant` — activation-outlier smoothing that migrates
+  quantization difficulty from activations to weights (the ``s_j =
+  max|X_j|^alpha / max|W_j|^(1-alpha)`` per-channel factors of the
+  SmoothQuant paper);
+* :mod:`repro.quant.gemm` — int8 GEMM/GEMV with int32 accumulation exactly as
+  the MAC hardware computes it, plus error metrics against the float
+  reference.
+"""
+
+from repro.quant.int8 import (
+    QuantizedTensor,
+    dequantize,
+    quantize_per_channel,
+    quantize_per_tensor,
+    requantize_int32,
+    symmetric_scale,
+)
+from repro.quant.smoothquant import SmoothQuantCalibration, smooth_weights_activations
+from repro.quant.gemm import int8_gemv, int8_gemm, quantization_error
+
+__all__ = [
+    "QuantizedTensor",
+    "dequantize",
+    "quantize_per_channel",
+    "quantize_per_tensor",
+    "requantize_int32",
+    "symmetric_scale",
+    "SmoothQuantCalibration",
+    "smooth_weights_activations",
+    "int8_gemv",
+    "int8_gemm",
+    "quantization_error",
+]

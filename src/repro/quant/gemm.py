@@ -1,0 +1,97 @@
+"""Int8 GEMM/GEMV with int32 accumulation — the MAC hardware's arithmetic.
+
+The MPU of the Fused MP kernel multiplies an int8 weight tile against the
+int8 embedding vector and accumulates in int32/int64; the quantization unit
+then requantizes.  These helpers implement that exact arithmetic in numpy so
+the functional accelerator datapath and the property-based tests can compare
+against a float reference and bound the quantization error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+
+def int8_gemv(weight_q: np.ndarray, vector_q: np.ndarray) -> np.ndarray:
+    """``weight_q @ vector_q`` with int8 inputs and int64 accumulation.
+
+    Parameters
+    ----------
+    weight_q:
+        Int8 weight matrix of shape ``[out_features, in_features]``.
+    vector_q:
+        Int8 vector of shape ``[in_features]``.
+
+    Returns
+    -------
+    Int64 accumulator vector of shape ``[out_features]`` (the hardware uses a
+    wide accumulator; int64 here avoids any possibility of numpy overflow for
+    the dimensions involved).
+    """
+    weight_q = np.asarray(weight_q)
+    vector_q = np.asarray(vector_q)
+    if weight_q.dtype != np.int8 or vector_q.dtype != np.int8:
+        raise TypeError("int8_gemv expects int8 inputs")
+    if weight_q.ndim != 2 or vector_q.ndim != 1:
+        raise ValueError("weight must be 2-D and vector 1-D")
+    if weight_q.shape[1] != vector_q.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: weight {weight_q.shape} vs vector {vector_q.shape}")
+    return weight_q.astype(np.int64) @ vector_q.astype(np.int64)
+
+
+def int8_gemm(a_q: np.ndarray, b_q: np.ndarray) -> np.ndarray:
+    """``a_q @ b_q`` with int8 inputs and int64 accumulation (prefill path)."""
+    a_q = np.asarray(a_q)
+    b_q = np.asarray(b_q)
+    if a_q.dtype != np.int8 or b_q.dtype != np.int8:
+        raise TypeError("int8_gemm expects int8 inputs")
+    if a_q.ndim != 2 or b_q.ndim != 2:
+        raise ValueError("int8_gemm expects 2-D inputs")
+    if a_q.shape[1] != b_q.shape[0]:
+        raise ValueError(f"dimension mismatch: {a_q.shape} @ {b_q.shape}")
+    return a_q.astype(np.int64) @ b_q.astype(np.int64)
+
+
+def tiled_int8_gemv(weight_q: np.ndarray, vector_q: np.ndarray,
+                    tile_rows: int) -> np.ndarray:
+    """GEMV computed tile-by-tile along the output dimension, mirroring the
+    block matrix-vector multiplication of the MPU (``W in Z^{l/n x l}``).
+
+    The result is bit-identical to :func:`int8_gemv`; the tiling exists so
+    tests can confirm that the hardware's blocked schedule does not change the
+    arithmetic.
+    """
+    if tile_rows <= 0:
+        raise ValueError("tile_rows must be positive")
+    weight_q = np.asarray(weight_q)
+    vector_q = np.asarray(vector_q)
+    out = np.zeros(weight_q.shape[0], dtype=np.int64)
+    for start in range(0, weight_q.shape[0], tile_rows):
+        stop = min(start + tile_rows, weight_q.shape[0])
+        out[start:stop] = int8_gemv(weight_q[start:stop], vector_q)
+    return out
+
+
+def quantization_error(reference: np.ndarray, quantized_result: np.ndarray
+                       ) -> Dict[str, float]:
+    """Error metrics of a dequantized result against the float reference.
+
+    Returns max absolute error, mean absolute error, and relative L2 error —
+    used by the accuracy tests to assert W8A8 stays within the tolerance that
+    makes the paper's "same quantization strategy" comparison meaningful.
+    """
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    quantized_result = np.asarray(quantized_result, dtype=np.float64).ravel()
+    if reference.shape != quantized_result.shape:
+        raise ValueError("shape mismatch between reference and quantized result")
+    diff = reference - quantized_result
+    ref_norm = float(np.linalg.norm(reference))
+    return {
+        "max_abs_error": float(np.max(np.abs(diff))) if diff.size else 0.0,
+        "mean_abs_error": float(np.mean(np.abs(diff))) if diff.size else 0.0,
+        "relative_l2_error": (float(np.linalg.norm(diff)) / ref_norm
+                              if ref_norm > 0 else 0.0),
+    }

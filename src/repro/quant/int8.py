@@ -1,0 +1,129 @@
+"""Symmetric int8 quantization primitives (W8A8).
+
+The accelerator keeps weights, activations and the KV cache in int8; MAC
+hardware accumulates in int32 and the quantization unit performs bias addition
+and requantization back to int8 before results enter the shared buffer or the
+router.  These functions implement that arithmetic in numpy with the exact
+rounding/saturation behaviour the functional datapath tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+
+@dataclass
+class QuantizedTensor:
+    """An int8 tensor together with its (per-tensor or per-channel) scale.
+
+    ``dequantize(q) == q.data * q.scale`` (broadcast over the channel axis for
+    per-channel scales).
+    """
+
+    data: np.ndarray
+    scale: np.ndarray
+    axis: Optional[int] = None  # None = per-tensor, else the channel axis
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.int8)
+        self.scale = np.atleast_1d(np.asarray(self.scale, dtype=np.float64))
+        if np.any(self.scale <= 0):
+            raise ValueError("quantization scales must be positive")
+        if self.axis is not None:
+            if not (0 <= self.axis < self.data.ndim):
+                raise ValueError(f"axis {self.axis} out of range for shape {self.data.shape}")
+            if self.scale.size != self.data.shape[self.axis]:
+                raise ValueError(
+                    f"per-channel scale of size {self.scale.size} does not match "
+                    f"axis {self.axis} of shape {self.data.shape}")
+        elif self.scale.size != 1:
+            raise ValueError("per-tensor quantization needs a scalar scale")
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def dequantized(self) -> np.ndarray:
+        return dequantize(self)
+
+
+def symmetric_scale(tensor: np.ndarray, axis: Optional[int] = None,
+                    eps: float = 1e-8) -> np.ndarray:
+    """Scale mapping the tensor's max absolute value onto the int8 range.
+
+    With ``axis`` given, a separate scale is computed per channel along that
+    axis (per-output-channel weight quantization); otherwise a single scalar
+    scale is returned.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if axis is None:
+        max_abs = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+        return np.array([max(max_abs, eps) / INT8_MAX])
+    reduce_axes = tuple(i for i in range(tensor.ndim) if i != axis)
+    max_abs = np.max(np.abs(tensor), axis=reduce_axes) if tensor.size else np.zeros(
+        tensor.shape[axis])
+    return np.maximum(max_abs, eps) / INT8_MAX
+
+
+def _saturate(values: np.ndarray) -> np.ndarray:
+    return np.clip(values, INT8_MIN, INT8_MAX)
+
+
+def quantize_per_tensor(tensor: np.ndarray, scale: Optional[float] = None) -> QuantizedTensor:
+    """Quantize with a single symmetric scale (used for activations)."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    scale_arr = (np.array([float(scale)]) if scale is not None
+                 else symmetric_scale(tensor, axis=None))
+    quantized = _saturate(np.rint(tensor / scale_arr[0])).astype(np.int8)
+    return QuantizedTensor(data=quantized, scale=scale_arr, axis=None)
+
+
+def quantize_per_channel(tensor: np.ndarray, axis: int = 0,
+                         scale: Optional[np.ndarray] = None) -> QuantizedTensor:
+    """Quantize with one symmetric scale per channel along ``axis``
+    (used for weight matrices, per output channel)."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    scales = (np.asarray(scale, dtype=np.float64) if scale is not None
+              else symmetric_scale(tensor, axis=axis))
+    shape = [1] * tensor.ndim
+    shape[axis] = scales.size
+    quantized = _saturate(np.rint(tensor / scales.reshape(shape))).astype(np.int8)
+    return QuantizedTensor(data=quantized, scale=scales, axis=axis)
+
+
+def dequantize(quantized: QuantizedTensor) -> np.ndarray:
+    """Map an int8 tensor back to floats using its scale."""
+    data = quantized.data.astype(np.float64)
+    if quantized.axis is None:
+        return data * quantized.scale[0]
+    shape = [1] * data.ndim
+    shape[quantized.axis] = quantized.scale.size
+    return data * quantized.scale.reshape(shape)
+
+
+def requantize_int32(accumulator: np.ndarray, input_scale: float,
+                     weight_scale: Union[float, np.ndarray],
+                     output_scale: float,
+                     bias: Optional[np.ndarray] = None) -> np.ndarray:
+    """The quantization unit: int32 accumulator -> int8 output.
+
+    ``accumulator`` holds ``sum(x_q * w_q)`` per output channel; its real
+    value is ``accumulator * input_scale * weight_scale``.  The unit adds the
+    (float) bias and rescales to the next stage's ``output_scale``, rounding
+    to nearest and saturating to int8 — matching the hardware's bias-addition
+    + quantization step after the MPU.
+    """
+    accumulator = np.asarray(accumulator, dtype=np.int64)
+    weight_scale = np.asarray(weight_scale, dtype=np.float64)
+    if output_scale <= 0 or input_scale <= 0 or np.any(weight_scale <= 0):
+        raise ValueError("scales must be positive")
+    real = accumulator.astype(np.float64) * input_scale * weight_scale
+    if bias is not None:
+        real = real + np.asarray(bias, dtype=np.float64)
+    return _saturate(np.rint(real / output_scale)).astype(np.int8)

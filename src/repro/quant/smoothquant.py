@@ -1,0 +1,117 @@
+"""SmoothQuant activation smoothing (Xiao et al., ICML 2023).
+
+W8A8 quantization of transformer linear layers suffers from activation
+outliers concentrated in a few channels.  SmoothQuant migrates that difficulty
+to the weights with a per-input-channel factor
+
+    s_j = max|X_j|^alpha / max|W_j|^(1 - alpha)
+
+so the smoothed activations ``X / s`` and weights ``W * s`` are both easy to
+quantize while the layer's output is mathematically unchanged:
+``(X / s) @ (diag(s) W^T)^T == X @ W^T``.
+
+Both the LoopLynx accelerator and the A100/torch-int baseline in the paper use
+this scheme; the calibration here is what produces the int8 weights the
+functional accelerator datapath consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.quant.int8 import QuantizedTensor, quantize_per_channel, quantize_per_tensor, symmetric_scale
+
+
+def smooth_weights_activations(activations: np.ndarray, weight: np.ndarray,
+                               alpha: float = 0.5, eps: float = 1e-8
+                               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute smoothing factors and return smoothed (activations, weight, s).
+
+    Parameters
+    ----------
+    activations:
+        Calibration activations of shape ``[tokens, in_features]``.
+    weight:
+        Layer weight of shape ``[out_features, in_features]``.
+    alpha:
+        Migration strength; 0.5 is SmoothQuant's default and the usual choice
+        for GPT-2-class models.
+    """
+    if not (0.0 <= alpha <= 1.0):
+        raise ValueError(f"alpha must be within [0, 1], got {alpha}")
+    activations = np.asarray(activations, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    if activations.ndim != 2 or weight.ndim != 2:
+        raise ValueError("activations must be [tokens, in], weight must be [out, in]")
+    if activations.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"in_features mismatch: activations {activations.shape[1]} vs weight {weight.shape[1]}")
+    act_max = np.maximum(np.max(np.abs(activations), axis=0), eps)
+    weight_max = np.maximum(np.max(np.abs(weight), axis=0), eps)
+    scales = np.power(act_max, alpha) / np.power(weight_max, 1.0 - alpha)
+    scales = np.maximum(scales, eps)
+    smoothed_acts = activations / scales[None, :]
+    smoothed_weight = weight * scales[None, :]
+    return smoothed_acts, smoothed_weight, scales
+
+
+@dataclass
+class SmoothQuantCalibration:
+    """Per-layer calibration state collected over sample activations.
+
+    The calibration records, per named linear layer, the running max-abs of
+    each input channel.  :meth:`quantize_layer` then applies smoothing and
+    produces the per-channel int8 weight plus the static activation scale the
+    accelerator uses at run time (static per-tensor activation quantization,
+    as in the paper's W8A8 setting).
+    """
+
+    alpha: float = 0.5
+    eps: float = 1e-8
+    activation_max: Dict[str, np.ndarray] = field(default_factory=dict)
+    activation_absmax: Dict[str, float] = field(default_factory=dict)
+
+    def observe(self, layer_name: str, activations: np.ndarray) -> None:
+        """Accumulate calibration statistics for one layer's input."""
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.ndim == 1:
+            activations = activations[None, :]
+        channel_max = np.max(np.abs(activations), axis=0)
+        if layer_name in self.activation_max:
+            self.activation_max[layer_name] = np.maximum(
+                self.activation_max[layer_name], channel_max)
+        else:
+            self.activation_max[layer_name] = channel_max
+        absmax = float(np.max(np.abs(activations))) if activations.size else 0.0
+        self.activation_absmax[layer_name] = max(
+            self.activation_absmax.get(layer_name, 0.0), absmax)
+
+    def smoothing_factors(self, layer_name: str, weight: np.ndarray) -> np.ndarray:
+        """Per-input-channel smoothing factors for a calibrated layer."""
+        if layer_name not in self.activation_max:
+            raise KeyError(f"layer {layer_name!r} has no calibration data")
+        weight = np.asarray(weight, dtype=np.float64)
+        act_max = np.maximum(self.activation_max[layer_name], self.eps)
+        weight_max = np.maximum(np.max(np.abs(weight), axis=0), self.eps)
+        scales = np.power(act_max, self.alpha) / np.power(weight_max, 1.0 - self.alpha)
+        return np.maximum(scales, self.eps)
+
+    def quantize_layer(self, layer_name: str, weight: np.ndarray
+                       ) -> Tuple[QuantizedTensor, float, np.ndarray]:
+        """Smooth + quantize one layer.
+
+        Returns ``(quantized_weight, activation_scale, smoothing_factors)``:
+        the per-output-channel int8 weight of the *smoothed* weight matrix,
+        the static per-tensor scale for the smoothed activations, and the
+        smoothing factors to fold into the preceding operator.
+        """
+        factors = self.smoothing_factors(layer_name, weight)
+        smoothed_weight = np.asarray(weight, dtype=np.float64) * factors[None, :]
+        quantized_weight = quantize_per_channel(smoothed_weight, axis=0)
+        smoothed_act_max = np.max(
+            np.maximum(self.activation_max[layer_name], self.eps) / factors)
+        activation_scale = float(max(smoothed_act_max, self.eps) / 127.0)
+        return quantized_weight, activation_scale, factors

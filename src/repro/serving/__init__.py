@@ -1,0 +1,21 @@
+"""Serving-level simulation of LoopLynx deployments.
+
+The paper evaluates isolated requests; a downstream user deploying LoopLynx
+for LLM serving cares about sustained behaviour under a stream of requests:
+queueing delay, latency percentiles, utilization and energy.  This package
+simulates a pool of LoopLynx instances (each serving one request at a time,
+as the batch-1 dataflow design dictates) fed from a request trace.
+
+* :mod:`repro.serving.simulator` — the event-based queueing simulation;
+* :mod:`repro.serving.metrics` — latency/throughput/energy summaries.
+"""
+
+from repro.serving.metrics import ServingMetrics, percentile
+from repro.serving.simulator import CompletedRequest, ServingSimulator
+
+__all__ = [
+    "ServingMetrics",
+    "percentile",
+    "CompletedRequest",
+    "ServingSimulator",
+]

@@ -1,0 +1,96 @@
+"""Serving metrics: latency percentiles, throughput, utilization, energy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.energy.power import FpgaPowerModel
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1])."""
+    if not values:
+        return 0.0
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return float(ordered[low] * (1 - weight) + ordered[high] * weight)
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate statistics of one serving simulation."""
+
+    num_requests: int
+    num_instances: int
+    num_nodes_per_instance: int
+    makespan_s: float
+    generated_tokens: int
+    queueing_delays_s: List[float] = field(default_factory=list)
+    end_to_end_latencies_s: List[float] = field(default_factory=list)
+    service_times_s: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_tokens_per_second(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.generated_tokens / self.makespan_s
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.num_requests / self.makespan_s
+
+    @property
+    def mean_queueing_delay_s(self) -> float:
+        if not self.queueing_delays_s:
+            return 0.0
+        return sum(self.queueing_delays_s) / len(self.queueing_delays_s)
+
+    @property
+    def instance_utilization(self) -> float:
+        """Fraction of instance-time spent actually serving requests."""
+        capacity = self.makespan_s * self.num_instances
+        if capacity <= 0:
+            return 0.0
+        return min(sum(self.service_times_s) / capacity, 1.0)
+
+    def latency_percentile_s(self, fraction: float) -> float:
+        return percentile(self.end_to_end_latencies_s, fraction)
+
+    def energy_joules(self, power_model: Optional[FpgaPowerModel] = None,
+                      nodes_per_card: int = 2) -> float:
+        """Total deployment energy over the makespan (all instances powered)."""
+        power_model = power_model or FpgaPowerModel()
+        per_instance = power_model.total_power_watts(self.num_nodes_per_instance,
+                                                     nodes_per_card)
+        return per_instance * self.num_instances * self.makespan_s
+
+    def tokens_per_joule(self, power_model: Optional[FpgaPowerModel] = None,
+                         nodes_per_card: int = 2) -> float:
+        energy = self.energy_joules(power_model, nodes_per_card)
+        if energy <= 0:
+            return 0.0
+        return self.generated_tokens / energy
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": float(self.num_requests),
+            "makespan_s": self.makespan_s,
+            "throughput_tok_s": self.throughput_tokens_per_second,
+            "requests_per_s": self.requests_per_second,
+            "mean_queue_delay_s": self.mean_queueing_delay_s,
+            "p50_latency_s": self.latency_percentile_s(0.50),
+            "p95_latency_s": self.latency_percentile_s(0.95),
+            "p99_latency_s": self.latency_percentile_s(0.99),
+            "instance_utilization": self.instance_utilization,
+        }

@@ -1,0 +1,23 @@
+"""Workload generation: ``[prefill : decode]`` scenarios and request traces."""
+
+from repro.workloads.scenarios import (
+    FIG8_SCENARIOS,
+    Scenario,
+    chatbot_scenarios,
+    code_generation_scenarios,
+    scenario_label,
+    scenario_sweep,
+)
+from repro.workloads.traces import Request, RequestTrace, synthetic_trace
+
+__all__ = [
+    "FIG8_SCENARIOS",
+    "Scenario",
+    "chatbot_scenarios",
+    "code_generation_scenarios",
+    "scenario_label",
+    "scenario_sweep",
+    "Request",
+    "RequestTrace",
+    "synthetic_trace",
+]

@@ -1,0 +1,170 @@
+"""Tests for the analysis utilities (breakdowns, scalability, comparisons,
+report rendering)."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    aggregate_breakdown_ms,
+    latency_breakdown,
+    optimization_walkthrough,
+)
+from repro.analysis.comparison import (
+    fpga_comparison_table,
+    gpu_comparison,
+    summarize_gpu_comparison,
+)
+from repro.analysis.report import format_table, render_markdown_table
+from repro.analysis.scalability import scaling_efficiency, throughput_table
+from repro.core.multi_node import LoopLynxSystem
+from repro.workloads.scenarios import Scenario
+
+
+class TestBreakdown:
+    def test_aggregation_maps_components_to_categories(self):
+        cycles = {"linear": 1000.0, "attention": 500.0, "layer_norm": 100.0,
+                  "ring_sync_exposed": 50.0, "unknown_component": 10.0}
+        out = aggregate_breakdown_ms(cycles, clock_hz=1e6)
+        assert out["linear_layers"] == pytest.approx(1.0)
+        assert out["multi_head_attention"] == pytest.approx(0.5)
+        assert out["synchronization"] == pytest.approx(0.05)
+        # unknown components fold into the critical path bucket
+        assert out["critical_path"] == pytest.approx(0.11)
+
+    def test_latency_breakdown_sums_to_report(self):
+        system = LoopLynxSystem.paper_configuration(num_nodes=1)
+        breakdown = latency_breakdown(system)
+        report = system.decode_token_report()
+        assert sum(breakdown.values()) == pytest.approx(report.latency_ms, rel=1e-6)
+
+    def test_walkthrough_progression(self):
+        steps = optimization_walkthrough(num_nodes=1)
+        assert [s.label for s in steps] == ["baseline", "+ critical-path fusion",
+                                            "+ head-wise pipelining"]
+        assert steps[0].improvement_vs_baseline == 0.0
+        assert steps[1].improvement_vs_baseline > 0.05
+        assert steps[2].improvement_vs_baseline > steps[1].improvement_vs_baseline
+        assert steps[0].latency_ms > steps[1].latency_ms > steps[2].latency_ms
+
+    def test_baseline_fractions_match_paper_shape(self):
+        steps = optimization_walkthrough(num_nodes=1)
+        baseline = steps[0]
+        assert baseline.matrix_fraction == pytest.approx(0.815, abs=0.06)
+        assert baseline.critical_path_fraction == pytest.approx(0.185, abs=0.06)
+
+
+class TestScalability:
+    def test_table_rows_and_speedups(self):
+        rows = throughput_table((1, 2, 4))
+        assert [row.num_nodes for row in rows] == [1, 2, 4]
+        assert rows[0].speedup_vs_previous is None
+        assert rows[1].speedup_vs_previous == pytest.approx(
+            rows[1].tokens_per_second / rows[0].tokens_per_second)
+        assert rows[2].speedup_vs_single == pytest.approx(
+            rows[2].tokens_per_second / rows[0].tokens_per_second)
+        assert 1.3 < rows[1].speedup_vs_previous < 2.0
+        assert 1.2 < rows[2].speedup_vs_previous < 2.0
+
+    def test_throughputs_near_paper_table3(self):
+        rows = {row.num_nodes: row for row in throughput_table((1, 2, 4))}
+        paper = {1: 151.7, 2: 259.7, 4: 392.2}
+        for nodes, expected in paper.items():
+            assert rows[nodes].tokens_per_second == pytest.approx(expected, rel=0.15)
+
+    def test_efficiency_decreases_with_scale(self):
+        rows = throughput_table((1, 2, 4))
+        efficiency = scaling_efficiency(rows)
+        assert efficiency[1] == pytest.approx(1.0)
+        assert efficiency[1] > efficiency[2] > efficiency[4]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_table(())
+        assert scaling_efficiency([]) == {}
+
+    def test_row_as_dict(self):
+        row = throughput_table((1,))[0]
+        as_dict = row.as_dict()
+        assert as_dict["# Nodes"] == "1-node"
+        assert "Tokens Per Second" in as_dict
+
+
+class TestComparisons:
+    def test_table2_rows_and_winners(self):
+        rows = fpga_comparison_table(node_counts=(4, 2, 1))
+        architectures = [row.architecture for row in rows]
+        assert architectures.count("LoopLynx") == 3
+        latencies = {row.nodes: row.token_latency_ms for row in rows
+                     if row.architecture == "LoopLynx"}
+        dfx = next(row for row in rows if "DFX" in row.architecture)
+        spatial = next(row for row in rows if row.architecture == "Spatial Architecture")
+        # the paper's ordering: 4-node < 2-node < spatial < DFX < 1-node is
+        # nearly preserved; the critical claims are the 2/4-node wins and the
+        # 1-node being slower than both baselines
+        four = latencies["4 Nodes (U50 x2)"]
+        two = latencies["2 Nodes (U50 x1)"]
+        one = latencies["1 Node (U50 x1)"]
+        assert four < two < dfx.token_latency_ms
+        assert four < spatial.token_latency_ms
+        assert two < spatial.token_latency_ms * 1.05
+        assert one > spatial.token_latency_ms
+
+    def test_table2_loops_use_fewer_dsps_than_dfx(self):
+        rows = fpga_comparison_table(node_counts=(2,))
+        looplynx = next(row for row in rows if row.architecture == "LoopLynx")
+        dfx = next(row for row in rows if "DFX" in row.architecture)
+        assert looplynx.dsp < dfx.dsp
+
+    def test_gpu_comparison_rows(self):
+        scenarios = (Scenario(128, 32), Scenario(32, 128))
+        rows = gpu_comparison(scenarios=scenarios, node_counts=(2, 4))
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row.latency_ms) == {"A100", "2-node", "4-node"}
+            assert row.normalized_latency["4-node"] == pytest.approx(1.0)
+            assert row.normalized_efficiency["A100"] == pytest.approx(1.0)
+
+    def test_gpu_wins_prefill_heavy_scenario(self):
+        rows = gpu_comparison(scenarios=(Scenario(128, 32),), node_counts=(2,))
+        assert rows[0].speedup_vs_gpu["2-node"] < 1.0
+
+    def test_looplynx_wins_long_generation(self):
+        rows = gpu_comparison(scenarios=(Scenario(32, 512),), node_counts=(2, 4))
+        assert rows[0].speedup_vs_gpu["2-node"] > 1.0
+        assert rows[0].speedup_vs_gpu["4-node"] > rows[0].speedup_vs_gpu["2-node"]
+
+    def test_summary_structure(self):
+        rows = gpu_comparison(scenarios=(Scenario(32, 128), Scenario(64, 512)),
+                              node_counts=(2,))
+        summary = summarize_gpu_comparison(rows, node_counts=(2,))
+        entry = summary["2-node"]
+        assert set(entry) == {"average_speedup_vs_gpu", "average_efficiency_ratio",
+                              "average_energy_fraction"}
+        assert entry["average_energy_fraction"] < 1.0
+
+
+class TestReportRendering:
+    ROWS = [{"name": "a", "value": 1.2345}, {"name": "b", "value": 10}]
+
+    def test_format_table_alignment_and_title(self):
+        text = format_table(self.ROWS, title="My table")
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 2 + 1 + len(self.ROWS)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_format_table_column_selection(self):
+        text = format_table(self.ROWS, columns=["value"])
+        assert "name" not in text
+
+    def test_markdown_table(self):
+        md = render_markdown_table(self.ROWS)
+        assert md.splitlines()[0].startswith("| name")
+        assert "| a" in md
+        assert render_markdown_table([]) == "(no rows)"
+
+    def test_float_formatting(self):
+        text = format_table(self.ROWS, float_digits=1)
+        assert "1.2" in text and "1.23" not in text

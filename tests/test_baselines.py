@@ -1,0 +1,139 @@
+"""Tests for the DFX temporal, spatial-architecture and A100 baseline models."""
+
+import pytest
+
+from repro.baselines.base import (
+    NVIDIA_A100,
+    PLATFORM_CATALOGUE,
+    XILINX_ALVEO_U50,
+    XILINX_ALVEO_U280,
+)
+from repro.baselines.gpu_a100 import A100Config, A100Model
+from repro.baselines.spatial import SpatialArchitectureModel, SpatialConfig
+from repro.baselines.temporal_dfx import DfxConfig, DfxTemporalModel
+from repro.model.config import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ModelConfig.gpt2_medium()
+
+
+class TestPlatformCatalogue:
+    def test_table1_rows(self):
+        assert len(PLATFORM_CATALOGUE) == 3
+        row = NVIDIA_A100.as_row()
+        assert row["Platform"] == "Nvidia A100"
+        assert row["Bandwidth"] == "1935 GB/s"
+        assert row["TDP"] == "300W"
+        assert XILINX_ALVEO_U280.compute_units == "9024 DSPs"
+        assert XILINX_ALVEO_U50.tdp_watts == 75
+
+
+class TestDfxTemporalModel:
+    def test_latency_near_published_point(self, model):
+        dfx = DfxTemporalModel(model)
+        latency = dfx.decode_token_latency_ms(512)
+        assert latency == pytest.approx(5.37, rel=0.15)
+
+    def test_latency_grows_with_context(self, model):
+        dfx = DfxTemporalModel(model)
+        assert dfx.decode_token_latency_ms(1024) > dfx.decode_token_latency_ms(64)
+
+    def test_serialized_execution_slower_than_overlapped_bound(self, model):
+        """Temporal architectures pay read + compute, never max(read, compute):
+        the per-token latency must exceed the pure streaming time of the FP16
+        weights at the sustained bandwidth."""
+        dfx = DfxTemporalModel(model)
+        config = dfx.config
+        stream_ms = 1e3 * (model.linear_weight_bytes_total(2)
+                           / (config.hbm_bandwidth_bytes_per_s * config.memory_efficiency))
+        assert dfx.decode_token_latency_ms(512) > stream_ms
+
+    def test_prefill_is_sequential(self, model):
+        dfx = DfxTemporalModel(model)
+        assert dfx.prefill_latency_ms(8) > 7 * dfx.decode_token_latency_ms(0)
+        with pytest.raises(ValueError):
+            dfx.prefill_latency_ms(0)
+
+    def test_breakdown_sums_to_total(self, model):
+        dfx = DfxTemporalModel(model)
+        breakdown = dfx.latency_breakdown_ms(512)
+        assert sum(breakdown.values()) == pytest.approx(
+            dfx.decode_token_latency_ms(512), rel=0.01)
+
+
+class TestSpatialModel:
+    def test_latency_near_published_point(self, model):
+        spatial = SpatialArchitectureModel(model)
+        assert spatial.decode_token_latency_ms(512) == pytest.approx(4.17, rel=0.15)
+
+    def test_decode_faster_than_dfx_but_slower_than_memory_bound(self, model):
+        spatial = SpatialArchitectureModel(model)
+        dfx = DfxTemporalModel(model)
+        assert spatial.decode_token_latency_ms(512) < dfx.decode_token_latency_ms(512)
+
+    def test_prefill_benefits_from_task_pipeline(self, model):
+        """During prefill the spatial task-level pipeline fills, so per-token
+        cost is far below the decode per-token cost."""
+        spatial = SpatialArchitectureModel(model)
+        prefill_per_token = spatial.prefill_latency_ms(128) / 128
+        assert prefill_per_token < 0.5 * spatial.decode_token_latency_ms(64)
+        with pytest.raises(ValueError):
+            spatial.prefill_latency_ms(0)
+
+    def test_breakdown_keys(self, model):
+        breakdown = SpatialArchitectureModel(model).latency_breakdown_ms()
+        assert set(breakdown) == {"linear", "attention", "critical_path"}
+
+    def test_fewer_partitions_speed_up_decode(self, model):
+        narrow = SpatialArchitectureModel(model, SpatialConfig(operator_partitions=8))
+        wide = SpatialArchitectureModel(model, SpatialConfig(operator_partitions=2))
+        assert wide.decode_token_latency_ms(512) < narrow.decode_token_latency_ms(512)
+
+
+class TestA100Model:
+    def test_decode_latency_in_published_band(self, model):
+        """GPT-2-class eager int8 decoding on an A100 sits in the 5-10 ms
+        per-token range; the model's default calibration must stay there."""
+        gpu = A100Model(model)
+        latency = gpu.decode_token_latency_ms(512)
+        assert 5.0 < latency < 10.0
+
+    def test_prefill_much_cheaper_than_sequential_decode(self, model):
+        gpu = A100Model(model)
+        prefill = gpu.prefill_latency_ms(128)
+        sequential = sum(gpu.decode_token_latency_ms(i) for i in range(128))
+        assert prefill < 0.1 * sequential
+
+    def test_decode_dominated_by_overhead_not_memory(self, model):
+        gpu = A100Model(model)
+        breakdown = gpu.latency_breakdown_ms(512)
+        assert breakdown["framework_overhead"] > breakdown["memory"]
+
+    def test_traffic_accounting(self, model):
+        gpu = A100Model(model)
+        assert gpu.weight_bytes() == model.linear_weight_bytes_total()
+        assert gpu.kv_read_bytes(512) == model.kv_read_bytes_per_decode_step(512)
+        assert gpu.linear_macs(4) == 4 * gpu.linear_macs(1)
+
+    def test_scenario_latency_composition(self, model):
+        gpu = A100Model(model)
+        total = gpu.scenario_latency_ms(64, 16)
+        assert total == pytest.approx(gpu.prefill_latency_ms(64)
+                                      + gpu.decode_latency_ms(64, 16))
+        assert gpu.decode_latency_ms(64, 0) == 0.0
+        with pytest.raises(ValueError):
+            gpu.decode_latency_ms(64, -1)
+        with pytest.raises(ValueError):
+            gpu.prefill_latency_ms(0)
+
+    def test_average_token_latency_interface(self, model):
+        gpu = A100Model(model)
+        assert gpu.average_token_latency_ms() == pytest.approx(
+            gpu.decode_token_latency_ms(512))
+
+    def test_custom_config_changes_latency(self, model):
+        fast = A100Model(model, A100Config(per_kernel_overhead_s=1e-6))
+        default = A100Model(model)
+        assert fast.decode_token_latency_ms(512) < default.decode_token_latency_ms(512)

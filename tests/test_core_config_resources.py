@@ -1,0 +1,162 @@
+"""Tests for the hardware/system configuration and the FPGA resource model."""
+
+import pytest
+
+from repro.core.config import (
+    HardwareConfig,
+    OptimizationConfig,
+    SystemConfig,
+    alveo_u50_node,
+    paper_system,
+)
+from repro.core.resources import (
+    ALVEO_U50_CAPACITY,
+    PER_CARD_SHELL_RESOURCES,
+    PER_NODE_KERNEL_RESOURCES,
+    ResourceUsage,
+    component_table,
+    device_resources,
+    kernel_resources,
+    node_resources,
+    system_resources,
+)
+from repro.model.config import ModelConfig
+
+
+class TestHardwareConfig:
+    def test_paper_defaults(self):
+        hw = alveo_u50_node()
+        assert hw.clock_hz == pytest.approx(285e6)
+        assert hw.mac_group_size == 32
+        assert hw.macs_per_cycle == hw.mp_channels * 32
+
+    def test_derived_bandwidths(self):
+        hw = HardwareConfig()
+        per_channel = hw.hbm_bytes_per_cycle_per_channel
+        assert per_channel < hw.hbm.bytes_per_cycle  # efficiency derating
+        assert hw.mp_bytes_per_cycle == pytest.approx(hw.mp_channels * per_channel)
+        assert hw.mha_bytes_per_cycle == pytest.approx(hw.mha_channels * per_channel)
+
+    def test_cycle_time_conversions(self):
+        hw = HardwareConfig()
+        assert hw.cycles_to_ms(hw.clock_hz) == pytest.approx(1000.0)
+        assert hw.seconds_to_cycles(1.0) == pytest.approx(hw.clock_hz)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(clock_hz=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(mp_channels=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(hbm_efficiency=1.5)
+        with pytest.raises(ValueError):
+            HardwareConfig(critical_path_parallelism=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(stage_overhead_cycles=-1)
+
+
+class TestOptimizationConfig:
+    def test_presets(self):
+        baseline = OptimizationConfig.baseline()
+        assert not baseline.critical_path_fusion
+        assert not baseline.headwise_pipelining
+        assert not baseline.transmission_hiding
+        full = OptimizationConfig.paper_default()
+        assert full.critical_path_fusion and full.headwise_pipelining
+        partial = OptimizationConfig.critical_path_only()
+        assert partial.critical_path_fusion and not partial.headwise_pipelining
+
+
+class TestSystemConfig:
+    def test_paper_system_presets(self):
+        for nodes in (1, 2, 4):
+            system = paper_system(num_nodes=nodes)
+            assert system.num_nodes == nodes
+            assert system.model.name == "gpt2-medium"
+        assert paper_system(2).num_cards == 1
+        assert paper_system(4).num_cards == 2
+        assert paper_system(4).crosses_cards
+        assert not paper_system(2).crosses_cards
+
+    def test_with_nodes_and_optimizations(self):
+        system = paper_system(2)
+        scaled = system.with_nodes(4)
+        assert scaled.num_nodes == 4 and system.num_nodes == 2
+        ablated = system.with_optimizations(OptimizationConfig.baseline())
+        assert not ablated.optimizations.critical_path_fusion
+
+    def test_node_count_bounded_by_heads(self):
+        with pytest.raises(ValueError):
+            SystemConfig(model=ModelConfig.tiny(), num_nodes=8)  # tiny has 4 heads
+        with pytest.raises(ValueError):
+            SystemConfig(num_nodes=0)
+
+    def test_with_model(self):
+        system = paper_system(2).with_model(ModelConfig.gpt2_small())
+        assert system.model.name == "gpt2-small"
+
+
+class TestResourceUsage:
+    def test_addition_and_scaling(self):
+        a = ResourceUsage(dsp=10, lut=100, ff=200, bram=5, uram=1)
+        b = ResourceUsage(dsp=1, lut=2, ff=3, bram=4, uram=5)
+        total = a + b
+        assert total.dsp == 11 and total.uram == 6
+        doubled = a.scaled(2)
+        assert doubled.lut == 200
+
+    def test_fits_within(self):
+        small = ResourceUsage(dsp=10, lut=10, ff=10, bram=10, uram=0)
+        big = ResourceUsage(dsp=100, lut=100, ff=100, bram=100, uram=10)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_utilization_of(self):
+        usage = ResourceUsage(dsp=50, lut=0, ff=0, bram=0, uram=0)
+        capacity = ResourceUsage(dsp=100, lut=10, ff=10, bram=10, uram=10)
+        assert usage.utilization_of(capacity)["DSP"] == pytest.approx(0.5)
+
+
+class TestResourceModel:
+    def test_node_total_is_sum_of_kernels(self):
+        total = node_resources()
+        manual = ResourceUsage()
+        for usage in PER_NODE_KERNEL_RESOURCES.values():
+            manual = manual + usage
+        assert total.as_dict() == manual.as_dict()
+
+    def test_two_node_device_matches_paper_totals(self):
+        device = device_resources(nodes_on_card=2)
+        assert device.dsp == pytest.approx(1132, rel=0.01)
+        assert device.lut == pytest.approx(312_000, rel=0.01)
+        assert device.ff == pytest.approx(478_000, rel=0.01)
+        assert device.bram == pytest.approx(924.5, rel=0.01)
+
+    def test_device_fits_on_alveo_u50(self):
+        assert device_resources(2).fits_within(ALVEO_U50_CAPACITY)
+
+    def test_system_resources_scale_with_cards(self):
+        two_node = system_resources(2, nodes_per_card=2)
+        four_node = system_resources(4, nodes_per_card=2)
+        assert four_node.dsp == pytest.approx(2 * two_node.dsp)
+        assert four_node.lut == pytest.approx(2 * two_node.lut)
+        one_node = system_resources(1, nodes_per_card=2)
+        # a lone node still pays its card's full shell
+        assert one_node.dsp == pytest.approx(
+            node_resources().dsp + PER_CARD_SHELL_RESOURCES.dsp)
+
+    def test_component_table_contains_totals(self):
+        table = component_table(2)
+        names = [row["Component"] for row in table]
+        assert "Fused MP Kernel" in names
+        assert names[-2:] == ["Accelerator Total", "Device Total"]
+        accel = next(r for r in table if r["Component"] == "Accelerator Total")
+        assert accel["DSP"] == pytest.approx(1128, rel=0.01)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            kernel_resources("nonexistent")
+        with pytest.raises(ValueError):
+            system_resources(0)
+        with pytest.raises(ValueError):
+            device_resources(0)

@@ -1,0 +1,110 @@
+"""Integration tests: the functional LoopLynx datapath against the NumPy
+W8A8 reference model."""
+
+import numpy as np
+import pytest
+
+from repro.core.functional import FunctionalAcceleratorNode, FunctionalLoopLynxSystem
+from repro.model.config import ModelConfig
+from repro.model.gpt2 import GPT2Model
+
+
+@pytest.fixture(scope="module")
+def calibrated_model():
+    model = GPT2Model(ModelConfig.tiny(), seed=9)
+    model.calibrate_quantization()
+    return model
+
+
+def reference_forward(model, chunks):
+    """Run the reference quantized forward over successive chunks with a
+    shared KV cache, returning the logits of every chunk."""
+    cache = model.new_cache()
+    outputs = []
+    offset = 0
+    for chunk in chunks:
+        logits = model.forward_quantized(np.asarray(chunk, dtype=np.int64),
+                                         cache=cache, position_offset=offset)
+        cache.advance(len(chunk))
+        offset += len(chunk)
+        outputs.append(logits)
+    return outputs
+
+
+class TestFunctionalNode:
+    def test_requires_calibrated_model(self):
+        model = GPT2Model(ModelConfig.tiny(), seed=1)
+        with pytest.raises(ValueError):
+            FunctionalAcceleratorNode(model, node_id=0, num_nodes=2)
+
+    def test_node_id_validation(self, calibrated_model):
+        with pytest.raises(ValueError):
+            FunctionalAcceleratorNode(calibrated_model, node_id=5, num_nodes=2)
+
+    def test_shards_cover_all_output_rows(self, calibrated_model):
+        num_nodes = 2
+        nodes = [FunctionalAcceleratorNode(calibrated_model, i, num_nodes)
+                 for i in range(num_nodes)]
+        full_rows = calibrated_model.config.qkv_out_features
+        ranges = [node._shards[(0, "qkv")].row_range for node in nodes]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == full_rows
+        assert ranges[0][1] == ranges[1][0]
+
+    def test_linear_subvector_concatenation_matches_reference(self, calibrated_model):
+        num_nodes = 4
+        nodes = [FunctionalAcceleratorNode(calibrated_model, i, num_nodes)
+                 for i in range(num_nodes)]
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=calibrated_model.config.d_model)
+        reference = calibrated_model.quantized_linear(1, "mlp_fc", x)
+        gathered = np.concatenate([node.linear_subvector(1, "mlp_fc", x)
+                                   for node in nodes])
+        assert np.allclose(gathered, reference, atol=1e-9)
+
+    def test_heads_partitioned_across_nodes(self, calibrated_model):
+        nodes = [FunctionalAcceleratorNode(calibrated_model, i, 4) for i in range(4)]
+        all_heads = sorted(sum((node.heads for node in nodes), []))
+        assert all_heads == list(range(calibrated_model.config.num_heads))
+
+
+class TestFunctionalSystem:
+    @pytest.mark.parametrize("num_nodes", [1, 2, 4])
+    def test_forward_matches_reference_exactly(self, calibrated_model, num_nodes):
+        """The multi-node functional datapath must be bit-identical to the
+        reference W8A8 forward pass (model parallelism is mathematically
+        transparent)."""
+        system = FunctionalLoopLynxSystem(calibrated_model, num_nodes=num_nodes)
+        prompt = [5, 7, 9, 11]
+        decode = [13]
+        ref_prefill, ref_decode = reference_forward(calibrated_model, [prompt, decode])
+        out_prefill = system.forward(np.array(prompt))
+        out_decode = system.forward(np.array(decode))
+        assert np.array_equal(out_prefill, ref_prefill)
+        assert np.array_equal(out_decode, ref_decode)
+
+    def test_generate_matches_reference_greedy_decode(self, calibrated_model):
+        from repro.model.generation import prefill_then_decode
+        reference = prefill_then_decode(calibrated_model, [3, 1, 4], max_new_tokens=5,
+                                        quantized=True).generated_tokens
+        system = FunctionalLoopLynxSystem(calibrated_model, num_nodes=2)
+        generated = system.generate([3, 1, 4], max_new_tokens=5)
+        assert generated == reference
+
+    def test_reset_clears_cache(self, calibrated_model):
+        system = FunctionalLoopLynxSystem(calibrated_model, num_nodes=2)
+        first = system.forward(np.array([1, 2, 3]))
+        system.reset()
+        second = system.forward(np.array([1, 2, 3]))
+        assert np.array_equal(first, second)
+
+    def test_node_count_must_divide_heads(self, calibrated_model):
+        with pytest.raises(ValueError):
+            FunctionalLoopLynxSystem(calibrated_model, num_nodes=3)  # tiny has 4 heads
+        with pytest.raises(ValueError):
+            FunctionalLoopLynxSystem(calibrated_model, num_nodes=0)
+
+    def test_empty_prompt_rejected(self, calibrated_model):
+        system = FunctionalLoopLynxSystem(calibrated_model, num_nodes=2)
+        with pytest.raises(ValueError):
+            system.generate([], max_new_tokens=2)

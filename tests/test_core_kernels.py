@@ -1,0 +1,333 @@
+"""Tests for the macro dataflow kernel cycle and functional models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import HardwareConfig
+from repro.core.kernels.attention import FusedMultiHeadAttentionKernel
+from repro.core.kernels.base import KernelTiming
+from repro.core.kernels.dma import DmaEngine
+from repro.core.kernels.layernorm_residual import FusedLayerNormResidualKernel
+from repro.core.kernels.matrix_processing import FusedMatrixProcessingKernel
+from repro.core.kernels.quantization_unit import QuantizationUnit
+from repro.core.kernels.router import RouterKernel
+from repro.model.config import LinearLayerSpec, ModelConfig, layer_linear_specs
+from repro.model.layers import causal_attention, split_heads
+from repro.quant.int8 import quantize_per_channel, quantize_per_tensor
+
+
+@pytest.fixture
+def hardware():
+    return HardwareConfig()
+
+
+class TestKernelTiming:
+    def test_components_and_merge(self):
+        a = KernelTiming(total=10)
+        a.add_component("x", 4)
+        b = KernelTiming(total=5)
+        b.add_component("x", 1)
+        b.add_component("y", 2)
+        a.merge(b)
+        assert a.total == 15
+        assert a.component("x") == 5
+        assert a.component("y") == 2
+        assert a.component("missing") == 0
+
+
+class TestDmaEngine:
+    def test_stream_cycles_close_to_bandwidth_limit(self, hardware):
+        dma = DmaEngine(hardware)
+        num_bytes = 1 << 22
+        timing = dma.stream_cycles(num_bytes, row_bytes=1024)
+        ideal = num_bytes / (hardware.mp_channels * hardware.hbm.bytes_per_cycle)
+        assert timing.total >= ideal
+        assert timing.total <= 1.35 * ideal  # efficiency + request overhead bounded
+
+    def test_zero_transfer(self, hardware):
+        assert DmaEngine(hardware).stream_cycles(0).total == 0.0
+
+    def test_negative_rejected(self, hardware):
+        with pytest.raises(ValueError):
+            DmaEngine(hardware).stream_cycles(-1)
+
+    def test_burst_beats(self, hardware):
+        dma = DmaEngine(hardware)
+        assert dma.burst_beats(1024) == 1024 // hardware.mac_group_size
+        with pytest.raises(ValueError):
+            dma.burst_beats(0)
+
+    def test_invocation_statistics(self, hardware):
+        dma = DmaEngine(hardware)
+        dma.stream_cycles(1024)
+        dma.stream_cycles(1024)
+        assert dma.invocations == 2
+        assert dma.total_cycles > 0
+        dma.reset_stats()
+        assert dma.invocations == 0
+
+
+class TestQuantizationUnit:
+    def test_throughput_and_drain(self, hardware):
+        unit = QuantizationUnit(hardware)
+        assert unit.throughput_cycles(hardware.mp_channels) == 1
+        assert unit.throughput_cycles(0) == 0
+        timing = unit.drain_cycles(256)
+        assert timing.total == unit.throughput_cycles(256)
+
+    def test_negative_rejected(self, hardware):
+        with pytest.raises(ValueError):
+            QuantizationUnit(hardware).throughput_cycles(-1)
+
+    def test_functional_requantize_matches_reference(self, hardware):
+        unit = QuantizationUnit(hardware)
+        accumulator = np.array([500, -700, 90], dtype=np.int64)
+        out = unit.requantize(accumulator, 0.02, 0.05, 0.1, bias=np.zeros(3))
+        expected = np.clip(np.rint(accumulator * 0.001 / 0.1), -128, 127)
+        assert np.array_equal(out, expected.astype(np.int8))
+
+    def test_dequantize_accumulator(self, hardware):
+        unit = QuantizationUnit(hardware)
+        accumulator = np.array([100, 200], dtype=np.int64)
+        out = unit.dequantize_accumulator(accumulator, 0.1, np.array([1.0, 2.0]),
+                                          bias=np.array([0.5, 0.5]))
+        assert np.allclose(out, [10.5, 40.5])
+
+
+class TestFusedMatrixProcessingKernel:
+    def test_decode_linear_is_memory_bound(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        spec = LinearLayerSpec("fc", 1024, 4096)
+        timing = kernel.linear_op_cycles(spec, num_nodes=1, batch_tokens=1)
+        assert timing.is_memory_bound
+        assert timing.memory_cycles > timing.compute_cycles
+
+    def test_batched_prefill_becomes_compute_bound(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        spec = LinearLayerSpec("fc", 1024, 4096)
+        timing = kernel.linear_op_cycles(spec, num_nodes=1, batch_tokens=128)
+        assert not timing.is_memory_bound
+
+    def test_cycles_halve_with_two_nodes(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        spec = LinearLayerSpec("fc", 1024, 4096)
+        one = kernel.linear_op_cycles(spec, num_nodes=1)
+        two = kernel.linear_op_cycles(spec, num_nodes=2)
+        assert two.steady_state_cycles == pytest.approx(one.steady_state_cycles / 2,
+                                                        rel=0.01)
+        # fixed overheads do not shrink
+        assert two.fill_overhead_cycles == one.fill_overhead_cycles
+
+    def test_weight_bytes_per_token(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        config = ModelConfig.gpt2_medium()
+        specs = layer_linear_specs(config)
+        full = kernel.weight_bytes_per_token(specs, num_nodes=1)
+        half = kernel.weight_bytes_per_token(specs, num_nodes=2)
+        assert full == config.linear_weight_bytes_per_layer()
+        assert half == pytest.approx(full / 2, rel=0.01)
+
+    def test_block_count(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        spec = LinearLayerSpec("qkv", 1024, 3072)
+        rows_per_block = hardware.mp_channels * hardware.mac_group_size
+        assert kernel.num_output_blocks(spec, 1) == -(-3072 // rows_per_block)
+        assert kernel.num_output_blocks(spec, 4) >= 1
+
+    def test_invalid_arguments(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        spec = LinearLayerSpec("fc", 8, 8)
+        with pytest.raises(ValueError):
+            kernel.linear_op_cycles(spec, num_nodes=0)
+        with pytest.raises(ValueError):
+            kernel.linear_op_cycles(spec, batch_tokens=0)
+
+    def test_functional_linear_matches_numpy_gemv(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(48, 32))
+        x = rng.normal(size=32)
+        weight_q = quantize_per_channel(weight, axis=0)
+        x_q = quantize_per_tensor(x)
+        out = kernel.functional_linear(weight_q.data, x_q.data,
+                                       float(x_q.scale[0]), weight_q.scale,
+                                       bias=np.zeros(48))
+        reference = weight @ x
+        rel = np.linalg.norm(out - reference) / np.linalg.norm(reference)
+        assert rel < 0.05
+
+    def test_functional_linear_requantized_output(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        rng = np.random.default_rng(1)
+        weight_q = quantize_per_channel(rng.normal(size=(16, 8)), axis=0)
+        x_q = quantize_per_tensor(rng.normal(size=8))
+        out = kernel.functional_linear(weight_q.data, x_q.data, float(x_q.scale[0]),
+                                       weight_q.scale, output_scale=0.05)
+        assert out.dtype == np.int8
+
+    def test_functional_linear_type_check(self, hardware):
+        kernel = FusedMatrixProcessingKernel(hardware)
+        with pytest.raises(TypeError):
+            kernel.functional_linear(np.zeros((2, 2)), np.zeros(2, dtype=np.int8),
+                                     1.0, np.ones(2))
+
+    @given(num_nodes=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_more_nodes_never_slower(self, num_nodes):
+        hardware = HardwareConfig()
+        kernel = FusedMatrixProcessingKernel(hardware)
+        spec = LinearLayerSpec("fc", 1024, 4096)
+        base = kernel.linear_op_cycles(spec, num_nodes=1).steady_state_cycles
+        scaled = kernel.linear_op_cycles(spec, num_nodes=num_nodes).steady_state_cycles
+        assert scaled <= base + 1e-9
+
+
+class TestFusedMultiHeadAttentionKernel:
+    def test_cycles_grow_with_context(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        short = kernel.decode_layer_cycles(64, 16, 64)
+        long = kernel.decode_layer_cycles(512, 16, 64)
+        assert long.total > short.total
+
+    def test_cycles_shrink_with_fewer_heads_per_node(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        full = kernel.decode_layer_cycles(512, 16, 64)
+        half = kernel.decode_layer_cycles(512, 8, 64)
+        assert half.total < full.total
+
+    def test_headwise_pipelining_hides_softmax(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        pipelined = kernel.decode_layer_cycles(512, 16, 64, headwise_pipelining=True)
+        serialized = kernel.decode_layer_cycles(512, 16, 64, headwise_pipelining=False)
+        assert pipelined.total < serialized.total
+        assert pipelined.exposed_softmax_cycles < serialized.exposed_softmax_cycles
+        assert serialized.exposed_softmax_cycles == pytest.approx(
+            16 * serialized.softmax_cycles_per_head)
+
+    def test_zero_context_clamped(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        timing = kernel.decode_layer_cycles(0, 4, 64)
+        assert timing.total > 0
+
+    def test_invalid_arguments(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        with pytest.raises(ValueError):
+            kernel.decode_layer_cycles(-1, 4, 64)
+        with pytest.raises(ValueError):
+            kernel.decode_layer_cycles(10, 0, 64)
+        with pytest.raises(ValueError):
+            kernel.prefill_layer_cycles(0, 4, 64)
+
+    def test_prefill_scales_with_prompt(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        small = kernel.prefill_layer_cycles(16, 16, 64)
+        large = kernel.prefill_layer_cycles(64, 16, 64)
+        assert large.total > small.total
+
+    def test_softmax_cycles(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        assert kernel.softmax_cycles(0) == 0.0
+        assert kernel.softmax_cycles(512) > kernel.softmax_cycles(64)
+
+    def test_functional_attention_matches_reference(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        rng = np.random.default_rng(2)
+        num_heads, head_dim, seq = 4, 16, 9
+        d_model = num_heads * head_dim
+        query = rng.normal(size=(1, d_model))
+        keys = rng.normal(size=(seq, d_model))
+        values = rng.normal(size=(seq, d_model))
+        reference = causal_attention(query, keys, values, num_heads)[0]
+        out = kernel.functional_decode_attention(
+            split_heads(query, num_heads)[:, 0, :],
+            split_heads(keys, num_heads),
+            split_heads(values, num_heads))
+        assert np.allclose(out.reshape(-1), reference, atol=1e-9)
+
+    def test_functional_mask_and_softmax(self, hardware):
+        kernel = FusedMultiHeadAttentionKernel(hardware)
+        scores = np.ones(6)
+        masked = kernel.functional_masked_scores(scores, valid_len=3)
+        weights = kernel.functional_softmax(masked)
+        assert np.allclose(weights[3:], 0.0, atol=1e-10)
+        assert np.allclose(weights[:3], 1.0 / 3.0)
+        with pytest.raises(ValueError):
+            kernel.functional_masked_scores(scores, valid_len=10)
+
+
+class TestFusedLayerNormResidualKernel:
+    def test_optimized_is_faster(self, hardware):
+        kernel = FusedLayerNormResidualKernel(hardware)
+        assert (kernel.layer_norm_cycles(1024, optimized=True)
+                < kernel.layer_norm_cycles(1024, optimized=False))
+        assert kernel.residual_cycles(1024, optimized=True) == 0.0
+        assert kernel.residual_cycles(1024, optimized=False) == 1024.0
+
+    def test_elementwise_parallelism(self, hardware):
+        kernel = FusedLayerNormResidualKernel(hardware)
+        serial = kernel.elementwise_cycles(4096, optimized=False)
+        parallel = kernel.elementwise_cycles(4096, optimized=True)
+        assert serial == 4096
+        assert parallel == pytest.approx(4096 / hardware.critical_path_parallelism)
+
+    def test_fused_block_timing_components(self, hardware):
+        kernel = FusedLayerNormResidualKernel(hardware)
+        timing = kernel.fused_block_cycles(1024, optimized=False)
+        assert timing.component("layer_norm") > 0
+        assert timing.component("residual") == 1024
+        assert timing.total == timing.component("layer_norm") + 1024
+
+    def test_validation(self, hardware):
+        kernel = FusedLayerNormResidualKernel(hardware)
+        with pytest.raises(ValueError):
+            kernel.layer_norm_cycles(0)
+        with pytest.raises(ValueError):
+            kernel.elementwise_cycles(-1)
+
+    def test_functional_paths(self, hardware):
+        kernel = FusedLayerNormResidualKernel(hardware)
+        x = np.random.default_rng(3).normal(size=(2, 8))
+        normed = kernel.functional_layer_norm(x, np.ones(8), np.zeros(8))
+        assert np.allclose(normed.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(kernel.functional_residual(x, x), 2 * x)
+        assert kernel.functional_gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+
+
+class TestRouterKernel:
+    def test_single_node_router_has_no_sync_cost(self, hardware):
+        router = RouterKernel(hardware, num_nodes=1)
+        result = router.synchronize(1024, compute_cycles=1000)
+        assert result.exposed_cycles == 0.0
+
+    def test_hiding_toggle(self, hardware):
+        hidden = RouterKernel(hardware, num_nodes=4).synchronize(
+            2048, compute_cycles=100_000, blocks=12, hide_transfers=True)
+        exposed = RouterKernel(hardware, num_nodes=4).synchronize(
+            2048, compute_cycles=100_000, blocks=12, hide_transfers=False)
+        assert hidden.exposed_cycles < exposed.exposed_cycles
+
+    def test_inter_card_hop_latency_applies_when_crossing_cards(self, hardware):
+        on_card = RouterKernel(hardware, num_nodes=2, nodes_per_card=2)
+        across = RouterKernel(hardware, num_nodes=4, nodes_per_card=2)
+        assert (across.ring.config.hop_latency_cycles
+                > on_card.ring.config.hop_latency_cycles)
+
+    def test_functional_allgather(self, hardware):
+        router = RouterKernel(hardware, num_nodes=3)
+        subvectors = [np.full(8, i, dtype=np.int8) for i in range(3)]
+        gathered = router.functional_allgather(subvectors)
+        expected = np.concatenate(subvectors)
+        assert all(np.array_equal(g, expected) for g in gathered)
+        with pytest.raises(ValueError):
+            router.functional_allgather(subvectors[:2])
+
+    def test_resource_usage_reported(self, hardware):
+        for kernel in (FusedMatrixProcessingKernel(hardware),
+                       FusedMultiHeadAttentionKernel(hardware),
+                       FusedLayerNormResidualKernel(hardware),
+                       DmaEngine(hardware),
+                       QuantizationUnit(hardware),
+                       RouterKernel(hardware, num_nodes=2)):
+            usage = kernel.resource_usage()
+            assert usage.lut > 0

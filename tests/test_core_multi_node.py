@@ -1,0 +1,148 @@
+"""Tests for the multi-node LoopLynx system model."""
+
+import pytest
+
+from repro.core.config import OptimizationConfig, paper_system
+from repro.core.multi_node import LoopLynxSystem, ScenarioReport, TokenLatencyReport
+from repro.model.config import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {n: LoopLynxSystem.paper_configuration(num_nodes=n) for n in (1, 2, 4)}
+
+
+class TestDecodeLatency:
+    def test_latency_decreases_with_node_count(self, systems):
+        latencies = [systems[n].average_token_latency_ms() for n in (1, 2, 4)]
+        assert latencies[0] > latencies[1] > latencies[2]
+
+    def test_scaling_is_sublinear(self, systems):
+        """The paper's Table III point: speed-ups are clearly below 2x per
+        doubling because critical-path operators do not distribute."""
+        one = systems[1].average_token_latency_ms()
+        two = systems[2].average_token_latency_ms()
+        four = systems[4].average_token_latency_ms()
+        assert 1.3 < one / two < 2.0
+        assert 1.2 < two / four < 2.0
+
+    def test_reference_latencies_near_paper_values(self, systems):
+        """Within 15% of the paper's Table II latencies (6.59 / 3.85 / 2.55 ms)."""
+        paper = {1: 6.59, 2: 3.85, 4: 2.55}
+        for nodes, expected in paper.items():
+            measured = systems[nodes].average_token_latency_ms()
+            assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_latency_grows_with_context(self, systems):
+        system = systems[2]
+        assert (system.average_token_latency_ms(context_len=1024)
+                > system.average_token_latency_ms(context_len=64))
+
+    def test_report_breakdown_consistency(self, systems):
+        report = systems[2].decode_token_report()
+        assert isinstance(report, TokenLatencyReport)
+        assert report.cycles == pytest.approx(sum(report.breakdown_cycles.values()))
+        assert 0.0 < report.matrix_fraction() < 1.0
+        assert report.matrix_fraction() + report.critical_path_fraction() == pytest.approx(1.0)
+        ms = report.breakdown_ms(systems[2].clock_hz)
+        assert sum(ms.values()) == pytest.approx(report.latency_ms)
+
+    def test_negative_context_rejected(self, systems):
+        with pytest.raises(ValueError):
+            systems[1].decode_token_report(context_len=-1)
+
+    def test_host_overhead_validation(self):
+        with pytest.raises(ValueError):
+            LoopLynxSystem(paper_system(1), host_overhead_cycles=-1)
+
+
+class TestOptimizationEffects:
+    def test_paper_default_faster_than_baseline(self, systems):
+        system = systems[1]
+        baseline = system.average_token_latency_ms(
+            optimizations=OptimizationConfig.baseline())
+        optimized = system.average_token_latency_ms(
+            optimizations=OptimizationConfig.paper_default())
+        assert optimized < baseline
+        improvement = 1 - optimized / baseline
+        # paper reports ~15%; accept a generous band
+        assert 0.08 < improvement < 0.30
+
+    def test_transmission_hiding_matters_on_multi_node(self, systems):
+        system = systems[4]
+        hidden = system.average_token_latency_ms(
+            optimizations=OptimizationConfig.paper_default())
+        exposed = system.average_token_latency_ms(
+            optimizations=OptimizationConfig(critical_path_fusion=True,
+                                             headwise_pipelining=True,
+                                             transmission_hiding=False))
+        assert hidden < exposed
+
+
+class TestThroughputAndScenarios:
+    def test_throughput_is_inverse_latency(self, systems):
+        system = systems[2]
+        latency = system.average_token_latency_ms()
+        assert system.throughput_tokens_per_second() == pytest.approx(1e3 / latency)
+
+    def test_prefill_latency_scales_with_prompt(self, systems):
+        system = systems[2]
+        assert (system.prefill_latency_ms(128) > system.prefill_latency_ms(32))
+        with pytest.raises(ValueError):
+            system.prefill_latency_ms(0)
+
+    def test_batched_prefill_extension_is_faster(self, systems):
+        system = systems[2]
+        sequential = system.prefill_latency_ms(128, batched=False)
+        batched = system.prefill_latency_ms(128, batched=True)
+        assert batched < sequential
+
+    def test_scenario_report_totals(self, systems):
+        report = systems[2].run_scenario(64, 128)
+        assert isinstance(report, ScenarioReport)
+        assert report.total_ms == pytest.approx(report.prefill_ms + report.decode_ms)
+        assert report.tokens_generated == 128
+        assert report.average_decode_token_ms == pytest.approx(report.decode_ms / 128)
+        assert report.tokens_per_second > 0
+
+    def test_decode_len_zero_allowed(self, systems):
+        report = systems[2].run_scenario(16, 0)
+        assert report.decode_ms == 0.0
+        assert report.average_decode_token_ms == 0.0
+        with pytest.raises(ValueError):
+            systems[2].decode_latency_ms(16, -1)
+
+    def test_decode_latency_accounts_for_growing_context(self, systems):
+        system = systems[2]
+        early = system.decode_latency_ms(prompt_len=16, decode_len=16)
+        late = system.decode_latency_ms(prompt_len=768, decode_len=16)
+        assert late > early
+
+
+class TestTrafficAndResources:
+    def test_hbm_traffic_includes_weights_and_kv(self, systems):
+        config = ModelConfig.gpt2_medium()
+        traffic = systems[1].hbm_traffic_bytes_per_token(context_len=512)
+        weights = config.linear_weight_bytes_total()
+        kv = config.kv_read_bytes_per_decode_step(512)
+        assert traffic == pytest.approx(weights + kv)
+
+    def test_multi_node_total_traffic_close_to_single(self, systems):
+        """Across all nodes, weight traffic stays the same (it is partitioned,
+        not replicated); KV traffic is also partitioned head-wise."""
+        one = systems[1].hbm_traffic_bytes_per_token()
+        four = systems[4].hbm_traffic_bytes_per_token()
+        assert four == pytest.approx(one, rel=0.02)
+
+    def test_resource_usage_matches_table2_columns(self, systems):
+        two = systems[2].resource_usage()
+        assert two.dsp == pytest.approx(1132, rel=0.01)
+        four = systems[4].resource_usage()
+        assert four.dsp == pytest.approx(2264, rel=0.01)
+
+    def test_kernel_utilization_reported(self, systems):
+        utilization = systems[2].kernel_utilization()
+        assert set(utilization) == {"fused_mp", "fused_mha", "fused_ln_res"}
+        assert all(0.0 <= value <= 1.0 for value in utilization.values())
+        # the Fused MP kernel dominates a decode step
+        assert utilization["fused_mp"] > utilization["fused_ln_res"]

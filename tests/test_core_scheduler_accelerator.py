@@ -1,0 +1,128 @@
+"""Tests for the temporal scheduler and the single accelerator node."""
+
+import pytest
+
+from repro.core.accelerator import AcceleratorNode
+from repro.core.config import OptimizationConfig, paper_system
+from repro.core.scheduler import Stage, transformer_block_schedule
+from repro.model.config import ModelConfig
+
+
+class TestStage:
+    def test_valid_kinds(self):
+        Stage("x", "layer_norm", elements=8)
+        Stage("x", "attention")
+        with pytest.raises(ValueError):
+            Stage("x", "unknown_kind")
+
+    def test_linear_requires_spec(self):
+        with pytest.raises(ValueError):
+            Stage("x", "linear")
+
+
+class TestTransformerBlockSchedule:
+    def test_stage_sequence_structure(self):
+        schedule = transformer_block_schedule(ModelConfig.gpt2_medium())
+        names = [stage.name for stage in schedule]
+        assert names[0] == "ln_1"
+        assert "multi_head_attention" in names
+        assert names[-1] == "residual_mlp"
+        # four linear stages, one per projection
+        linear_stages = [s for s in schedule if s.kind == "linear"]
+        assert [s.linear_spec.name for s in linear_stages] == [
+            "qkv", "attn_proj", "mlp_fc", "mlp_proj"]
+
+    def test_synchronizing_stages(self):
+        schedule = transformer_block_schedule(ModelConfig.gpt2_medium())
+        syncing = {s.name for s in schedule if s.synchronizes_output}
+        assert "multi_head_attention" in syncing
+        assert "mlp_projection" in syncing
+        # QKV output is consumed head-locally, so it does not synchronize
+        assert "qkv_projection" not in syncing
+
+
+class TestSchedulerBlockTiming:
+    @pytest.fixture(scope="class")
+    def node(self):
+        return AcceleratorNode(paper_system(num_nodes=1))
+
+    def test_block_components_present(self, node):
+        timing = node.block_timing(context_len=512)
+        for component in ("linear", "attention", "layer_norm", "stage_overhead",
+                          "kernel_fill"):
+            assert timing.component(component) > 0, component
+
+    def test_linear_dominates_decode_block(self, node):
+        timing = node.block_timing(context_len=512)
+        assert timing.component("linear") > timing.component("attention")
+        assert timing.component("linear") > 0.5 * timing.total
+
+    def test_stage_count_matches_overhead(self, node):
+        timing = node.block_timing(context_len=512)
+        stages = len(node.scheduler.schedule)
+        hardware = node.system.hardware
+        assert timing.component("stage_overhead") == pytest.approx(
+            stages * hardware.stage_overhead_cycles)
+
+    def test_optimizations_reduce_block_cycles(self, node):
+        baseline = node.block_timing(512, optimizations=OptimizationConfig.baseline())
+        optimized = node.block_timing(512, optimizations=OptimizationConfig.paper_default())
+        assert optimized.total < baseline.total
+        assert optimized.component("softmax_exposed") < baseline.component("softmax_exposed")
+        assert optimized.component("layer_norm") < baseline.component("layer_norm")
+
+    def test_no_sync_component_on_single_node(self, node):
+        timing = node.block_timing(512)
+        assert timing.component("ring_sync_exposed") == 0.0
+
+    def test_sync_component_appears_with_multiple_nodes(self):
+        node = AcceleratorNode(paper_system(num_nodes=4))
+        timing = node.block_timing(512)
+        assert timing.component("ring_sync_exposed") > 0.0
+
+    def test_batched_prefill_block_cheaper_per_token(self, node):
+        single = node.block_timing(context_len=128, batch_tokens=1)
+        batched = node.block_timing(context_len=128, batch_tokens=64)
+        assert batched.total < 64 * single.total
+
+    def test_stage_names_helper(self, node):
+        assert node.scheduler.stage_names()[0] == "ln_1"
+
+
+class TestAcceleratorNode:
+    @pytest.fixture(scope="class")
+    def node(self):
+        return AcceleratorNode(paper_system(num_nodes=2))
+
+    def test_token_cycles_scale_with_layers(self, node):
+        block = node.block_timing(512)
+        token = node.token_cycles(512)
+        layers = node.system.model.num_layers
+        assert token.total == pytest.approx(block.total * layers)
+        assert token.component("linear") == pytest.approx(
+            block.component("linear") * layers)
+
+    def test_weight_bytes_per_token_halved_by_two_nodes(self):
+        one = AcceleratorNode(paper_system(num_nodes=1)).weight_bytes_per_token()
+        two = AcceleratorNode(paper_system(num_nodes=2)).weight_bytes_per_token()
+        config = ModelConfig.gpt2_medium()
+        assert one == config.linear_weight_bytes_total()
+        assert two == pytest.approx(one / 2, rel=0.01)
+
+    def test_kv_read_bytes_scale_with_context_and_nodes(self):
+        one = AcceleratorNode(paper_system(num_nodes=1))
+        four = AcceleratorNode(paper_system(num_nodes=4))
+        assert one.kv_read_bytes_per_token(512) == 2 * one.kv_read_bytes_per_token(256)
+        assert four.kv_read_bytes_per_token(512) == pytest.approx(
+            one.kv_read_bytes_per_token(512) / 4, rel=0.01)
+
+    def test_kernel_utilization_tracked(self, node):
+        node.reset_stats()
+        report_cycles = node.token_cycles(512).total
+        utilization = node.kernel_utilization(report_cycles)
+        assert 0.0 < utilization["fused_mp"] <= 1.0
+        assert 0.0 < utilization["fused_mha"] <= 1.0
+
+    def test_resource_usage_is_per_node(self, node):
+        usage = node.resource_usage()
+        assert usage.dsp == pytest.approx(564, rel=0.01)

@@ -1,0 +1,134 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.dataflow.engine import SimulationEngine, SimulationError
+
+
+def make_waiter(delays):
+    def process():
+        for delay in delays:
+            yield ("wait", delay)
+        return sum(delays)
+    return process()
+
+
+class TestBasicScheduling:
+    def test_single_process_advances_clock(self):
+        engine = SimulationEngine()
+        pid = engine.add_process(make_waiter([5, 7]), name="waiter")
+        total = engine.run()
+        assert total == 12
+        assert engine.result_of(pid) == 12
+        assert engine.finish_time_of(pid) == 12
+
+    def test_zero_wait_completes_at_time_zero(self):
+        engine = SimulationEngine()
+        pid = engine.add_process(make_waiter([0, 0]), name="zero")
+        assert engine.run() == 0
+        assert engine.finish_time_of(pid) == 0
+
+    def test_two_processes_run_concurrently(self):
+        engine = SimulationEngine()
+        engine.add_process(make_waiter([10]), name="slow")
+        engine.add_process(make_waiter([3]), name="fast")
+        assert engine.run() == 10
+
+    def test_done_command_records_result(self):
+        def proc():
+            yield ("wait", 4)
+            yield ("done", "finished")
+        engine = SimulationEngine()
+        pid = engine.add_process(proc(), name="doner")
+        engine.run()
+        assert engine.result_of(pid) == "finished"
+
+    def test_run_all_convenience(self):
+        engine = SimulationEngine()
+        total = engine.run_all([("a", make_waiter([2])), ("b", make_waiter([9]))])
+        assert total == 9
+
+    def test_active_processes_counts_unfinished(self):
+        engine = SimulationEngine()
+        engine.add_process(make_waiter([1]), name="a")
+        assert engine.active_processes == 1
+        engine.run()
+        assert engine.active_processes == 0
+
+
+class TestWaitUntil:
+    def test_wait_until_releases_when_condition_true(self):
+        flag = {"ready": False}
+
+        def setter():
+            yield ("wait", 20)
+            flag["ready"] = True
+
+        def waiter():
+            yield ("wait_until", lambda: flag["ready"])
+            return "released"
+
+        engine = SimulationEngine()
+        engine.add_process(setter(), name="setter")
+        pid = engine.add_process(waiter(), name="waiter")
+        total = engine.run()
+        assert total == 20
+        assert engine.result_of(pid) == "released"
+
+    def test_wait_until_already_true_resumes_same_cycle(self):
+        def waiter():
+            yield ("wait_until", lambda: True)
+            return "immediate"
+        engine = SimulationEngine()
+        pid = engine.add_process(waiter(), name="waiter")
+        assert engine.run() == 0
+        assert engine.result_of(pid) == "immediate"
+
+
+class TestErrorHandling:
+    def test_deadlock_detected(self):
+        def stuck():
+            yield ("wait_until", lambda: False)
+        engine = SimulationEngine()
+        engine.add_process(stuck(), name="stuck")
+        with pytest.raises(SimulationError, match="deadlock"):
+            engine.run()
+
+    def test_unknown_command_rejected(self):
+        def bad():
+            yield ("explode", 1)
+        engine = SimulationEngine()
+        engine.add_process(bad(), name="bad")
+        with pytest.raises(SimulationError, match="unknown command"):
+            engine.run()
+
+    def test_negative_wait_rejected(self):
+        def bad():
+            yield ("wait", -1)
+        engine = SimulationEngine()
+        engine.add_process(bad(), name="bad")
+        with pytest.raises(SimulationError, match="negative wait"):
+            engine.run()
+
+    def test_malformed_command_rejected(self):
+        def bad():
+            yield "not-a-tuple"
+        engine = SimulationEngine()
+        engine.add_process(bad(), name="bad")
+        with pytest.raises(SimulationError, match="malformed"):
+            engine.run()
+
+    def test_max_cycles_guard(self):
+        def forever():
+            while True:
+                yield ("wait", 1000)
+        engine = SimulationEngine(max_cycles=5000)
+        engine.add_process(forever(), name="forever")
+        with pytest.raises(SimulationError, match="max_cycles"):
+            engine.run()
+
+    def test_result_of_unfinished_process_raises(self):
+        engine = SimulationEngine()
+        pid = engine.add_process(make_waiter([1]), name="w")
+        with pytest.raises(SimulationError):
+            engine.result_of(pid)

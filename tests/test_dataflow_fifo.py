@@ -1,0 +1,118 @@
+"""Tests for the bounded FIFO channel."""
+
+import pytest
+
+from repro.dataflow.engine import SimulationEngine
+from repro.dataflow.fifo import Fifo, FifoClosed, FifoEmpty, FifoFull
+
+
+class TestImmediateInterface:
+    def test_push_pop_fifo_order(self):
+        fifo = Fifo(depth=4)
+        for value in (1, 2, 3):
+            fifo.try_push(value)
+        assert [fifo.try_pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Fifo(depth=0)
+
+    def test_full_raises(self):
+        fifo = Fifo(depth=2)
+        fifo.try_push("a")
+        fifo.try_push("b")
+        assert fifo.full
+        with pytest.raises(FifoFull):
+            fifo.try_push("c")
+
+    def test_empty_raises(self):
+        fifo = Fifo(depth=2)
+        with pytest.raises(FifoEmpty):
+            fifo.try_pop()
+
+    def test_closed_push_raises(self):
+        fifo = Fifo(depth=2)
+        fifo.close()
+        with pytest.raises(FifoClosed):
+            fifo.try_push(1)
+
+    def test_closed_drained_pop_raises(self):
+        fifo = Fifo(depth=2)
+        fifo.try_push(1)
+        fifo.close()
+        assert fifo.try_pop() == 1
+        assert fifo.drained
+        with pytest.raises(FifoClosed):
+            fifo.try_pop()
+
+    def test_drain_returns_all(self):
+        fifo = Fifo(depth=8)
+        for value in range(5):
+            fifo.try_push(value)
+        assert fifo.drain() == list(range(5))
+        assert fifo.empty
+
+    def test_statistics(self):
+        fifo = Fifo(depth=4)
+        for value in range(3):
+            fifo.try_push(value)
+        fifo.try_pop()
+        assert fifo.total_pushed == 3
+        assert fifo.total_popped == 1
+        assert fifo.peak_occupancy == 3
+        assert len(fifo) == 2
+
+
+class TestProcessInterface:
+    def test_producer_consumer_backpressure(self):
+        fifo = Fifo(depth=1, name="narrow")
+        consumed = []
+
+        def producer():
+            for value in range(6):
+                yield from fifo.push(value)
+            fifo.close()
+
+        def consumer():
+            while True:
+                item = yield from fifo.pop_or_none()
+                if item is None:
+                    break
+                consumed.append(item)
+                yield ("wait", 3)
+
+        engine = SimulationEngine()
+        engine.add_process(producer(), name="producer")
+        engine.add_process(consumer(), name="consumer")
+        engine.run()
+        assert consumed == list(range(6))
+
+    def test_pop_raises_on_closed_empty(self):
+        fifo = Fifo(depth=2)
+        fifo.close()
+
+        def consumer():
+            yield from fifo.pop()
+
+        engine = SimulationEngine()
+        engine.add_process(consumer(), name="consumer")
+        with pytest.raises(FifoClosed):
+            engine.run()
+
+    def test_pop_or_none_returns_none_on_close(self):
+        fifo = Fifo(depth=2)
+        results = []
+
+        def consumer():
+            item = yield from fifo.pop_or_none()
+            results.append(item)
+
+        def closer():
+            yield ("wait", 5)
+            fifo.close()
+
+        engine = SimulationEngine()
+        engine.add_process(consumer(), name="consumer")
+        engine.add_process(closer(), name="closer")
+        engine.run()
+        assert results == [None]

@@ -1,0 +1,139 @@
+"""Tests for the analytical pipeline composition helpers, cross-checked
+against the event-driven engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.kernel import run_linear_chain
+from repro.dataflow.pipeline import (
+    LatencyBreakdown,
+    PipelineStage,
+    StageTiming,
+    hidden_latency,
+    overlapped_latency,
+    pipeline_latency,
+    sequential_latency,
+)
+
+
+def stage(name, latency, items=1, interval=None):
+    return PipelineStage(StageTiming(name, latency,
+                                     latency if interval is None else interval), items)
+
+
+class TestStageTiming:
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ValueError):
+            StageTiming("bad", -1, 1)
+
+    def test_total_cycles_with_items(self):
+        s = stage("s", latency=10, items=5, interval=2)
+        assert s.total_cycles == 10 + 4 * 2
+
+    def test_zero_items_costs_nothing(self):
+        assert stage("s", latency=10, items=0).total_cycles == 0
+
+
+class TestCompositions:
+    def test_sequential_is_sum(self):
+        stages = [stage("a", 5), stage("b", 7), stage("c", 11)]
+        assert sequential_latency(stages) == 23
+
+    def test_pipeline_single_item_equals_sequential(self):
+        stages = [stage("a", 5), stage("b", 7)]
+        assert pipeline_latency(stages) == sequential_latency(stages)
+
+    def test_pipeline_many_items_bound_by_bottleneck(self):
+        stages = [stage("a", 2, items=100), stage("b", 9, items=100), stage("c", 3, items=100)]
+        expected = (2 + 9 + 3) + 99 * 9
+        assert pipeline_latency(stages) == expected
+
+    def test_pipeline_items_mismatch_requires_explicit_count(self):
+        stages = [stage("a", 2, items=10), stage("b", 2, items=20)]
+        with pytest.raises(ValueError):
+            pipeline_latency(stages)
+        assert pipeline_latency(stages, items=10) > 0
+
+    def test_overlapped_is_max(self):
+        assert overlapped_latency([3, 9, 5]) == 9
+        assert overlapped_latency([]) == 0
+
+    def test_overlapped_rejects_negative(self):
+        with pytest.raises(ValueError):
+            overlapped_latency([3, -1])
+
+    @given(st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=5),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_pipeline_formula_matches_event_driven_engine(self, latencies, items):
+        """The closed-form pipeline latency must match the schedule the
+        discrete-event engine produces for a linear chain of kernels."""
+        total, collected = run_linear_chain(latencies, items)
+        stages = [stage(f"s{i}", lat, items=items) for i, lat in enumerate(latencies)]
+        assert len(collected) == items
+        assert total == pipeline_latency(stages)
+
+
+class TestHiddenLatency:
+    def test_single_block_fully_exposed(self):
+        total, exposed = hidden_latency(100, 40, blocks=1)
+        assert total == 140
+        assert exposed == 40
+
+    def test_many_blocks_hide_all_but_last(self):
+        total, exposed = hidden_latency(1000, 100, blocks=10)
+        # per-block compute 100 > per-block transfer 10: only last transfer exposed
+        assert total == pytest.approx(1000 + 10, rel=1e-6)
+        assert exposed == pytest.approx(10, abs=1)
+
+    def test_transfer_bound_when_slower_than_compute(self):
+        total, exposed = hidden_latency(100, 1000, blocks=10)
+        assert total >= 1000
+        assert exposed >= 900
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            hidden_latency(10, 10, blocks=0)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_hidden_never_exceeds_sum_nor_undercuts_max(self, compute, transfer, blocks):
+        total, exposed = hidden_latency(compute, transfer, blocks)
+        assert total <= compute + transfer + blocks  # rounding slack
+        assert total + blocks >= max(compute, transfer)
+        assert 0 <= exposed <= transfer + blocks
+
+
+class TestLatencyBreakdown:
+    def test_add_and_total(self):
+        breakdown = LatencyBreakdown()
+        breakdown.add("linear", 100)
+        breakdown.add("linear", 50)
+        breakdown.add("attention", 30)
+        assert breakdown.total == 180
+        assert breakdown.contributions["linear"] == 150
+
+    def test_fraction(self):
+        breakdown = LatencyBreakdown()
+        breakdown.add("a", 75)
+        breakdown.add("b", 25)
+        assert breakdown.fraction("a") == pytest.approx(0.75)
+        assert breakdown.fraction("missing") == 0.0
+
+    def test_merge_with_scale(self):
+        a = LatencyBreakdown()
+        a.add("x", 10)
+        b = LatencyBreakdown()
+        b.add("x", 5)
+        b.add("y", 1)
+        a.merge(b, scale=2.0)
+        assert a.contributions == {"x": 20, "y": 2}
+
+    def test_scaled_returns_new_object(self):
+        a = LatencyBreakdown()
+        a.add("x", 10)
+        b = a.scaled(3.0)
+        assert b.contributions["x"] == 30
+        assert a.contributions["x"] == 10

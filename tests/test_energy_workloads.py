@@ -1,0 +1,156 @@
+"""Tests for the energy/power models and the workload generators."""
+
+import pytest
+
+from repro.energy.power import (
+    EnergyReport,
+    FpgaPowerModel,
+    GpuPowerModel,
+    efficiency_ratio,
+    energy_fraction,
+    energy_joules,
+    tokens_per_joule,
+)
+from repro.workloads.scenarios import (
+    FIG8_SCENARIOS,
+    Scenario,
+    chatbot_scenarios,
+    code_generation_scenarios,
+    scenario_label,
+    scenario_sweep,
+)
+from repro.workloads.traces import RequestTrace, synthetic_trace
+
+
+class TestEnergyArithmetic:
+    def test_energy_joules(self):
+        assert energy_joules(100.0, 2000.0) == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            energy_joules(-1, 10)
+
+    def test_tokens_per_joule(self):
+        assert tokens_per_joule(100, 50.0, 2000.0) == pytest.approx(1.0)
+        assert tokens_per_joule(100, 50.0, 0.0) == 0.0
+        with pytest.raises(ValueError):
+            tokens_per_joule(-1, 50.0, 100.0)
+
+    def test_energy_report_properties(self):
+        report = EnergyReport("x", latency_ms=1000.0, power_watts=40.0, tokens=80)
+        assert report.energy_joules == pytest.approx(40.0)
+        assert report.tokens_per_joule == pytest.approx(2.0)
+
+
+class TestFpgaPowerModel:
+    def test_power_composition(self):
+        model = FpgaPowerModel(card_static_watts=18, node_logic_watts=8, node_hbm_watts=4)
+        assert model.node_dynamic_watts == 12
+        assert model.total_power_watts(1) == 30
+        assert model.total_power_watts(2) == 42
+        assert model.total_power_watts(4) == 2 * 18 + 4 * 12
+
+    def test_partially_filled_card_pays_full_shell(self):
+        model = FpgaPowerModel()
+        assert model.total_power_watts(3) == 2 * model.card_static_watts + 3 * model.node_dynamic_watts
+
+    def test_power_stays_below_u50_tdp(self):
+        """A fully-populated U50 card (2 nodes) must stay below the 75 W TDP."""
+        model = FpgaPowerModel()
+        per_card = model.card_static_watts + 2 * model.node_dynamic_watts
+        assert per_card < 75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpgaPowerModel(card_static_watts=-1)
+        with pytest.raises(ValueError):
+            FpgaPowerModel().total_power_watts(0)
+
+    def test_report(self):
+        report = FpgaPowerModel().report(2, latency_ms=500.0, tokens=100)
+        assert report.platform == "LoopLynx 2-node"
+        assert report.power_watts == FpgaPowerModel().total_power_watts(2)
+
+
+class TestGpuPowerModel:
+    def test_inference_power_well_below_tdp(self):
+        model = GpuPowerModel()
+        assert model.inference_power_watts < 300
+        assert model.inference_power_watts == model.idle_watts + model.active_watts
+
+    def test_report_and_ratios(self):
+        gpu = GpuPowerModel().report(latency_ms=1000.0, tokens=100)
+        fpga = FpgaPowerModel().report(2, latency_ms=600.0, tokens=100)
+        ratio = efficiency_ratio(fpga, gpu)
+        fraction = energy_fraction(fpga, gpu)
+        assert ratio > 1.0          # the FPGA is more energy-efficient
+        assert 0.0 < fraction < 1.0
+        assert ratio == pytest.approx(1.0 / fraction, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuPowerModel(idle_watts=-5)
+
+
+class TestScenarios:
+    def test_fig8_set_contains_paper_settings(self):
+        labels = {s.label for s in FIG8_SCENARIOS}
+        for expected in ("[128:32]", "[32:512]", "[64:512]", "[128:512]"):
+            assert expected in labels
+
+    def test_scenario_properties(self):
+        scenario = Scenario(32, 512)
+        assert scenario.total_tokens == 544
+        assert scenario.decode_heavy
+        assert not Scenario(128, 32).decode_heavy
+        assert scenario_label(16, 48) == "[16:48]"
+        assert Scenario(8, 8, name="custom").label == "custom"
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(0, 10)
+        with pytest.raises(ValueError):
+            Scenario(10, -1)
+
+    def test_themed_scenario_sets(self):
+        assert all(s.decode_heavy for s in chatbot_scenarios())
+        assert all(s.decode_heavy for s in code_generation_scenarios())
+
+    def test_scenario_sweep(self):
+        sweep = scenario_sweep([32, 64], [128, 256, 512])
+        assert len(sweep) == 6
+        assert sweep[0].prefill_len == 32 and sweep[-1].decode_len == 512
+
+
+class TestTraces:
+    def test_synthetic_trace_is_reproducible(self):
+        a = synthetic_trace(20, seed=5)
+        b = synthetic_trace(20, seed=5)
+        assert [r.scenario for r in a] == [r.scenario for r in b]
+        c = synthetic_trace(20, seed=6)
+        assert [r.scenario for r in a] != [r.scenario for r in c]
+
+    def test_requests_fit_context_window(self):
+        trace = synthetic_trace(50, seed=1, max_seq_len=256)
+        for request in trace:
+            assert request.prefill_len + request.decode_len < 256
+
+    def test_trace_statistics(self):
+        trace = synthetic_trace(10, seed=2)
+        assert len(trace) == 10
+        assert trace.total_prefill_tokens > 0
+        assert trace.total_decode_tokens > 0
+        assert trace.duration_s > 0
+        assert len(trace.scenarios()) == 10
+        assert RequestTrace().duration_s == 0.0
+
+    def test_arrivals_are_monotone(self):
+        trace = synthetic_trace(30, seed=3)
+        arrivals = [r.arrival_s for r in trace]
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(0)
+        with pytest.raises(ValueError):
+            synthetic_trace(5, mean_prefill=0)
+        with pytest.raises(ValueError):
+            synthetic_trace(5, arrival_rate_per_s=0)

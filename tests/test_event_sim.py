@@ -1,0 +1,98 @@
+"""Validation tests: event-driven kernel schedules vs the analytical model."""
+
+import pytest
+
+from repro.core.config import HardwareConfig
+from repro.core.event_sim import (
+    EventDrivenAttentionKernel,
+    EventDrivenMatrixKernel,
+    cross_check_attention,
+    cross_check_linear,
+)
+from repro.model.config import LinearLayerSpec, ModelConfig, layer_linear_specs
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return HardwareConfig()
+
+
+class TestEventDrivenMatrixKernel:
+    @pytest.mark.parametrize("spec_index", range(4))
+    @pytest.mark.parametrize("num_nodes", [1, 2, 4])
+    def test_matches_analytical_model(self, hardware, spec_index, num_nodes):
+        """The event-driven schedule of every linear layer of the GPT-2 block
+        must agree with the closed-form cycle model within 10%."""
+        spec = layer_linear_specs(ModelConfig.gpt2_medium())[spec_index]
+        result = cross_check_linear(hardware, spec, num_nodes=num_nodes)
+        assert result["relative_difference"] < 0.10, result
+
+    def test_all_units_overlap(self, hardware):
+        """DMA, MPU, quantization and router must be active concurrently —
+        the intra-kernel pipeline that defines the dataflow design."""
+        kernel = EventDrivenMatrixKernel(hardware)
+        spec = LinearLayerSpec("qkv", 1024, 3072)
+        result = kernel.simulate_linear(spec)
+        trace = result.trace
+        assert trace.overlap_fraction("dma", "mpu") > 0.9
+        assert trace.overlap_fraction("mpu", "quant") > 0.9
+        assert trace.overlap_fraction("quant", "router") > 0.9
+
+    def test_memory_bound_decode_keeps_dma_saturated(self, hardware):
+        kernel = EventDrivenMatrixKernel(hardware)
+        spec = LinearLayerSpec("mlp_fc", 1024, 4096)
+        result = kernel.simulate_linear(spec)
+        utilization = result.utilization()
+        assert utilization["dma"] > 0.9
+
+    def test_scaling_with_nodes(self, hardware):
+        kernel = EventDrivenMatrixKernel(hardware)
+        spec = LinearLayerSpec("mlp_proj", 4096, 1024)
+        one = kernel.simulate_linear(spec, num_nodes=1).total_cycles
+        two = kernel.simulate_linear(spec, num_nodes=2).total_cycles
+        assert two < one
+        assert two > one / 2 * 0.9  # fixed overheads keep it above perfect halving
+
+    def test_batched_prefill_increases_mpu_share(self, hardware):
+        kernel = EventDrivenMatrixKernel(hardware)
+        spec = LinearLayerSpec("qkv", 1024, 3072)
+        decode = kernel.simulate_linear(spec, batch_tokens=1)
+        prefill = kernel.simulate_linear(spec, batch_tokens=64)
+        assert prefill.total_cycles > decode.total_cycles
+        # with 64 tokens per weight block the MPU becomes the bottleneck
+        assert prefill.utilization()["mpu"] >= decode.utilization()["mpu"]
+
+
+class TestEventDrivenAttentionKernel:
+    def test_pipelined_matches_analytical(self, hardware):
+        result = cross_check_attention(hardware, seq_len=512, heads_per_node=16,
+                                       head_dim=64, headwise_pipelining=True)
+        assert result["relative_difference"] < 0.05
+
+    def test_serialized_matches_analytical(self, hardware):
+        result = cross_check_attention(hardware, seq_len=512, heads_per_node=16,
+                                       head_dim=64, headwise_pipelining=False)
+        assert result["relative_difference"] < 0.05
+
+    def test_pipelining_speeds_up_the_event_schedule(self, hardware):
+        kernel = EventDrivenAttentionKernel(hardware)
+        pipelined = kernel.simulate_decode_layer(512, 16, 64, headwise_pipelining=True)
+        serialized = kernel.simulate_decode_layer(512, 16, 64, headwise_pipelining=False)
+        assert pipelined.total_cycles < serialized.total_cycles
+
+    def test_score_and_mix_overlap_in_pipelined_mode(self, hardware):
+        kernel = EventDrivenAttentionKernel(hardware)
+        result = kernel.simulate_decode_layer(512, 16, 64, headwise_pipelining=True)
+        assert result.trace.overlap_fraction("score_mac", "mix_mac") > 0.8
+
+    def test_fewer_heads_run_faster(self, hardware):
+        kernel = EventDrivenAttentionKernel(hardware)
+        full = kernel.simulate_decode_layer(512, 16, 64).total_cycles
+        quarter = kernel.simulate_decode_layer(512, 4, 64).total_cycles
+        assert quarter < full
+
+    def test_items_reported(self, hardware):
+        kernel = EventDrivenAttentionKernel(hardware)
+        result = kernel.simulate_decode_layer(128, 8, 64)
+        assert result.items == 8
+        assert result.unit_busy_cycles("mix_mac") > 0

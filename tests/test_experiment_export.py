@@ -1,0 +1,48 @@
+"""Tests for the JSON export of experiment results."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.export import export_all, export_experiment, _to_jsonable
+
+
+class TestToJsonable:
+    def test_handles_dataclasses_and_numpy(self):
+        import numpy as np
+        from repro.analysis.scalability import ScalabilityRow
+
+        row = ScalabilityRow(num_nodes=2, token_latency_ms=3.7,
+                             tokens_per_second=270.0, speedup_vs_previous=1.8,
+                             speedup_vs_single=1.8)
+        converted = _to_jsonable({"row": row, "value": np.float64(1.5),
+                                  "items": (1, 2), "other": {1: "x"}})
+        json.dumps(converted)  # must be serializable
+        assert converted["row"]["num_nodes"] == 2
+        assert converted["value"] == 1.5
+        assert converted["items"] == [1, 2]
+        assert converted["other"]["1"] == "x"
+
+
+class TestExport:
+    def test_export_single_experiment(self, tmp_path):
+        path = export_experiment("table3", str(tmp_path))
+        assert os.path.exists(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["experiment"] == "table3"
+        assert "rows" in payload["result"]
+        assert len(payload["result"]["rows"]) == 3
+
+    def test_export_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            export_experiment("fig99", str(tmp_path))
+
+    def test_export_selected_set(self, tmp_path):
+        paths = export_all(str(tmp_path), experiment_ids=["table1", "fig7"])
+        assert set(paths) == {"table1", "fig7"}
+        for path in paths.values():
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert "description" in payload

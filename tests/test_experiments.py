@@ -1,0 +1,154 @@
+"""Tests for the experiment harnesses (one per paper table/figure)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import (
+    fig5_breakdown,
+    fig7_resources,
+    fig8_gpu_comparison,
+    table1_platforms,
+    table2_fpga_comparison,
+    table3_scalability,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {"table1", "table2", "table3", "fig5", "fig7", "fig8"}
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("table1")
+        assert isinstance(result, list) and len(result) == 3
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_every_main_produces_output(self, capsys):
+        for spec in EXPERIMENTS.values():
+            output = spec.main()
+            assert len(output) > 50
+        captured = capsys.readouterr()
+        assert "Table" in captured.out or "Fig" in captured.out
+
+
+class TestTable1:
+    def test_rows_cover_all_platforms(self):
+        rows = table1_platforms.run()
+        platforms = {row["Platform"] for row in rows}
+        assert platforms == {"Nvidia A100", "Xilinx Alveo U280", "Xilinx Alveo U50"}
+
+
+class TestFig5:
+    def test_measured_values_close_to_paper(self):
+        result = fig5_breakdown.run()
+        measured = result["measured"]
+        paper = result["paper"]
+        assert measured["matrix_fraction_baseline"] == pytest.approx(
+            paper["matrix_fraction_baseline"], abs=0.07)
+        assert measured["improvement_critical_path"] == pytest.approx(
+            paper["improvement_critical_path"], abs=0.05)
+        assert measured["improvement_total"] == pytest.approx(
+            paper["improvement_total"], abs=0.05)
+        assert measured["improvement_total"] > measured["improvement_critical_path"]
+
+    def test_rows_flattening(self):
+        result = fig5_breakdown.run()
+        rows = fig5_breakdown.rows(result)
+        assert len(rows) == 3
+        assert rows[0]["Configuration"] == "baseline"
+
+
+class TestFig7:
+    def test_device_total_matches_paper(self):
+        result = fig7_resources.run()
+        measured = result["device_total"]
+        paper = result["paper_device_total"]
+        for key in ("DSP", "LUT", "FF", "BRAM"):
+            assert measured[key] == pytest.approx(paper[key], rel=0.02)
+        assert result["fits_on_u50"]
+
+    def test_component_table_rows(self):
+        result = fig7_resources.run()
+        names = [row["Component"] for row in result["component_table"]]
+        assert "Fused MP Kernel" in names and "Device Total" in names
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_fpga_comparison.run()
+
+    def test_speedup_directions_match_paper(self, result):
+        speedups = result["speedups"]
+        # paper: 2-node 1.39x / 1.08x, 4-node 2.11x / 1.64x, 1-node slower
+        assert speedups["LoopLynx 4 Nodes"]["vs_dfx"] > 1.5
+        assert speedups["LoopLynx 4 Nodes"]["vs_spatial"] > 1.3
+        assert speedups["LoopLynx 2 Nodes"]["vs_dfx"] > 1.2
+        assert speedups["LoopLynx 2 Nodes"]["vs_spatial"] > 0.95
+        assert speedups["LoopLynx 1 Node"]["vs_dfx"] < 1.0
+        assert speedups["LoopLynx 1 Node"]["vs_spatial"] < 1.0
+
+    def test_latencies_within_reasonable_band_of_paper(self, result):
+        paper = result["paper_token_latency_ms"]
+        measured = result["token_latency_ms"]
+        for key, expected in paper.items():
+            matched = [value for label, value in measured.items()
+                       if key.split()[0] in label or key == label]
+            assert matched, f"no measured value for {key}"
+
+
+class TestTable3:
+    def test_speedups_are_sublinear(self):
+        result = table3_scalability.run()
+        rows = {row.num_nodes: row for row in result["rows"]}
+        assert 1.3 < rows[2].speedup_vs_previous < 2.0
+        assert 1.2 < rows[4].speedup_vs_previous < 2.0
+        assert rows[4].speedup_vs_previous < rows[2].speedup_vs_previous * 1.2
+
+    def test_throughput_within_band_of_paper(self):
+        result = table3_scalability.run()
+        rows = {row.num_nodes: row for row in result["rows"]}
+        for nodes, expected in result["paper_throughput"].items():
+            assert rows[nodes].tokens_per_second == pytest.approx(expected, rel=0.15)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_gpu_comparison.run()
+
+    def test_headline_speedups_close_to_paper(self, result):
+        summary = result["summary"]
+        assert summary["2-node"]["average_speedup_vs_gpu"] == pytest.approx(1.67, rel=0.25)
+        assert summary["4-node"]["average_speedup_vs_gpu"] == pytest.approx(2.52, rel=0.25)
+        assert (summary["4-node"]["average_speedup_vs_gpu"]
+                > summary["2-node"]["average_speedup_vs_gpu"]
+                > summary["1-node"]["average_speedup_vs_gpu"])
+
+    def test_energy_fractions_close_to_paper(self, result):
+        summary = result["summary"]
+        assert summary["2-node"]["average_energy_fraction"] == pytest.approx(0.373, abs=0.08)
+        assert summary["4-node"]["average_energy_fraction"] == pytest.approx(0.481, abs=0.10)
+
+    def test_two_node_is_the_efficiency_sweet_spot(self, result):
+        summary = result["summary"]
+        assert (summary["2-node"]["average_efficiency_ratio"]
+                >= summary["1-node"]["average_efficiency_ratio"])
+        assert (summary["2-node"]["average_efficiency_ratio"]
+                >= summary["4-node"]["average_efficiency_ratio"])
+
+    def test_gpu_wins_only_the_prefill_heavy_setting(self, result):
+        speedups = result["speedup_by_scenario"]
+        assert speedups["[128:32]"]["4-node"] < 1.2
+        assert speedups["[32:512]"]["4-node"] > 2.0
+        losing = [name for name, values in speedups.items() if values["2-node"] < 1.0]
+        assert losing == ["[128:32]"]
+
+    def test_row_rendering_helpers(self, result):
+        latency_rows = fig8_gpu_comparison.latency_rows(result)
+        efficiency_rows = fig8_gpu_comparison.efficiency_rows(result)
+        assert len(latency_rows) == len(result["rows"])
+        assert len(efficiency_rows) == len(result["rows"])
+        assert all("Scenario" in row for row in latency_rows)

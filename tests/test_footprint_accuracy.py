@@ -1,0 +1,104 @@
+"""Tests for the HBM footprint planning and quantization-accuracy analyses."""
+
+import pytest
+
+from repro.analysis.accuracy import alpha_sweep, evaluate_quantization
+from repro.analysis.footprint import (
+    ALVEO_U50_HBM_BYTES,
+    footprint_table,
+    max_context_length,
+    node_footprint,
+)
+from repro.model.config import ModelConfig
+from repro.model.gpt2 import GPT2Model
+
+
+class TestNodeFootprint:
+    def test_paper_model_fits_comfortably(self):
+        """GPT-2 345M in int8 plus a full 1024-token KV cache uses a small
+        fraction of one U50's HBM — consistent with the paper fitting two
+        nodes on one card."""
+        footprint = node_footprint(ModelConfig.gpt2_medium(), num_nodes=1)
+        assert footprint.fits()
+        assert footprint.utilization() < 0.15
+
+    def test_weights_dominate_small_contexts(self):
+        footprint = node_footprint(ModelConfig.gpt2_medium(), num_nodes=1,
+                                   context_len=128)
+        assert footprint.weight_bytes > footprint.kv_cache_bytes
+
+    def test_partitioning_divides_both_weights_and_cache(self):
+        one = node_footprint(ModelConfig.gpt2_medium(), num_nodes=1)
+        four = node_footprint(ModelConfig.gpt2_medium(), num_nodes=4)
+        assert four.weight_bytes == pytest.approx(one.weight_bytes / 4, rel=0.01)
+        assert four.kv_cache_bytes == pytest.approx(one.kv_cache_bytes / 4, rel=0.01)
+
+    def test_weight_bytes_match_model_inventory(self):
+        model = ModelConfig.gpt2_medium()
+        footprint = node_footprint(model, num_nodes=1)
+        assert footprint.weight_bytes == model.linear_weight_bytes_total()
+
+    def test_fp16_doubles_weight_footprint(self):
+        int8 = node_footprint(ModelConfig.gpt2_medium(), 1, bytes_per_weight=1)
+        fp16 = node_footprint(ModelConfig.gpt2_medium(), 1, bytes_per_weight=2)
+        assert fp16.weight_bytes == 2 * int8.weight_bytes
+
+    def test_as_dict_and_table(self):
+        rows = footprint_table(models=[ModelConfig.gpt2_medium()], node_counts=(1, 2))
+        assert len(rows) == 2
+        assert all("Total (GiB)" in row for row in rows)
+
+    def test_node_counts_beyond_heads_skipped_in_table(self):
+        rows = footprint_table(models=[ModelConfig.tiny()], node_counts=(1, 2, 8))
+        assert len(rows) == 2  # tiny has 4 heads, 8-node point skipped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            node_footprint(ModelConfig.tiny(), num_nodes=0)
+        with pytest.raises(ValueError):
+            node_footprint(ModelConfig.tiny(), num_nodes=1, context_len=0)
+
+
+class TestMaxContextLength:
+    def test_far_exceeds_model_window_for_gpt2(self):
+        assert max_context_length(ModelConfig.gpt2_medium(), 1) > 10_000
+
+    def test_grows_with_node_count(self):
+        one = max_context_length(ModelConfig.gpt2_medium(), 1)
+        four = max_context_length(ModelConfig.gpt2_medium(), 4)
+        assert four > one
+
+    def test_zero_when_weights_do_not_fit(self):
+        tiny_capacity = 1 << 20  # 1 MiB of "HBM"
+        assert max_context_length(ModelConfig.gpt2_medium(), 1,
+                                  capacity_bytes=tiny_capacity) == 0
+
+
+class TestQuantizationAccuracy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return evaluate_quantization(config=ModelConfig.tiny(), num_prompts=3,
+                                     prompt_len=10, seed=3)
+
+    def test_w8a8_keeps_predictions_close(self, report):
+        assert report.relative_logit_error < 0.15
+        assert report.top1_agreement > 0.8
+        assert report.top5_overlap > 0.8
+        assert report.mean_logit_correlation > 0.98
+
+    def test_report_bookkeeping(self, report):
+        assert report.num_positions == 3 * 10
+        as_dict = report.as_dict()
+        assert as_dict["alpha"] == 0.5
+
+    def test_existing_model_reused(self):
+        model = GPT2Model(ModelConfig.tiny(), seed=1)
+        report = evaluate_quantization(model=model, num_prompts=2, prompt_len=6)
+        assert report.model_name == "tiny"
+        assert model.is_calibrated
+
+    def test_alpha_sweep_covers_requested_points(self):
+        reports = alpha_sweep(alphas=(0.25, 0.5, 0.75), seed=2)
+        assert [round(r.alpha, 2) for r in reports] == [0.25, 0.5, 0.75]
+        # every alpha should still give a usable quantization on the tiny model
+        assert all(r.top1_agreement > 0.5 for r in reports)

@@ -1,0 +1,191 @@
+"""Tests for the shared on-chip buffer and the KV cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.buffer import SharedBuffer
+from repro.memory.kv_cache import KVCache, KVCacheLayout, partition_heads
+
+
+class TestSharedBuffer:
+    def test_allocate_and_roundtrip(self):
+        buffer = SharedBuffer(capacity_words=64)
+        buffer.allocate("a", 16)
+        data = np.arange(16, dtype=np.int32)
+        buffer.write("a", data)
+        assert np.array_equal(buffer.read("a"), data)
+
+    def test_offset_write_and_partial_read(self):
+        buffer = SharedBuffer(capacity_words=32)
+        buffer.allocate("region", 32)
+        buffer.write("region", np.array([7, 8, 9]), offset=10)
+        assert np.array_equal(buffer.read("region", size=3, offset=10),
+                              np.array([7, 8, 9]))
+
+    def test_overflow_rejected(self):
+        buffer = SharedBuffer(capacity_words=8)
+        buffer.allocate("a", 6)
+        with pytest.raises(MemoryError):
+            buffer.allocate("b", 4)
+
+    def test_duplicate_region_rejected(self):
+        buffer = SharedBuffer(capacity_words=8)
+        buffer.allocate("a", 2)
+        with pytest.raises(ValueError):
+            buffer.allocate("a", 2)
+
+    def test_out_of_bounds_access_rejected(self):
+        buffer = SharedBuffer(capacity_words=8)
+        buffer.allocate("a", 4)
+        with pytest.raises(IndexError):
+            buffer.write("a", np.arange(5))
+        with pytest.raises(IndexError):
+            buffer.read("a", size=5)
+
+    def test_reset_clears_regions(self):
+        buffer = SharedBuffer(capacity_words=8)
+        buffer.allocate("a", 4)
+        buffer.reset()
+        assert not buffer.has_region("a")
+        assert buffer.free_words == 8
+
+    def test_usage_counters(self):
+        buffer = SharedBuffer(capacity_words=16)
+        buffer.allocate("a", 8)
+        assert buffer.used_words == 8
+        assert buffer.free_words == 8
+        buffer.write("a", np.arange(8))
+        buffer.read("a")
+        assert buffer.total_writes == 8
+        assert buffer.total_reads == 8
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SharedBuffer(capacity_words=0)
+
+
+class TestPartitionHeads:
+    def test_even_partition(self):
+        parts = partition_heads(16, 4)
+        assert [len(p) for p in parts] == [4, 4, 4, 4]
+        assert sorted(sum(parts, [])) == list(range(16))
+
+    def test_uneven_partition_front_loaded(self):
+        parts = partition_heads(10, 4)
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+
+    def test_more_nodes_than_heads_rejected(self):
+        with pytest.raises(ValueError):
+            partition_heads(2, 4)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_exact_cover(self, heads, nodes):
+        if nodes > heads:
+            with pytest.raises(ValueError):
+                partition_heads(heads, nodes)
+            return
+        parts = partition_heads(heads, nodes)
+        flattened = sum(parts, [])
+        assert sorted(flattened) == list(range(heads))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestKVCacheLayout:
+    def test_paper_model_footprint(self):
+        # GPT-2 345M: 24 layers, 16 heads, head_dim 64, int8 cache
+        layout = KVCacheLayout(num_layers=24, num_heads=16, head_dim=64,
+                               max_seq_len=1024, bytes_per_element=1, num_nodes=1)
+        assert layout.bytes_per_token_per_node() == 24 * 2 * 1024
+        assert layout.capacity_bytes_per_node() == 1024 * 24 * 2 * 1024
+
+    def test_head_wise_partition_shrinks_footprint(self):
+        full = KVCacheLayout(24, 16, 64, 1024, num_nodes=1)
+        half = KVCacheLayout(24, 16, 64, 1024, num_nodes=2)
+        assert half.bytes_per_token_per_node() == full.bytes_per_token_per_node() // 2
+
+    def test_read_bytes_scale_with_context(self):
+        layout = KVCacheLayout(24, 16, 64, 1024)
+        assert layout.read_bytes_per_decode_step_per_node(512) == \
+            2 * layout.read_bytes_per_decode_step_per_node(256)
+
+    def test_read_bytes_clamped_to_max_seq(self):
+        layout = KVCacheLayout(2, 4, 8, 16)
+        assert (layout.read_bytes_per_decode_step_per_node(100)
+                == layout.read_bytes_per_decode_step_per_node(16))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            KVCacheLayout(0, 16, 64, 1024)
+        with pytest.raises(ValueError):
+            KVCacheLayout(24, 16, 64, 1024, num_nodes=32)
+
+
+class TestKVCache:
+    def test_append_and_advance(self):
+        cache = KVCache(num_layers=2, num_heads=4, head_dim=8, max_seq_len=16)
+        keys = np.ones((4, 8))
+        values = 2 * np.ones((4, 8))
+        for layer in range(2):
+            cache.append(layer, keys, values)
+        cache.advance()
+        assert len(cache) == 1
+        assert np.array_equal(cache.keys(0), np.ones((4, 1, 8)))
+        assert np.array_equal(cache.values(1), 2 * np.ones((4, 1, 8)))
+
+    def test_block_append(self):
+        cache = KVCache(1, 2, 4, 8)
+        block_k = np.random.default_rng(0).normal(size=(2, 3, 4))
+        block_v = np.random.default_rng(1).normal(size=(2, 3, 4))
+        cache.append_block(0, block_k, block_v)
+        cache.advance(3)
+        assert cache.keys(0).shape == (2, 3, 4)
+        assert np.allclose(cache.keys(0), block_k)
+
+    def test_overflow_rejected(self):
+        cache = KVCache(1, 2, 4, max_seq_len=2)
+        keys = np.zeros((2, 4))
+        cache.append(0, keys, keys)
+        cache.advance()
+        cache.append(0, keys, keys)
+        cache.advance()
+        with pytest.raises(OverflowError):
+            cache.append(0, keys, keys)
+        with pytest.raises(OverflowError):
+            cache.advance()
+
+    def test_shape_validation(self):
+        cache = KVCache(1, 2, 4, 8)
+        with pytest.raises(ValueError):
+            cache.append(0, np.zeros((3, 4)), np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            cache.append_block(0, np.zeros((2, 3, 5)), np.zeros((2, 3, 5)))
+
+    def test_head_slice_matches_full_cache(self):
+        rng = np.random.default_rng(7)
+        cache = KVCache(2, 8, 4, 16)
+        for _ in range(5):
+            for layer in range(2):
+                cache.append(layer, rng.normal(size=(8, 4)), rng.normal(size=(8, 4)))
+            cache.advance()
+        sliced = cache.head_slice([2, 3, 4])
+        assert sliced.num_heads == 3
+        assert np.array_equal(sliced.keys(1), cache.keys(1, heads=[2, 3, 4]))
+
+    def test_memory_bytes_counts_used_portion(self):
+        cache = KVCache(2, 4, 8, 16)
+        assert cache.memory_bytes() == 0
+        cache.append(0, np.zeros((4, 8)), np.zeros((4, 8)))
+        cache.append(1, np.zeros((4, 8)), np.zeros((4, 8)))
+        cache.advance()
+        assert cache.memory_bytes(1) == 2 * 2 * 4 * 8
+
+    def test_reset(self):
+        cache = KVCache(1, 2, 4, 8)
+        cache.append(0, np.ones((2, 4)), np.ones((2, 4)))
+        cache.advance()
+        cache.reset()
+        assert len(cache) == 0
+        assert cache.keys(0).shape == (2, 0, 4)

@@ -1,0 +1,81 @@
+"""Tests for the model configuration and operation inventory."""
+
+import pytest
+
+from repro.model.config import LinearLayerSpec, ModelConfig, layer_linear_specs
+
+
+class TestModelConfigPresets:
+    def test_gpt2_medium_is_the_paper_model(self):
+        config = ModelConfig.gpt2_medium()
+        assert config.num_layers == 24
+        assert config.d_model == 1024
+        assert config.num_heads == 16
+        assert config.d_ff == 4096
+        assert config.head_dim == 64
+
+    def test_gpt2_medium_parameter_count_is_about_345m(self):
+        config = ModelConfig.gpt2_medium()
+        params = config.total_parameters()
+        assert 330e6 < params < 380e6
+
+    def test_tiny_and_mini_presets_are_valid(self):
+        for preset in (ModelConfig.tiny(), ModelConfig.mini(), ModelConfig.gpt2_small(),
+                       ModelConfig.gpt2_large()):
+            assert preset.d_model % preset.num_heads == 0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(num_layers=0)
+        with pytest.raises(ValueError):
+            ModelConfig(d_model=100, num_heads=3)
+
+
+class TestOperationInventory:
+    def test_linear_specs_cover_the_four_projections(self):
+        config = ModelConfig.gpt2_medium()
+        specs = layer_linear_specs(config)
+        names = [spec.name for spec in specs]
+        assert names == ["qkv", "attn_proj", "mlp_fc", "mlp_proj"]
+        assert specs[0].out_features == 3 * config.d_model
+        assert specs[2].out_features == config.d_ff
+
+    def test_linear_weight_bytes_per_layer(self):
+        config = ModelConfig.gpt2_medium()
+        # 1024*(3072 + 1024 + 4096) + 4096*1024 = 12.58M int8 bytes
+        expected = 1024 * 3072 + 1024 * 1024 + 1024 * 4096 + 4096 * 1024
+        assert config.linear_weight_bytes_per_layer() == expected
+        assert config.linear_weight_bytes_total() == expected * 24
+
+    def test_total_weight_stream_is_about_300mb(self):
+        config = ModelConfig.gpt2_medium()
+        total = config.linear_weight_bytes_total()
+        assert 290e6 < total < 310e6
+
+    def test_attention_macs_scale_with_context(self):
+        config = ModelConfig.gpt2_medium()
+        assert config.attention_macs_per_token(512) == 2 * config.attention_macs_per_token(256)
+        with pytest.raises(ValueError):
+            config.attention_macs_per_token(-1)
+
+    def test_kv_byte_accounting(self):
+        config = ModelConfig.gpt2_medium()
+        assert config.kv_bytes_per_token() == 24 * 2 * 1024
+        assert config.kv_read_bytes_per_decode_step(512) == 24 * 2 * 1024 * 512
+
+
+class TestLinearLayerSpec:
+    def test_weight_and_mac_counts(self):
+        spec = LinearLayerSpec("fc", in_features=128, out_features=512)
+        assert spec.weight_elements == 128 * 512
+        assert spec.weight_bytes() == 128 * 512
+        assert spec.weight_bytes(2) == 2 * 128 * 512
+        assert spec.macs_per_token() == 128 * 512
+
+    def test_output_split_across_nodes(self):
+        spec = LinearLayerSpec("fc", 128, 512)
+        assert spec.out_features_per_node(1) == 512
+        assert spec.out_features_per_node(2) == 256
+        assert spec.out_features_per_node(3) == 171  # ceil division
+        with pytest.raises(ValueError):
+            spec.out_features_per_node(0)

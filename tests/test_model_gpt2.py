@@ -1,0 +1,192 @@
+"""Tests for the NumPy GPT-2 model, generation loop and tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.generation import GenerationResult, generate, prefill_then_decode
+from repro.model.gpt2 import GPT2Model, GPT2Weights
+from repro.model.tokenizer import ByteTokenizer
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return GPT2Model(ModelConfig.tiny(), seed=42)
+
+
+@pytest.fixture(scope="module")
+def calibrated_tiny_model():
+    model = GPT2Model(ModelConfig.tiny(), seed=42)
+    model.calibrate_quantization()
+    return model
+
+
+class TestWeights:
+    def test_seeded_weights_are_reproducible(self):
+        a = GPT2Weights.random(ModelConfig.tiny(), seed=7)
+        b = GPT2Weights.random(ModelConfig.tiny(), seed=7)
+        assert np.array_equal(a.blocks[0].qkv_weight, b.blocks[0].qkv_weight)
+        c = GPT2Weights.random(ModelConfig.tiny(), seed=8)
+        assert not np.array_equal(a.blocks[0].qkv_weight, c.blocks[0].qkv_weight)
+
+    def test_parameter_count_close_to_config_estimate(self):
+        config = ModelConfig.mini()
+        weights = GPT2Weights.random(config, seed=0)
+        assert weights.parameter_count() == pytest.approx(config.total_parameters(),
+                                                          rel=0.01)
+
+    def test_wrong_config_rejected(self):
+        weights = GPT2Weights.random(ModelConfig.tiny(), seed=0)
+        with pytest.raises(ValueError):
+            GPT2Model(ModelConfig.mini(), weights=weights)
+
+
+class TestForward:
+    def test_logit_shape(self, tiny_model):
+        logits = tiny_model.forward(np.array([1, 2, 3]))
+        assert logits.shape == (3, tiny_model.config.vocab_size)
+
+    def test_token_id_validation(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.forward(np.array([tiny_model.config.vocab_size]))
+        with pytest.raises(ValueError):
+            tiny_model.forward(np.array([-1]))
+
+    def test_sequence_length_limit(self, tiny_model):
+        too_long = np.zeros(tiny_model.config.max_seq_len + 1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            tiny_model.forward(too_long)
+
+    def test_cached_decode_matches_full_forward(self, tiny_model):
+        """Prefill + cached single-token decode must equal running the whole
+        sequence through the model at once (the KV-cache correctness property
+        the paper's Fig. 1 relies on)."""
+        tokens = np.array([3, 1, 4, 1, 5, 9])
+        full_logits = tiny_model.forward(tokens)
+
+        cache = tiny_model.new_cache()
+        prefix = tokens[:4]
+        tiny_model.forward(prefix, cache=cache, position_offset=0)
+        cache.advance(len(prefix))
+        logits_4 = tiny_model.forward(tokens[4:5], cache=cache, position_offset=4)
+        cache.advance(1)
+        logits_5 = tiny_model.forward(tokens[5:6], cache=cache, position_offset=5)
+        cache.advance(1)
+
+        assert np.allclose(logits_4[0], full_logits[4], atol=1e-9)
+        assert np.allclose(logits_5[0], full_logits[5], atol=1e-9)
+
+    def test_deterministic_given_seed(self):
+        a = GPT2Model(ModelConfig.tiny(), seed=11).forward(np.array([1, 2]))
+        b = GPT2Model(ModelConfig.tiny(), seed=11).forward(np.array([1, 2]))
+        assert np.array_equal(a, b)
+
+
+class TestQuantizedForward:
+    def test_requires_calibration(self, tiny_model):
+        model = GPT2Model(ModelConfig.tiny(), seed=1)
+        with pytest.raises(RuntimeError):
+            model.forward_quantized(np.array([1]))
+        with pytest.raises(RuntimeError):
+            model.quantized_linear(0, "qkv", np.zeros(model.config.d_model))
+
+    def test_quantized_close_to_float(self, calibrated_tiny_model):
+        model = calibrated_tiny_model
+        tokens = np.array([10, 20, 30, 40])
+        float_logits = model.forward(tokens)
+        quant_logits = model.forward_quantized(tokens)
+        # W8A8 keeps the outputs close; exact thresholds depend on the random
+        # weights, so compare correlation and relative error loosely
+        rel = np.linalg.norm(float_logits - quant_logits) / np.linalg.norm(float_logits)
+        assert rel < 0.15
+        # top-1 prediction of the last position should usually agree
+        corr = np.corrcoef(float_logits[-1], quant_logits[-1])[0, 1]
+        assert corr > 0.98
+
+    def test_quantized_linear_matches_per_layer_reference(self, calibrated_tiny_model):
+        model = calibrated_tiny_model
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=model.config.d_model)
+        block = model.weights.blocks[0]
+        reference = block.qkv_weight @ x + block.qkv_bias
+        quantized = model.quantized_linear(0, "qkv", x)
+        rel = np.linalg.norm(reference - quantized) / np.linalg.norm(reference)
+        assert rel < 0.05
+
+    def test_is_calibrated_flag(self, calibrated_tiny_model):
+        assert calibrated_tiny_model.is_calibrated
+        assert not GPT2Model(ModelConfig.tiny(), seed=5).is_calibrated
+
+
+class TestGeneration:
+    def test_greedy_generation_is_deterministic(self, tiny_model):
+        first = generate(tiny_model, [1, 2, 3], max_new_tokens=6)
+        second = generate(tiny_model, [1, 2, 3], max_new_tokens=6)
+        assert first == second
+        assert len(first) == 6
+
+    def test_result_bookkeeping(self, tiny_model):
+        result = prefill_then_decode(tiny_model, [1, 2, 3], max_new_tokens=4)
+        assert isinstance(result, GenerationResult)
+        assert result.prefill_steps == 3
+        assert result.decode_steps == 4
+        assert result.all_tokens[:3] == [1, 2, 3]
+        assert result.num_generated == 4
+
+    def test_eos_stops_generation(self, tiny_model):
+        # find which token greedy decoding produces first and use it as EOS
+        first = generate(tiny_model, [5, 6], max_new_tokens=1)[0]
+        result = prefill_then_decode(tiny_model, [5, 6], max_new_tokens=10,
+                                     eos_token=first)
+        assert result.stopped_on_eos
+        assert result.decode_steps == 1
+
+    def test_sampling_is_seeded(self, tiny_model):
+        a = generate(tiny_model, [1], max_new_tokens=5, greedy=False, seed=3)
+        b = generate(tiny_model, [1], max_new_tokens=5, greedy=False, seed=3)
+        c = generate(tiny_model, [1], max_new_tokens=5, greedy=False, seed=4)
+        assert a == b
+        assert len(c) == 5
+
+    def test_length_validation(self, tiny_model):
+        with pytest.raises(ValueError):
+            prefill_then_decode(tiny_model, [], max_new_tokens=1)
+        with pytest.raises(ValueError):
+            prefill_then_decode(tiny_model, [1], max_new_tokens=-1)
+        with pytest.raises(ValueError):
+            prefill_then_decode(tiny_model, [1] * 60, max_new_tokens=10)
+
+    def test_step_callback_sees_both_stages(self, tiny_model):
+        stages = []
+        prefill_then_decode(tiny_model, [1, 2], max_new_tokens=3,
+                            step_callback=lambda stage, step: stages.append(stage))
+        assert stages[0] == "prefill"
+        assert stages.count("decode") == 3
+
+    def test_quantized_generation_runs(self, calibrated_tiny_model):
+        result = prefill_then_decode(calibrated_tiny_model, [1, 2, 3],
+                                     max_new_tokens=3, quantized=True)
+        assert result.decode_steps == 3
+
+
+class TestTokenizer:
+    def test_roundtrip(self):
+        tokenizer = ByteTokenizer()
+        text = "LoopLynx: scalable dataflow 🚀"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_eos_token(self):
+        tokenizer = ByteTokenizer(vocab_size=300)
+        ids = tokenizer.encode("hi", add_eos=True)
+        assert ids[-1] == tokenizer.eos_token
+        assert tokenizer.decode(ids) == "hi"
+
+    def test_small_vocab_has_no_eos(self):
+        tokenizer = ByteTokenizer(vocab_size=256)
+        assert tokenizer.eos_token is None
+        with pytest.raises(ValueError):
+            tokenizer.encode("x", add_eos=True)
+
+    def test_vocab_lower_bound(self):
+        with pytest.raises(ValueError):
+            ByteTokenizer(vocab_size=100)

@@ -1,0 +1,146 @@
+"""Tests for the functional transformer layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.layers import (
+    attention_single_head,
+    causal_attention,
+    causal_mask,
+    gelu,
+    layer_norm,
+    merge_heads,
+    softmax,
+    split_heads,
+)
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(4, 64))
+        normed = layer_norm(x, np.ones(64), np.zeros(64))
+        assert np.allclose(normed.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(normed.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_parameters_applied(self):
+        x = np.random.default_rng(1).normal(size=(2, 8))
+        gamma = 2.0 * np.ones(8)
+        beta = 3.0 * np.ones(8)
+        normed = layer_norm(x, gamma, beta)
+        base = layer_norm(x, np.ones(8), np.zeros(8))
+        assert np.allclose(normed, 2.0 * base + 3.0)
+
+
+class TestActivations:
+    def test_gelu_known_values(self):
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert gelu(np.array([100.0]))[0] == pytest.approx(100.0, rel=1e-6)
+        assert gelu(np.array([-100.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gelu_monotone_on_positive_axis(self):
+        x = np.linspace(0, 5, 50)
+        y = gelu(x)
+        assert np.all(np.diff(y) > 0)
+
+    def test_softmax_sums_to_one_and_is_stable(self):
+        x = np.array([[1000.0, 1001.0, 999.0], [0.0, 0.0, 0.0]])
+        probs = softmax(x)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(np.isfinite(probs))
+        assert probs[1, 0] == pytest.approx(1.0 / 3.0)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_invariant_to_shift(self, length, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=length)
+        assert np.allclose(softmax(x), softmax(x + 123.456), atol=1e-12)
+
+
+class TestMasksAndHeads:
+    def test_causal_mask_lower_triangular(self):
+        mask = causal_mask(4, 4)
+        assert mask[0, 0] and not mask[0, 1]
+        assert mask[3].all()
+
+    def test_causal_mask_with_cache_offset(self):
+        mask = causal_mask(1, 10)
+        assert mask.all()  # a new token attends to everything cached
+        with pytest.raises(ValueError):
+            causal_mask(5, 3)
+
+    def test_split_merge_heads_roundtrip(self):
+        x = np.random.default_rng(2).normal(size=(6, 32))
+        assert np.array_equal(merge_heads(split_heads(x, 4)), x)
+
+    def test_split_heads_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            split_heads(np.zeros((2, 10)), 3)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(5, 32))
+        k = rng.normal(size=(5, 32))
+        v = rng.normal(size=(5, 32))
+        out = causal_attention(q, k, v, num_heads=4)
+        assert out.shape == (5, 32)
+
+    def test_causality(self):
+        """Changing a future key/value must not affect earlier outputs."""
+        rng = np.random.default_rng(4)
+        q = rng.normal(size=(4, 16))
+        k = rng.normal(size=(4, 16))
+        v = rng.normal(size=(4, 16))
+        base = causal_attention(q, k, v, num_heads=2)
+        k2, v2 = k.copy(), v.copy()
+        k2[3] += 10.0
+        v2[3] -= 5.0
+        modified = causal_attention(q, k2, v2, num_heads=2)
+        assert np.allclose(base[:3], modified[:3])
+        assert not np.allclose(base[3], modified[3])
+
+    def test_single_query_attends_over_cache(self):
+        rng = np.random.default_rng(5)
+        q = rng.normal(size=(1, 16))
+        k = rng.normal(size=(9, 16))
+        v = rng.normal(size=(9, 16))
+        out = causal_attention(q, k, v, num_heads=2)
+        assert out.shape == (1, 16)
+
+    def test_uniform_values_returned_when_scores_equal(self):
+        q = np.zeros((1, 8))
+        k = np.zeros((4, 8))
+        v = np.arange(32, dtype=float).reshape(4, 8)
+        out = causal_attention(q, k, v, num_heads=1)
+        assert np.allclose(out[0], v.mean(axis=0))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            causal_attention(np.zeros((2, 8)), np.zeros((2, 8)), np.zeros((3, 8)), 2)
+        with pytest.raises(ValueError):
+            causal_attention(np.zeros((2, 8)), np.zeros((2, 6)), np.zeros((2, 6)), 2)
+
+    def test_single_head_matches_multi_head_decomposition(self):
+        """Per-head attention (the Fused MHA kernel's schedule) must equal the
+        corresponding slice of the full multi-head computation."""
+        rng = np.random.default_rng(6)
+        num_heads, head_dim, seq = 4, 8, 7
+        d_model = num_heads * head_dim
+        q = rng.normal(size=(1, d_model))
+        k = rng.normal(size=(seq, d_model))
+        v = rng.normal(size=(seq, d_model))
+        full = causal_attention(q, k, v, num_heads=num_heads)[0]
+        q_heads = split_heads(q, num_heads)
+        k_heads = split_heads(k, num_heads)
+        v_heads = split_heads(v, num_heads)
+        for head in range(num_heads):
+            single = attention_single_head(q_heads[head, 0], k_heads[head], v_heads[head])
+            assert np.allclose(single, full[head * head_dim:(head + 1) * head_dim])
+
+    def test_single_head_shape_validation(self):
+        with pytest.raises(ValueError):
+            attention_single_head(np.zeros(4), np.zeros((3, 5)), np.zeros((3, 5)))

@@ -1,0 +1,127 @@
+"""Property-based invariants of the system-level models.
+
+These check relationships that must hold for *any* reasonable configuration,
+not just the paper's design point: latency monotonicity in context length and
+node count, conservation of HBM traffic under partitioning, scenario-latency
+composition, and baseline-model monotonicity.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.gpu_a100 import A100Model
+from repro.baselines.spatial import SpatialArchitectureModel
+from repro.baselines.temporal_dfx import DfxTemporalModel
+from repro.core.config import OptimizationConfig, paper_system
+from repro.core.multi_node import LoopLynxSystem
+from repro.model.config import ModelConfig
+
+# shared systems (construction is cheap but avoid rebuilding inside hypothesis)
+_SYSTEMS = {n: LoopLynxSystem.paper_configuration(num_nodes=n) for n in (1, 2, 4, 8)}
+_MODEL = ModelConfig.gpt2_medium()
+_GPU = A100Model(_MODEL)
+_DFX = DfxTemporalModel(_MODEL)
+_SPATIAL = SpatialArchitectureModel(_MODEL)
+
+
+class TestLatencyMonotonicity:
+    @given(context=st.integers(min_value=1, max_value=1000),
+           delta=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_latency_nondecreasing_in_context(self, context, delta):
+        """Longer cached context never makes a decode step meaningfully
+        faster.  A sub-0.5% wobble is tolerated: on multi-node systems a
+        larger attention stage hides slightly more of the ring transfer, which
+        the linearized hiding model reflects."""
+        system = _SYSTEMS[2]
+        shorter = system.average_token_latency_ms(context)
+        longer = system.average_token_latency_ms(context + delta)
+        assert longer >= shorter * (1 - 5e-3)
+
+    @given(context=st.integers(min_value=64, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_more_nodes_never_slower_at_realistic_context(self, context):
+        """Within the paper's node range (1-4) and realistic context lengths,
+        adding nodes never slows a decode step down.  (At very small contexts
+        or very high node counts the exposed synchronization can genuinely
+        outweigh the shrinking per-node work, so those are excluded.)"""
+        latencies = [_SYSTEMS[n].average_token_latency_ms(context) for n in (1, 2, 4)]
+        assert all(a >= b * (1 - 1e-3) for a, b in zip(latencies, latencies[1:]))
+
+    @given(context=st.integers(min_value=16, max_value=1000),
+           nodes=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=20, deadline=None)
+    def test_optimizations_never_hurt(self, context, nodes):
+        system = _SYSTEMS[nodes]
+        optimized = system.average_token_latency_ms(
+            context, optimizations=OptimizationConfig.paper_default())
+        baseline = system.average_token_latency_ms(
+            context, optimizations=OptimizationConfig.baseline())
+        assert optimized <= baseline + 1e-9
+
+    @given(nodes=st.sampled_from([1, 2, 4]),
+           context=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_speedup_bounded_by_node_count(self, nodes, context):
+        single = _SYSTEMS[1].average_token_latency_ms(context)
+        scaled = _SYSTEMS[nodes].average_token_latency_ms(context)
+        assert single / scaled <= nodes + 1e-6
+
+
+class TestTrafficAndScenarioInvariants:
+    @given(nodes=st.sampled_from([1, 2, 4, 8]),
+           context=st.integers(min_value=1, max_value=1024))
+    @settings(max_examples=20, deadline=None)
+    def test_total_hbm_traffic_independent_of_partitioning(self, nodes, context):
+        """Weights and KV are partitioned, not replicated: the sum of all
+        nodes' HBM traffic stays within rounding of the single-node total."""
+        single = _SYSTEMS[1].hbm_traffic_bytes_per_token(context)
+        multi = _SYSTEMS[nodes].hbm_traffic_bytes_per_token(context)
+        assert multi == pytest.approx(single, rel=0.05)
+
+    @given(prefill=st.integers(min_value=1, max_value=96),
+           decode=st.integers(min_value=0, max_value=96))
+    @settings(max_examples=10, deadline=None)
+    def test_scenario_latency_composition(self, prefill, decode):
+        system = _SYSTEMS[4]
+        report = system.run_scenario(prefill, decode)
+        assert report.total_ms == pytest.approx(report.prefill_ms + report.decode_ms)
+        assert report.prefill_ms == pytest.approx(
+            system.prefill_latency_ms(prefill), rel=1e-9)
+        assert report.decode_ms == pytest.approx(
+            system.decode_latency_ms(prefill, decode), rel=1e-9)
+
+    @given(prefill=st.integers(min_value=1, max_value=64),
+           extra=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=10, deadline=None)
+    def test_longer_requests_take_longer(self, prefill, extra):
+        system = _SYSTEMS[2]
+        short = system.run_scenario(prefill, 16).total_ms
+        longer = system.run_scenario(prefill + extra, 16 + extra).total_ms
+        assert longer > short
+
+
+class TestBaselineInvariants:
+    @given(context=st.integers(min_value=1, max_value=1000),
+           delta=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_baseline_latency_monotone_in_context(self, context, delta):
+        for baseline in (_GPU, _DFX, _SPATIAL):
+            assert (baseline.decode_token_latency_ms(context + delta)
+                    >= baseline.decode_token_latency_ms(context) - 1e-9)
+
+    @given(prompt=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=15, deadline=None)
+    def test_gpu_prefill_cheaper_than_token_serial_decode(self, prompt):
+        prefill = _GPU.prefill_latency_ms(prompt)
+        serial = prompt * _GPU.decode_token_latency_ms(prompt)
+        assert prefill < serial + 1e-9
+
+    @given(prefill=st.integers(min_value=1, max_value=64),
+           decode=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=10, deadline=None)
+    def test_scenario_latency_additive_for_baselines(self, prefill, decode):
+        for baseline in (_GPU, _SPATIAL):
+            total = baseline.scenario_latency_ms(prefill, decode)
+            assert total == pytest.approx(baseline.prefill_latency_ms(prefill)
+                                          + baseline.decode_latency_ms(prefill, decode))

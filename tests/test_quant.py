@@ -1,0 +1,198 @@
+"""Tests for the int8 quantization, SmoothQuant and int8 GEMM substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant.gemm import int8_gemm, int8_gemv, quantization_error, tiled_int8_gemv
+from repro.quant.int8 import (
+    INT8_MAX,
+    INT8_MIN,
+    QuantizedTensor,
+    dequantize,
+    quantize_per_channel,
+    quantize_per_tensor,
+    requantize_int32,
+    symmetric_scale,
+)
+from repro.quant.smoothquant import SmoothQuantCalibration, smooth_weights_activations
+
+
+class TestInt8Quantization:
+    def test_per_tensor_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(0, 3, size=(32, 32))
+        quantized = quantize_per_tensor(tensor)
+        restored = dequantize(quantized)
+        # max error of symmetric int8 quantization is half a step
+        assert np.max(np.abs(tensor - restored)) <= quantized.scale[0] * 0.5 + 1e-12
+
+    def test_per_channel_uses_channel_scales(self):
+        tensor = np.array([[0.1, 0.2], [100.0, -50.0]])
+        quantized = quantize_per_channel(tensor, axis=0)
+        assert quantized.scale.shape == (2,)
+        assert quantized.scale[1] > quantized.scale[0]
+        restored = dequantize(quantized)
+        assert np.allclose(restored, tensor, atol=np.max(quantized.scale))
+
+    def test_saturation(self):
+        quantized = quantize_per_tensor(np.array([10.0, -10.0, 0.0]), scale=0.01)
+        assert quantized.data.max() == INT8_MAX
+        assert quantized.data.min() == INT8_MIN
+
+    def test_symmetric_scale_handles_zero_tensor(self):
+        scale = symmetric_scale(np.zeros(10))
+        assert scale[0] > 0
+
+    def test_quantized_tensor_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedTensor(data=np.zeros((2, 2), dtype=np.int8), scale=np.array([0.0]))
+        with pytest.raises(ValueError):
+            QuantizedTensor(data=np.zeros((2, 2), dtype=np.int8),
+                            scale=np.array([1.0, 1.0, 1.0]), axis=0)
+        with pytest.raises(ValueError):
+            QuantizedTensor(data=np.zeros((2, 2), dtype=np.int8),
+                            scale=np.array([1.0, 1.0]), axis=None)
+
+    def test_requantize_matches_float_math(self):
+        accumulator = np.array([1000, -2000, 0], dtype=np.int64)
+        result = requantize_int32(accumulator, input_scale=0.01, weight_scale=0.02,
+                                  output_scale=0.1, bias=np.array([0.5, 0.0, -0.3]))
+        expected = np.clip(np.rint((accumulator * 0.01 * 0.02
+                                    + np.array([0.5, 0.0, -0.3])) / 0.1), -128, 127)
+        assert np.array_equal(result, expected.astype(np.int8))
+
+    def test_requantize_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            requantize_int32(np.array([1]), 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            requantize_int32(np.array([1]), 1.0, -1.0, 1.0)
+
+    @given(hnp.arrays(np.float64, st.integers(min_value=1, max_value=64),
+                      elements=st.floats(min_value=-100, max_value=100,
+                                         allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, tensor):
+        quantized = quantize_per_tensor(tensor)
+        restored = dequantize(quantized)
+        assert np.max(np.abs(tensor - restored)) <= quantized.scale[0] * 0.5 + 1e-9
+
+
+class TestSmoothQuant:
+    def test_smoothing_preserves_layer_output(self):
+        rng = np.random.default_rng(1)
+        activations = rng.normal(size=(8, 16))
+        activations[:, 3] *= 50.0  # outlier channel
+        weight = rng.normal(size=(12, 16))
+        smoothed_acts, smoothed_weight, scales = smooth_weights_activations(
+            activations, weight, alpha=0.5)
+        original = activations @ weight.T
+        smoothed = smoothed_acts @ smoothed_weight.T
+        assert np.allclose(original, smoothed, rtol=1e-10, atol=1e-10)
+        assert np.all(scales > 0)
+
+    def test_smoothing_reduces_activation_outliers(self):
+        rng = np.random.default_rng(2)
+        activations = rng.normal(size=(32, 8))
+        activations[:, 0] *= 100.0
+        weight = rng.normal(size=(8, 8))
+        smoothed_acts, _, _ = smooth_weights_activations(activations, weight)
+        original_ratio = np.max(np.abs(activations)) / np.median(
+            np.max(np.abs(activations), axis=0))
+        smoothed_ratio = np.max(np.abs(smoothed_acts)) / np.median(
+            np.max(np.abs(smoothed_acts), axis=0))
+        assert smoothed_ratio < original_ratio
+
+    def test_alpha_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            smooth_weights_activations(np.zeros((2, 2)), np.zeros((2, 2)), alpha=1.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            smooth_weights_activations(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_calibration_observe_and_quantize(self):
+        rng = np.random.default_rng(3)
+        calibration = SmoothQuantCalibration()
+        weight = rng.normal(size=(6, 4))
+        calibration.observe("layer", rng.normal(size=(10, 4)))
+        calibration.observe("layer", 5 * rng.normal(size=(10, 4)))
+        weight_q, act_scale, factors = calibration.quantize_layer("layer", weight)
+        assert weight_q.data.shape == (6, 4)
+        assert act_scale > 0
+        assert factors.shape == (4,)
+
+    def test_quantize_uncalibrated_layer_raises(self):
+        calibration = SmoothQuantCalibration()
+        with pytest.raises(KeyError):
+            calibration.quantize_layer("missing", np.zeros((2, 2)))
+
+    def test_quantized_layer_approximates_float(self):
+        rng = np.random.default_rng(4)
+        weight = rng.normal(size=(16, 32))
+        activations = rng.normal(size=(20, 32))
+        calibration = SmoothQuantCalibration()
+        calibration.observe("fc", activations)
+        weight_q, act_scale, factors = calibration.quantize_layer("fc", weight)
+        x = activations[0]
+        reference = weight @ x
+        smoothed = x / factors
+        x_q = quantize_per_tensor(smoothed, scale=act_scale)
+        accumulator = int8_gemv(weight_q.data, x_q.data)
+        approx = accumulator * act_scale * weight_q.scale
+        error = quantization_error(reference, approx)
+        assert error["relative_l2_error"] < 0.05
+
+
+class TestInt8Gemm:
+    def test_gemv_matches_float_reference(self):
+        rng = np.random.default_rng(5)
+        weight = rng.integers(-128, 128, size=(8, 16)).astype(np.int8)
+        vector = rng.integers(-128, 128, size=16).astype(np.int8)
+        result = int8_gemv(weight, vector)
+        expected = weight.astype(np.int64) @ vector.astype(np.int64)
+        assert np.array_equal(result, expected)
+        assert result.dtype == np.int64
+
+    def test_gemm_matches_float_reference(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(-128, 128, size=(4, 8)).astype(np.int8)
+        b = rng.integers(-128, 128, size=(8, 5)).astype(np.int8)
+        assert np.array_equal(int8_gemm(a, b), a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_dtype_enforced(self):
+        with pytest.raises(TypeError):
+            int8_gemv(np.zeros((2, 2)), np.zeros(2, dtype=np.int8))
+        with pytest.raises(TypeError):
+            int8_gemm(np.zeros((2, 2), dtype=np.int8), np.zeros((2, 2)))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            int8_gemv(np.zeros((2, 3), dtype=np.int8), np.zeros(4, dtype=np.int8))
+
+    def test_no_overflow_at_extremes(self):
+        """Worst case accumulation (-128 * -128 over a long vector) must not
+        overflow the accumulator — the reason the hardware uses wide MACs."""
+        length = 4096
+        weight = np.full((1, length), -128, dtype=np.int8)
+        vector = np.full(length, -128, dtype=np.int8)
+        result = int8_gemv(weight, vector)
+        assert result[0] == 128 * 128 * length
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=70), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_tiled_gemv_equals_untiled(self, rows, cols, tile, seed):
+        rng = np.random.default_rng(seed)
+        weight = rng.integers(-128, 128, size=(rows, cols)).astype(np.int8)
+        vector = rng.integers(-128, 128, size=cols).astype(np.int8)
+        assert np.array_equal(tiled_int8_gemv(weight, vector, tile),
+                              int8_gemv(weight, vector))
+
+    def test_quantization_error_metrics(self):
+        error = quantization_error(np.array([1.0, 2.0]), np.array([1.0, 2.5]))
+        assert error["max_abs_error"] == pytest.approx(0.5)
+        assert error["mean_abs_error"] == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            quantization_error(np.zeros(3), np.zeros(4))
