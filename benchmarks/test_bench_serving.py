@@ -1,0 +1,83 @@
+"""Serving benchmarks: FIFO-exclusive vs token-level continuous batching.
+
+Each benchmark serves the same trace under the whole-request FIFO-exclusive
+compatibility mode and under the continuous-batching engine, measuring the
+simulation cost and asserting the serving-quality relationship the engine
+exists to deliver: on every trace shape continuous batching sustains at least
+the exclusive throughput, and on the bursty trace it is strictly better on
+both throughput and mean queueing delay (the PR's acceptance criterion).
+"""
+
+import pytest
+
+from repro.serving.engine import TokenServingEngine
+from repro.serving.simulator import ServingSimulator
+from repro.workloads.traces import bursty_trace, multi_tenant_trace, synthetic_trace
+
+
+def _steady():
+    return synthetic_trace(32, seed=7, mean_prefill=48, mean_decode=128,
+                           arrival_rate_per_s=2.0)
+
+
+def _bursty():
+    return bursty_trace(32, seed=7, mean_prefill=48, mean_decode=128,
+                        burst_size=8, burst_rate_per_s=20.0, idle_gap_s=4.0)
+
+
+def _multi_tenant():
+    return multi_tenant_trace(32, seed=7)
+
+
+TRACES = {
+    "steady": _steady,
+    "bursty": _bursty,
+    "multi-tenant": _multi_tenant,
+}
+
+
+def _run_pair(trace):
+    exclusive, _ = ServingSimulator(num_instances=1).run(trace)
+    batched, _ = TokenServingEngine(num_instances=1, policy="fifo",
+                                    max_batch_size=8).run(trace)
+    return exclusive, batched
+
+
+@pytest.mark.parametrize("shape", sorted(TRACES))
+def test_bench_fifo_exclusive(benchmark, shape):
+    """Simulation cost of the whole-request FIFO queue per trace shape."""
+    trace = TRACES[shape]()
+    simulator = ServingSimulator(num_instances=1)
+    metrics, _ = benchmark.pedantic(simulator.run, args=(trace,), rounds=3,
+                                    iterations=1)
+    assert metrics.num_requests == len(trace)
+
+
+@pytest.mark.parametrize("shape", sorted(TRACES))
+def test_bench_continuous_batching(benchmark, shape):
+    """Simulation cost of the token-level engine per trace shape."""
+    trace = TRACES[shape]()
+
+    def run():
+        engine = TokenServingEngine(num_instances=1, policy="fifo",
+                                    max_batch_size=8)
+        return engine.run(trace)
+
+    metrics, _ = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert metrics.num_requests == len(trace)
+
+
+@pytest.mark.parametrize("shape", sorted(TRACES))
+def test_bench_batching_quality(shape):
+    """Continuous batching sustains at least exclusive throughput everywhere
+    and strictly wins throughput + queueing delay on the bursty trace."""
+    exclusive, batched = _run_pair(TRACES[shape]())
+    assert (batched.throughput_tokens_per_second
+            >= exclusive.throughput_tokens_per_second * 0.999)
+    assert batched.ttft_percentile_s(0.99) > 0
+    if shape == "bursty":
+        assert (batched.throughput_tokens_per_second
+                > exclusive.throughput_tokens_per_second)
+        assert batched.mean_queueing_delay_s < exclusive.mean_queueing_delay_s
+        assert batched.latency_percentile_s(0.99) <= \
+            exclusive.latency_percentile_s(0.99) * 1.5

@@ -89,11 +89,34 @@ def trace_study():
                                    "2-node LoopLynx instances"))
 
 
+def engine_study():
+    """Token-level serving: continuous batching vs the exclusive FIFO queue
+    on a bursty trace, plus a priority-scheduled multi-tenant trace."""
+    from repro.analysis.serving import policy_comparison, run_policy, tenant_breakdown
+    from repro.workloads.traces import bursty_trace, multi_tenant_trace
+
+    trace = bursty_trace(num_requests=32, seed=11, mean_prefill=48,
+                         mean_decode=160, burst_size=8)
+    rows = policy_comparison(trace, policies=("fifo-exclusive", "fifo", "sjf"),
+                             num_instances=1, max_batch_size=8)
+    print(format_table(rows, title="Bursty trace: whole-request FIFO vs "
+                                   "token-level continuous batching"))
+    print()
+
+    tenant_trace = multi_tenant_trace(num_requests=30, seed=13)
+    _, records = run_policy(tenant_trace, "priority", num_instances=1,
+                            max_batch_size=4)
+    print(format_table(tenant_breakdown(records),
+                       title="Multi-tenant trace under the priority scheduler"))
+
+
 def main() -> None:
     print("LoopLynx serving study — long-generation workloads\n")
     scenario_study("Chatbot scenarios", chatbot_scenarios())
     scenario_study("Code-generation scenarios", code_generation_scenarios())
     trace_study()
+    print()
+    engine_study()
 
 
 if __name__ == "__main__":

@@ -22,6 +22,12 @@ from repro.analysis.footprint import (
     node_footprint,
 )
 from repro.analysis.report import format_table, render_markdown_table
+from repro.analysis.serving import (
+    metrics_row,
+    policy_comparison,
+    run_policy,
+    tenant_breakdown,
+)
 from repro.analysis.scalability import ScalabilityRow, scaling_efficiency, throughput_table
 from repro.analysis.utilization import (
     ArchitectureUtilization,
@@ -45,6 +51,10 @@ __all__ = [
     "summarize_gpu_comparison",
     "format_table",
     "render_markdown_table",
+    "metrics_row",
+    "policy_comparison",
+    "run_policy",
+    "tenant_breakdown",
     "ScalabilityRow",
     "scaling_efficiency",
     "throughput_table",

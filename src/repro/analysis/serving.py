@@ -1,0 +1,115 @@
+"""Serving-policy comparisons built on the token-level engine.
+
+These helpers run one trace through several serving configurations and lay
+the resulting :class:`~repro.serving.metrics.ServingMetrics` out as table
+rows for the ``serve`` CLI subcommand, the chatbot-serving example and the
+serving benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.multi_node import LoopLynxSystem
+from repro.serving.engine import TokenServingEngine
+from repro.serving.schedulers import KVAdmissionController
+from repro.serving.simulator import FIFO_EXCLUSIVE, ServingSimulator
+from repro.workloads.traces import RequestTrace
+
+
+def run_policy(trace: RequestTrace, policy: str,
+               num_instances: int = 1, num_nodes_per_instance: int = 2,
+               max_batch_size: int = 8,
+               kv_budget_bytes: Optional[int] = None,
+               **engine_kwargs):
+    """Run ``trace`` under one policy and return ``(metrics, records)``.
+
+    ``policy`` may be ``fifo-exclusive`` (whole-request compatibility mode;
+    it serves one request at a time, so ``max_batch_size`` does not apply and
+    a KV budget is rejected rather than silently ignored) or any token-level
+    policy; ``kv_budget_bytes`` enables the KV-capacity admission controller
+    (per-node byte budget).
+    """
+    if policy == FIFO_EXCLUSIVE:
+        if kv_budget_bytes is not None:
+            raise ValueError(
+                "fifo-exclusive has no KV admission control; drop the KV "
+                "budget or pick a token-level policy")
+        simulator = ServingSimulator(num_instances=num_instances,
+                                     num_nodes_per_instance=num_nodes_per_instance)
+        return simulator.run(trace)
+    kv_controller = None
+    if kv_budget_bytes is not None:
+        system = LoopLynxSystem.paper_configuration(
+            num_nodes=num_nodes_per_instance)
+        kv_controller = KVAdmissionController.for_system(
+            system, budget_bytes=kv_budget_bytes)
+        engine_kwargs = dict(engine_kwargs, system=system)
+    engine = TokenServingEngine(num_instances=num_instances,
+                                num_nodes_per_instance=num_nodes_per_instance,
+                                policy=policy, max_batch_size=max_batch_size,
+                                kv_controller=kv_controller, **engine_kwargs)
+    return engine.run(trace)
+
+
+def metrics_row(label: str, metrics) -> Dict[str, object]:
+    """One policy's summary as a flat table row."""
+    summary = metrics.summary()
+    row: Dict[str, object] = {
+        "Policy": label,
+        "Throughput (tok/s)": summary["throughput_tok_s"],
+        "Mean queue delay (s)": summary["mean_queue_delay_s"],
+        "P50 latency (s)": summary["p50_latency_s"],
+        "P99 latency (s)": summary["p99_latency_s"],
+    }
+    if metrics.ttfts_s:
+        row["P50 TTFT (s)"] = summary["p50_ttft_s"]
+        row["P99 TTFT (s)"] = summary["p99_ttft_s"]
+        row["P50 TPOT (s)"] = summary["p50_tpot_s"]
+        if metrics.preemptions:
+            row["Preemptions"] = metrics.preemptions
+    return row
+
+
+def policy_comparison(trace: RequestTrace,
+                      policies: Sequence[str] = (FIFO_EXCLUSIVE, "fifo", "sjf"),
+                      num_instances: int = 1,
+                      num_nodes_per_instance: int = 2,
+                      max_batch_size: int = 8,
+                      kv_budget_bytes: Optional[int] = None
+                      ) -> List[Dict[str, object]]:
+    """Serve the same trace under each policy and tabulate the summaries.
+
+    With a KV budget, ``fifo-exclusive`` is excluded (it has no admission
+    control, so its row would not be comparable to the constrained ones).
+    """
+    rows = []
+    if kv_budget_bytes is not None:
+        policies = [p for p in policies if p != FIFO_EXCLUSIVE]
+    for policy in policies:
+        metrics, _ = run_policy(trace, policy, num_instances=num_instances,
+                                num_nodes_per_instance=num_nodes_per_instance,
+                                max_batch_size=max_batch_size,
+                                kv_budget_bytes=kv_budget_bytes)
+        rows.append(metrics_row(policy, metrics))
+    return rows
+
+
+def tenant_breakdown(records) -> List[Dict[str, object]]:
+    """Per-tenant latency/TTFT means from token-level request records."""
+    by_tenant: Dict[str, list] = {}
+    for record in records:
+        by_tenant.setdefault(record.tenant, []).append(record)
+    rows = []
+    for tenant in sorted(by_tenant):
+        group = by_tenant[tenant]
+        ttfts = [r.ttft_s for r in group if r.ttft_s is not None]
+        rows.append({
+            "Tenant": tenant,
+            "Requests": len(group),
+            "Mean TTFT (s)": sum(ttfts) / len(ttfts) if ttfts else 0.0,
+            "Mean latency (s)": (sum(r.end_to_end_latency_s for r in group)
+                                 / len(group)),
+            "Preemptions": sum(r.preemptions for r in group),
+        })
+    return rows

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro.cli scenario --nodes 4 --prefill 64 --decode 512
     python -m repro.cli scaling --max-nodes 8     # node-count sweep
     python -m repro.cli utilization               # Fig. 3 style area-utilization
+    python -m repro.cli serve --trace bursty --policy fifo   # token-level serving
 
 Every subcommand prints plain-text tables (no plotting dependencies).
 """
@@ -106,6 +107,60 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.serving import (policy_comparison, run_policy,
+                                        tenant_breakdown)
+    from repro.workloads.traces import (bursty_trace, multi_tenant_trace,
+                                        synthetic_trace)
+
+    generators = {
+        "steady": synthetic_trace,
+        "bursty": bursty_trace,
+        "multitenant": multi_tenant_trace,
+    }
+    try:
+        trace = generators[args.trace](args.requests, seed=args.seed)
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    kv_budget = (None if args.kv_budget_mib is None
+                 else args.kv_budget_mib * (1 << 20))
+    title = (f"Serving {len(trace)} {args.trace} requests on "
+             f"{args.instances}x {args.nodes}-node instances")
+    try:
+        if args.compare:
+            rows = policy_comparison(
+                trace, policies=("fifo-exclusive", "fifo", "sjf"),
+                num_instances=args.instances,
+                num_nodes_per_instance=args.nodes,
+                max_batch_size=args.max_batch, kv_budget_bytes=kv_budget)
+            print(format_table(rows, title=f"{title} — policy comparison"))
+            if kv_budget is not None:
+                print("\n(fifo-exclusive omitted: it has no KV admission "
+                      "control to constrain)")
+            return 0
+        metrics, records = run_policy(
+            trace, args.policy, num_instances=args.instances,
+            num_nodes_per_instance=args.nodes, max_batch_size=args.max_batch,
+            kv_budget_bytes=kv_budget)
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    rows = [{"Metric": name, "Value": value}
+            for name, value in metrics.summary().items()]
+    print(format_table(rows, title=f"{title} — policy {args.policy!r}"))
+    if metrics.ttfts_s:
+        slo = metrics.slo_goodput_rps(args.ttft_slo, args.tpot_slo)
+        print(f"\nSLO goodput (TTFT<={args.ttft_slo}s, TPOT<={args.tpot_slo}s): "
+              f"{slo:.3f} req/s "
+              f"({100 * metrics.slo_attainment(args.ttft_slo, args.tpot_slo):.1f}% "
+              "of requests)")
+    if args.trace == "multitenant" and metrics.ttfts_s:
+        print()
+        print(format_table(tenant_breakdown(records), title="Per-tenant breakdown"))
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.export import export_all
 
@@ -147,6 +202,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser("utilization", help="area-utilization comparison")
     sub.add_argument("--context", type=int, default=512)
     sub.set_defaults(func=_cmd_utilization)
+
+    sub = subparsers.add_parser(
+        "serve", help="run a request trace through the token-level serving engine")
+    sub.add_argument("--trace", choices=("steady", "bursty", "multitenant"),
+                     default="steady")
+    sub.add_argument("--requests", type=int, default=40)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--policy",
+                     choices=("fifo-exclusive", "fifo", "sjf", "priority"),
+                     default="fifo")
+    sub.add_argument("--instances", type=int, default=1)
+    sub.add_argument("--nodes", type=int, default=2,
+                     help="accelerator nodes per instance")
+    sub.add_argument("--max-batch", type=int, default=8,
+                     help="decode-batch ceiling per instance")
+    sub.add_argument("--kv-budget-mib", type=int, default=None,
+                     help="per-node KV-cache budget (MiB); enables admission control")
+    sub.add_argument("--ttft-slo", type=float, default=2.0,
+                     help="TTFT SLO in seconds for goodput reporting")
+    sub.add_argument("--tpot-slo", type=float, default=0.05,
+                     help="TPOT SLO in seconds for goodput reporting")
+    sub.add_argument("--compare", action="store_true",
+                     help="tabulate fifo-exclusive vs fifo vs sjf instead")
+    sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser("export", help="save experiment results as JSON")
     sub.add_argument("experiments", nargs="+",

@@ -187,6 +187,49 @@ class LoopLynxSystem:
             cycles += timing.total + self.host_overhead_cycles
         return hardware.cycles_to_ms(cycles)
 
+    # ------------------------------------------------------------------
+    # step-level API (token-level serving engine)
+    # ------------------------------------------------------------------
+    def decode_step_latency_ms(self, context_len: int, batch_size: int = 1,
+                               optimizations: Optional[OptimizationConfig] = None
+                               ) -> float:
+        """Latency of one decode step that advances ``batch_size`` co-resident
+        requests by one token each, all attending over ``context_len`` cached
+        positions.
+
+        Batched decode reuses the weight-streaming path of the kernel model
+        (:meth:`repro.core.scheduler.KernelScheduler.block_timing` with
+        ``batch_tokens``): every weight block streamed from HBM is applied to
+        all ``batch_size`` token vectors before the next block arrives, so the
+        memory-bound linear layers amortize across the batch.  This is the
+        primitive the token-level serving engine composes into per-request
+        timelines; with ``batch_size=1`` it equals
+        :meth:`decode_token_report` exactly.
+        """
+        if context_len < 0:
+            raise ValueError("context length cannot be negative")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        timing = self.node.token_cycles(context_len, batch_tokens=batch_size,
+                                        optimizations=optimizations)
+        cycles = timing.total + self.host_overhead_cycles
+        return self.config.hardware.cycles_to_ms(cycles)
+
+    def decode_step_latency_s(self, context_len: int, batch_size: int = 1,
+                              optimizations: Optional[OptimizationConfig] = None
+                              ) -> float:
+        """Seconds variant of :meth:`decode_step_latency_ms`."""
+        return self.decode_step_latency_ms(context_len, batch_size,
+                                           optimizations) / 1e3
+
+    def prefill_latency_s(self, prefill_len: int,
+                          optimizations: Optional[OptimizationConfig] = None,
+                          batched: bool = False) -> float:
+        """Seconds variant of :meth:`prefill_latency_ms` (serving-engine
+        callers compose second-denominated timelines)."""
+        return self.prefill_latency_ms(prefill_len, optimizations,
+                                       batched=batched) / 1e3
+
     def decode_latency_ms(self, prompt_len: int, decode_len: int,
                           optimizations: Optional[OptimizationConfig] = None) -> float:
         """Latency of generating ``decode_len`` tokens after a prompt of

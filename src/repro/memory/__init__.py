@@ -14,11 +14,22 @@ simulation that "fully accounts for the per-channel HBM bandwidth (peak
   and the functional cache used by the NumPy GPT-2 reference.
 """
 
-from repro.memory.hbm import HbmChannel, HbmConfig, HbmSubsystem, BurstAccess
+from repro.memory.hbm import (
+    ALVEO_U50_HBM_BYTES,
+    ALVEO_U50_HBM_CHANNELS,
+    BurstAccess,
+    HbmChannel,
+    HbmConfig,
+    HbmSubsystem,
+    kv_budget_bytes_per_node,
+)
 from repro.memory.buffer import SharedBuffer
 from repro.memory.kv_cache import KVCache, KVCacheLayout, partition_heads
 
 __all__ = [
+    "ALVEO_U50_HBM_BYTES",
+    "ALVEO_U50_HBM_CHANNELS",
+    "kv_budget_bytes_per_node",
     "HbmChannel",
     "HbmConfig",
     "HbmSubsystem",

@@ -28,6 +28,32 @@ from typing import Dict, Iterable, List, Optional, Tuple
 GIB = 1 << 30
 GB = 1_000_000_000
 
+#: Total HBM2 capacity of one Alveo U50 card (the paper's platform).
+ALVEO_U50_HBM_BYTES = 8 * GIB
+
+#: HBM pseudo-channels exposed by one Alveo U50.
+ALVEO_U50_HBM_CHANNELS = 32
+
+
+def kv_budget_bytes_per_node(weight_bytes_per_node: int,
+                             nodes_per_card: int = 2,
+                             device_bytes: int = ALVEO_U50_HBM_BYTES,
+                             reserve_fraction: float = 0.05) -> int:
+    """HBM bytes one accelerator node can dedicate to its KV cache.
+
+    Each node owns an equal share of the card's HBM; weights are resident for
+    the whole deployment lifetime and ``reserve_fraction`` of the share is held
+    back for activations/double-buffering.  The serving engine's KV admission
+    controller uses this as its default capacity.
+    """
+    if nodes_per_card <= 0:
+        raise ValueError("nodes_per_card must be positive")
+    if not (0.0 <= reserve_fraction < 1.0):
+        raise ValueError("reserve_fraction must be in [0, 1)")
+    share = device_bytes // nodes_per_card
+    budget = int(share * (1.0 - reserve_fraction)) - int(weight_bytes_per_node)
+    return max(budget, 0)
+
 
 @dataclass(frozen=True)
 class HbmConfig:

@@ -105,6 +105,21 @@ class KVCacheLayout:
         """Total HBM footprint of one node's cache at max sequence length."""
         return self.max_seq_len * self.bytes_per_token_per_node()
 
+    def max_cached_tokens(self, budget_bytes: int) -> int:
+        """How many cached token positions (summed over all co-resident
+        sequences) fit one node's KV budget of ``budget_bytes``.
+
+        This is the unit the serving engine's KV-capacity admission controller
+        accounts in: admitting a request reserves ``prefill_len + decode_len``
+        token positions against this limit.
+        """
+        if budget_bytes < 0:
+            raise ValueError("budget cannot be negative")
+        per_token = self.bytes_per_token_per_node()
+        if per_token <= 0:
+            return 0
+        return int(budget_bytes // per_token)
+
 
 class KVCache:
     """Functional per-layer KV cache holding float or int8 arrays.

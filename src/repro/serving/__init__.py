@@ -2,20 +2,50 @@
 
 The paper evaluates isolated requests; a downstream user deploying LoopLynx
 for LLM serving cares about sustained behaviour under a stream of requests:
-queueing delay, latency percentiles, utilization and energy.  This package
-simulates a pool of LoopLynx instances (each serving one request at a time,
-as the batch-1 dataflow design dictates) fed from a request trace.
+queueing delay, time-to-first-token, latency percentiles, utilization and
+energy.  This package simulates a pool of LoopLynx instances fed from a
+request trace at two granularities:
 
-* :mod:`repro.serving.simulator` — the event-based queueing simulation;
-* :mod:`repro.serving.metrics` — latency/throughput/energy summaries.
+* :mod:`repro.serving.engine` — the token-level engine: continuous batching,
+  pluggable schedulers, KV-capacity admission, preemption;
+* :mod:`repro.serving.schedulers` — FIFO / SJF / priority policies and the
+  KV admission controller;
+* :mod:`repro.serving.simulator` — the whole-request FIFO queue, kept as the
+  ``fifo-exclusive`` compatibility mode and as the policy-switch front-end;
+* :mod:`repro.serving.metrics` — latency/TTFT/TPOT/throughput/energy
+  summaries.
 """
 
+from repro.serving.engine import ServedRequest, TokenServingEngine
 from repro.serving.metrics import ServingMetrics, percentile
-from repro.serving.simulator import CompletedRequest, ServingSimulator
+from repro.serving.schedulers import (
+    FifoScheduler,
+    KVAdmissionController,
+    POLICY_NAMES,
+    PriorityScheduler,
+    SchedulerPolicy,
+    ShortestJobFirstScheduler,
+    make_scheduler,
+)
+from repro.serving.simulator import (
+    FIFO_EXCLUSIVE,
+    CompletedRequest,
+    ServingSimulator,
+)
 
 __all__ = [
+    "ServedRequest",
+    "TokenServingEngine",
     "ServingMetrics",
     "percentile",
+    "FifoScheduler",
+    "KVAdmissionController",
+    "POLICY_NAMES",
+    "PriorityScheduler",
+    "SchedulerPolicy",
+    "ShortestJobFirstScheduler",
+    "make_scheduler",
+    "FIFO_EXCLUSIVE",
     "CompletedRequest",
     "ServingSimulator",
 ]

@@ -1,0 +1,389 @@
+"""Token-level serving engine with continuous batching and preemption.
+
+Where :class:`repro.serving.simulator.ServingSimulator` treats each request as
+one opaque service-time blob, this engine advances every instance one *step*
+at a time — a prefill chunk for one request or a single decode step for the
+whole running batch — using the step-level core API
+(:meth:`repro.core.multi_node.LoopLynxSystem.decode_step_latency_s`).  That
+granularity is what makes production serving behaviour expressible:
+
+* **continuous batching** — requests join the running batch at any step
+  boundary and leave the moment their last token is generated (no
+  batch-of-requests barrier);
+* **pluggable scheduling** — admission order comes from a
+  :class:`~repro.serving.schedulers.SchedulerPolicy` (FIFO, SJF, priority);
+* **KV-capacity admission** — with a
+  :class:`~repro.serving.schedulers.KVAdmissionController`, requests queue
+  while the cache is full instead of overflowing it;
+* **preemption** — the priority policy may evict lower-priority running work;
+  the victim loses its KV cache and restarts from prefill when re-admitted;
+* **token-level metrics** — time-to-first-token and time-per-output-token
+  exist because individual token emissions have timestamps.
+
+The discrete-event loop reuses the heap/sequence-counter idiom of
+:mod:`repro.dataflow.engine`: a single time-ordered event heap over request
+arrivals and per-instance step completions, so results are exact and
+reproducible (no wall-clock time).
+
+Timing conventions match the whole-request simulator so the two agree when
+batching is off: prefill emits no output token (the paper's token-serial
+pipeline), the first output token appears at the end of the first decode
+step, and a request with ``decode_len`` tokens runs ``decode_len`` decode
+steps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.multi_node import LoopLynxSystem
+from repro.serving.metrics import ServingMetrics
+from repro.serving.schedulers import (
+    KVAdmissionController,
+    SchedulerPolicy,
+    make_scheduler,
+)
+from repro.workloads.traces import Request, RequestTrace
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Token-level timing record of one served request."""
+
+    request_id: int
+    instance_id: int
+    arrival_s: float
+    admitted_s: float
+    first_token_s: Optional[float]
+    finish_s: float
+    prefill_len: int
+    decode_len: int
+    tenant: str = "default"
+    priority: int = 0
+    preemptions: int = 0
+
+    @property
+    def queueing_delay_s(self) -> float:
+        """Time from arrival until first admission into a batch."""
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def service_time_s(self) -> float:
+        return self.finish_s - self.admitted_s
+
+    @property
+    def end_to_end_latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Time to first token (None when the request generated nothing)."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Mean time per output token after the first."""
+        if self.first_token_s is None or self.decode_len <= 1:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / (self.decode_len - 1)
+
+
+class _RequestState:
+    """Mutable in-flight bookkeeping for one request."""
+
+    __slots__ = ("request", "prefill_done", "decode_done", "admitted_s",
+                 "last_admitted_s", "first_token_s", "preemptions",
+                 "instance_id")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.prefill_done = 0
+        self.decode_done = 0
+        self.admitted_s: Optional[float] = None
+        self.last_admitted_s = 0.0
+        self.first_token_s: Optional[float] = None
+        self.preemptions = 0
+        self.instance_id = -1
+
+    @property
+    def prefill_remaining(self) -> int:
+        return self.request.prefill_len - self.prefill_done
+
+    @property
+    def context_len(self) -> int:
+        """Cached positions the next decode step attends over."""
+        return self.prefill_done + self.decode_done
+
+    def reset_progress(self) -> None:
+        """Drop all computed state (preemption releases the KV cache)."""
+        self.prefill_done = 0
+        self.decode_done = 0
+
+
+@dataclass
+class _Instance:
+    """One LoopLynx deployment running a batch of requests."""
+
+    instance_id: int
+    batch: List[_RequestState] = field(default_factory=list)
+    kv_used_tokens: int = 0
+    busy: bool = False
+
+
+class TokenServingEngine:
+    """Discrete-event simulation of a pool of instances at step granularity.
+
+    Parameters
+    ----------
+    num_instances, num_nodes_per_instance, system:
+        Pool shape, as in :class:`~repro.serving.simulator.ServingSimulator`.
+    policy:
+        Scheduler policy name (``fifo``, ``sjf``, ``priority``) or a
+        :class:`SchedulerPolicy` factory-produced instance per run is built
+        from the name.
+    max_batch_size:
+        Decode-batch ceiling per instance; 1 disables batching (the
+        compatibility regime matching the whole-request simulator).
+    prefill_chunk_tokens:
+        Prompt tokens processed per prefill step.  Smaller chunks interleave
+        prefill with running decodes sooner; ``None`` runs each prompt to
+        completion in one step.
+    kv_controller:
+        Optional :class:`KVAdmissionController`; when set, admission reserves
+        worst-case KV capacity and requests queue while the cache is full.
+    context_bucket:
+        Decode-step timings are memoized with the context length rounded up
+        to this multiple (1 = exact; larger buckets trade a conservative
+        over-estimate for far fewer cycle-model evaluations).
+    """
+
+    def __init__(self, num_instances: int = 1, num_nodes_per_instance: int = 2,
+                 system: Optional[LoopLynxSystem] = None,
+                 policy: str = "fifo",
+                 max_batch_size: int = 8,
+                 prefill_chunk_tokens: Optional[int] = 64,
+                 kv_controller: Optional[KVAdmissionController] = None,
+                 context_bucket: int = 32) -> None:
+        if num_instances <= 0:
+            raise ValueError("num_instances must be positive")
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens <= 0:
+            raise ValueError("prefill_chunk_tokens must be positive")
+        if context_bucket <= 0:
+            raise ValueError("context_bucket must be positive")
+        self.num_instances = num_instances
+        self.num_nodes_per_instance = num_nodes_per_instance
+        self.system = system or LoopLynxSystem.paper_configuration(
+            num_nodes=num_nodes_per_instance)
+        self.policy = policy
+        make_scheduler(policy)  # fail fast on unknown names
+        self.max_batch_size = max_batch_size
+        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.kv_controller = kv_controller
+        self.context_bucket = context_bucket
+        self._step_cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # step timing (memoized cycle-model evaluations)
+    # ------------------------------------------------------------------
+    def _bucketed(self, context_len: int) -> int:
+        bucket = self.context_bucket
+        if bucket <= 1 or context_len == 0:
+            return context_len
+        return -(-context_len // bucket) * bucket
+
+    def _step_latency_s(self, context_len: int, batch_size: int) -> float:
+        key = (self._bucketed(context_len), batch_size)
+        if key not in self._step_cache:
+            self._step_cache[key] = self.system.decode_step_latency_s(
+                key[0], batch_size)
+        return self._step_cache[key]
+
+    def _prefill_chunk_latency_s(self, start_pos: int, chunk_len: int) -> float:
+        """Token-serial prefill of ``chunk_len`` prompt tokens starting at
+        cached position ``start_pos`` (same per-position cost as a decode
+        step, which is how the paper's pipeline streams prompts)."""
+        return sum(self._step_latency_s(pos, 1)
+                   for pos in range(start_pos, start_pos + chunk_len))
+
+    def _head_fits_after_eviction(self, instance: _Instance,
+                                  victim: _RequestState,
+                                  head: _RequestState) -> bool:
+        """Would evicting ``victim`` make ``head`` admissible?  The slot is
+        always freed; with admission control the freed KV reservation must
+        also cover the head's."""
+        if self.kv_controller is None:
+            return True
+        freed = (instance.kv_used_tokens
+                 - self.kv_controller.reservation_tokens(victim.request))
+        return self.kv_controller.fits(head.request, freed)
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def run(self, trace: RequestTrace) -> Tuple[ServingMetrics, List[ServedRequest]]:
+        """Serve the trace and return aggregate metrics plus per-request
+        records (sorted by request id)."""
+        if len(trace) == 0:
+            raise ValueError("trace is empty")
+        if self.kv_controller is not None:
+            self.kv_controller.validate(trace)
+
+        scheduler = make_scheduler(self.policy)
+        instances = [_Instance(i) for i in range(self.num_instances)]
+        events: List[Tuple[float, int, int, object]] = []
+        seq = itertools.count()
+        _ARRIVAL, _STEP_DONE = 0, 1
+        for request in sorted(trace, key=lambda r: (r.arrival_s, r.request_id)):
+            heapq.heappush(events, (request.arrival_s, next(seq), _ARRIVAL,
+                                    _RequestState(request)))
+
+        records: List[ServedRequest] = []
+
+        def release(instance: _Instance, state: _RequestState) -> None:
+            if self.kv_controller is not None:
+                instance.kv_used_tokens -= \
+                    self.kv_controller.reservation_tokens(state.request)
+
+        def dispatch(instance: _Instance, now: float) -> None:
+            """Admit/preempt at a step boundary, then launch the next step."""
+            admitted = True
+            while admitted:
+                admitted = False
+                # admissions from the head of the waiting queue
+                while len(instance.batch) < self.max_batch_size:
+                    head = scheduler.peek()
+                    if head is None:
+                        break
+                    if (self.kv_controller is not None
+                            and not self.kv_controller.fits(
+                                head.request, instance.kv_used_tokens)):
+                        break
+                    scheduler.pop()
+                    if head.admitted_s is None:
+                        head.admitted_s = now
+                    head.last_admitted_s = now
+                    head.instance_id = instance.instance_id
+                    if self.kv_controller is not None:
+                        instance.kv_used_tokens += \
+                            self.kv_controller.reservation_tokens(head.request)
+                    instance.batch.append(head)
+                    admitted = True
+                # preemption: a blocked head (no batch slot, or KV capacity
+                # exhausted) may evict strictly lower-priority work — but only
+                # when evicting one victim actually makes the head admissible;
+                # otherwise the victim's computed state would be thrown away
+                # for nothing
+                head = scheduler.peek()
+                if head is not None and instance.batch:
+                    slots_full = len(instance.batch) >= self.max_batch_size
+                    kv_full = (self.kv_controller is not None
+                               and not self.kv_controller.fits(
+                                   head.request, instance.kv_used_tokens))
+                    victim = None
+                    if slots_full or kv_full:
+                        victim = scheduler.preemption_victim(
+                            instance.batch, head)
+                    if (victim is not None
+                            and self._head_fits_after_eviction(
+                                instance, victim, head)):
+                        instance.batch.remove(victim)
+                        release(instance, victim)
+                        victim.reset_progress()
+                        victim.preemptions += 1
+                        scheduler.push(victim)
+                        admitted = True  # retry admission for the head
+
+            if not instance.batch:
+                instance.busy = False
+                return
+            prefilling = next((s for s in instance.batch
+                               if s.prefill_remaining > 0), None)
+            if prefilling is not None:
+                chunk = prefilling.prefill_remaining
+                if self.prefill_chunk_tokens is not None:
+                    chunk = min(chunk, self.prefill_chunk_tokens)
+                duration = self._prefill_chunk_latency_s(
+                    prefilling.prefill_done, chunk)
+                payload = ("prefill", instance, prefilling, chunk)
+            else:
+                context = max(s.context_len for s in instance.batch)
+                duration = self._step_latency_s(context, len(instance.batch))
+                payload = ("decode", instance, list(instance.batch), 0)
+            instance.busy = True
+            heapq.heappush(events, (now + duration, next(seq), _STEP_DONE,
+                                    payload))
+
+        def complete_step(payload, now: float) -> _Instance:
+            kind, instance, target, chunk = payload
+            if kind == "prefill":
+                target.prefill_done += chunk
+                if (target.prefill_remaining == 0
+                        and target.request.decode_len == 0):
+                    finish(instance, target, now)
+            else:
+                for state in target:
+                    state.decode_done += 1
+                    if state.first_token_s is None:
+                        state.first_token_s = now
+                    if state.decode_done >= state.request.decode_len:
+                        finish(instance, state, now)
+            return instance
+
+        def finish(instance: _Instance, state: _RequestState, now: float) -> None:
+            instance.batch.remove(state)
+            release(instance, state)
+            request = state.request
+            records.append(ServedRequest(
+                request_id=request.request_id,
+                instance_id=state.instance_id,
+                arrival_s=request.arrival_s,
+                admitted_s=state.admitted_s if state.admitted_s is not None else now,
+                first_token_s=state.first_token_s,
+                finish_s=now,
+                prefill_len=request.prefill_len,
+                decode_len=request.decode_len,
+                tenant=request.tenant,
+                priority=request.priority,
+                preemptions=state.preemptions,
+            ))
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                scheduler.push(payload)
+                for instance in instances:
+                    if not instance.busy:
+                        dispatch(instance, now)
+            else:
+                instance = complete_step(payload, now)
+                dispatch(instance, now)
+
+        if len(records) != len(trace):
+            raise RuntimeError(
+                f"engine stalled: {len(trace) - len(records)} requests "
+                "never finished (scheduler head permanently blocked)")
+
+        records.sort(key=lambda r: r.request_id)
+        makespan = max(r.finish_s for r in records)
+        metrics = ServingMetrics(
+            num_requests=len(records),
+            num_instances=self.num_instances,
+            num_nodes_per_instance=self.num_nodes_per_instance,
+            makespan_s=makespan,
+            generated_tokens=sum(r.decode_len for r in records),
+            queueing_delays_s=[r.queueing_delay_s for r in records],
+            end_to_end_latencies_s=[r.end_to_end_latency_s for r in records],
+            service_times_s=[r.service_time_s for r in records],
+            ttfts_s=[r.ttft_s for r in records if r.ttft_s is not None],
+            tpots_s=[r.tpot_s for r in records if r.ttft_s is not None],
+            preemptions=sum(r.preemptions for r in records),
+            policy=self.policy,
+        )
+        return metrics, records

@@ -26,7 +26,14 @@ def percentile(values: Sequence[float], fraction: float) -> float:
 
 @dataclass
 class ServingMetrics:
-    """Aggregate statistics of one serving simulation."""
+    """Aggregate statistics of one serving simulation.
+
+    The token-level fields (``ttfts_s``, ``tpots_s``, ``preemptions``) are
+    only populated by the step-granular engine
+    (:class:`repro.serving.engine.TokenServingEngine`); the whole-request
+    compatibility path leaves them empty because a request-sized service blob
+    has no interior token timestamps.
+    """
 
     num_requests: int
     num_instances: int
@@ -36,6 +43,10 @@ class ServingMetrics:
     queueing_delays_s: List[float] = field(default_factory=list)
     end_to_end_latencies_s: List[float] = field(default_factory=list)
     service_times_s: List[float] = field(default_factory=list)
+    ttfts_s: List[float] = field(default_factory=list)
+    tpots_s: List[float] = field(default_factory=list)
+    preemptions: int = 0
+    policy: str = "fifo-exclusive"
 
     # ------------------------------------------------------------------
     @property
@@ -67,6 +78,46 @@ class ServingMetrics:
     def latency_percentile_s(self, fraction: float) -> float:
         return percentile(self.end_to_end_latencies_s, fraction)
 
+    # ------------------------------------------------------------------
+    # token-level metrics (engine runs only)
+    # ------------------------------------------------------------------
+    @property
+    def mean_ttft_s(self) -> float:
+        if not self.ttfts_s:
+            return 0.0
+        return sum(self.ttfts_s) / len(self.ttfts_s)
+
+    def ttft_percentile_s(self, fraction: float) -> float:
+        """Time-to-first-token percentile (arrival to first generated token)."""
+        return percentile(self.ttfts_s, fraction)
+
+    def tpot_percentile_s(self, fraction: float) -> float:
+        """Time-per-output-token percentile (mean inter-token gap after the
+        first token, one value per request)."""
+        return percentile(self.tpots_s, fraction)
+
+    def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
+        """Fraction of requests meeting both the TTFT and TPOT SLOs.
+
+        Requires token-level data; with per-request lists of equal length the
+        i-th entries describe the same request (the engine emits them sorted
+        by request id).
+        """
+        if not self.ttfts_s:
+            return 0.0
+        paired = zip(self.ttfts_s,
+                     self.tpots_s or [0.0] * len(self.ttfts_s))
+        good = sum(1 for ttft, tpot in paired
+                   if ttft <= ttft_slo_s and tpot <= tpot_slo_s)
+        return good / len(self.ttfts_s)
+
+    def slo_goodput_rps(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
+        """SLO-meeting requests served per second of makespan."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return (self.slo_attainment(ttft_slo_s, tpot_slo_s)
+                * self.num_requests / self.makespan_s)
+
     def energy_joules(self, power_model: Optional[FpgaPowerModel] = None,
                       nodes_per_card: int = 2) -> float:
         """Total deployment energy over the makespan (all instances powered)."""
@@ -83,7 +134,7 @@ class ServingMetrics:
         return self.generated_tokens / energy
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "requests": float(self.num_requests),
             "makespan_s": self.makespan_s,
             "throughput_tok_s": self.throughput_tokens_per_second,
@@ -94,3 +145,14 @@ class ServingMetrics:
             "p99_latency_s": self.latency_percentile_s(0.99),
             "instance_utilization": self.instance_utilization,
         }
+        if self.ttfts_s:
+            out.update({
+                "mean_ttft_s": self.mean_ttft_s,
+                "p50_ttft_s": self.ttft_percentile_s(0.50),
+                "p95_ttft_s": self.ttft_percentile_s(0.95),
+                "p99_ttft_s": self.ttft_percentile_s(0.99),
+                "p50_tpot_s": self.tpot_percentile_s(0.50),
+                "p99_tpot_s": self.tpot_percentile_s(0.99),
+                "preemptions": float(self.preemptions),
+            })
+        return out

@@ -8,9 +8,21 @@ from repro.workloads.scenarios import (
     scenario_label,
     scenario_sweep,
 )
-from repro.workloads.traces import Request, RequestTrace, synthetic_trace
+from repro.workloads.traces import (
+    DEFAULT_TENANTS,
+    Request,
+    RequestTrace,
+    TenantSpec,
+    bursty_trace,
+    multi_tenant_trace,
+    synthetic_trace,
+)
 
 __all__ = [
+    "DEFAULT_TENANTS",
+    "TenantSpec",
+    "bursty_trace",
+    "multi_tenant_trace",
     "FIG8_SCENARIOS",
     "Scenario",
     "chatbot_scenarios",

@@ -20,11 +20,19 @@ from repro.workloads.scenarios import Scenario
 
 @dataclass(frozen=True)
 class Request:
-    """One request in a trace."""
+    """One request in a trace.
+
+    ``tenant`` and ``priority`` only matter to scheduler policies that look at
+    them (multi-tenant traces, the priority scheduler); the default values make
+    every request indistinguishable, so single-tenant traces are unaffected.
+    Higher ``priority`` values are more urgent.
+    """
 
     request_id: int
     arrival_s: float
     scenario: Scenario
+    tenant: str = "default"
+    priority: int = 0
 
     @property
     def prefill_len(self) -> int:
@@ -33,6 +41,10 @@ class Request:
     @property
     def decode_len(self) -> int:
         return self.scenario.decode_len
+
+    @property
+    def total_tokens(self) -> int:
+        return self.scenario.total_tokens
 
 
 @dataclass
@@ -56,10 +68,33 @@ class RequestTrace:
         return sum(r.decode_len for r in self.requests)
 
     @property
-    def duration_s(self) -> float:
+    def first_arrival_s(self) -> float:
+        if not self.requests:
+            return 0.0
+        return min(r.arrival_s for r in self.requests)
+
+    @property
+    def last_arrival_s(self) -> float:
         if not self.requests:
             return 0.0
         return max(r.arrival_s for r in self.requests)
+
+    @property
+    def duration_s(self) -> float:
+        """Span between the first and last arrival (0 for empty or
+        single-request traces)."""
+        if not self.requests:
+            return 0.0
+        return self.last_arrival_s - self.first_arrival_s
+
+    @property
+    def tenants(self) -> List[str]:
+        """Distinct tenants appearing in the trace, in first-seen order."""
+        seen: List[str] = []
+        for request in self.requests:
+            if request.tenant not in seen:
+                seen.append(request.tenant)
+        return seen
 
     def scenarios(self) -> List[Scenario]:
         return [r.scenario for r in self.requests]
@@ -87,11 +122,127 @@ def synthetic_trace(num_requests: int, seed: int = 0,
     requests: List[Request] = []
     arrival = 0.0
     for request_id in range(num_requests):
-        prefill = int(np.clip(rng.lognormal(np.log(mean_prefill), 0.5), 1,
-                              max_seq_len // 2))
-        decode_cap = max_seq_len - prefill - 1
-        decode = int(np.clip(rng.lognormal(np.log(mean_decode), 0.5), 1, decode_cap))
+        # draw the shape before the arrival gap: this is the historical RNG
+        # consumption order, so seeded traces stay bit-identical
+        scenario = _draw_scenario(rng, mean_prefill, mean_decode, max_seq_len)
         arrival += float(rng.exponential(1.0 / arrival_rate_per_s))
         requests.append(Request(request_id=request_id, arrival_s=arrival,
-                                scenario=Scenario(prefill, decode)))
+                                scenario=scenario))
+    return RequestTrace(requests=requests)
+
+
+def _draw_scenario(rng: np.random.Generator, mean_prefill: int, mean_decode: int,
+                   max_seq_len: int) -> Scenario:
+    """Draw one request shape from the clamped log-normal length model."""
+    prefill = int(np.clip(rng.lognormal(np.log(mean_prefill), 0.5), 1,
+                          max_seq_len // 2))
+    decode_cap = max_seq_len - prefill - 1
+    decode = int(np.clip(rng.lognormal(np.log(mean_decode), 0.5), 1, decode_cap))
+    return Scenario(prefill, decode)
+
+
+def bursty_trace(num_requests: int, seed: int = 0,
+                 mean_prefill: int = 64, mean_decode: int = 256,
+                 max_seq_len: int = 1024,
+                 burst_size: int = 8,
+                 burst_rate_per_s: float = 20.0,
+                 idle_gap_s: float = 4.0) -> RequestTrace:
+    """Bursty arrivals: tight clusters of requests separated by idle gaps.
+
+    Within a burst, inter-arrival times are exponential at
+    ``burst_rate_per_s`` (much faster than an instance can drain), then the
+    trace goes quiet for an exponential gap with mean ``idle_gap_s``.  This is
+    the arrival pattern where continuous batching shines: an exclusive
+    instance serializes the burst while a batching engine absorbs it.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if burst_size <= 0:
+        raise ValueError("burst_size must be positive")
+    if burst_rate_per_s <= 0 or idle_gap_s < 0:
+        raise ValueError("rates/gaps must be positive")
+    rng = np.random.default_rng(seed)
+    requests: List[Request] = []
+    arrival = 0.0
+    while len(requests) < num_requests:
+        burst = min(burst_size, num_requests - len(requests))
+        for _ in range(burst):
+            arrival += float(rng.exponential(1.0 / burst_rate_per_s))
+            requests.append(Request(
+                request_id=len(requests), arrival_s=arrival,
+                scenario=_draw_scenario(rng, mean_prefill, mean_decode,
+                                        max_seq_len)))
+        arrival += float(rng.exponential(idle_gap_s))
+    return RequestTrace(requests=requests)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Traffic profile of one tenant in a multi-tenant trace."""
+
+    name: str
+    arrival_rate_per_s: float = 1.0
+    mean_prefill: int = 64
+    mean_decode: int = 256
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.mean_prefill <= 0 or self.mean_decode <= 0:
+            raise ValueError("means must be positive")
+
+
+#: Default tenant mix: a latency-sensitive interactive tenant, a bulk batch
+#: tenant with long generations, and a background low-priority tenant.
+DEFAULT_TENANTS: tuple = (
+    TenantSpec("interactive", arrival_rate_per_s=1.5, mean_prefill=48,
+               mean_decode=96, priority=2),
+    TenantSpec("batch", arrival_rate_per_s=0.5, mean_prefill=128,
+               mean_decode=384, priority=1),
+    TenantSpec("background", arrival_rate_per_s=0.25, mean_prefill=64,
+               mean_decode=256, priority=0),
+)
+
+
+def multi_tenant_trace(num_requests: int, seed: int = 0,
+                       tenants: Sequence[TenantSpec] = DEFAULT_TENANTS,
+                       max_seq_len: int = 1024) -> RequestTrace:
+    """Merge independent Poisson streams of several tenants into one trace.
+
+    Each tenant has its own arrival rate, request-shape distribution and
+    priority; the merged trace is sorted by arrival time and request ids are
+    assigned in arrival order (so FIFO order equals id order).
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    rng = np.random.default_rng(seed)
+    total_rate = sum(t.arrival_rate_per_s for t in tenants)
+    # expected per-tenant share of the request budget
+    per_tenant = [max(1, round(num_requests * t.arrival_rate_per_s / total_rate))
+                  for t in tenants]
+    # settle rounding drift on the largest stream so the trace has exactly
+    # the requested number of requests
+    while sum(per_tenant) > num_requests:
+        per_tenant[per_tenant.index(max(per_tenant))] -= 1
+    while sum(per_tenant) < num_requests:
+        per_tenant[per_tenant.index(max(per_tenant))] += 1
+    merged: List[Request] = []
+    for spec, count in zip(tenants, per_tenant):
+        arrival = 0.0
+        for _ in range(count):
+            arrival += float(rng.exponential(1.0 / spec.arrival_rate_per_s))
+            merged.append(Request(
+                request_id=0, arrival_s=arrival,
+                scenario=_draw_scenario(rng, spec.mean_prefill,
+                                        spec.mean_decode, max_seq_len),
+                tenant=spec.name, priority=spec.priority))
+    merged.sort(key=lambda r: r.arrival_s)
+    requests = [Request(request_id=i, arrival_s=r.arrival_s, scenario=r.scenario,
+                        tenant=r.tenant, priority=r.priority)
+                for i, r in enumerate(merged)]
     return RequestTrace(requests=requests)

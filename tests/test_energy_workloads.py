@@ -19,7 +19,15 @@ from repro.workloads.scenarios import (
     scenario_label,
     scenario_sweep,
 )
-from repro.workloads.traces import RequestTrace, synthetic_trace
+from repro.workloads.traces import (
+    DEFAULT_TENANTS,
+    Request,
+    RequestTrace,
+    TenantSpec,
+    bursty_trace,
+    multi_tenant_trace,
+    synthetic_trace,
+)
 
 
 class TestEnergyArithmetic:
@@ -141,6 +149,61 @@ class TestTraces:
         assert trace.duration_s > 0
         assert len(trace.scenarios()) == 10
         assert RequestTrace().duration_s == 0.0
+
+    def test_duration_is_a_span_not_the_last_arrival(self):
+        """Regression: duration_s used to return the last arrival time."""
+        from repro.workloads.scenarios import Scenario
+
+        trace = RequestTrace(requests=[
+            Request(0, arrival_s=5.0, scenario=Scenario(8, 8)),
+            Request(1, arrival_s=7.5, scenario=Scenario(8, 8)),
+        ])
+        assert trace.first_arrival_s == 5.0
+        assert trace.last_arrival_s == 7.5
+        assert trace.duration_s == pytest.approx(2.5)
+        single = RequestTrace(requests=[
+            Request(0, arrival_s=9.0, scenario=Scenario(8, 8))])
+        assert single.duration_s == 0.0
+        assert RequestTrace().last_arrival_s == 0.0
+
+    def test_bursty_trace_clusters_arrivals(self):
+        trace = bursty_trace(24, seed=0, burst_size=8,
+                             burst_rate_per_s=50.0, idle_gap_s=10.0)
+        assert len(trace) == 24
+        gaps = [b.arrival_s - a.arrival_s
+                for a, b in zip(trace.requests, trace.requests[1:])]
+        # within-burst gaps are tiny, between-burst gaps are large
+        in_burst = sorted(gaps)[: len(gaps) - 2]
+        assert max(in_burst) < min(sorted(gaps)[-2:])
+        assert bursty_trace(24, seed=0).requests == bursty_trace(24, seed=0).requests
+
+    def test_bursty_trace_validation(self):
+        with pytest.raises(ValueError):
+            bursty_trace(0)
+        with pytest.raises(ValueError):
+            bursty_trace(5, burst_size=0)
+        with pytest.raises(ValueError):
+            bursty_trace(5, burst_rate_per_s=0)
+
+    def test_multi_tenant_trace_mixes_tenants(self):
+        trace = multi_tenant_trace(30, seed=1)
+        assert len(trace) == 30
+        assert set(trace.tenants) == {t.name for t in DEFAULT_TENANTS}
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+        priorities = {r.tenant: r.priority for r in trace}
+        assert priorities["interactive"] > priorities["background"]
+
+    def test_multi_tenant_trace_validation(self):
+        with pytest.raises(ValueError):
+            multi_tenant_trace(0)
+        with pytest.raises(ValueError):
+            multi_tenant_trace(5, tenants=())
+        with pytest.raises(ValueError):
+            TenantSpec("bad", arrival_rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec("")
 
     def test_arrivals_are_monotone(self):
         trace = synthetic_trace(30, seed=3)

@@ -176,10 +176,48 @@ class TestCli:
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_serve_command_reports_ttft_tpot(self, capsys):
+        assert main(["serve", "--trace", "bursty", "--requests", "16",
+                     "--policy", "fifo"]) == 0
+        out = capsys.readouterr().out
+        assert "p99_ttft_s" in out
+        assert "p50_tpot_s" in out
+        assert "SLO goodput" in out
+
+    def test_serve_command_compare_mode(self, capsys):
+        assert main(["serve", "--trace", "steady", "--requests", "10",
+                     "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo-exclusive" in out
+        assert "sjf" in out
+        assert "P99 TTFT" in out
+
+    def test_serve_command_multitenant_breakdown(self, capsys):
+        assert main(["serve", "--trace", "multitenant", "--requests", "12",
+                     "--policy", "priority", "--max-batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-tenant breakdown" in out
+        assert "interactive" in out
+
+    def test_serve_command_clean_errors(self, capsys):
+        assert main(["serve", "--requests", "0"]) == 2
+        assert "num_requests" in capsys.readouterr().err
+        assert main(["serve", "--kv-budget-mib", "1", "--requests", "4"]) == 2
+        assert "KV budget" in capsys.readouterr().err
+
+    def test_serve_command_kv_budget(self, capsys):
+        assert main(["serve", "--trace", "steady", "--requests", "8",
+                     "--policy", "fifo", "--kv-budget-mib", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_queue_delay_s" in out
+
     def test_parser_structure(self):
         parser = build_parser()
         args = parser.parse_args(["latency", "--nodes", "4"])
         assert args.nodes == 4
+        args = parser.parse_args(["serve", "--policy", "sjf",
+                                  "--kv-budget-mib", "256"])
+        assert args.policy == "sjf" and args.kv_budget_mib == 256
 
     def test_export_command(self, capsys, tmp_path):
         assert main(["export", "table1", "table3",
