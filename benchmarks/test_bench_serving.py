@@ -1,16 +1,23 @@
-"""Serving benchmarks: FIFO-exclusive vs token-level continuous batching.
+"""Serving benchmarks: FIFO-exclusive vs continuous batching, and
+reservation vs paged KV admission.
 
 Each benchmark serves the same trace under the whole-request FIFO-exclusive
 compatibility mode and under the continuous-batching engine, measuring the
-simulation cost and asserting the serving-quality relationship the engine
-exists to deliver: on every trace shape continuous batching sustains at least
-the exclusive throughput, and on the bursty trace it is strictly better on
-both throughput and mean queueing delay (the PR's acceptance criterion).
+simulation cost and asserting the serving-quality relationships the engine
+exists to deliver: continuous batching sustains at least the exclusive
+throughput everywhere and strictly wins on the bursty trace (PR 1), and —
+under an identical per-node KV byte budget — paged block allocation sustains
+a strictly higher steady-state batch occupancy than worst-case reservations
+while reservation mode itself reproduces the PR 1 numbers exactly (PR 2).
 """
 
 import pytest
 
+from repro.analysis.serving import run_policy
+from repro.core.multi_node import LoopLynxSystem
+from repro.memory.kv_cache import KVCacheLayout
 from repro.serving.engine import TokenServingEngine
+from repro.serving.schedulers import KVAdmissionController
 from repro.serving.simulator import ServingSimulator
 from repro.workloads.traces import bursty_trace, multi_tenant_trace, synthetic_trace
 
@@ -65,6 +72,69 @@ def test_bench_continuous_batching(benchmark, shape):
 
     metrics, _ = benchmark.pedantic(run, rounds=3, iterations=1)
     assert metrics.num_requests == len(trace)
+
+
+def _kv_budget_bytes(tokens, num_nodes=2):
+    """Per-node byte budget holding ``tokens`` cached positions for the
+    paper model — tight enough that the bursty burst contends for KV."""
+    system = LoopLynxSystem.paper_configuration(num_nodes=num_nodes)
+    layout = KVCacheLayout.for_model(system.config.model, num_nodes=num_nodes)
+    return tokens * layout.bytes_per_token_per_node()
+
+
+def test_bench_paged_kv_engine(benchmark):
+    """Simulation cost of the paged-KV engine with swap preemption."""
+    trace = _bursty()
+    budget = _kv_budget_bytes(640)
+
+    def run():
+        return run_policy(trace, "fifo", kv_budget_bytes=budget,
+                          kv_mode="paged", preemption_mode="swap")
+
+    metrics, _ = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert metrics.num_requests == len(trace)
+
+
+@pytest.mark.parametrize("preemption_mode", ["swap", "recompute"])
+def test_paged_beats_reservation_occupancy(preemption_mode):
+    """The PR's acceptance criterion: under the same per-node KV budget the
+    paged engine sustains strictly higher steady-state batch occupancy than
+    worst-case reservations on the bursty trace, and with swap-based
+    preemption it does so without giving up throughput."""
+    trace = _bursty()
+    budget = _kv_budget_bytes(640)
+    reserve, _ = run_policy(trace, "fifo", kv_budget_bytes=budget,
+                            kv_mode="reserve")
+    paged, _ = run_policy(trace, "fifo", kv_budget_bytes=budget,
+                          kv_mode="paged", preemption_mode=preemption_mode)
+    assert paged.mean_running_batch > reserve.mean_running_batch
+    assert paged.mean_kv_occupancy > 0
+    if preemption_mode == "swap":
+        assert (paged.throughput_tokens_per_second
+                >= reserve.throughput_tokens_per_second * 0.999)
+        assert paged.swap_in_count == paged.swap_out_count
+
+
+def test_reservation_mode_reproduces_pr1_exactly():
+    """``kv_mode="reserve"`` is the PR 1 admission controller, bit-identical:
+    the run_policy helper and a directly-constructed engine agree on every
+    timestamp."""
+    trace = _bursty()
+    budget = _kv_budget_bytes(640)
+    helper_metrics, helper_records = run_policy(
+        trace, "fifo", kv_budget_bytes=budget, kv_mode="reserve")
+    system = LoopLynxSystem.paper_configuration(num_nodes=2)
+    engine = TokenServingEngine(
+        num_instances=1, system=system, policy="fifo", max_batch_size=8,
+        kv_controller=KVAdmissionController.for_system(system,
+                                                       budget_bytes=budget))
+    direct_metrics, direct_records = engine.run(trace)
+    assert helper_metrics.makespan_s == direct_metrics.makespan_s
+    assert helper_metrics.kv_mode == "reserve"
+    assert helper_metrics.swap_out_count == 0
+    for a, b in zip(helper_records, direct_records):
+        assert (a.admitted_s, a.first_token_s, a.finish_s) == \
+            (b.admitted_s, b.first_token_s, b.finish_s)
 
 
 @pytest.mark.parametrize("shape", sorted(TRACES))

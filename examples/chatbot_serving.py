@@ -106,8 +106,32 @@ def engine_study():
     tenant_trace = multi_tenant_trace(num_requests=30, seed=13)
     _, records = run_policy(tenant_trace, "priority", num_instances=1,
                             max_batch_size=4)
-    print(format_table(tenant_breakdown(records),
+    # pass the trace's tenant list so a tenant that completed nothing (or
+    # generated no tokens) still shows up as a zeroed row instead of being
+    # silently dropped from the table
+    print(format_table(tenant_breakdown(records, tenants=tenant_trace.tenants),
                        title="Multi-tenant trace under the priority scheduler"))
+
+
+def paged_kv_study():
+    """Reservation vs paged KV admission under the same tight per-node HBM
+    budget: on-demand block allocation packs a larger running batch (and
+    swap-based preemption keeps throughput) where worst-case reservations
+    leave the batch half empty."""
+    from repro.analysis.serving import kv_mode_comparison
+    from repro.memory.kv_cache import KVCacheLayout
+    from repro.workloads.traces import bursty_trace
+
+    system = LoopLynxSystem.paper_configuration(num_nodes=2)
+    layout = KVCacheLayout.for_model(system.config.model, num_nodes=2)
+    budget = 640 * layout.bytes_per_token_per_node()
+    trace = bursty_trace(num_requests=32, seed=11, mean_prefill=48,
+                         mean_decode=160, burst_size=8)
+    rows = kv_mode_comparison(trace, budget, policy="fifo", num_instances=1,
+                              max_batch_size=8)
+    print(format_table(
+        rows, title=f"Bursty trace under a {budget / (1 << 20):.0f} MiB/node "
+                    "KV budget: reservation vs paged admission"))
 
 
 def main() -> None:
@@ -117,6 +141,8 @@ def main() -> None:
     trace_study()
     print()
     engine_study()
+    print()
+    paged_kv_study()
 
 
 if __name__ == "__main__":

@@ -23,6 +23,8 @@ from repro.analysis.footprint import (
 )
 from repro.analysis.report import format_table, render_markdown_table
 from repro.analysis.serving import (
+    KV_MODES,
+    kv_mode_comparison,
     metrics_row,
     policy_comparison,
     run_policy,
@@ -51,6 +53,8 @@ __all__ = [
     "summarize_gpu_comparison",
     "format_table",
     "render_markdown_table",
+    "KV_MODES",
+    "kv_mode_comparison",
     "metrics_row",
     "policy_comparison",
     "run_policy",

@@ -11,35 +11,64 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.multi_node import LoopLynxSystem
+from repro.memory.paged_kv import PagedKVManager
 from repro.serving.engine import TokenServingEngine
 from repro.serving.schedulers import KVAdmissionController
 from repro.serving.simulator import FIFO_EXCLUSIVE, ServingSimulator
 from repro.workloads.traces import RequestTrace
+
+#: KV capacity regimes accepted by :func:`run_policy` and the serve CLI.
+KV_MODES = ("reserve", "paged")
 
 
 def run_policy(trace: RequestTrace, policy: str,
                num_instances: int = 1, num_nodes_per_instance: int = 2,
                max_batch_size: int = 8,
                kv_budget_bytes: Optional[int] = None,
+               kv_mode: str = "reserve",
+               kv_block_size: int = 16,
+               preemption_mode: str = "swap",
                **engine_kwargs):
     """Run ``trace`` under one policy and return ``(metrics, records)``.
 
     ``policy`` may be ``fifo-exclusive`` (whole-request compatibility mode;
     it serves one request at a time, so ``max_batch_size`` does not apply and
-    a KV budget is rejected rather than silently ignored) or any token-level
-    policy; ``kv_budget_bytes`` enables the KV-capacity admission controller
-    (per-node byte budget).
+    KV options are rejected rather than silently ignored) or any token-level
+    policy.
+
+    KV capacity is controlled by ``kv_mode``:
+
+    * ``"reserve"`` — with ``kv_budget_bytes`` set, the PR 1 worst-case
+      reservation controller gates admission (per-node byte budget); with no
+      budget, admission is unconstrained.  This mode is bit-identical to the
+      engine before paged allocation existed.
+    * ``"paged"`` — a :class:`~repro.memory.paged_kv.PagedKVManager` with
+      ``kv_block_size``-token blocks allocates on demand;
+      ``kv_budget_bytes`` defaults to the node's full HBM share net of
+      weights.  ``preemption_mode`` picks what eviction does to a victim's
+      blocks (``"swap"`` to host over PCIe, ``"recompute"`` discard).
     """
+    if kv_mode not in KV_MODES:
+        raise ValueError(f"unknown kv mode {kv_mode!r}; "
+                         f"known: {', '.join(KV_MODES)}")
     if policy == FIFO_EXCLUSIVE:
-        if kv_budget_bytes is not None:
+        if kv_budget_bytes is not None or kv_mode == "paged":
             raise ValueError(
                 "fifo-exclusive has no KV admission control; drop the KV "
-                "budget or pick a token-level policy")
+                "options or pick a token-level policy")
         simulator = ServingSimulator(num_instances=num_instances,
                                      num_nodes_per_instance=num_nodes_per_instance)
         return simulator.run(trace)
     kv_controller = None
-    if kv_budget_bytes is not None:
+    kv_block_manager = None
+    if kv_mode == "paged":
+        system = LoopLynxSystem.paper_configuration(
+            num_nodes=num_nodes_per_instance)
+        kv_block_manager = PagedKVManager.for_system(
+            system, block_size_tokens=kv_block_size,
+            budget_bytes=kv_budget_bytes)
+        engine_kwargs = dict(engine_kwargs, system=system)
+    elif kv_budget_bytes is not None:
         system = LoopLynxSystem.paper_configuration(
             num_nodes=num_nodes_per_instance)
         kv_controller = KVAdmissionController.for_system(
@@ -48,7 +77,10 @@ def run_policy(trace: RequestTrace, policy: str,
     engine = TokenServingEngine(num_instances=num_instances,
                                 num_nodes_per_instance=num_nodes_per_instance,
                                 policy=policy, max_batch_size=max_batch_size,
-                                kv_controller=kv_controller, **engine_kwargs)
+                                kv_controller=kv_controller,
+                                kv_block_manager=kv_block_manager,
+                                preemption_mode=preemption_mode,
+                                **engine_kwargs)
     return engine.run(trace)
 
 
@@ -68,6 +100,11 @@ def metrics_row(label: str, metrics) -> Dict[str, object]:
         row["P50 TPOT (s)"] = summary["p50_tpot_s"]
         if metrics.preemptions:
             row["Preemptions"] = metrics.preemptions
+    if metrics.mean_running_batch > 0:
+        row["Mean batch"] = metrics.mean_running_batch
+    if metrics.kv_mode == "paged":
+        row["KV occupancy"] = metrics.mean_kv_occupancy
+        row["Swaps"] = metrics.swap_out_count
     return row
 
 
@@ -76,28 +113,75 @@ def policy_comparison(trace: RequestTrace,
                       num_instances: int = 1,
                       num_nodes_per_instance: int = 2,
                       max_batch_size: int = 8,
-                      kv_budget_bytes: Optional[int] = None
+                      kv_budget_bytes: Optional[int] = None,
+                      kv_mode: str = "reserve",
+                      kv_block_size: int = 16,
+                      preemption_mode: str = "swap"
                       ) -> List[Dict[str, object]]:
     """Serve the same trace under each policy and tabulate the summaries.
 
-    With a KV budget, ``fifo-exclusive`` is excluded (it has no admission
-    control, so its row would not be comparable to the constrained ones).
+    The KV options mirror :func:`run_policy` and apply to every token-level
+    row.  With a KV budget or paged mode, ``fifo-exclusive`` is excluded
+    (it has no admission control, so its row would not be comparable to the
+    constrained ones).
     """
     rows = []
-    if kv_budget_bytes is not None:
+    if kv_budget_bytes is not None or kv_mode == "paged":
         policies = [p for p in policies if p != FIFO_EXCLUSIVE]
     for policy in policies:
         metrics, _ = run_policy(trace, policy, num_instances=num_instances,
                                 num_nodes_per_instance=num_nodes_per_instance,
                                 max_batch_size=max_batch_size,
-                                kv_budget_bytes=kv_budget_bytes)
+                                kv_budget_bytes=kv_budget_bytes,
+                                kv_mode=kv_mode, kv_block_size=kv_block_size,
+                                preemption_mode=preemption_mode)
         rows.append(metrics_row(policy, metrics))
     return rows
 
 
-def tenant_breakdown(records) -> List[Dict[str, object]]:
-    """Per-tenant latency/TTFT means from token-level request records."""
-    by_tenant: Dict[str, list] = {}
+def kv_mode_comparison(trace: RequestTrace, kv_budget_bytes: int,
+                       policy: str = "fifo",
+                       num_instances: int = 1,
+                       num_nodes_per_instance: int = 2,
+                       max_batch_size: int = 8,
+                       kv_block_size: int = 16,
+                       preemption_mode: str = "swap"
+                       ) -> List[Dict[str, object]]:
+    """Serve one trace under the same KV byte budget in reservation mode and
+    paged mode (plus paged/recompute when ``preemption_mode`` is ``swap``)
+    and tabulate the summaries side by side.
+
+    This is the comparison the paged subsystem exists to win: with identical
+    capacity, on-demand block allocation sustains a higher running batch than
+    worst-case reservations.
+    """
+    configs = [("reserve", "reserve", "swap"),
+               (f"paged/{preemption_mode}", "paged", preemption_mode)]
+    if preemption_mode == "swap":
+        configs.append(("paged/recompute", "paged", "recompute"))
+    rows = []
+    for label, kv_mode, mode in configs:
+        metrics, _ = run_policy(trace, policy, num_instances=num_instances,
+                                num_nodes_per_instance=num_nodes_per_instance,
+                                max_batch_size=max_batch_size,
+                                kv_budget_bytes=kv_budget_bytes,
+                                kv_mode=kv_mode, kv_block_size=kv_block_size,
+                                preemption_mode=mode)
+        row = metrics_row(label, metrics)
+        rows.append(row)
+    return rows
+
+
+def tenant_breakdown(records, tenants: Optional[Sequence[str]] = None
+                     ) -> List[Dict[str, object]]:
+    """Per-tenant latency/TTFT means from token-level request records.
+
+    ``tenants`` optionally names the tenants expected in the workload (e.g.
+    ``trace.tenants``): a tenant with no completed requests — or none that
+    generated a token — still gets a row with zeroed means instead of being
+    silently dropped, so starvation is visible rather than invisible.
+    """
+    by_tenant: Dict[str, list] = {name: [] for name in (tenants or ())}
     for record in records:
         by_tenant.setdefault(record.tenant, []).append(record)
     rows = []
@@ -109,7 +193,7 @@ def tenant_breakdown(records) -> List[Dict[str, object]]:
             "Requests": len(group),
             "Mean TTFT (s)": sum(ttfts) / len(ttfts) if ttfts else 0.0,
             "Mean latency (s)": (sum(r.end_to_end_latency_s for r in group)
-                                 / len(group)),
+                                 / len(group)) if group else 0.0,
             "Preemptions": sum(r.preemptions for r in group),
         })
     return rows

@@ -10,6 +10,8 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro.cli scaling --max-nodes 8     # node-count sweep
     python -m repro.cli utilization               # Fig. 3 style area-utilization
     python -m repro.cli serve --trace bursty --policy fifo   # token-level serving
+    python -m repro.cli serve --kv-mode paged --kv-budget-mib 32 --trace bursty
+    python -m repro.cli serve --compare-kv --kv-budget-mib 32 --trace bursty
 
 Every subcommand prints plain-text tables (no plotting dependencies).
 """
@@ -108,8 +110,8 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.analysis.serving import (policy_comparison, run_policy,
-                                        tenant_breakdown)
+    from repro.analysis.serving import (kv_mode_comparison, policy_comparison,
+                                        run_policy, tenant_breakdown)
     from repro.workloads.traces import (bursty_trace, multi_tenant_trace,
                                         synthetic_trace)
 
@@ -128,27 +130,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     title = (f"Serving {len(trace)} {args.trace} requests on "
              f"{args.instances}x {args.nodes}-node instances")
     try:
+        if args.compare_kv:
+            if kv_budget is None:
+                print("serve: --compare-kv needs --kv-budget-mib (the same "
+                      "budget is applied to both KV modes)", file=sys.stderr)
+                return 2
+            rows = kv_mode_comparison(
+                trace, kv_budget, policy=args.policy,
+                num_instances=args.instances,
+                num_nodes_per_instance=args.nodes,
+                max_batch_size=args.max_batch,
+                kv_block_size=args.kv_block_size,
+                preemption_mode=args.preemption_mode)
+            print(format_table(
+                rows, title=f"{title} — reservation vs paged KV "
+                            f"({args.kv_budget_mib} MiB/node)"))
+            return 0
         if args.compare:
             rows = policy_comparison(
                 trace, policies=("fifo-exclusive", "fifo", "sjf"),
                 num_instances=args.instances,
                 num_nodes_per_instance=args.nodes,
-                max_batch_size=args.max_batch, kv_budget_bytes=kv_budget)
-            print(format_table(rows, title=f"{title} — policy comparison"))
-            if kv_budget is not None:
+                max_batch_size=args.max_batch, kv_budget_bytes=kv_budget,
+                kv_mode=args.kv_mode, kv_block_size=args.kv_block_size,
+                preemption_mode=args.preemption_mode)
+            print(format_table(
+                rows, title=f"{title} — policy comparison "
+                            f"(KV {args.kv_mode})"))
+            if kv_budget is not None or args.kv_mode == "paged":
                 print("\n(fifo-exclusive omitted: it has no KV admission "
                       "control to constrain)")
             return 0
         metrics, records = run_policy(
             trace, args.policy, num_instances=args.instances,
             num_nodes_per_instance=args.nodes, max_batch_size=args.max_batch,
-            kv_budget_bytes=kv_budget)
+            kv_budget_bytes=kv_budget, kv_mode=args.kv_mode,
+            kv_block_size=args.kv_block_size,
+            preemption_mode=args.preemption_mode)
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
     rows = [{"Metric": name, "Value": value}
             for name, value in metrics.summary().items()]
-    print(format_table(rows, title=f"{title} — policy {args.policy!r}"))
+    print(format_table(rows, title=f"{title} — policy {args.policy!r}, "
+                                   f"KV {metrics.kv_mode}"))
     if metrics.ttfts_s:
         slo = metrics.slo_goodput_rps(args.ttft_slo, args.tpot_slo)
         print(f"\nSLO goodput (TTFT<={args.ttft_slo}s, TPOT<={args.tpot_slo}s): "
@@ -157,7 +182,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "of requests)")
     if args.trace == "multitenant" and metrics.ttfts_s:
         print()
-        print(format_table(tenant_breakdown(records), title="Per-tenant breakdown"))
+        print(format_table(tenant_breakdown(records, tenants=trace.tenants),
+                           title="Per-tenant breakdown"))
     return 0
 
 
@@ -218,13 +244,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--max-batch", type=int, default=8,
                      help="decode-batch ceiling per instance")
     sub.add_argument("--kv-budget-mib", type=int, default=None,
-                     help="per-node KV-cache budget (MiB); enables admission control")
+                     help="per-node KV-cache budget (MiB); enables admission "
+                          "control (reserve mode) and caps the block pool "
+                          "(paged mode)")
+    sub.add_argument("--kv-mode", choices=("reserve", "paged"),
+                     default="reserve",
+                     help="KV capacity regime: worst-case reservations "
+                          "(PR 1 behaviour) or on-demand paged blocks")
+    sub.add_argument("--kv-block-size", type=int, default=16,
+                     help="cached token positions per paged KV block")
+    sub.add_argument("--preemption-mode", choices=("swap", "recompute"),
+                     default="swap",
+                     help="paged-mode eviction: swap blocks to host over "
+                          "PCIe and resume, or discard and recompute prefill")
     sub.add_argument("--ttft-slo", type=float, default=2.0,
                      help="TTFT SLO in seconds for goodput reporting")
     sub.add_argument("--tpot-slo", type=float, default=0.05,
                      help="TPOT SLO in seconds for goodput reporting")
     sub.add_argument("--compare", action="store_true",
                      help="tabulate fifo-exclusive vs fifo vs sjf instead")
+    sub.add_argument("--compare-kv", action="store_true",
+                     help="tabulate reservation vs paged KV under the same "
+                          "budget instead (needs --kv-budget-mib)")
     sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser("export", help="save experiment results as JSON")

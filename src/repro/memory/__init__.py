@@ -11,7 +11,10 @@ simulation that "fully accounts for the per-channel HBM bandwidth (peak
 * :mod:`repro.memory.buffer` — the on-chip shared buffer through which kernels
   exchange activations (also the target of ring-network writes);
 * :mod:`repro.memory.kv_cache` — head-wise partitioned key/value cache layout
-  and the functional cache used by the NumPy GPT-2 reference.
+  and the functional cache used by the NumPy GPT-2 reference;
+* :mod:`repro.memory.paged_kv` — fixed-size-block KV allocator with a
+  modeled host-memory swap tier (PCIe-priced), used by the serving engine's
+  paged admission mode.
 """
 
 from repro.memory.hbm import (
@@ -25,6 +28,12 @@ from repro.memory.hbm import (
 )
 from repro.memory.buffer import SharedBuffer
 from repro.memory.kv_cache import KVCache, KVCacheLayout, partition_heads
+from repro.memory.paged_kv import (
+    BlockTable,
+    DEFAULT_HOST_LINK,
+    PCIE_SWAP_BANDWIDTH_BYTES_PER_S,
+    PagedKVManager,
+)
 
 __all__ = [
     "ALVEO_U50_HBM_BYTES",
@@ -38,4 +47,8 @@ __all__ = [
     "KVCache",
     "KVCacheLayout",
     "partition_heads",
+    "BlockTable",
+    "DEFAULT_HOST_LINK",
+    "PCIE_SWAP_BANDWIDTH_BYTES_PER_S",
+    "PagedKVManager",
 ]

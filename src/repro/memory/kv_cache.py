@@ -79,6 +79,16 @@ class KVCacheLayout:
         if self.num_nodes <= 0 or self.num_nodes > self.num_heads:
             raise ValueError("invalid node count for head-wise partitioning")
 
+    @classmethod
+    def for_model(cls, model, num_nodes: int = 1,
+                  bytes_per_element: int = 1) -> "KVCacheLayout":
+        """Layout for a model config (anything exposing ``num_layers``,
+        ``num_heads``, ``head_dim``, ``max_seq_len``) head-partitioned
+        across ``num_nodes``."""
+        return cls(num_layers=model.num_layers, num_heads=model.num_heads,
+                   head_dim=model.head_dim, max_seq_len=model.max_seq_len,
+                   bytes_per_element=bytes_per_element, num_nodes=num_nodes)
+
     @property
     def heads_per_node(self) -> int:
         """Heads owned by the most-loaded node."""

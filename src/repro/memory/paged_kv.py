@@ -1,0 +1,359 @@
+"""Paged KV-cache block manager with a modeled host-memory swap tier.
+
+PR 1's :class:`~repro.serving.schedulers.KVAdmissionController` admits a
+request only when its *worst-case* context (``prefill_len + decode_len``
+cached positions) fits the free KV capacity.  That reservation is safe but
+pessimistic: a request that will eventually hold 500 positions occupies all
+500 from its first prefill chunk, so steady-state batch occupancy is capped
+well below what the HBM actually holds at any instant.
+
+Production engines (vLLM, rtp-llm) instead allocate the cache in fixed-size
+**token blocks** on demand: a request holds only the blocks covering the
+positions it has actually cached, growing block-by-block as decode proceeds.
+This module models that scheme on top of the head-wise
+:class:`~repro.memory.kv_cache.KVCacheLayout`:
+
+* a **block** spans ``block_size_tokens`` cached positions; on every node it
+  occupies ``block_size_tokens * layout.bytes_per_token_per_node()`` bytes
+  (each node stores the K/V vectors of the heads it owns for those
+  positions, so one logical block is physically striped across nodes);
+* every request has a **block table** mapping it to the device blocks it
+  holds plus the number of positions actually cached (the last block is
+  usually partially filled — *internal fragmentation*);
+* when the device pool runs dry, a victim's blocks can be **swapped** to a
+  modeled host-memory tier over PCIe
+  (:func:`PagedKVManager.swap_transfer_s` prices the transfer with the same
+  :class:`~repro.network.link.LinkConfig` cycle model the ring links use)
+  and later swapped back in, resuming the request without recomputation.
+
+Units: capacities are counted in blocks and cached token positions per node
+(the most-loaded node under uneven head splits), byte figures are per-node
+unless suffixed ``_total``, and all transfer times are seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.memory.hbm import kv_budget_bytes_per_node
+from repro.memory.kv_cache import KVCacheLayout
+from repro.network.link import LinkConfig
+
+#: Effective bandwidth of the host link used for KV swaps.  The Alveo U50 is
+#: a PCIe Gen3 x16 card: 15.754 GB/s raw, derated to ~12 GB/s sustained DMA
+#: throughput (the usual fraction achieved by streaming DMA engines).
+PCIE_SWAP_BANDWIDTH_BYTES_PER_S = 12.0e9
+
+#: Default host link: PCIe bandwidth, kernel clock for cycle accounting, and
+#: a generous per-message latency (descriptor setup + doorbell + interrupt).
+DEFAULT_HOST_LINK = LinkConfig(
+    bandwidth_bytes_per_s=PCIE_SWAP_BANDWIDTH_BYTES_PER_S,
+    clock_hz=285.0e6,
+    hop_latency_cycles=2048,
+    datapack_bytes=64,
+)
+
+
+@dataclass
+class BlockTable:
+    """Per-request block accounting.
+
+    Attributes
+    ----------
+    request_id:
+        The owning request.
+    device_blocks:
+        Ids of the fixed-size blocks this request holds in device HBM.
+    host_blocks:
+        Number of blocks currently parked in the host-memory swap tier
+        (host capacity is modeled as unbounded, so ids are not tracked).
+    cached_tokens:
+        Cached positions the table covers (≤ ``len(device_blocks) *
+        block_size``; the shortfall in the last block is internal
+        fragmentation).
+    """
+
+    request_id: int
+    device_blocks: List[int] = field(default_factory=list)
+    host_blocks: int = 0
+    cached_tokens: int = 0
+
+    @property
+    def is_swapped(self) -> bool:
+        return self.host_blocks > 0
+
+
+class PagedKVManager:
+    """Fixed-size-block KV allocator for one serving instance.
+
+    Parameters
+    ----------
+    layout:
+        Head-wise cache layout (gives bytes per cached token per node).
+    block_size_tokens:
+        Cached positions per block.  Smaller blocks waste less capacity on
+        partially-filled tails but mean more allocation churn; 16–32 is the
+        production sweet spot.
+    budget_bytes:
+        Per-node HBM byte budget for the cache; defaults to the layout's
+        full-sequence footprint (same default as
+        :class:`~repro.serving.schedulers.KVAdmissionController`).
+    host_link:
+        :class:`~repro.network.link.LinkConfig` pricing block swaps over
+        PCIe; ``None`` uses :data:`DEFAULT_HOST_LINK`.
+    nodes_per_card:
+        Accelerator nodes sharing one card (and therefore one PCIe link);
+        swaps of a multi-card deployment proceed card-parallel.
+    """
+
+    def __init__(self, layout: KVCacheLayout, block_size_tokens: int = 16,
+                 budget_bytes: Optional[int] = None,
+                 host_link: Optional[LinkConfig] = None,
+                 nodes_per_card: int = 2) -> None:
+        if block_size_tokens <= 0:
+            raise ValueError("block_size_tokens must be positive")
+        if nodes_per_card <= 0:
+            raise ValueError("nodes_per_card must be positive")
+        self.layout = layout
+        self.block_size_tokens = int(block_size_tokens)
+        if budget_bytes is None:
+            budget_bytes = layout.capacity_bytes_per_node()
+        if budget_bytes < 0:
+            raise ValueError("budget cannot be negative")
+        self.budget_bytes = int(budget_bytes)
+        self.host_link = host_link or DEFAULT_HOST_LINK
+        self.nodes_per_card = int(nodes_per_card)
+        capacity_tokens = layout.max_cached_tokens(self.budget_bytes)
+        #: Total device blocks in the pool (per node; every node holds its
+        #: head-share of each block, so the count is uniform across nodes).
+        self.total_blocks = capacity_tokens // self.block_size_tokens
+        self._free: List[int] = list(range(self.total_blocks - 1, -1, -1))
+        self._tables: Dict[int, BlockTable] = {}
+        # lifetime counters (monotonic; survive free())
+        self.peak_used_blocks = 0
+        self.swap_out_count = 0
+        self.swap_in_count = 0
+        self.swapped_bytes_total = 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def for_system(system, block_size_tokens: int = 16,
+                   budget_bytes: Optional[int] = None,
+                   kv_bytes_per_element: int = 1,
+                   host_link: Optional[LinkConfig] = None) -> "PagedKVManager":
+        """Build a manager for a :class:`~repro.core.multi_node.LoopLynxSystem`.
+
+        ``budget_bytes`` defaults to the node's HBM share net of resident
+        weights (:func:`~repro.memory.hbm.kv_budget_bytes_per_node`), the
+        same default the reservation controller uses — so reserve vs. paged
+        comparisons run against identical capacity.
+        """
+        layout = KVCacheLayout.for_model(
+            system.config.model, num_nodes=system.num_nodes,
+            bytes_per_element=kv_bytes_per_element)
+        if budget_bytes is None:
+            budget_bytes = kv_budget_bytes_per_node(
+                system.node.weight_bytes_per_token(),
+                nodes_per_card=system.config.nodes_per_card)
+        return PagedKVManager(layout, block_size_tokens=block_size_tokens,
+                              budget_bytes=budget_bytes, host_link=host_link,
+                              nodes_per_card=system.config.nodes_per_card)
+
+    def clone_empty(self) -> "PagedKVManager":
+        """A fresh manager with the same configuration and no allocations
+        (the engine gives each instance, and each run, its own pool)."""
+        return PagedKVManager(self.layout, self.block_size_tokens,
+                              self.budget_bytes, self.host_link,
+                              self.nodes_per_card)
+
+    # ------------------------------------------------------------------
+    # sizes and occupancy
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_block_per_node(self) -> int:
+        """HBM bytes one block occupies on each node (its head-share of
+        ``block_size_tokens`` cached positions)."""
+        return self.block_size_tokens * self.layout.bytes_per_token_per_node()
+
+    @property
+    def used_blocks(self) -> int:
+        return self.total_blocks - len(self._free)
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Fraction of the device block pool currently allocated."""
+        if self.total_blocks == 0:
+            return 0.0
+        return self.used_blocks / self.total_blocks
+
+    @property
+    def internal_fragmentation_fraction(self) -> float:
+        """Fraction of allocated block capacity not covering cached tokens
+        (partially-filled tail blocks of device-resident requests)."""
+        allocated_tokens = sum(
+            len(t.device_blocks) for t in self._tables.values()
+        ) * self.block_size_tokens
+        if allocated_tokens == 0:
+            return 0.0
+        cached = sum(t.cached_tokens for t in self._tables.values()
+                     if not t.is_swapped)
+        return 1.0 - cached / allocated_tokens
+
+    def blocks_needed(self, num_tokens: int) -> int:
+        """Blocks covering ``num_tokens`` cached positions."""
+        if num_tokens < 0:
+            raise ValueError("negative token count")
+        return -(-num_tokens // self.block_size_tokens)
+
+    def holds(self, request_id: int) -> bool:
+        return request_id in self._tables
+
+    def table(self, request_id: int) -> BlockTable:
+        return self._tables[request_id]
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def blocks_missing(self, request_id: int, target_tokens: int) -> int:
+        """Device blocks ``request_id`` still lacks to cover
+        ``target_tokens`` cached positions (0 when already covered).  This
+        is the single source of truth for the engine's admission gate and
+        its eviction what-if check."""
+        held = len(self._tables[request_id].device_blocks) \
+            if request_id in self._tables else 0
+        return max(0, self.blocks_needed(target_tokens) - held)
+
+    def can_allocate(self, request_id: int, target_tokens: int) -> bool:
+        """Would :meth:`allocate` for ``target_tokens`` positions succeed?"""
+        return self.blocks_missing(request_id, target_tokens) <= self.free_blocks
+
+    def allocate(self, request_id: int, target_tokens: int) -> bool:
+        """Grow ``request_id``'s block table to cover ``target_tokens``
+        cached positions; allocation is all-or-nothing (no partial grow).
+
+        Returns False without side effects when the free pool cannot supply
+        the missing blocks — the caller must preempt someone and retry.
+        """
+        table = self._tables.setdefault(request_id, BlockTable(request_id))
+        if table.is_swapped:
+            raise RuntimeError(
+                f"request {request_id} is swapped out; swap_in() it first")
+        missing = self.blocks_needed(target_tokens) - len(table.device_blocks)
+        if missing > len(self._free):
+            return False
+        for _ in range(max(missing, 0)):
+            table.device_blocks.append(self._free.pop())
+        table.cached_tokens = max(table.cached_tokens, target_tokens)
+        self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
+        return True
+
+    def free(self, request_id: int) -> int:
+        """Release every block (device and host) a request holds; returns
+        the number of device blocks returned to the pool."""
+        table = self._tables.pop(request_id, None)
+        if table is None:
+            return 0
+        released = len(table.device_blocks)
+        self._free.extend(reversed(table.device_blocks))
+        return released
+
+    # ------------------------------------------------------------------
+    # swap tier
+    # ------------------------------------------------------------------
+    def swap_out(self, request_id: int) -> Tuple[int, int]:
+        """Move a request's device blocks to the host tier.
+
+        Returns ``(num_blocks, bytes_total)`` where ``bytes_total`` is the
+        PCIe traffic summed over all nodes.  The request keeps its cached
+        token count, so it can resume without recomputation after
+        :meth:`swap_in`.
+        """
+        table = self._tables[request_id]
+        if table.is_swapped:
+            raise RuntimeError(f"request {request_id} is already swapped out")
+        num_blocks = len(table.device_blocks)
+        self._free.extend(reversed(table.device_blocks))
+        table.device_blocks = []
+        table.host_blocks = num_blocks
+        bytes_total = self._swap_bytes_total(num_blocks)
+        self.swap_out_count += 1
+        self.swapped_bytes_total += bytes_total
+        return num_blocks, bytes_total
+
+    def can_swap_in(self, request_id: int) -> bool:
+        table = self._tables.get(request_id)
+        if table is None or not table.is_swapped:
+            return False
+        return table.host_blocks <= self.free_blocks
+
+    def swap_in(self, request_id: int) -> Tuple[int, int]:
+        """Bring a swapped request's blocks back to the device.
+
+        Returns ``(num_blocks, bytes_total)``; raises when the free pool is
+        too small (check :meth:`can_swap_in` first).
+        """
+        table = self._tables[request_id]
+        if not table.is_swapped:
+            raise RuntimeError(f"request {request_id} is not swapped out")
+        if table.host_blocks > len(self._free):
+            raise RuntimeError(
+                f"cannot swap request {request_id} in: needs "
+                f"{table.host_blocks} blocks, {len(self._free)} free")
+        num_blocks = table.host_blocks
+        for _ in range(num_blocks):
+            table.device_blocks.append(self._free.pop())
+        table.host_blocks = 0
+        bytes_total = self._swap_bytes_total(num_blocks)
+        self.swap_in_count += 1
+        self.swapped_bytes_total += bytes_total
+        self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
+        return num_blocks, bytes_total
+
+    def _swap_bytes_total(self, num_blocks: int) -> int:
+        """PCIe bytes to move ``num_blocks`` blocks, summed over all nodes
+        (each node transfers its own head-share)."""
+        return num_blocks * self.bytes_per_block_per_node * self.layout.num_nodes
+
+    def swap_transfer_s(self, num_blocks: int) -> float:
+        """Seconds to move ``num_blocks`` blocks between device and host.
+
+        Nodes on the same card share one PCIe link; cards transfer in
+        parallel, so the makespan is the per-card share priced by the host
+        :class:`~repro.network.link.LinkConfig` cycle model.
+        """
+        if num_blocks < 0:
+            raise ValueError("negative block count")
+        if num_blocks == 0:
+            return 0.0
+        bytes_total = self._swap_bytes_total(num_blocks)
+        num_cards = -(-self.layout.num_nodes // self.nodes_per_card)
+        per_card = -(-bytes_total // num_cards)
+        stream_cycles = per_card / self.host_link.bytes_per_cycle
+        cycles = stream_cycles + self.host_link.hop_latency_cycles
+        return cycles / self.host_link.clock_hz
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def max_request_tokens(self, request) -> int:
+        """Cached positions a request occupies at its maximum context."""
+        return min(request.prefill_len + request.decode_len,
+                   self.layout.max_seq_len)
+
+    def validate(self, requests: Iterable) -> None:
+        """Reject traces containing a request whose maximum context cannot
+        fit the device pool even running alone (it could never finish)."""
+        for request in requests:
+            needed = self.blocks_needed(self.max_request_tokens(request))
+            if needed > self.total_blocks:
+                raise ValueError(
+                    f"request {request.request_id} needs {needed} KV blocks "
+                    f"at full context but the pool only has "
+                    f"{self.total_blocks}")

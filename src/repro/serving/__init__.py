@@ -7,16 +7,22 @@ energy.  This package simulates a pool of LoopLynx instances fed from a
 request trace at two granularities:
 
 * :mod:`repro.serving.engine` — the token-level engine: continuous batching,
-  pluggable schedulers, KV-capacity admission, preemption;
+  pluggable schedulers, KV-capacity admission (worst-case reservations or
+  paged block allocation via :mod:`repro.memory.paged_kv`), and preemption
+  with swap-to-host or recompute restoration;
 * :mod:`repro.serving.schedulers` — FIFO / SJF / priority policies and the
-  KV admission controller;
+  reservation-mode KV admission controller;
 * :mod:`repro.serving.simulator` — the whole-request FIFO queue, kept as the
   ``fifo-exclusive`` compatibility mode and as the policy-switch front-end;
 * :mod:`repro.serving.metrics` — latency/TTFT/TPOT/throughput/energy
   summaries.
 """
 
-from repro.serving.engine import ServedRequest, TokenServingEngine
+from repro.serving.engine import (
+    PREEMPTION_MODES,
+    ServedRequest,
+    TokenServingEngine,
+)
 from repro.serving.metrics import ServingMetrics, percentile
 from repro.serving.schedulers import (
     FifoScheduler,
@@ -34,6 +40,7 @@ from repro.serving.simulator import (
 )
 
 __all__ = [
+    "PREEMPTION_MODES",
     "ServedRequest",
     "TokenServingEngine",
     "ServingMetrics",

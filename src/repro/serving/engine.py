@@ -12,18 +12,43 @@ granularity is what makes production serving behaviour expressible:
   batch-of-requests barrier);
 * **pluggable scheduling** — admission order comes from a
   :class:`~repro.serving.schedulers.SchedulerPolicy` (FIFO, SJF, priority);
-* **KV-capacity admission** — with a
-  :class:`~repro.serving.schedulers.KVAdmissionController`, requests queue
-  while the cache is full instead of overflowing it;
-* **preemption** — the priority policy may evict lower-priority running work;
-  the victim loses its KV cache and restarts from prefill when re-admitted;
+* **KV-capacity admission** — two regimes gate admission against the
+  per-node HBM cache capacity: *reservation*
+  (:class:`~repro.serving.schedulers.KVAdmissionController`, worst-case
+  ``prefill + decode`` positions reserved up front) and *paged*
+  (:class:`~repro.memory.paged_kv.PagedKVManager`, fixed-size token blocks
+  allocated on demand as the context actually grows);
+* **preemption** — a blocked head may displace running work.  In
+  reservation mode (and paged ``recompute`` mode) the victim loses its KV
+  state and restarts from prefill when re-admitted; in paged ``swap`` mode
+  the victim's blocks are moved to a host-memory tier over PCIe and the
+  request later resumes exactly where it stopped;
 * **token-level metrics** — time-to-first-token and time-per-output-token
   exist because individual token emissions have timestamps.
+
+Request lifecycle (every transition happens at a step boundary)::
+
+               push                admit                 last token
+    arrival ─────────▶ QUEUED ───────────────▶ RUNNING ────────────▶ FINISHED
+                         ▲                       │  ▲
+                         │   preempt (evict)     │  │ re-admit
+                         │                       ▼  │   · swap mode: blocks
+                         └──────────────── PREEMPTED│     swap back in, no
+                              · swap: blocks → host │     recompute
+                              · recompute: KV freed,│   · recompute mode:
+                                progress reset      │     prefill restarts
 
 The discrete-event loop reuses the heap/sequence-counter idiom of
 :mod:`repro.dataflow.engine`: a single time-ordered event heap over request
 arrivals and per-instance step completions, so results are exact and
 reproducible (no wall-clock time).
+
+Units, throughout this module: timestamps and durations are **seconds** on
+the simulated clock (request arrival defines t=0 ordering), lengths are
+**tokens** (prompt/prefill and generated/decode counts), KV quantities are
+**cached token positions per node** (reservation mode) or **fixed-size
+blocks per node** (paged mode), and swap traffic is **bytes summed over all
+nodes**.
 
 Timing conventions match the whole-request simulator so the two agree when
 batching is off: prefill emits no output token (the paper's token-serial
@@ -40,6 +65,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.multi_node import LoopLynxSystem
+from repro.memory.paged_kv import PagedKVManager
 from repro.serving.metrics import ServingMetrics
 from repro.serving.schedulers import (
     KVAdmissionController,
@@ -48,10 +74,21 @@ from repro.serving.schedulers import (
 )
 from repro.workloads.traces import Request, RequestTrace
 
+#: Accepted values for ``TokenServingEngine(preemption_mode=...)`` (paged
+#: KV mode only; reservation mode always recomputes).
+PREEMPTION_MODES = ("swap", "recompute")
+
 
 @dataclass(frozen=True)
 class ServedRequest:
-    """Token-level timing record of one served request."""
+    """Token-level timing record of one served request.
+
+    All timestamps are seconds on the simulated clock; ``prefill_len`` and
+    ``decode_len`` are token counts.  ``preemptions`` counts every eviction
+    from a running batch; ``swap_outs`` counts the subset whose KV blocks
+    were swapped to host memory instead of discarded (paged ``swap`` mode),
+    so ``preemptions - swap_outs`` prefills were recomputed.
+    """
 
     request_id: int
     instance_id: int
@@ -64,30 +101,36 @@ class ServedRequest:
     tenant: str = "default"
     priority: int = 0
     preemptions: int = 0
+    swap_outs: int = 0
 
     @property
     def queueing_delay_s(self) -> float:
-        """Time from arrival until first admission into a batch."""
+        """Seconds from arrival until first admission into a batch."""
         return self.admitted_s - self.arrival_s
 
     @property
     def service_time_s(self) -> float:
+        """Seconds from first admission to completion (includes any
+        re-queued time after a preemption)."""
         return self.finish_s - self.admitted_s
 
     @property
     def end_to_end_latency_s(self) -> float:
+        """Seconds from arrival to the last generated token."""
         return self.finish_s - self.arrival_s
 
     @property
     def ttft_s(self) -> Optional[float]:
-        """Time to first token (None when the request generated nothing)."""
+        """Time to first token in seconds, measured from *arrival* (None
+        when the request generated nothing)."""
         if self.first_token_s is None:
             return None
         return self.first_token_s - self.arrival_s
 
     @property
     def tpot_s(self) -> float:
-        """Mean time per output token after the first."""
+        """Mean seconds per output token after the first (0 when fewer than
+        two tokens were generated)."""
         if self.first_token_s is None or self.decode_len <= 1:
             return 0.0
         return (self.finish_s - self.first_token_s) / (self.decode_len - 1)
@@ -98,7 +141,7 @@ class _RequestState:
 
     __slots__ = ("request", "prefill_done", "decode_done", "admitted_s",
                  "last_admitted_s", "first_token_s", "preemptions",
-                 "instance_id")
+                 "swap_outs", "instance_id", "swapped_on")
 
     def __init__(self, request: Request) -> None:
         self.request = request
@@ -108,7 +151,13 @@ class _RequestState:
         self.last_admitted_s = 0.0
         self.first_token_s: Optional[float] = None
         self.preemptions = 0
+        self.swap_outs = 0
         self.instance_id = -1
+        #: Instance holding this request's host-tier blocks after a swap-out
+        #: (None otherwise).  A swapped request has instance affinity: its KV
+        #: lives in that instance's host pool, so only that instance may
+        #: resume it.
+        self.swapped_on: Optional[int] = None
 
     @property
     def prefill_remaining(self) -> int:
@@ -120,7 +169,8 @@ class _RequestState:
         return self.prefill_done + self.decode_done
 
     def reset_progress(self) -> None:
-        """Drop all computed state (preemption releases the KV cache)."""
+        """Drop all computed state (a discarding preemption releases the KV
+        cache, so prefill must be recomputed on re-admission)."""
         self.prefill_done = 0
         self.decode_done = 0
 
@@ -133,6 +183,22 @@ class _Instance:
     batch: List[_RequestState] = field(default_factory=list)
     kv_used_tokens: int = 0
     busy: bool = False
+    #: Per-instance paged block pool (None outside paged mode).
+    kv: Optional[PagedKVManager] = None
+    #: Pending swap-transfer seconds to serialize before the next step.
+    pending_delay_s: float = 0.0
+
+
+@dataclass
+class _RunStats:
+    """Time-weighted occupancy accumulators for one engine run."""
+
+    batch_time: float = 0.0      # Σ batch_size × step seconds
+    busy_time: float = 0.0       # Σ step seconds (all instances)
+    kv_occ_time: float = 0.0     # Σ occupancy fraction × step seconds
+    frag_time: float = 0.0       # Σ fragmentation fraction × step seconds
+    peak_kv_occupancy: float = 0.0
+    swap_time_s: float = 0.0     # Σ PCIe transfer seconds spent swapping
 
 
 class TokenServingEngine:
@@ -143,9 +209,8 @@ class TokenServingEngine:
     num_instances, num_nodes_per_instance, system:
         Pool shape, as in :class:`~repro.serving.simulator.ServingSimulator`.
     policy:
-        Scheduler policy name (``fifo``, ``sjf``, ``priority``) or a
-        :class:`SchedulerPolicy` factory-produced instance per run is built
-        from the name.
+        Scheduler policy name (``fifo``, ``sjf``, ``priority``); a fresh
+        :class:`SchedulerPolicy` instance per run is built from the name.
     max_batch_size:
         Decode-batch ceiling per instance; 1 disables batching (the
         compatibility regime matching the whole-request simulator).
@@ -155,11 +220,29 @@ class TokenServingEngine:
         completion in one step.
     kv_controller:
         Optional :class:`KVAdmissionController`; when set, admission reserves
-        worst-case KV capacity and requests queue while the cache is full.
+        worst-case KV capacity (``prefill + decode`` cached positions) and
+        requests queue while the cache is full.  This is the PR 1 regime,
+        kept bit-identical as the ``reserve`` KV mode.
+    kv_block_manager:
+        Optional :class:`~repro.memory.paged_kv.PagedKVManager` prototype;
+        when set, each instance gets its own empty clone and KV capacity is
+        allocated in fixed-size blocks on demand: a request is admitted once
+        blocks for its *prompt* fit (not its worst-case context) and grows
+        block-by-block at decode-step boundaries, preempting batch members
+        when the pool runs dry.  Mutually exclusive with ``kv_controller``.
+    preemption_mode:
+        What happens to a paged-mode victim's KV state: ``"swap"`` moves its
+        blocks to the host tier over PCIe (the transfer seconds serialize
+        with the instance's next step) and the request later resumes without
+        recomputation; ``"recompute"`` discards the blocks and the request
+        restarts from prefill, like reservation mode.
     context_bucket:
         Decode-step timings are memoized with the context length rounded up
         to this multiple (1 = exact; larger buckets trade a conservative
         over-estimate for far fewer cycle-model evaluations).
+
+    After :meth:`run`, ``last_kv_managers`` holds each instance's block pool
+    (paged mode; for inspection of occupancy/swap counters in tests).
     """
 
     def __init__(self, num_instances: int = 1, num_nodes_per_instance: int = 2,
@@ -168,6 +251,8 @@ class TokenServingEngine:
                  max_batch_size: int = 8,
                  prefill_chunk_tokens: Optional[int] = 64,
                  kv_controller: Optional[KVAdmissionController] = None,
+                 kv_block_manager: Optional[PagedKVManager] = None,
+                 preemption_mode: str = "swap",
                  context_bucket: int = 32) -> None:
         if num_instances <= 0:
             raise ValueError("num_instances must be positive")
@@ -177,6 +262,14 @@ class TokenServingEngine:
             raise ValueError("prefill_chunk_tokens must be positive")
         if context_bucket <= 0:
             raise ValueError("context_bucket must be positive")
+        if kv_controller is not None and kv_block_manager is not None:
+            raise ValueError(
+                "kv_controller (reservation mode) and kv_block_manager "
+                "(paged mode) are mutually exclusive")
+        if preemption_mode not in PREEMPTION_MODES:
+            raise ValueError(
+                f"unknown preemption mode {preemption_mode!r}; "
+                f"known: {', '.join(PREEMPTION_MODES)}")
         self.num_instances = num_instances
         self.num_nodes_per_instance = num_nodes_per_instance
         self.system = system or LoopLynxSystem.paper_configuration(
@@ -186,7 +279,10 @@ class TokenServingEngine:
         self.max_batch_size = max_batch_size
         self.prefill_chunk_tokens = prefill_chunk_tokens
         self.kv_controller = kv_controller
+        self.kv_block_manager = kv_block_manager
+        self.preemption_mode = preemption_mode
         self.context_bucket = context_bucket
+        self.last_kv_managers: List[PagedKVManager] = []
         self._step_cache: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
@@ -199,6 +295,8 @@ class TokenServingEngine:
         return -(-context_len // bucket) * bucket
 
     def _step_latency_s(self, context_len: int, batch_size: int) -> float:
+        """Seconds for one decode step over ``context_len`` cached positions
+        with ``batch_size`` co-resident requests (memoized per bucket)."""
         key = (self._bucketed(context_len), batch_size)
         if key not in self._step_cache:
             self._step_cache[key] = self.system.decode_step_latency_s(
@@ -206,37 +304,118 @@ class TokenServingEngine:
         return self._step_cache[key]
 
     def _prefill_chunk_latency_s(self, start_pos: int, chunk_len: int) -> float:
-        """Token-serial prefill of ``chunk_len`` prompt tokens starting at
-        cached position ``start_pos`` (same per-position cost as a decode
-        step, which is how the paper's pipeline streams prompts)."""
+        """Seconds of token-serial prefill for ``chunk_len`` prompt tokens
+        starting at cached position ``start_pos`` (same per-position cost as
+        a decode step, which is how the paper's pipeline streams prompts)."""
         return sum(self._step_latency_s(pos, 1)
                    for pos in range(start_pos, start_pos + chunk_len))
+
+    # ------------------------------------------------------------------
+    # KV admission gates (mode-aware)
+    # ------------------------------------------------------------------
+    def _paged_admit_target(self, state: _RequestState) -> int:
+        """Cached positions a (non-swapped) request must cover at admission:
+        its prompt plus one slot for the first decode append, clamped to the
+        context window.  Decode growth past this is allocated on demand."""
+        request = state.request
+        tokens = request.prefill_len + (1 if request.decode_len > 0 else 0)
+        return min(tokens, self.kv_block_manager.layout.max_seq_len)
+
+    def _paged_admit_blocks(self, kv: PagedKVManager,
+                            state: _RequestState) -> int:
+        """Device blocks the queue head must acquire to join the batch: the
+        host-tier restore for a swapped-out request (plus any growth block
+        its very next decode append needs), or its prompt allocation."""
+        rid = state.request.request_id
+        if kv.holds(rid) and kv.table(rid).is_swapped:
+            restore = kv.table(rid).host_blocks
+            next_target = min(state.context_len + 1, kv.layout.max_seq_len)
+            return restore + max(0, kv.blocks_needed(next_target) - restore)
+        return kv.blocks_missing(rid, self._paged_admit_target(state))
+
+    def _paged_growth_headroom(self, kv: PagedKVManager, batch) -> int:
+        """Blocks the current batch members will claim for their next
+        decode appends.  Admission must leave this headroom free, or a
+        newly admitted (or swapped-in) request would be re-evicted by
+        :func:`ensure_decode_capacity` at the same step boundary — pure
+        churn, with PCIe transfers both ways in swap mode."""
+        max_seq = kv.layout.max_seq_len
+        headroom = 0
+        for member in batch:
+            if member.prefill_remaining > 0:
+                continue  # prompt blocks were claimed at admission
+            headroom += kv.blocks_missing(
+                member.request.request_id,
+                min(member.context_len + 1, max_seq))
+        return headroom
+
+    def _kv_admits(self, instance: _Instance, state: _RequestState) -> bool:
+        """Does the instance's KV capacity admit ``state`` right now?
+
+        A swapped-out request may only be resumed by the instance whose
+        host tier holds its blocks (KV state cannot teleport between
+        instances); every other instance reports it inadmissible.
+        """
+        if self.kv_controller is not None:
+            return self.kv_controller.fits(state.request,
+                                           instance.kv_used_tokens)
+        if instance.kv is not None:
+            if (state.swapped_on is not None
+                    and state.swapped_on != instance.instance_id):
+                return False
+            kv = instance.kv
+            need = (self._paged_admit_blocks(kv, state)
+                    + self._paged_growth_headroom(kv, instance.batch))
+            return need <= kv.free_blocks
+        return True
 
     def _head_fits_after_eviction(self, instance: _Instance,
                                   victim: _RequestState,
                                   head: _RequestState) -> bool:
-        """Would evicting ``victim`` make ``head`` admissible?  The slot is
-        always freed; with admission control the freed KV reservation must
-        also cover the head's."""
-        if self.kv_controller is None:
-            return True
-        freed = (instance.kv_used_tokens
-                 - self.kv_controller.reservation_tokens(victim.request))
-        return self.kv_controller.fits(head.request, freed)
+        """Would evicting ``victim`` make ``head`` admissible?  The batch
+        slot is always freed; with KV admission the freed capacity (token
+        reservation or device blocks) must also cover the head's."""
+        if self.kv_controller is not None:
+            freed = (instance.kv_used_tokens
+                     - self.kv_controller.reservation_tokens(victim.request))
+            return self.kv_controller.fits(head.request, freed)
+        if instance.kv is not None:
+            if (head.swapped_on is not None
+                    and head.swapped_on != instance.instance_id):
+                return False  # the head's KV lives on another instance
+            kv = instance.kv
+            freed = len(kv.table(victim.request.request_id).device_blocks)
+            need = (self._paged_admit_blocks(kv, head)
+                    + self._paged_growth_headroom(
+                        kv, [s for s in instance.batch if s is not victim]))
+            return need <= kv.free_blocks + freed
+        return True
 
     # ------------------------------------------------------------------
     # event loop
     # ------------------------------------------------------------------
     def run(self, trace: RequestTrace) -> Tuple[ServingMetrics, List[ServedRequest]]:
         """Serve the trace and return aggregate metrics plus per-request
-        records (sorted by request id)."""
+        records (sorted by request id).
+
+        Raises ``ValueError`` for an empty trace or one containing a request
+        that could never be admitted (KV validation), and ``RuntimeError``
+        if the scheduler head deadlocks (a bug, not a workload property).
+        """
         if len(trace) == 0:
             raise ValueError("trace is empty")
         if self.kv_controller is not None:
             self.kv_controller.validate(trace)
+        if self.kv_block_manager is not None:
+            self.kv_block_manager.validate(trace)
 
         scheduler = make_scheduler(self.policy)
         instances = [_Instance(i) for i in range(self.num_instances)]
+        if self.kv_block_manager is not None:
+            for instance in instances:
+                instance.kv = self.kv_block_manager.clone_empty()
+        self.last_kv_managers = [i.kv for i in instances if i.kv is not None]
+        stats = _RunStats()
         events: List[Tuple[float, int, int, object]] = []
         seq = itertools.count()
         _ARRIVAL, _STEP_DONE = 0, 1
@@ -247,9 +426,85 @@ class TokenServingEngine:
         records: List[ServedRequest] = []
 
         def release(instance: _Instance, state: _RequestState) -> None:
+            """Return a finished request's KV capacity to the pool."""
             if self.kv_controller is not None:
                 instance.kv_used_tokens -= \
                     self.kv_controller.reservation_tokens(state.request)
+            if instance.kv is not None:
+                instance.kv.free(state.request.request_id)
+
+        def admit(instance: _Instance, state: _RequestState, now: float) -> None:
+            """Move the queue head into the running batch, claiming KV
+            capacity (and paying the swap-in transfer for a swapped-out
+            victim resuming in paged ``swap`` mode)."""
+            if state.admitted_s is None:
+                state.admitted_s = now
+            state.last_admitted_s = now
+            state.instance_id = instance.instance_id
+            if self.kv_controller is not None:
+                instance.kv_used_tokens += \
+                    self.kv_controller.reservation_tokens(state.request)
+            if instance.kv is not None:
+                kv = instance.kv
+                rid = state.request.request_id
+                if kv.holds(rid) and kv.table(rid).is_swapped:
+                    blocks, _ = kv.swap_in(rid)
+                    instance.pending_delay_s += kv.swap_transfer_s(blocks)
+                    state.swapped_on = None
+                elif not kv.allocate(rid, self._paged_admit_target(state)):
+                    raise RuntimeError("admission gate admitted an "
+                                       "unallocatable request")  # pragma: no cover
+            instance.batch.append(state)
+
+        def evict(instance: _Instance, victim: _RequestState, now: float) -> None:
+            """Remove ``victim`` from the batch and re-queue it.  Paged
+            ``swap`` mode parks its blocks in the host tier (PCIe transfer
+            serializes with the instance's next step); every other mode
+            discards its KV state and progress."""
+            instance.batch.remove(victim)
+            if instance.kv is not None and self.preemption_mode == "swap":
+                blocks, _ = instance.kv.swap_out(victim.request.request_id)
+                instance.pending_delay_s += \
+                    instance.kv.swap_transfer_s(blocks)
+                victim.swap_outs += 1
+                victim.swapped_on = instance.instance_id
+            else:
+                release(instance, victim)
+                victim.reset_progress()
+            victim.preemptions += 1
+            scheduler.push(victim)
+
+        def ensure_decode_capacity(instance: _Instance, now: float) -> None:
+            """Paged mode, before a decode step: every batch member needs a
+            block slot for the token position it is about to append.  When
+            the pool runs dry, evict the lowest-priority, most recently
+            admitted member of an *equal or lower* priority class than the
+            grower and retry (its blocks swap out or drop per the
+            preemption mode).  Capacity pressure never evicts a strictly
+            higher-priority member — when the grower itself is the lowest
+            class present, it is the one that yields (no priority inversion
+            through block growth)."""
+            kv = instance.kv
+            max_seq = kv.layout.max_seq_len
+            for state in list(instance.batch):
+                if state not in instance.batch:
+                    continue  # already evicted to make room
+                target = min(state.context_len + 1, max_seq)
+                while (state in instance.batch
+                       and not kv.allocate(state.request.request_id, target)):
+                    others = [s for s in instance.batch if s is not state]
+                    if not others:
+                        raise RuntimeError(
+                            "KV block pool cannot hold a single request; "
+                            "validate() should have rejected this trace")
+                    candidates = [
+                        s for s in others
+                        if s.request.priority <= state.request.priority]
+                    victim = (min(candidates,
+                                  key=lambda s: (s.request.priority,
+                                                 -s.last_admitted_s))
+                              if candidates else state)
+                    evict(instance, victim, now)
 
         def dispatch(instance: _Instance, now: float) -> None:
             """Admit/preempt at a step boundary, then launch the next step."""
@@ -261,31 +516,20 @@ class TokenServingEngine:
                     head = scheduler.peek()
                     if head is None:
                         break
-                    if (self.kv_controller is not None
-                            and not self.kv_controller.fits(
-                                head.request, instance.kv_used_tokens)):
+                    if not self._kv_admits(instance, head):
                         break
                     scheduler.pop()
-                    if head.admitted_s is None:
-                        head.admitted_s = now
-                    head.last_admitted_s = now
-                    head.instance_id = instance.instance_id
-                    if self.kv_controller is not None:
-                        instance.kv_used_tokens += \
-                            self.kv_controller.reservation_tokens(head.request)
-                    instance.batch.append(head)
+                    admit(instance, head, now)
                     admitted = True
                 # preemption: a blocked head (no batch slot, or KV capacity
                 # exhausted) may evict strictly lower-priority work — but only
                 # when evicting one victim actually makes the head admissible;
                 # otherwise the victim's computed state would be thrown away
-                # for nothing
+                # (or shuttled over PCIe) for nothing
                 head = scheduler.peek()
                 if head is not None and instance.batch:
                     slots_full = len(instance.batch) >= self.max_batch_size
-                    kv_full = (self.kv_controller is not None
-                               and not self.kv_controller.fits(
-                                   head.request, instance.kv_used_tokens))
+                    kv_full = not self._kv_admits(instance, head)
                     victim = None
                     if slots_full or kv_full:
                         victim = scheduler.preemption_victim(
@@ -293,11 +537,7 @@ class TokenServingEngine:
                     if (victim is not None
                             and self._head_fits_after_eviction(
                                 instance, victim, head)):
-                        instance.batch.remove(victim)
-                        release(instance, victim)
-                        victim.reset_progress()
-                        victim.preemptions += 1
-                        scheduler.push(victim)
+                        evict(instance, victim, now)
                         admitted = True  # retry admission for the head
 
             if not instance.batch:
@@ -313,9 +553,26 @@ class TokenServingEngine:
                     prefilling.prefill_done, chunk)
                 payload = ("prefill", instance, prefilling, chunk)
             else:
+                if instance.kv is not None:
+                    ensure_decode_capacity(instance, now)
                 context = max(s.context_len for s in instance.batch)
                 duration = self._step_latency_s(context, len(instance.batch))
                 payload = ("decode", instance, list(instance.batch), 0)
+            if instance.pending_delay_s > 0.0:
+                # swap transfers contend for the same HBM/PCIe datapath, so
+                # they serialize ahead of the next step
+                duration += instance.pending_delay_s
+                stats.swap_time_s += instance.pending_delay_s
+                instance.pending_delay_s = 0.0
+            stats.batch_time += len(instance.batch) * duration
+            stats.busy_time += duration
+            if instance.kv is not None:
+                occupancy = instance.kv.occupancy_fraction
+                stats.kv_occ_time += occupancy * duration
+                stats.frag_time += \
+                    instance.kv.internal_fragmentation_fraction * duration
+                stats.peak_kv_occupancy = max(stats.peak_kv_occupancy,
+                                              occupancy)
             instance.busy = True
             heapq.heappush(events, (now + duration, next(seq), _STEP_DONE,
                                     payload))
@@ -352,6 +609,7 @@ class TokenServingEngine:
                 tenant=request.tenant,
                 priority=request.priority,
                 preemptions=state.preemptions,
+                swap_outs=state.swap_outs,
             ))
 
         while events:
@@ -364,6 +622,16 @@ class TokenServingEngine:
             else:
                 instance = complete_step(payload, now)
                 dispatch(instance, now)
+                # paged mode: a queued request swapped out on an idle
+                # instance can only resume there, and idle instances are
+                # otherwise only re-dispatched on arrivals — wake them so
+                # affinity work is never stranded (reservation mode has no
+                # affinity, and skipping this keeps its event order
+                # bit-identical to PR 1)
+                if self.kv_block_manager is not None and len(scheduler):
+                    for other in instances:
+                        if not other.busy:
+                            dispatch(other, now)
 
         if len(records) != len(trace):
             raise RuntimeError(
@@ -372,6 +640,14 @@ class TokenServingEngine:
 
         records.sort(key=lambda r: r.request_id)
         makespan = max(r.finish_s for r in records)
+        pool_time = makespan * self.num_instances
+        if self.kv_block_manager is not None:
+            kv_mode = "paged"
+        elif self.kv_controller is not None:
+            kv_mode = "reserve"
+        else:
+            kv_mode = "none"
+        managers = self.last_kv_managers
         metrics = ServingMetrics(
             num_requests=len(records),
             num_instances=self.num_instances,
@@ -385,5 +661,21 @@ class TokenServingEngine:
             tpots_s=[r.tpot_s for r in records if r.ttft_s is not None],
             preemptions=sum(r.preemptions for r in records),
             policy=self.policy,
+            kv_mode=kv_mode,
+            kv_block_size=(self.kv_block_manager.block_size_tokens
+                           if self.kv_block_manager is not None else 0),
+            kv_total_blocks=(self.kv_block_manager.total_blocks
+                             if self.kv_block_manager is not None else 0),
+            mean_running_batch=(stats.batch_time / pool_time
+                                if pool_time > 0 else 0.0),
+            mean_kv_occupancy=(stats.kv_occ_time / pool_time
+                               if pool_time > 0 else 0.0),
+            peak_kv_occupancy=stats.peak_kv_occupancy,
+            mean_kv_fragmentation=(stats.frag_time / stats.busy_time
+                                   if stats.busy_time > 0 else 0.0),
+            swap_out_count=sum(m.swap_out_count for m in managers),
+            swap_in_count=sum(m.swap_in_count for m in managers),
+            swapped_bytes=sum(m.swapped_bytes_total for m in managers),
+            swap_time_s=stats.swap_time_s,
         )
         return metrics, records

@@ -33,6 +33,22 @@ class ServingMetrics:
     (:class:`repro.serving.engine.TokenServingEngine`); the whole-request
     compatibility path leaves them empty because a request-sized service blob
     has no interior token timestamps.
+
+    KV-cache occupancy fields (engine runs only):
+
+    * ``kv_mode`` — ``"none"``, ``"reserve"`` (worst-case reservations) or
+      ``"paged"`` (fixed-size block allocation);
+    * ``mean_running_batch`` — time-weighted mean number of co-resident
+      requests per instance over the makespan (the *batch occupancy* a KV
+      regime sustains; idle time counts as zero);
+    * ``mean_kv_occupancy`` / ``peak_kv_occupancy`` — time-weighted mean and
+      peak fraction of the device block pool allocated (paged mode);
+    * ``mean_kv_fragmentation`` — time-weighted fraction of allocated block
+      capacity not covering cached tokens (partially-filled tail blocks);
+    * ``swap_out_count`` / ``swap_in_count`` / ``swapped_bytes`` /
+      ``swap_time_s`` — host-tier traffic of swap-based preemption:
+      transfers, PCIe bytes (summed over nodes) and the seconds those
+      transfers occupied instances.
     """
 
     num_requests: int
@@ -47,6 +63,17 @@ class ServingMetrics:
     tpots_s: List[float] = field(default_factory=list)
     preemptions: int = 0
     policy: str = "fifo-exclusive"
+    kv_mode: str = "none"
+    kv_block_size: int = 0
+    kv_total_blocks: int = 0
+    mean_running_batch: float = 0.0
+    mean_kv_occupancy: float = 0.0
+    peak_kv_occupancy: float = 0.0
+    mean_kv_fragmentation: float = 0.0
+    swap_out_count: int = 0
+    swap_in_count: int = 0
+    swapped_bytes: int = 0
+    swap_time_s: float = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -154,5 +181,18 @@ class ServingMetrics:
                 "p50_tpot_s": self.tpot_percentile_s(0.50),
                 "p99_tpot_s": self.tpot_percentile_s(0.99),
                 "preemptions": float(self.preemptions),
+            })
+        if self.mean_running_batch > 0:  # engine runs only
+            out["mean_running_batch"] = self.mean_running_batch
+        if self.kv_mode == "paged":
+            out.update({
+                "kv_total_blocks": float(self.kv_total_blocks),
+                "mean_kv_occupancy": self.mean_kv_occupancy,
+                "peak_kv_occupancy": self.peak_kv_occupancy,
+                "mean_kv_fragmentation": self.mean_kv_fragmentation,
+                "swap_outs": float(self.swap_out_count),
+                "swap_ins": float(self.swap_in_count),
+                "swapped_mib": self.swapped_bytes / (1 << 20),
+                "swap_time_s": self.swap_time_s,
             })
         return out

@@ -20,7 +20,16 @@ Provided policies:
   (``prefill_len + decode_len`` cached positions) fits the instance's free
   capacity, computed from :class:`repro.memory.kv_cache.KVCacheLayout` against
   the node's share of the Alveo U50 HBM
-  (:func:`repro.memory.hbm.kv_budget_bytes_per_node`).
+  (:func:`repro.memory.hbm.kv_budget_bytes_per_node`).  This is the
+  *reservation* KV regime; the *paged* regime
+  (:class:`repro.memory.paged_kv.PagedKVManager`) gates on prompt-sized
+  block allocations instead and lives with the block manager it needs.
+
+All scheduler interactions happen at **step boundaries** (between decode
+steps / prefill chunks of an instance): the engine pushes on arrival and
+preemption, peeks/pops during admission, and never reorders a running batch
+mid-step.  Quantities are tokens (lengths), seconds (arrival times) and
+plain integers (priorities; larger = more urgent).
 """
 
 from __future__ import annotations
@@ -53,29 +62,45 @@ class SchedulerPolicy:
 
     # ------------------------------------------------------------------
     def sort_key(self, entry) -> tuple:
+        """Admission-order key for one waiting entry (an engine request
+        state exposing ``.request``); smaller sorts first."""
         raise NotImplementedError
 
     def push(self, entry) -> None:
+        """Enqueue a waiting entry (called on arrival and on preemption; a
+        preempted entry competes again under the same ordering)."""
         heapq.heappush(self._heap, (self.sort_key(entry), next(self._seq), entry))
 
     def peek(self):
-        """The next request to admit, or None when the queue is empty."""
+        """The next request to admit, or None when the queue is empty.
+
+        Policies are strictly head-of-line: the engine admits (or blocks on)
+        exactly this entry at each step boundary.
+        """
         return self._heap[0][2] if self._heap else None
 
     def pop(self):
+        """Remove and return the head (the entry :meth:`peek` showed)."""
         if not self._heap:
             raise IndexError("scheduler queue is empty")
         return heapq.heappop(self._heap)[2]
 
     def __len__(self) -> int:
+        """Number of waiting (not running) entries."""
         return len(self._heap)
 
     # ------------------------------------------------------------------
     def preemption_victim(self, running: List, head) -> Optional[object]:
         """A running entry the waiting ``head`` may displace, or None.
 
+        Consulted at a step boundary when the head is blocked (no batch
+        slot, or KV capacity exhausted).  What eviction *costs* the victim
+        is the engine's business: reservation mode discards its KV cache and
+        recomputes prefill; paged ``swap`` mode parks its blocks in host
+        memory and resumes it later without recomputation.
+
         The default (FIFO, SJF) never preempts: a request that joined the
-        batch keeps its KV cache until it finishes.
+        batch keeps its KV capacity until it finishes.
         """
         return None
 
@@ -166,12 +191,9 @@ class KVAdmissionController:
 
         ``budget_bytes`` defaults to the node's HBM share net of weights.
         """
-        model = system.config.model
-        layout = KVCacheLayout(
-            num_layers=model.num_layers, num_heads=model.num_heads,
-            head_dim=model.head_dim, max_seq_len=model.max_seq_len,
-            bytes_per_element=kv_bytes_per_element,
-            num_nodes=system.num_nodes)
+        layout = KVCacheLayout.for_model(
+            system.config.model, num_nodes=system.num_nodes,
+            bytes_per_element=kv_bytes_per_element)
         if budget_bytes is None:
             budget_bytes = kv_budget_bytes_per_node(
                 system.node.weight_bytes_per_token(),
@@ -185,6 +207,9 @@ class KVAdmissionController:
                    self.layout.max_seq_len)
 
     def fits(self, request: Request, used_tokens: int) -> bool:
+        """Admission gate, evaluated at step boundaries: does the request's
+        worst-case reservation fit next to ``used_tokens`` already-reserved
+        cached positions (both in tokens per node)?"""
         return used_tokens + self.reservation_tokens(request) <= self.capacity_tokens
 
     def validate(self, requests) -> None:

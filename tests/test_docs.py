@@ -1,0 +1,77 @@
+"""Docs job: the runnable snippets in ``docs/serving.md`` must execute.
+
+Two layers, mirroring what the CI docs job runs:
+
+* the Python snippets are doctests (``python -m doctest docs/serving.md``);
+* every CLI command documented in a ```bash fence is smoke-run in-process
+  through :func:`repro.cli.main`, with ``--requests 6`` appended so the
+  documented flags are exercised on a tiny trace (argparse lets a later
+  occurrence of an option override an earlier one).
+
+A documented command that stops parsing, raises, or exits non-zero fails
+the suite — broken examples cannot ship.
+"""
+
+import doctest
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+SERVING_MD = DOCS / "serving.md"
+ARCHITECTURE_MD = DOCS / "ARCHITECTURE.md"
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _documented_cli_commands():
+    """CLI invocations inside ```bash fences of docs/serving.md."""
+    text = SERVING_MD.read_text()
+    commands = []
+    for fence in re.findall(r"```bash\n(.*?)```", text, flags=re.DOTALL):
+        for line in fence.splitlines():
+            line = line.strip()
+            if line.startswith("PYTHONPATH=src python -m repro.cli"):
+                argv = shlex.split(line)[3:]  # drop env + python -m repro.cli
+                commands.append(argv[1:])     # drop the module path itself
+    return commands
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    assert SERVING_MD.is_file()
+    assert ARCHITECTURE_MD.is_file()
+    readme = README.read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/serving.md" in readme
+
+
+def test_serving_md_doctests():
+    results = doctest.testfile(str(SERVING_MD), module_relative=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_serving_md_documents_every_serve_surface():
+    text = SERVING_MD.read_text()
+    for flag in ("--kv-mode", "--kv-block-size", "--preemption-mode",
+                 "--kv-budget-mib", "--compare-kv", "--policy", "--trace"):
+        assert flag in text, f"docs/serving.md must document {flag}"
+
+
+@pytest.mark.parametrize("argv", _documented_cli_commands(),
+                         ids=lambda argv: " ".join(argv))
+def test_documented_cli_commands_run(argv, capsys):
+    assert argv[0] == "serve", "serving.md documents the serve subcommand"
+    exit_code = main(argv + ["--requests", "6"])
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.err
+    assert captured.out.strip(), "documented command printed nothing"
+
+
+def test_documented_commands_were_found():
+    """Guard the extractor itself: if the fences are reformatted and no
+    commands are collected, the smoke test above would silently vanish."""
+    assert len(_documented_cli_commands()) >= 5
