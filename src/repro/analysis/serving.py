@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
-from repro.serving.engine import TokenServingEngine
+from repro.serving.engine import PREFILL_MODES, TokenServingEngine
 from repro.serving.schedulers import KVAdmissionController
 from repro.serving.simulator import FIFO_EXCLUSIVE, ServingSimulator
 from repro.workloads.traces import RequestTrace
@@ -28,6 +28,8 @@ def run_policy(trace: RequestTrace, policy: str,
                kv_mode: str = "reserve",
                kv_block_size: int = 16,
                preemption_mode: str = "swap",
+               prefill_mode: str = "exclusive",
+               mixed_step_token_budget: Optional[int] = None,
                **engine_kwargs):
     """Run ``trace`` under one policy and return ``(metrics, records)``.
 
@@ -35,6 +37,14 @@ def run_policy(trace: RequestTrace, policy: str,
     it serves one request at a time, so ``max_batch_size`` does not apply and
     KV options are rejected rather than silently ignored) or any token-level
     policy.
+
+    ``prefill_mode`` selects how prompts share steps with running decodes:
+    ``"exclusive"`` (one prefill chunk per step, decodes stall — the
+    historical regime, bit-identical to the engine before mixed steps
+    existed) or ``"mixed"`` (prompts stream in alongside decodes under a
+    per-step token budget, ``mixed_step_token_budget``; ``None`` uses the
+    engine default).  Like the KV options, mixed prefill is rejected for
+    ``fifo-exclusive`` rather than silently ignored.
 
     KV capacity is controlled by ``kv_mode``:
 
@@ -56,9 +66,16 @@ def run_policy(trace: RequestTrace, policy: str,
             raise ValueError(
                 "fifo-exclusive has no KV admission control; drop the KV "
                 "options or pick a token-level policy")
+        if prefill_mode != "exclusive":
+            raise ValueError(
+                "fifo-exclusive serves whole requests and cannot mix "
+                "prefill into decode steps; pick a token-level policy")
         simulator = ServingSimulator(num_instances=num_instances,
                                      num_nodes_per_instance=num_nodes_per_instance)
         return simulator.run(trace)
+    if mixed_step_token_budget is not None:
+        engine_kwargs = dict(engine_kwargs,
+                             mixed_step_token_budget=mixed_step_token_budget)
     kv_controller = None
     kv_block_manager = None
     if kv_mode == "paged":
@@ -77,6 +94,7 @@ def run_policy(trace: RequestTrace, policy: str,
     engine = TokenServingEngine(num_instances=num_instances,
                                 num_nodes_per_instance=num_nodes_per_instance,
                                 policy=policy, max_batch_size=max_batch_size,
+                                prefill_mode=prefill_mode,
                                 kv_controller=kv_controller,
                                 kv_block_manager=kv_block_manager,
                                 preemption_mode=preemption_mode,
@@ -96,6 +114,7 @@ def metrics_row(label: str, metrics) -> Dict[str, object]:
     }
     if metrics.ttfts_s:
         row["P50 TTFT (s)"] = summary["p50_ttft_s"]
+        row["P95 TTFT (s)"] = summary["p95_ttft_s"]
         row["P99 TTFT (s)"] = summary["p99_ttft_s"]
         row["P50 TPOT (s)"] = summary["p50_tpot_s"]
         if metrics.preemptions:
@@ -168,6 +187,49 @@ def kv_mode_comparison(trace: RequestTrace, kv_budget_bytes: int,
                                 kv_mode=kv_mode, kv_block_size=kv_block_size,
                                 preemption_mode=mode)
         row = metrics_row(label, metrics)
+        rows.append(row)
+    return rows
+
+
+def prefill_mode_comparison(trace: RequestTrace,
+                            policy: str = "fifo",
+                            num_instances: int = 1,
+                            num_nodes_per_instance: int = 2,
+                            max_batch_size: int = 8,
+                            mixed_step_token_budget: Optional[int] = None,
+                            kv_budget_bytes: Optional[int] = None,
+                            kv_mode: str = "reserve",
+                            kv_block_size: int = 16,
+                            preemption_mode: str = "swap"
+                            ) -> List[Dict[str, object]]:
+    """Serve one trace under exclusive and mixed prefill and tabulate the
+    summaries side by side.
+
+    This is the comparison mixed steps exist to win: with prompts streaming
+    in alongside live decodes instead of stalling them, tail TTFT drops on
+    bursty traffic without giving up generated-token throughput (the
+    benchmark suite asserts it).  The KV options mirror :func:`run_policy`
+    and apply to both rows.
+    """
+    rows = []
+    for prefill_mode in PREFILL_MODES:
+        metrics, _ = run_policy(trace, policy, num_instances=num_instances,
+                                num_nodes_per_instance=num_nodes_per_instance,
+                                max_batch_size=max_batch_size,
+                                kv_budget_bytes=kv_budget_bytes,
+                                kv_mode=kv_mode, kv_block_size=kv_block_size,
+                                preemption_mode=preemption_mode,
+                                prefill_mode=prefill_mode,
+                                mixed_step_token_budget=mixed_step_token_budget)
+        row = metrics_row(prefill_mode, metrics)
+        # "stall" = pure-prefill steps, where no decode advances: the cost
+        # exclusive mode pays for every prompt and mixed mode only pays
+        # when nothing is decoding.  Mixed steps are reported separately —
+        # their duration is mostly decode work, so folding them into a
+        # prefill share would make the rows incomparable.
+        row["Prefill-stall share"] = metrics.prefill_time_share
+        row["Mixed-step share"] = metrics.mixed_time_share
+        row["Utilization"] = metrics.instance_utilization
         rows.append(row)
     return rows
 

@@ -12,6 +12,8 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro.cli serve --trace bursty --policy fifo   # token-level serving
     python -m repro.cli serve --kv-mode paged --kv-budget-mib 32 --trace bursty
     python -m repro.cli serve --compare-kv --kv-budget-mib 32 --trace bursty
+    python -m repro.cli serve --prefill-mode mixed --trace bursty
+    python -m repro.cli serve --compare-prefill --trace bursty
 
 Every subcommand prints plain-text tables (no plotting dependencies).
 """
@@ -111,7 +113,8 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.analysis.serving import (kv_mode_comparison, policy_comparison,
-                                        run_policy, tenant_breakdown)
+                                        prefill_mode_comparison, run_policy,
+                                        tenant_breakdown)
     from repro.workloads.traces import (bursty_trace, multi_tenant_trace,
                                         synthetic_trace)
 
@@ -130,6 +133,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     title = (f"Serving {len(trace)} {args.trace} requests on "
              f"{args.instances}x {args.nodes}-node instances")
     try:
+        if args.compare_prefill:
+            if args.policy == "fifo-exclusive":
+                print("serve: --compare-prefill needs a token-level policy "
+                      "(fifo-exclusive serves whole requests)", file=sys.stderr)
+                return 2
+            rows = prefill_mode_comparison(
+                trace, policy=args.policy,
+                num_instances=args.instances,
+                num_nodes_per_instance=args.nodes,
+                max_batch_size=args.max_batch,
+                mixed_step_token_budget=args.mixed_step_token_budget,
+                kv_budget_bytes=kv_budget,
+                kv_mode=args.kv_mode,
+                kv_block_size=args.kv_block_size,
+                preemption_mode=args.preemption_mode)
+            print(format_table(
+                rows, title=f"{title} — exclusive vs mixed prefill "
+                            f"(budget {args.mixed_step_token_budget} tok/step)"))
+            return 0
         if args.compare_kv:
             if kv_budget is None:
                 print("serve: --compare-kv needs --kv-budget-mib (the same "
@@ -166,14 +188,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             num_nodes_per_instance=args.nodes, max_batch_size=args.max_batch,
             kv_budget_bytes=kv_budget, kv_mode=args.kv_mode,
             kv_block_size=args.kv_block_size,
-            preemption_mode=args.preemption_mode)
+            preemption_mode=args.preemption_mode,
+            prefill_mode=args.prefill_mode,
+            mixed_step_token_budget=args.mixed_step_token_budget)
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
     rows = [{"Metric": name, "Value": value}
             for name, value in metrics.summary().items()]
     print(format_table(rows, title=f"{title} — policy {args.policy!r}, "
-                                   f"KV {metrics.kv_mode}"))
+                                   f"KV {metrics.kv_mode}, "
+                                   f"prefill {metrics.prefill_mode}"))
     if metrics.ttfts_s:
         slo = metrics.slo_goodput_rps(args.ttft_slo, args.tpot_slo)
         print(f"\nSLO goodput (TTFT<={args.ttft_slo}s, TPOT<={args.tpot_slo}s): "
@@ -257,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
                      default="swap",
                      help="paged-mode eviction: swap blocks to host over "
                           "PCIe and resume, or discard and recompute prefill")
+    sub.add_argument("--prefill-mode", choices=("exclusive", "mixed"),
+                     default="exclusive",
+                     help="exclusive: a prefill chunk occupies a step on its "
+                          "own, stalling co-resident decodes (historical "
+                          "behaviour); mixed: prompts stream in alongside "
+                          "live decodes under a per-step token budget")
+    sub.add_argument("--mixed-step-token-budget", type=int, default=256,
+                     help="token capacity of one mixed step (decode tokens "
+                          "plus prefill-chunk tokens)")
     sub.add_argument("--ttft-slo", type=float, default=2.0,
                      help="TTFT SLO in seconds for goodput reporting")
     sub.add_argument("--tpot-slo", type=float, default=0.05,
@@ -266,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--compare-kv", action="store_true",
                      help="tabulate reservation vs paged KV under the same "
                           "budget instead (needs --kv-budget-mib)")
+    sub.add_argument("--compare-prefill", action="store_true",
+                     help="tabulate exclusive vs mixed prefill under the "
+                          "same configuration instead")
     sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser("export", help="save experiment results as JSON")

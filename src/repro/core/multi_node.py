@@ -16,7 +16,7 @@ reports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.accelerator import AcceleratorNode
 from repro.core.config import OptimizationConfig, SystemConfig, paper_system
@@ -221,6 +221,67 @@ class LoopLynxSystem:
         """Seconds variant of :meth:`decode_step_latency_ms`."""
         return self.decode_step_latency_ms(context_len, batch_size,
                                            optimizations) / 1e3
+
+    def mixed_step_latency_ms(self, decode_contexts: Sequence[int],
+                              prefill_tokens: int = 0,
+                              optimizations: Optional[OptimizationConfig] = None,
+                              prefill_context: int = 0) -> float:
+        """Latency of one *mixed* step: every request in ``decode_contexts``
+        advances by one decode token while ``prefill_tokens`` prompt tokens of
+        co-resident prefilling requests stream through the same pass.
+
+        All ``len(decode_contexts) + prefill_tokens`` token vectors share one
+        weight-streaming pass of the kernel pipeline
+        (:meth:`repro.core.scheduler.KernelScheduler.block_timing` with
+        ``batch_tokens`` set to the step's total token count), so the
+        memory-bound linear layers amortize across decode and prefill tokens
+        alike — the reason chunked-prefill schedulers can feed prompts in
+        without stalling live decodes.  The attention term follows the
+        existing batched-pass model (as in :meth:`decode_step_latency_ms`
+        with ``batch_size > 1`` and the ``batched=True`` prefill extension):
+        for multi-token steps it is driven by the step's token count, not
+        the cached prefix, so late chunks of a very long prompt are priced
+        like early ones — cheaper than the token-serial exclusive path by
+        construction, which is part of why mixed scheduling wins TTFT.  The
+        longest cached prefix in the step — decode contexts or
+        ``prefill_context``, the position the largest prefill chunk ends at
+        — drives the single-token degenerate case, where the cycle model
+        does attend over the cached prefix.
+
+        With ``prefill_tokens=0`` this equals
+        :meth:`decode_step_latency_ms` for the same batch exactly; a step
+        must carry at least one token.  ``prefill_context`` defaults to 0,
+        in which case a pure-prefill step falls back to attending over the
+        chunk itself (a from-scratch prompt).
+        """
+        num_decode = len(decode_contexts)
+        if prefill_tokens < 0:
+            raise ValueError("prefill_tokens cannot be negative")
+        if prefill_context < 0:
+            raise ValueError("prefill_context cannot be negative")
+        if any(context < 0 for context in decode_contexts):
+            raise ValueError("context length cannot be negative")
+        total_tokens = num_decode + prefill_tokens
+        if total_tokens <= 0:
+            raise ValueError("a mixed step must carry at least one token")
+        context = max(list(decode_contexts) + [prefill_context])
+        if context == 0:
+            # no caller-supplied prefix: a pure-prefill step attends over
+            # the chunk itself (prefix attention of a from-scratch prompt)
+            context = prefill_tokens
+        timing = self.node.token_cycles(context, batch_tokens=total_tokens,
+                                        optimizations=optimizations)
+        cycles = timing.total + self.host_overhead_cycles
+        return self.config.hardware.cycles_to_ms(cycles)
+
+    def mixed_step_latency_s(self, decode_contexts: Sequence[int],
+                             prefill_tokens: int = 0,
+                             optimizations: Optional[OptimizationConfig] = None,
+                             prefill_context: int = 0) -> float:
+        """Seconds variant of :meth:`mixed_step_latency_ms`."""
+        return self.mixed_step_latency_ms(decode_contexts, prefill_tokens,
+                                          optimizations,
+                                          prefill_context=prefill_context) / 1e3
 
     def prefill_latency_s(self, prefill_len: int,
                           optimizations: Optional[OptimizationConfig] = None,

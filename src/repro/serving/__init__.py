@@ -7,9 +7,10 @@ energy.  This package simulates a pool of LoopLynx instances fed from a
 request trace at two granularities:
 
 * :mod:`repro.serving.engine` — the token-level engine: continuous batching,
-  pluggable schedulers, KV-capacity admission (worst-case reservations or
-  paged block allocation via :mod:`repro.memory.paged_kv`), and preemption
-  with swap-to-host or recompute restoration;
+  mixed prefill/decode steps (chunked prefill under a per-step token
+  budget), pluggable schedulers, KV-capacity admission (worst-case
+  reservations or paged block allocation via :mod:`repro.memory.paged_kv`),
+  and preemption with swap-to-host or recompute restoration;
 * :mod:`repro.serving.schedulers` — FIFO / SJF / priority policies and the
   reservation-mode KV admission controller;
 * :mod:`repro.serving.simulator` — the whole-request FIFO queue, kept as the
@@ -19,7 +20,9 @@ request trace at two granularities:
 """
 
 from repro.serving.engine import (
+    DEFAULT_MIXED_STEP_TOKEN_BUDGET,
     PREEMPTION_MODES,
+    PREFILL_MODES,
     ServedRequest,
     TokenServingEngine,
 )
@@ -40,7 +43,9 @@ from repro.serving.simulator import (
 )
 
 __all__ = [
+    "DEFAULT_MIXED_STEP_TOKEN_BUDGET",
     "PREEMPTION_MODES",
+    "PREFILL_MODES",
     "ServedRequest",
     "TokenServingEngine",
     "ServingMetrics",

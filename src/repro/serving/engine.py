@@ -2,14 +2,21 @@
 
 Where :class:`repro.serving.simulator.ServingSimulator` treats each request as
 one opaque service-time blob, this engine advances every instance one *step*
-at a time — a prefill chunk for one request or a single decode step for the
-whole running batch — using the step-level core API
-(:meth:`repro.core.multi_node.LoopLynxSystem.decode_step_latency_s`).  That
+at a time — a prefill chunk for one request, a single decode step for the
+whole running batch, or (``prefill_mode="mixed"``) one token-budgeted step
+that carries a decode token per running request *plus* prefill-chunk tokens
+from requests still prefilling — using the step-level core API
+(:meth:`repro.core.multi_node.LoopLynxSystem.decode_step_latency_s` and
+:meth:`~repro.core.multi_node.LoopLynxSystem.mixed_step_latency_s`).  That
 granularity is what makes production serving behaviour expressible:
 
 * **continuous batching** — requests join the running batch at any step
   boundary and leave the moment their last token is generated (no
   batch-of-requests barrier);
+* **mixed prefill/decode steps** — in ``prefill_mode="mixed"`` prompts
+  stream in alongside live decodes under a per-step token budget (chunked
+  prefill), instead of stalling the whole batch while one prompt prefills
+  exclusively;
 * **pluggable scheduling** — admission order comes from a
   :class:`~repro.serving.schedulers.SchedulerPolicy` (FIFO, SJF, priority);
 * **KV-capacity admission** — two regimes gate admission against the
@@ -78,6 +85,18 @@ from repro.workloads.traces import Request, RequestTrace
 #: KV mode only; reservation mode always recomputes).
 PREEMPTION_MODES = ("swap", "recompute")
 
+#: Accepted values for ``TokenServingEngine(prefill_mode=...)``:
+#: ``"exclusive"`` runs one request's prefill chunk per step (all co-resident
+#: decodes stall while a prompt streams in — the PR 1 regime, kept
+#: bit-identical); ``"mixed"`` packs one decode token per running request
+#: plus prefill-chunk tokens into a single token-budgeted step, so prompts
+#: stream in alongside live decodes.
+PREFILL_MODES = ("exclusive", "mixed")
+
+#: Default token budget of one mixed step (decode tokens + prefill-chunk
+#: tokens); production chunked-prefill schedulers run 256–2048.
+DEFAULT_MIXED_STEP_TOKEN_BUDGET = 256
+
 
 @dataclass(frozen=True)
 class ServedRequest:
@@ -128,11 +147,12 @@ class ServedRequest:
         return self.first_token_s - self.arrival_s
 
     @property
-    def tpot_s(self) -> float:
-        """Mean seconds per output token after the first (0 when fewer than
-        two tokens were generated)."""
+    def tpot_s(self) -> Optional[float]:
+        """Mean seconds per output token after the first (``None`` when fewer
+        than two tokens were generated — a single token has no inter-token
+        gap, and a 0.0 here would drag TPOT percentiles toward zero)."""
         if self.first_token_s is None or self.decode_len <= 1:
-            return 0.0
+            return None
         return (self.finish_s - self.first_token_s) / (self.decode_len - 1)
 
 
@@ -193,12 +213,16 @@ class _Instance:
 class _RunStats:
     """Time-weighted occupancy accumulators for one engine run."""
 
-    batch_time: float = 0.0      # Σ batch_size × step seconds
+    batch_time: float = 0.0      # Σ advancing requests × step seconds
     busy_time: float = 0.0       # Σ step seconds (all instances)
     kv_occ_time: float = 0.0     # Σ occupancy fraction × step seconds
     frag_time: float = 0.0       # Σ fragmentation fraction × step seconds
     peak_kv_occupancy: float = 0.0
     swap_time_s: float = 0.0     # Σ PCIe transfer seconds spent swapping
+    prefill_tokens: int = 0      # prompt tokens computed (recomputes count)
+    decode_time: float = 0.0     # Σ pure-decode step seconds
+    prefill_time: float = 0.0    # Σ pure-prefill step seconds
+    mixed_time: float = 0.0      # Σ mixed prefill+decode step seconds
 
 
 class TokenServingEngine:
@@ -218,6 +242,21 @@ class TokenServingEngine:
         Prompt tokens processed per prefill step.  Smaller chunks interleave
         prefill with running decodes sooner; ``None`` runs each prompt to
         completion in one step.
+    prefill_mode:
+        ``"exclusive"`` (default): a prefill chunk occupies a step on its
+        own, stalling every co-resident decode while one prompt streams in
+        — the historical regime, kept bit-identical.  ``"mixed"``: each step
+        carries up to ``mixed_step_token_budget`` tokens, filled first with
+        one decode token per running decode and then with prefill-chunk
+        tokens from requests still prefilling, so prompts stream in
+        alongside live decodes (chunked prefill).  In paged KV mode a mixed
+        engine admits a prefilling request with blocks for its *first chunk*
+        only and grows its table step by step as the prompt streams in,
+        instead of allocating the whole prompt at admission.
+    mixed_step_token_budget:
+        Token capacity of one mixed step (decode tokens plus prefill-chunk
+        tokens).  Decode tokens are never dropped to fit the budget; prefill
+        chunks take whatever remains.  Ignored in exclusive mode.
     kv_controller:
         Optional :class:`KVAdmissionController`; when set, admission reserves
         worst-case KV capacity (``prefill + decode`` cached positions) and
@@ -250,6 +289,8 @@ class TokenServingEngine:
                  policy: str = "fifo",
                  max_batch_size: int = 8,
                  prefill_chunk_tokens: Optional[int] = 64,
+                 prefill_mode: str = "exclusive",
+                 mixed_step_token_budget: int = DEFAULT_MIXED_STEP_TOKEN_BUDGET,
                  kv_controller: Optional[KVAdmissionController] = None,
                  kv_block_manager: Optional[PagedKVManager] = None,
                  preemption_mode: str = "swap",
@@ -260,6 +301,12 @@ class TokenServingEngine:
             raise ValueError("max_batch_size must be positive")
         if prefill_chunk_tokens is not None and prefill_chunk_tokens <= 0:
             raise ValueError("prefill_chunk_tokens must be positive")
+        if prefill_mode not in PREFILL_MODES:
+            raise ValueError(
+                f"unknown prefill mode {prefill_mode!r}; "
+                f"known: {', '.join(PREFILL_MODES)}")
+        if mixed_step_token_budget <= 0:
+            raise ValueError("mixed_step_token_budget must be positive")
         if context_bucket <= 0:
             raise ValueError("context_bucket must be positive")
         if kv_controller is not None and kv_block_manager is not None:
@@ -278,12 +325,15 @@ class TokenServingEngine:
         make_scheduler(policy)  # fail fast on unknown names
         self.max_batch_size = max_batch_size
         self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.prefill_mode = prefill_mode
+        self.mixed_step_token_budget = mixed_step_token_budget
         self.kv_controller = kv_controller
         self.kv_block_manager = kv_block_manager
         self.preemption_mode = preemption_mode
         self.context_bucket = context_bucket
         self.last_kv_managers: List[PagedKVManager] = []
         self._step_cache: Dict[Tuple[int, int], float] = {}
+        self._mixed_step_cache: Dict[Tuple[int, int, int], float] = {}
 
     # ------------------------------------------------------------------
     # step timing (memoized cycle-model evaluations)
@@ -310,15 +360,47 @@ class TokenServingEngine:
         return sum(self._step_latency_s(pos, 1)
                    for pos in range(start_pos, start_pos + chunk_len))
 
+    def _mixed_step_latency_s(self, max_context: int, num_decode: int,
+                              prefill_tokens: int) -> float:
+        """Seconds for one mixed step advancing ``num_decode`` requests by a
+        token each while streaming ``prefill_tokens`` prompt tokens through
+        the same weight pass.  ``max_context`` is the longest cached prefix
+        in the step — decode contexts and prefill chunk-end positions alike
+        (memoized per context bucket, like :meth:`_step_latency_s`)."""
+        key = (self._bucketed(max_context), num_decode, prefill_tokens)
+        if key not in self._mixed_step_cache:
+            self._mixed_step_cache[key] = self.system.mixed_step_latency_s(
+                [key[0]] * num_decode, prefill_tokens,
+                prefill_context=key[0])
+        return self._mixed_step_cache[key]
+
+    def _next_prefill_chunk(self, state: _RequestState) -> int:
+        """Prompt tokens ``state`` would stream in its next mixed step,
+        before the step's token budget is split (per-request chunk cap and
+        the whole-step budget both apply)."""
+        chunk = min(state.prefill_remaining, self.mixed_step_token_budget)
+        if self.prefill_chunk_tokens is not None:
+            chunk = min(chunk, self.prefill_chunk_tokens)
+        return chunk
+
     # ------------------------------------------------------------------
     # KV admission gates (mode-aware)
     # ------------------------------------------------------------------
     def _paged_admit_target(self, state: _RequestState) -> int:
-        """Cached positions a (non-swapped) request must cover at admission:
-        its prompt plus one slot for the first decode append, clamped to the
-        context window.  Decode growth past this is allocated on demand."""
+        """Cached positions a (non-swapped) request must cover at admission.
+
+        Exclusive prefill claims the whole prompt plus one slot for the
+        first decode append (the prompt is computed before any other step
+        of the instance runs, so its blocks are needed up front).  Mixed
+        prefill streams the prompt in chunk by chunk, so admission only
+        claims the first chunk and the table grows per step alongside the
+        decode appends.  Both are clamped to the context window.
+        """
         request = state.request
-        tokens = request.prefill_len + (1 if request.decode_len > 0 else 0)
+        if self.prefill_mode == "mixed" and state.prefill_remaining > 0:
+            tokens = state.context_len + self._next_prefill_chunk(state)
+        else:
+            tokens = request.prefill_len + (1 if request.decode_len > 0 else 0)
         return min(tokens, self.kv_block_manager.layout.max_seq_len)
 
     def _paged_admit_blocks(self, kv: PagedKVManager,
@@ -329,7 +411,15 @@ class TokenServingEngine:
         rid = state.request.request_id
         if kv.holds(rid) and kv.table(rid).is_swapped:
             restore = kv.table(rid).host_blocks
-            next_target = min(state.context_len + 1, kv.layout.max_seq_len)
+            if self.prefill_mode == "mixed" and state.prefill_remaining > 0:
+                # a request swapped out mid-prefill appends a whole chunk in
+                # its next mixed step, not a single decode token; budgeting
+                # only context+1 would re-admit it without room to grow and
+                # re-evict it at the same boundary (churn, PCIe both ways)
+                next_tokens = state.context_len + self._next_prefill_chunk(state)
+            else:
+                next_tokens = state.context_len + 1
+            next_target = min(next_tokens, kv.layout.max_seq_len)
             return restore + max(0, kv.blocks_needed(next_target) - restore)
         return kv.blocks_missing(rid, self._paged_admit_target(state))
 
@@ -343,10 +433,14 @@ class TokenServingEngine:
         headroom = 0
         for member in batch:
             if member.prefill_remaining > 0:
-                continue  # prompt blocks were claimed at admission
+                if self.prefill_mode != "mixed":
+                    continue  # prompt blocks were claimed at admission
+                # mixed mode grows prefilling tables per step too
+                target = member.context_len + self._next_prefill_chunk(member)
+            else:
+                target = member.context_len + 1
             headroom += kv.blocks_missing(
-                member.request.request_id,
-                min(member.context_len + 1, max_seq))
+                member.request.request_id, min(target, max_seq))
         return headroom
 
     def _kv_admits(self, instance: _Instance, state: _RequestState) -> bool:
@@ -474,37 +568,105 @@ class TokenServingEngine:
             victim.preemptions += 1
             scheduler.push(victim)
 
-        def ensure_decode_capacity(instance: _Instance, now: float) -> None:
-            """Paged mode, before a decode step: every batch member needs a
-            block slot for the token position it is about to append.  When
-            the pool runs dry, evict the lowest-priority, most recently
-            admitted member of an *equal or lower* priority class than the
-            grower and retry (its blocks swap out or drop per the
-            preemption mode).  Capacity pressure never evicts a strictly
-            higher-priority member — when the grower itself is the lowest
-            class present, it is the one that yields (no priority inversion
-            through block growth)."""
+        def grow_to(instance: _Instance, state: _RequestState,
+                    target: int, now: float) -> bool:
+            """Paged mode: allocate blocks so ``state`` covers ``target``
+            cached positions before its next append.  When the pool runs
+            dry, evict the lowest-priority, most recently admitted member of
+            an *equal or lower* priority class than the grower and retry
+            (its blocks swap out or drop per the preemption mode).  Capacity
+            pressure never evicts a strictly higher-priority member — when
+            the grower itself is the lowest class present, it is the one
+            that yields (no priority inversion through block growth).
+
+            Mixed mode additionally requires an equal-priority victim to
+            have been admitted *no earlier* than the grower.  Without this,
+            two requests too big to co-reside can destroy each other
+            forever: the newcomer's chunk growth evicts the old resident
+            (discarding its nearly-finished context), the resident
+            re-admits and returns the favour, and neither ever finishes —
+            a livelock chunked admission makes reachable because it admits
+            on first-chunk fit rather than whole-prompt fit.  Restricting
+            equal-priority eviction to members no older than the grower
+            makes the oldest-admitted member of the highest class
+            un-evictable, so it always advances and the run provably
+            terminates.  Exclusive mode keeps the PR 2 rule unchanged (the
+            bit-identical regime).
+
+            Returns whether any member was evicted."""
             kv = instance.kv
-            max_seq = kv.layout.max_seq_len
+            mixed = self.prefill_mode == "mixed"
+            evicted = False
+            while (state in instance.batch
+                   and not kv.allocate(state.request.request_id, target)):
+                others = [s for s in instance.batch if s is not state]
+                if not others:
+                    raise RuntimeError(
+                        "KV block pool cannot hold a single request; "
+                        "validate() should have rejected this trace")
+                candidates = [
+                    s for s in others
+                    if s.request.priority < state.request.priority
+                    or (s.request.priority == state.request.priority
+                        and (not mixed
+                             or s.last_admitted_s >= state.last_admitted_s))]
+                victim = (min(candidates,
+                              key=lambda s: (s.request.priority,
+                                             -s.last_admitted_s))
+                          if candidates else state)
+                evict(instance, victim, now)
+                evicted = True
+            return evicted
+
+        def ensure_decode_capacity(instance: _Instance, now: float) -> None:
+            """Paged mode, before a pure decode step: every batch member
+            needs a block slot for the token position it is about to
+            append."""
+            max_seq = instance.kv.layout.max_seq_len
             for state in list(instance.batch):
                 if state not in instance.batch:
                     continue  # already evicted to make room
-                target = min(state.context_len + 1, max_seq)
-                while (state in instance.batch
-                       and not kv.allocate(state.request.request_id, target)):
-                    others = [s for s in instance.batch if s is not state]
-                    if not others:
-                        raise RuntimeError(
-                            "KV block pool cannot hold a single request; "
-                            "validate() should have rejected this trace")
-                    candidates = [
-                        s for s in others
-                        if s.request.priority <= state.request.priority]
-                    victim = (min(candidates,
-                                  key=lambda s: (s.request.priority,
-                                                 -s.last_admitted_s))
-                              if candidates else state)
-                    evict(instance, victim, now)
+                grow_to(instance, state, min(state.context_len + 1, max_seq),
+                        now)
+
+        def plan_mixed_step(instance: _Instance):
+            """Split the mixed-step token budget over the batch: one decode
+            token per running decode first, then prefill-chunk tokens for
+            requests still prefilling, in admission (batch) order.  Decode
+            tokens are never dropped to fit the budget; prefill chunks take
+            whatever budget remains."""
+            decoders = [s for s in instance.batch if s.prefill_remaining == 0]
+            remaining = self.mixed_step_token_budget - len(decoders)
+            chunks: List[Tuple[_RequestState, int]] = []
+            for state in instance.batch:
+                if state.prefill_remaining == 0 or remaining <= 0:
+                    continue
+                chunk = min(self._next_prefill_chunk(state), remaining)
+                chunks.append((state, chunk))
+                remaining -= chunk
+            return decoders, chunks
+
+        def ensure_mixed_capacity(instance: _Instance, now: float):
+            """Paged mode, before a mixed step: every request advancing in
+            the step needs blocks for the positions it appends (one per
+            decode, a whole chunk per prefilling member).  An eviction frees
+            budget and invalidates the split, so replan until one whole pass
+            allocates without evicting; the batch shrinks on every eviction,
+            so the loop terminates.  Returns the final ``(decoders,
+            chunks)`` plan."""
+            max_seq = instance.kv.layout.max_seq_len
+            while True:
+                decoders, chunks = plan_mixed_step(instance)
+                evicted = False
+                targets = [(s, s.context_len + 1) for s in decoders]
+                targets += [(s, s.context_len + c) for s, c in chunks]
+                for state, target in targets:
+                    if state not in instance.batch:
+                        continue  # already evicted to make room
+                    if grow_to(instance, state, min(target, max_seq), now):
+                        evicted = True
+                if not evicted:
+                    return decoders, chunks
 
         def dispatch(instance: _Instance, now: float) -> None:
             """Admit/preempt at a step boundary, then launch the next step."""
@@ -543,28 +705,57 @@ class TokenServingEngine:
             if not instance.batch:
                 instance.busy = False
                 return
-            prefilling = next((s for s in instance.batch
-                               if s.prefill_remaining > 0), None)
-            if prefilling is not None:
-                chunk = prefilling.prefill_remaining
-                if self.prefill_chunk_tokens is not None:
-                    chunk = min(chunk, self.prefill_chunk_tokens)
-                duration = self._prefill_chunk_latency_s(
-                    prefilling.prefill_done, chunk)
-                payload = ("prefill", instance, prefilling, chunk)
-            else:
+            if self.prefill_mode == "mixed":
                 if instance.kv is not None:
-                    ensure_decode_capacity(instance, now)
-                context = max(s.context_len for s in instance.batch)
-                duration = self._step_latency_s(context, len(instance.batch))
-                payload = ("decode", instance, list(instance.batch), 0)
+                    decoders, chunks = ensure_mixed_capacity(instance, now)
+                else:
+                    decoders, chunks = plan_mixed_step(instance)
+                prefill_tokens = sum(chunk for _, chunk in chunks)
+                max_context = max(
+                    [s.context_len for s in decoders]
+                    + [s.context_len + chunk for s, chunk in chunks]
+                    + [0])
+                duration = self._mixed_step_latency_s(
+                    max_context, len(decoders), prefill_tokens)
+                payload = ("mixed", instance, (decoders, chunks),
+                           prefill_tokens)
+                advancing = len(decoders) + len(chunks)
+                if decoders and prefill_tokens:
+                    stats.mixed_time += duration
+                elif prefill_tokens:
+                    stats.prefill_time += duration
+                else:
+                    stats.decode_time += duration
+            else:
+                prefilling = next((s for s in instance.batch
+                                   if s.prefill_remaining > 0), None)
+                if prefilling is not None:
+                    chunk = prefilling.prefill_remaining
+                    if self.prefill_chunk_tokens is not None:
+                        chunk = min(chunk, self.prefill_chunk_tokens)
+                    duration = self._prefill_chunk_latency_s(
+                        prefilling.prefill_done, chunk)
+                    payload = ("prefill", instance, prefilling, chunk)
+                    # only the prefilling request advances; co-resident
+                    # decodes stall for the duration of the chunk
+                    advancing = 1
+                    stats.prefill_time += duration
+                else:
+                    if instance.kv is not None:
+                        ensure_decode_capacity(instance, now)
+                    context = max(s.context_len for s in instance.batch)
+                    duration = self._step_latency_s(context,
+                                                    len(instance.batch))
+                    payload = ("decode", instance, list(instance.batch), 0)
+                    advancing = len(instance.batch)
+                    stats.decode_time += duration
             if instance.pending_delay_s > 0.0:
                 # swap transfers contend for the same HBM/PCIe datapath, so
                 # they serialize ahead of the next step
                 duration += instance.pending_delay_s
                 stats.swap_time_s += instance.pending_delay_s
                 instance.pending_delay_s = 0.0
-            stats.batch_time += len(instance.batch) * duration
+            stats.batch_time += advancing * duration
             stats.busy_time += duration
             if instance.kv is not None:
                 occupancy = instance.kv.occupancy_fraction
@@ -581,9 +772,24 @@ class TokenServingEngine:
             kind, instance, target, chunk = payload
             if kind == "prefill":
                 target.prefill_done += chunk
+                stats.prefill_tokens += chunk
                 if (target.prefill_remaining == 0
                         and target.request.decode_len == 0):
                     finish(instance, target, now)
+            elif kind == "mixed":
+                decoders, chunks = target
+                for state in decoders:
+                    state.decode_done += 1
+                    if state.first_token_s is None:
+                        state.first_token_s = now
+                    if state.decode_done >= state.request.decode_len:
+                        finish(instance, state, now)
+                for state, tokens in chunks:
+                    state.prefill_done += tokens
+                    stats.prefill_tokens += tokens
+                    if (state.prefill_remaining == 0
+                            and state.request.decode_len == 0):
+                        finish(instance, state, now)
             else:
                 for state in target:
                     state.decode_done += 1
@@ -661,6 +867,12 @@ class TokenServingEngine:
             tpots_s=[r.tpot_s for r in records if r.ttft_s is not None],
             preemptions=sum(r.preemptions for r in records),
             policy=self.policy,
+            prefill_mode=self.prefill_mode,
+            busy_time_s=stats.busy_time,
+            prefill_tokens_processed=stats.prefill_tokens,
+            decode_step_time_s=stats.decode_time,
+            prefill_step_time_s=stats.prefill_time,
+            mixed_step_time_s=stats.mixed_time,
             kv_mode=kv_mode,
             kv_block_size=(self.kv_block_manager.block_size_tokens
                            if self.kv_block_manager is not None else 0),

@@ -34,6 +34,27 @@ class ServingMetrics:
     compatibility path leaves them empty because a request-sized service blob
     has no interior token timestamps.
 
+    ``tpots_s`` is aligned index-for-index with ``ttfts_s`` (one entry per
+    request that generated a token); an entry is ``None`` for a request with
+    fewer than two generated tokens, which has no inter-token gap.  ``None``
+    entries are excluded from the TPOT percentiles and count as *vacuously*
+    meeting the TPOT SLO in :meth:`slo_attainment` — explicitly, not by
+    smuggling a 0.0 into the distribution.
+
+    Step accounting (engine runs only):
+
+    * ``busy_time_s`` — seconds instances spent executing steps (including
+      serialized swap transfers), summed over the pool.  This is the ground
+      truth behind :attr:`instance_utilization`: unlike per-request service
+      times it never double-counts the time a preempted request spends
+      re-queued, so the utilization it yields is ≤ 1 by construction;
+    * ``prefill_tokens_processed`` — prompt tokens actually computed
+      (recomputed prefills after a discarding preemption count again);
+    * ``decode_step_time_s`` / ``prefill_step_time_s`` /
+      ``mixed_step_time_s`` — busy seconds split by step kind (pure decode,
+      pure prefill, mixed prefill+decode); the ``*_time_share`` properties
+      normalize them by ``busy_time_s``.
+
     KV-cache occupancy fields (engine runs only):
 
     * ``kv_mode`` — ``"none"``, ``"reserve"`` (worst-case reservations) or
@@ -60,9 +81,15 @@ class ServingMetrics:
     end_to_end_latencies_s: List[float] = field(default_factory=list)
     service_times_s: List[float] = field(default_factory=list)
     ttfts_s: List[float] = field(default_factory=list)
-    tpots_s: List[float] = field(default_factory=list)
+    tpots_s: List[Optional[float]] = field(default_factory=list)
     preemptions: int = 0
     policy: str = "fifo-exclusive"
+    prefill_mode: str = "exclusive"
+    busy_time_s: float = 0.0
+    prefill_tokens_processed: int = 0
+    decode_step_time_s: float = 0.0
+    prefill_step_time_s: float = 0.0
+    mixed_step_time_s: float = 0.0
     kv_mode: str = "none"
     kv_block_size: int = 0
     kv_total_blocks: int = 0
@@ -96,11 +123,43 @@ class ServingMetrics:
 
     @property
     def instance_utilization(self) -> float:
-        """Fraction of instance-time spent actually serving requests."""
+        """Fraction of instance-time spent actually serving requests.
+
+        Engine runs report it as ``busy_time_s / (makespan × instances)``,
+        which is ≤ 1 by construction (steps never overlap on an instance and
+        all finish within the makespan).  The whole-request simulator has no
+        step clock, so it falls back to the per-request service-time estimate;
+        that estimate would overstate utilization under preemption (a
+        re-queued request's wait is inside its service time), but the
+        simulator never preempts, so there it is exact.
+        """
         capacity = self.makespan_s * self.num_instances
         if capacity <= 0:
             return 0.0
+        if self.busy_time_s > 0:
+            return self.busy_time_s / capacity
         return min(sum(self.service_times_s) / capacity, 1.0)
+
+    @property
+    def decode_time_share(self) -> float:
+        """Fraction of busy time spent in pure decode steps."""
+        if self.busy_time_s <= 0:
+            return 0.0
+        return self.decode_step_time_s / self.busy_time_s
+
+    @property
+    def prefill_time_share(self) -> float:
+        """Fraction of busy time spent in pure prefill steps."""
+        if self.busy_time_s <= 0:
+            return 0.0
+        return self.prefill_step_time_s / self.busy_time_s
+
+    @property
+    def mixed_time_share(self) -> float:
+        """Fraction of busy time spent in mixed prefill+decode steps."""
+        if self.busy_time_s <= 0:
+            return 0.0
+        return self.mixed_step_time_s / self.busy_time_s
 
     def latency_percentile_s(self, fraction: float) -> float:
         return percentile(self.end_to_end_latencies_s, fraction)
@@ -120,22 +179,37 @@ class ServingMetrics:
 
     def tpot_percentile_s(self, fraction: float) -> float:
         """Time-per-output-token percentile (mean inter-token gap after the
-        first token, one value per request)."""
-        return percentile(self.tpots_s, fraction)
+        first token, one value per request).  Requests with fewer than two
+        generated tokens have no inter-token gap and are excluded instead of
+        contributing a bias-inducing 0.0."""
+        return percentile([t for t in self.tpots_s if t is not None], fraction)
 
     def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
         """Fraction of requests meeting both the TTFT and TPOT SLOs.
 
-        Requires token-level data; with per-request lists of equal length the
-        i-th entries describe the same request (the engine emits them sorted
-        by request id).
+        Requires token-level data; the i-th entries of ``ttfts_s`` and
+        ``tpots_s`` describe the same request (the engine emits them sorted
+        by request id).  A ``None`` TPOT (single-token request) meets the
+        TPOT SLO vacuously — there is no inter-token gap to violate it.
+
+        Raises ``ValueError`` when both lists are populated with different
+        lengths (``zip(strict=True)`` semantics, spelled out for Python 3.9):
+        silently zip-truncating mismatched hand-built metrics would pair
+        entries from different requests and overstate attainment.
         """
         if not self.ttfts_s:
             return 0.0
-        paired = zip(self.ttfts_s,
-                     self.tpots_s or [0.0] * len(self.ttfts_s))
-        good = sum(1 for ttft, tpot in paired
-                   if ttft <= ttft_slo_s and tpot <= tpot_slo_s)
+        tpots: List[Optional[float]] = self.tpots_s
+        if tpots and len(tpots) != len(self.ttfts_s):
+            raise ValueError(
+                f"ttfts_s has {len(self.ttfts_s)} entries but tpots_s has "
+                f"{len(tpots)}; per-request lists must align index-for-index "
+                "(use None for requests without a TPOT sample)")
+        if not tpots:
+            tpots = [None] * len(self.ttfts_s)
+        good = sum(1 for ttft, tpot in zip(self.ttfts_s, tpots)
+                   if ttft <= ttft_slo_s
+                   and (tpot is None or tpot <= tpot_slo_s))
         return good / len(self.ttfts_s)
 
     def slo_goodput_rps(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
@@ -184,6 +258,14 @@ class ServingMetrics:
             })
         if self.mean_running_batch > 0:  # engine runs only
             out["mean_running_batch"] = self.mean_running_batch
+        if self.busy_time_s > 0:  # engine runs only
+            out.update({
+                "prefill_tokens": float(self.prefill_tokens_processed),
+                "decode_time_share": self.decode_time_share,
+                "prefill_time_share": self.prefill_time_share,
+            })
+            if self.mixed_step_time_s > 0:
+                out["mixed_time_share"] = self.mixed_time_share
         if self.kv_mode == "paged":
             out.update({
                 "kv_total_blocks": float(self.kv_total_blocks),

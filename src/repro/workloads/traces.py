@@ -159,8 +159,10 @@ def bursty_trace(num_requests: int, seed: int = 0,
         raise ValueError("num_requests must be positive")
     if burst_size <= 0:
         raise ValueError("burst_size must be positive")
-    if burst_rate_per_s <= 0 or idle_gap_s < 0:
-        raise ValueError("rates/gaps must be positive")
+    if burst_rate_per_s <= 0:
+        raise ValueError("burst_rate_per_s must be positive")
+    if idle_gap_s < 0:
+        raise ValueError("idle_gap_s must be non-negative")
     rng = np.random.default_rng(seed)
     requests: List[Request] = []
     arrival = 0.0

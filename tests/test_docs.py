@@ -57,7 +57,9 @@ def test_serving_md_doctests():
 def test_serving_md_documents_every_serve_surface():
     text = SERVING_MD.read_text()
     for flag in ("--kv-mode", "--kv-block-size", "--preemption-mode",
-                 "--kv-budget-mib", "--compare-kv", "--policy", "--trace"):
+                 "--kv-budget-mib", "--compare-kv", "--policy", "--trace",
+                 "--prefill-mode", "--mixed-step-token-budget",
+                 "--compare-prefill"):
         assert flag in text, f"docs/serving.md must document {flag}"
 
 

@@ -182,8 +182,18 @@ class TestTraces:
             bursty_trace(0)
         with pytest.raises(ValueError):
             bursty_trace(5, burst_size=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="must be positive"):
             bursty_trace(5, burst_rate_per_s=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            bursty_trace(5, idle_gap_s=-0.1)
+
+    def test_bursty_trace_accepts_zero_idle_gap(self):
+        """``idle_gap_s=0`` is a valid degenerate configuration (one long
+        burst); it must not be rejected by the negativity check."""
+        trace = bursty_trace(12, seed=0, burst_size=4, idle_gap_s=0.0)
+        assert len(trace) == 12
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
 
     def test_multi_tenant_trace_mixes_tenants(self):
         trace = multi_tenant_trace(30, seed=1)

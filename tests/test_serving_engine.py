@@ -242,7 +242,10 @@ class TestTokenServingEngine:
             assert record.first_token_s > record.admitted_s
             assert record.finish_s >= record.first_token_s
             assert record.ttft_s > 0
-            assert record.tpot_s >= 0
+            if record.decode_len > 1:
+                assert record.tpot_s > 0
+            else:
+                assert record.tpot_s is None
 
     def test_ttft_less_than_latency(self):
         trace = synthetic_trace(6, seed=2, mean_decode=64)
@@ -405,3 +408,37 @@ class TestTokenServingEngine:
         assert generous == pytest.approx(metrics.requests_per_second)
         assert metrics.slo_goodput_rps(0.0, 0.0) == 0.0
         assert 0.0 <= metrics.slo_attainment(1.0, 0.05) <= 1.0
+
+    def test_single_token_requests_do_not_bias_tpot(self):
+        """Single-token requests have no inter-token gap: their TPOT entry
+        is None, the TPOT percentiles skip them instead of absorbing a 0.0,
+        and they pass the TPOT SLO vacuously (only via slo_attainment)."""
+        trace = _trace([(16, 1), (16, 1), (16, 1), (16, 40)], gap_s=0.05)
+        metrics, records = TokenServingEngine(num_instances=1, policy="fifo",
+                                              max_batch_size=4).run(trace)
+        assert [r.tpot_s is None for r in records] == [True, True, True, False]
+        assert len(metrics.tpots_s) == len(metrics.ttfts_s) == 4
+        assert metrics.tpots_s.count(None) == 3
+        # the percentile distribution holds exactly one real sample, so
+        # every fraction returns it — not a zero-diluted mixture
+        real_tpot = records[3].tpot_s
+        assert metrics.tpot_percentile_s(0.0) == pytest.approx(real_tpot)
+        assert metrics.tpot_percentile_s(0.5) == pytest.approx(real_tpot)
+        # an impossible TPOT SLO fails only the request that has a TPOT
+        assert metrics.slo_attainment(1e9, 1e-12) == pytest.approx(3 / 4)
+        assert metrics.slo_attainment(1e9, 1e9) == pytest.approx(1.0)
+
+    def test_slo_attainment_rejects_mismatched_lists(self):
+        """Hand-built metrics with misaligned per-request lists raise
+        instead of silently zip-truncating (which overstated attainment)."""
+        from repro.serving.metrics import ServingMetrics
+
+        metrics = ServingMetrics(
+            num_requests=3, num_instances=1, num_nodes_per_instance=2,
+            makespan_s=1.0, generated_tokens=30,
+            ttfts_s=[0.1, 0.2, 9.9], tpots_s=[0.01, 0.02])
+        with pytest.raises(ValueError):
+            metrics.slo_attainment(1.0, 0.05)
+        # empty tpots_s stays valid: TPOT is vacuously met for every request
+        metrics.tpots_s = []
+        assert metrics.slo_attainment(1.0, 0.05) == pytest.approx(2 / 3)

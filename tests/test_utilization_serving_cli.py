@@ -211,6 +211,27 @@ class TestCli:
         out = capsys.readouterr().out
         assert "mean_queue_delay_s" in out
 
+    def test_serve_command_mixed_prefill(self, capsys):
+        assert main(["serve", "--trace", "bursty", "--requests", "10",
+                     "--prefill-mode", "mixed",
+                     "--mixed-step-token-budget", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "prefill mixed" in out
+        assert "prefill_tokens" in out
+        assert "decode_time_share" in out
+
+    def test_serve_command_compare_prefill(self, capsys):
+        assert main(["serve", "--trace", "bursty", "--requests", "10",
+                     "--compare-prefill"]) == 0
+        out = capsys.readouterr().out
+        assert "exclusive vs mixed prefill" in out
+        assert "P95 TTFT" in out
+
+    def test_serve_command_compare_prefill_rejects_exclusive_policy(self, capsys):
+        assert main(["serve", "--trace", "bursty", "--requests", "6",
+                     "--policy", "fifo-exclusive", "--compare-prefill"]) == 2
+        assert "token-level policy" in capsys.readouterr().err
+
     def test_parser_structure(self):
         parser = build_parser()
         args = parser.parse_args(["latency", "--nodes", "4"])
