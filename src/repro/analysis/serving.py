@@ -8,10 +8,11 @@ serving benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
+from repro.serving.cluster import ClusterSpec, ROUTER_NAMES, parse_cluster_spec
 from repro.serving.engine import PREFILL_MODES, TokenServingEngine
 from repro.serving.schedulers import KVAdmissionController
 from repro.serving.simulator import FIFO_EXCLUSIVE, ServingSimulator
@@ -30,6 +31,9 @@ def run_policy(trace: RequestTrace, policy: str,
                preemption_mode: str = "swap",
                prefill_mode: str = "exclusive",
                mixed_step_token_budget: Optional[int] = None,
+               instances: Optional[Union[str, ClusterSpec]] = None,
+               router: str = "round_robin",
+               swap_priority: bool = False,
                **engine_kwargs):
     """Run ``trace`` under one policy and return ``(metrics, records)``.
 
@@ -37,6 +41,14 @@ def run_policy(trace: RequestTrace, policy: str,
     it serves one request at a time, so ``max_batch_size`` does not apply and
     KV options are rejected rather than silently ignored) or any token-level
     policy.
+
+    ``instances`` optionally replaces the flat ``num_instances`` ×
+    ``num_nodes_per_instance`` pool with a cluster spec (e.g.
+    ``"2x1n,2x2n,1x4n"``); ``router`` then picks the cluster-routing policy
+    (heterogeneous pools only — single-class pools are bit-identical to the
+    flat pool under every router).  The KV options apply per instance
+    class.  ``swap_priority`` makes each instance resume its own swapped-out
+    requests ahead of new admissions (paged ``swap`` mode).
 
     ``prefill_mode`` selects how prompts share steps with running decodes:
     ``"exclusive"`` (one prefill chunk per step, decodes stall — the
@@ -70,12 +82,37 @@ def run_policy(trace: RequestTrace, policy: str,
             raise ValueError(
                 "fifo-exclusive serves whole requests and cannot mix "
                 "prefill into decode steps; pick a token-level policy")
+        if instances is not None:
+            raise ValueError(
+                "fifo-exclusive predates the cluster layer; pick a "
+                "token-level policy to use --instances/--router")
+        if swap_priority:
+            raise ValueError(
+                "fifo-exclusive never preempts, so swap_priority has "
+                "nothing to prioritize; pick a token-level policy")
         simulator = ServingSimulator(num_instances=num_instances,
                                      num_nodes_per_instance=num_nodes_per_instance)
         return simulator.run(trace)
     if mixed_step_token_budget is not None:
         engine_kwargs = dict(engine_kwargs,
                              mixed_step_token_budget=mixed_step_token_budget)
+    if instances is not None:
+        if isinstance(instances, str):
+            instances = parse_cluster_spec(instances)
+        engine = TokenServingEngine(
+            cluster=instances, router=router,
+            policy=policy, max_batch_size=max_batch_size,
+            prefill_mode=prefill_mode,
+            kv_mode=("paged" if kv_mode == "paged"
+                     else "reserve" if kv_budget_bytes is not None else None),
+            kv_budget_bytes=kv_budget_bytes,
+            kv_block_size=kv_block_size,
+            preemption_mode=preemption_mode,
+            swap_priority=swap_priority,
+            **engine_kwargs)
+        return engine.run(trace)
+    if swap_priority:
+        engine_kwargs = dict(engine_kwargs, swap_priority=True)
     kv_controller = None
     kv_block_manager = None
     if kv_mode == "paged":
@@ -231,6 +268,107 @@ def prefill_mode_comparison(trace: RequestTrace,
         row["Mixed-step share"] = metrics.mixed_time_share
         row["Utilization"] = metrics.instance_utilization
         rows.append(row)
+    return rows
+
+
+def router_comparison(trace: RequestTrace, instances: Union[str, ClusterSpec],
+                      routers: Sequence[str] = ROUTER_NAMES,
+                      policy: str = "fifo",
+                      max_batch_size: int = 8,
+                      kv_budget_bytes: Optional[int] = None,
+                      kv_mode: str = "reserve",
+                      kv_block_size: int = 16,
+                      preemption_mode: str = "swap",
+                      prefill_mode: str = "exclusive",
+                      swap_priority: bool = False
+                      ) -> List[Dict[str, object]]:
+    """Serve one trace on the same cluster under each router and tabulate
+    the summaries side by side.
+
+    This is the comparison the routing layer exists to win: on a
+    heterogeneous pool, placement-aware routers (``kv_aware``,
+    ``class_affinity``) should beat shape-blind rotation on tail TTFT.  On
+    a single-class pool every row is identical by construction — a useful
+    smoke check that routing never costs anything when there is nothing to
+    decide.
+    """
+    rows = []
+    for router in routers:
+        metrics, _ = run_policy(trace, policy, instances=instances,
+                                router=router, max_batch_size=max_batch_size,
+                                kv_budget_bytes=kv_budget_bytes,
+                                kv_mode=kv_mode, kv_block_size=kv_block_size,
+                                preemption_mode=preemption_mode,
+                                prefill_mode=prefill_mode,
+                                swap_priority=swap_priority)
+        row = metrics_row(router, metrics)
+        row["P95 TTFT (s)"] = metrics.ttft_percentile_s(0.95)
+        rows.append(row)
+    return rows
+
+
+def class_breakdown(metrics) -> List[Dict[str, object]]:
+    """Per-instance-class rows from a cluster run's metrics.
+
+    One row per instance class (``metrics.per_class``), showing how the
+    cluster's classes divided the work: request counts, utilization,
+    sustained batch, TTFT and swap traffic.  Requests that never ran
+    (``instance_id=None``) belong to no class and appear in no row.
+    """
+    rows = []
+    for cls in metrics.per_class:
+        row: Dict[str, object] = {
+            "Class": cls.label,
+            "Instances": cls.num_instances,
+            "Nodes/inst": cls.num_nodes,
+            "Requests": cls.requests,
+            "Utilization": cls.utilization,
+            "Mean batch": cls.mean_running_batch,
+            "Mean TTFT (s)": cls.mean_ttft_s,
+            "P95 TTFT (s)": cls.ttft_percentile_s(0.95),
+        }
+        if cls.kv_total_blocks:
+            row["KV occupancy"] = cls.mean_kv_occupancy
+            row["Swaps"] = cls.swap_out_count
+        rows.append(row)
+    return rows
+
+
+def instance_breakdown(records) -> List[Dict[str, object]]:
+    """Per-instance latency/TTFT means from token-level request records.
+
+    Requests with ``instance_id=None`` never ran on any instance; they are
+    excluded from every per-instance row (attributing them to a fake
+    instance would corrupt the aggregates) and surfaced in a trailing
+    ``(never ran)`` row instead, so rejected work stays visible.
+    """
+    by_instance: Dict[int, list] = {}
+    never_ran = 0
+    for record in records:
+        if record.instance_id is None:
+            never_ran += 1
+            continue
+        by_instance.setdefault(record.instance_id, []).append(record)
+    rows = []
+    for instance_id in sorted(by_instance):
+        group = by_instance[instance_id]
+        ttfts = [r.ttft_s for r in group if r.ttft_s is not None]
+        rows.append({
+            "Instance": instance_id,
+            "Requests": len(group),
+            "Mean TTFT (s)": sum(ttfts) / len(ttfts) if ttfts else 0.0,
+            "Mean latency (s)": sum(r.end_to_end_latency_s
+                                    for r in group) / len(group),
+            "Preemptions": sum(r.preemptions for r in group),
+        })
+    if never_ran:
+        rows.append({
+            "Instance": "(never ran)",
+            "Requests": never_ran,
+            "Mean TTFT (s)": 0.0,
+            "Mean latency (s)": 0.0,
+            "Preemptions": 0,
+        })
     return rows
 
 

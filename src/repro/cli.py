@@ -14,6 +14,9 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro.cli serve --compare-kv --kv-budget-mib 32 --trace bursty
     python -m repro.cli serve --prefill-mode mixed --trace bursty
     python -m repro.cli serve --compare-prefill --trace bursty
+    python -m repro.cli serve --instances 2x1n,1x2n --router class_affinity
+    python -m repro.cli serve --instances 2x1n,1x2n --compare-router
+    python -m repro.cli serve --trace-file trace.csv --policy sjf
 
 Every subcommand prints plain-text tables (no plotting dependencies).
 """
@@ -112,11 +115,14 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.analysis.serving import (kv_mode_comparison, policy_comparison,
-                                        prefill_mode_comparison, run_policy,
+    from repro.analysis.serving import (class_breakdown, kv_mode_comparison,
+                                        policy_comparison,
+                                        prefill_mode_comparison,
+                                        router_comparison, run_policy,
                                         tenant_breakdown)
+    from repro.serving.cluster import parse_cluster_spec
     from repro.workloads.traces import (bursty_trace, multi_tenant_trace,
-                                        synthetic_trace)
+                                        replay_trace, synthetic_trace)
 
     generators = {
         "steady": synthetic_trace,
@@ -124,15 +130,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "multitenant": multi_tenant_trace,
     }
     try:
-        trace = generators[args.trace](args.requests, seed=args.seed)
-    except ValueError as error:
+        if args.trace_file is not None:
+            trace = replay_trace(args.trace_file)
+            trace_label = f"replayed ({args.trace_file})"
+        else:
+            trace = generators[args.trace](args.requests, seed=args.seed)
+            trace_label = args.trace
+    except (OSError, ValueError) as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
+    # --instances accepts both a plain count ("4", homogeneous with --nodes)
+    # and a cluster spec ("2x1n,2x2n,1x4n"); the flat form keeps the exact
+    # pre-cluster code path, the spec form goes through the cluster layer
+    cluster_spec = None
+    if args.instances.isdigit():
+        num_instances = int(args.instances)
+        pool_label = f"{num_instances}x {args.nodes}-node instances"
+    else:
+        try:
+            cluster_spec = parse_cluster_spec(args.instances)
+        except ValueError as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
+        num_instances = cluster_spec.num_instances
+        pool_label = (f"cluster {cluster_spec} "
+                      f"({cluster_spec.total_nodes} nodes)")
     kv_budget = (None if args.kv_budget_mib is None
                  else args.kv_budget_mib * (1 << 20))
-    title = (f"Serving {len(trace)} {args.trace} requests on "
-             f"{args.instances}x {args.nodes}-node instances")
+    title = f"Serving {len(trace)} {trace_label} requests on {pool_label}"
+    cluster_kwargs = dict(instances=cluster_spec, router=args.router,
+                          swap_priority=args.swap_priority)
     try:
+        if args.compare_router:
+            if cluster_spec is None:
+                cluster_spec = parse_cluster_spec(
+                    f"{num_instances}x{args.nodes}n")
+            rows = router_comparison(
+                trace, cluster_spec, policy=args.policy,
+                max_batch_size=args.max_batch,
+                kv_budget_bytes=kv_budget, kv_mode=args.kv_mode,
+                kv_block_size=args.kv_block_size,
+                preemption_mode=args.preemption_mode,
+                prefill_mode=args.prefill_mode,
+                swap_priority=args.swap_priority)
+            print(format_table(
+                rows, title=f"{title} — router comparison"))
+            if not cluster_spec.is_heterogeneous:
+                print("\n(single-class cluster: every router produces "
+                      "identical results by construction)")
+            return 0
+        if args.compare_prefill or args.compare_kv or args.compare:
+            if cluster_spec is not None:
+                print("serve: --compare/--compare-kv/--compare-prefill "
+                      "tabulate homogeneous pools; use --compare-router "
+                      "for cluster specs", file=sys.stderr)
+                return 2
+            if args.swap_priority:
+                print("serve: --swap-priority is not threaded through the "
+                      "comparison tables; drop it or run a single "
+                      "configuration", file=sys.stderr)
+                return 2
         if args.compare_prefill:
             if args.policy == "fifo-exclusive":
                 print("serve: --compare-prefill needs a token-level policy "
@@ -140,7 +197,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 return 2
             rows = prefill_mode_comparison(
                 trace, policy=args.policy,
-                num_instances=args.instances,
+                num_instances=num_instances,
                 num_nodes_per_instance=args.nodes,
                 max_batch_size=args.max_batch,
                 mixed_step_token_budget=args.mixed_step_token_budget,
@@ -159,7 +216,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 return 2
             rows = kv_mode_comparison(
                 trace, kv_budget, policy=args.policy,
-                num_instances=args.instances,
+                num_instances=num_instances,
                 num_nodes_per_instance=args.nodes,
                 max_batch_size=args.max_batch,
                 kv_block_size=args.kv_block_size,
@@ -171,7 +228,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.compare:
             rows = policy_comparison(
                 trace, policies=("fifo-exclusive", "fifo", "sjf"),
-                num_instances=args.instances,
+                num_instances=num_instances,
                 num_nodes_per_instance=args.nodes,
                 max_batch_size=args.max_batch, kv_budget_bytes=kv_budget,
                 kv_mode=args.kv_mode, kv_block_size=args.kv_block_size,
@@ -184,13 +241,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       "control to constrain)")
             return 0
         metrics, records = run_policy(
-            trace, args.policy, num_instances=args.instances,
+            trace, args.policy, num_instances=num_instances,
             num_nodes_per_instance=args.nodes, max_batch_size=args.max_batch,
             kv_budget_bytes=kv_budget, kv_mode=args.kv_mode,
             kv_block_size=args.kv_block_size,
             preemption_mode=args.preemption_mode,
             prefill_mode=args.prefill_mode,
-            mixed_step_token_budget=args.mixed_step_token_budget)
+            mixed_step_token_budget=args.mixed_step_token_budget,
+            **cluster_kwargs)
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
@@ -199,6 +257,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"{title} — policy {args.policy!r}, "
                                    f"KV {metrics.kv_mode}, "
                                    f"prefill {metrics.prefill_mode}"))
+    if cluster_spec is not None and cluster_spec.is_heterogeneous:
+        print()
+        print(format_table(class_breakdown(metrics),
+                           title=f"Per-class breakdown (router {args.router})"))
     if metrics.ttfts_s:
         slo = metrics.slo_goodput_rps(args.ttft_slo, args.tpot_slo)
         print(f"\nSLO goodput (TTFT<={args.ttft_slo}s, TPOT<={args.tpot_slo}s): "
@@ -258,14 +320,33 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run a request trace through the token-level serving engine")
     sub.add_argument("--trace", choices=("steady", "bursty", "multitenant"),
                      default="steady")
+    sub.add_argument("--trace-file", default=None, metavar="CSV",
+                     help="replay a recorded trace instead of generating "
+                          "one: CSV rows of arrival_s,prompt_tokens,"
+                          "output_tokens[,tenant] (Azure-LLM style)")
     sub.add_argument("--requests", type=int, default=40)
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--policy",
                      choices=("fifo-exclusive", "fifo", "sjf", "priority"),
                      default="fifo")
-    sub.add_argument("--instances", type=int, default=1)
+    sub.add_argument("--instances", default="1",
+                     help="pool shape: a plain count (homogeneous, with "
+                          "--nodes) or a cluster spec like '2x1n,2x2n,1x4n' "
+                          "mixing instance classes")
     sub.add_argument("--nodes", type=int, default=2,
-                     help="accelerator nodes per instance")
+                     help="accelerator nodes per instance (plain-count "
+                          "--instances only; cluster specs carry their own)")
+    sub.add_argument("--router",
+                     choices=("round_robin", "least_loaded", "kv_aware",
+                              "class_affinity"),
+                     default="round_robin",
+                     help="cluster-routing policy for heterogeneous "
+                          "--instances specs (single-class pools behave "
+                          "identically under every router)")
+    sub.add_argument("--swap-priority", action="store_true",
+                     help="paged swap mode: resume an instance's own "
+                          "swapped-out requests ahead of new admissions "
+                          "(their KV is already paid for)")
     sub.add_argument("--max-batch", type=int, default=8,
                      help="decode-batch ceiling per instance")
     sub.add_argument("--kv-budget-mib", type=int, default=None,
@@ -303,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--compare-prefill", action="store_true",
                      help="tabulate exclusive vs mixed prefill under the "
                           "same configuration instead")
+    sub.add_argument("--compare-router", action="store_true",
+                     help="tabulate every cluster router on the same pool "
+                          "instead (most interesting with a heterogeneous "
+                          "--instances spec)")
     sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser("export", help="save experiment results as JSON")

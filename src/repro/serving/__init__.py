@@ -6,11 +6,19 @@ queueing delay, time-to-first-token, latency percentiles, utilization and
 energy.  This package simulates a pool of LoopLynx instances fed from a
 request trace at two granularities:
 
-* :mod:`repro.serving.engine` — the token-level engine: continuous batching,
-  mixed prefill/decode steps (chunked prefill under a per-step token
-  budget), pluggable schedulers, KV-capacity admission (worst-case
-  reservations or paged block allocation via :mod:`repro.memory.paged_kv`),
-  and preemption with swap-to-host or recompute restoration;
+* :mod:`repro.serving.engine` — the token-level engine: the cluster event
+  loop over arrivals, routing and step completions, with continuous
+  batching, mixed prefill/decode steps, pluggable schedulers, KV-capacity
+  admission (worst-case reservations or paged block allocation via
+  :mod:`repro.memory.paged_kv`), and preemption with swap-to-host or
+  recompute restoration;
+* :mod:`repro.serving.instance` — the per-instance runtime: batch
+  formation, step building and KV/preemption mechanics of one (possibly
+  1/2/4-node) LoopLynx deployment;
+* :mod:`repro.serving.cluster` — heterogeneous instance pools
+  (:class:`InstanceSpec`/:class:`ClusterSpec`, e.g. ``"2x1n,2x2n,1x4n"``)
+  and the pluggable cluster routers (round-robin, least-loaded, KV-aware,
+  class-affinity);
 * :mod:`repro.serving.schedulers` — FIFO / SJF / priority policies and the
   reservation-mode KV admission controller;
 * :mod:`repro.serving.simulator` — the whole-request FIFO queue, kept as the
@@ -19,6 +27,18 @@ request trace at two granularities:
   summaries.
 """
 
+from repro.serving.cluster import (
+    ClassAffinityRouter,
+    ClusterSpec,
+    InstanceSpec,
+    KVAwareRouter,
+    LeastLoadedRouter,
+    ROUTER_NAMES,
+    RoundRobinRouter,
+    Router,
+    make_router,
+    parse_cluster_spec,
+)
 from repro.serving.engine import (
     DEFAULT_MIXED_STEP_TOKEN_BUDGET,
     PREEMPTION_MODES,
@@ -26,7 +46,12 @@ from repro.serving.engine import (
     ServedRequest,
     TokenServingEngine,
 )
-from repro.serving.metrics import ServingMetrics, percentile
+from repro.serving.instance import InstanceRuntime, RequestState
+from repro.serving.metrics import (
+    InstanceClassMetrics,
+    ServingMetrics,
+    percentile,
+)
 from repro.serving.schedulers import (
     FifoScheduler,
     KVAdmissionController,
@@ -46,8 +71,21 @@ __all__ = [
     "DEFAULT_MIXED_STEP_TOKEN_BUDGET",
     "PREEMPTION_MODES",
     "PREFILL_MODES",
+    "ROUTER_NAMES",
     "ServedRequest",
     "TokenServingEngine",
+    "InstanceRuntime",
+    "RequestState",
+    "ClusterSpec",
+    "InstanceSpec",
+    "parse_cluster_spec",
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "KVAwareRouter",
+    "ClassAffinityRouter",
+    "make_router",
+    "InstanceClassMetrics",
     "ServingMetrics",
     "percentile",
     "FifoScheduler",

@@ -1,49 +1,44 @@
-"""Token-level serving engine with continuous batching and preemption.
+"""Token-level serving engine: the cluster event loop.
 
-Where :class:`repro.serving.simulator.ServingSimulator` treats each request as
-one opaque service-time blob, this engine advances every instance one *step*
-at a time — a prefill chunk for one request, a single decode step for the
-whole running batch, or (``prefill_mode="mixed"``) one token-budgeted step
-that carries a decode token per running request *plus* prefill-chunk tokens
-from requests still prefilling — using the step-level core API
-(:meth:`repro.core.multi_node.LoopLynxSystem.decode_step_latency_s` and
-:meth:`~repro.core.multi_node.LoopLynxSystem.mixed_step_latency_s`).  That
-granularity is what makes production serving behaviour expressible:
+Where :class:`repro.serving.simulator.ServingSimulator` treats each request
+as one opaque service-time blob, this engine advances a **cluster** of
+instances one *step* at a time.  The machinery is split across two layers:
+
+* :class:`~repro.serving.instance.InstanceRuntime` owns everything inside
+  one instance — batch formation, KV admission (worst-case reservation or
+  paged blocks), paged growth, swap/recompute preemption, and
+  exclusive/mixed step building.  Each runtime owns its own
+  :class:`~repro.core.multi_node.LoopLynxSystem`, so a cluster may mix
+  instance classes (1/2/4-node instances, different KV budgets);
+* :class:`TokenServingEngine` (here) owns everything between instances —
+  the shared waiting queue (a :class:`~repro.serving.schedulers.
+  SchedulerPolicy`), the discrete-event clock over arrivals and step
+  completions, and **routing**: on heterogeneous pools a pluggable
+  :class:`~repro.serving.cluster.Router` decides which boundary instance
+  pulls work next and where a request may be placed.
+
+Behaviour preserved from the pre-cluster engines (PR 1–3), pinned by
+golden-timestamp tests:
 
 * **continuous batching** — requests join the running batch at any step
-  boundary and leave the moment their last token is generated (no
-  batch-of-requests barrier);
-* **mixed prefill/decode steps** — in ``prefill_mode="mixed"`` prompts
-  stream in alongside live decodes under a per-step token budget (chunked
-  prefill), instead of stalling the whole batch while one prompt prefills
-  exclusively;
+  boundary and leave the moment their last token is generated;
+* **mixed prefill/decode steps** — ``prefill_mode="mixed"`` streams prompts
+  in alongside live decodes under a per-step token budget;
 * **pluggable scheduling** — admission order comes from a
   :class:`~repro.serving.schedulers.SchedulerPolicy` (FIFO, SJF, priority);
-* **KV-capacity admission** — two regimes gate admission against the
-  per-node HBM cache capacity: *reservation*
-  (:class:`~repro.serving.schedulers.KVAdmissionController`, worst-case
-  ``prefill + decode`` positions reserved up front) and *paged*
-  (:class:`~repro.memory.paged_kv.PagedKVManager`, fixed-size token blocks
-  allocated on demand as the context actually grows);
-* **preemption** — a blocked head may displace running work.  In
-  reservation mode (and paged ``recompute`` mode) the victim loses its KV
-  state and restarts from prefill when re-admitted; in paged ``swap`` mode
-  the victim's blocks are moved to a host-memory tier over PCIe and the
-  request later resumes exactly where it stopped;
-* **token-level metrics** — time-to-first-token and time-per-output-token
-  exist because individual token emissions have timestamps.
+* **KV-capacity admission and preemption** — reservation or paged regimes,
+  with swap-to-host or discard-and-recompute eviction;
+* **bit-identical homogeneous pools** — a single-class cluster runs the
+  exact pre-cluster dispatch order regardless of router, so every
+  homogeneous configuration reproduces the PR 1–3 timestamps exactly.
 
 Request lifecycle (every transition happens at a step boundary)::
 
-               push                admit                 last token
-    arrival ─────────▶ QUEUED ───────────────▶ RUNNING ────────────▶ FINISHED
-                         ▲                       │  ▲
-                         │   preempt (evict)     │  │ re-admit
-                         │                       ▼  │   · swap mode: blocks
-                         └──────────────── PREEMPTED│     swap back in, no
-                              · swap: blocks → host │     recompute
-                              · recompute: KV freed,│   · recompute mode:
-                                progress reset      │     prefill restarts
+               push     route+admit           last token
+    arrival ─────▶ QUEUED ───────────▶ RUNNING ────────▶ FINISHED
+                     ▲                   │  ▲
+                     │   preempt (evict) │  │ re-admit (swap: resume;
+                     └────────── PREEMPTED──┘  recompute: prefill restarts)
 
 The discrete-event loop reuses the heap/sequence-counter idiom of
 :mod:`repro.dataflow.engine`: a single time-ordered event heap over request
@@ -51,32 +46,30 @@ arrivals and per-instance step completions, so results are exact and
 reproducible (no wall-clock time).
 
 Units, throughout this module: timestamps and durations are **seconds** on
-the simulated clock (request arrival defines t=0 ordering), lengths are
-**tokens** (prompt/prefill and generated/decode counts), KV quantities are
-**cached token positions per node** (reservation mode) or **fixed-size
-blocks per node** (paged mode), and swap traffic is **bytes summed over all
-nodes**.
-
-Timing conventions match the whole-request simulator so the two agree when
-batching is off: prefill emits no output token (the paper's token-serial
-pipeline), the first output token appears at the end of the first decode
-step, and a request with ``decode_len`` tokens runs ``decode_len`` decode
-steps.
+the simulated clock, lengths are **tokens**, KV quantities are **cached
+token positions per node** (reservation mode) or **fixed-size blocks per
+node** (paged mode), and swap traffic is **bytes summed over all nodes**.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
-from repro.serving.metrics import ServingMetrics
+from repro.serving.cluster import ClusterSpec, Router, make_router, parse_cluster_spec
+from repro.serving.instance import (
+    InstanceRuntime,
+    InstanceStats,
+    RequestState,
+    kv_capacity_admits,
+)
+from repro.serving.metrics import InstanceClassMetrics, ServingMetrics
 from repro.serving.schedulers import (
     KVAdmissionController,
-    SchedulerPolicy,
     make_scheduler,
 )
 from repro.workloads.traces import Request, RequestTrace
@@ -97,20 +90,28 @@ PREFILL_MODES = ("exclusive", "mixed")
 #: tokens); production chunked-prefill schedulers run 256–2048.
 DEFAULT_MIXED_STEP_TOKEN_BUDGET = 256
 
+#: KV recipe names accepted by ``TokenServingEngine(kv_mode=...)`` when a
+#: cluster spec is used (``None`` = unconstrained admission).
+KV_RECIPE_MODES = ("reserve", "paged")
+
 
 @dataclass(frozen=True)
 class ServedRequest:
     """Token-level timing record of one served request.
 
     All timestamps are seconds on the simulated clock; ``prefill_len`` and
-    ``decode_len`` are token counts.  ``preemptions`` counts every eviction
-    from a running batch; ``swap_outs`` counts the subset whose KV blocks
-    were swapped to host memory instead of discarded (paged ``swap`` mode),
-    so ``preemptions - swap_outs`` prefills were recomputed.
+    ``decode_len`` are token counts.  ``instance_id`` is the instance that
+    completed the request — ``None`` for a request that never ran (it was
+    never admitted anywhere, so inventing an instance id would corrupt
+    per-instance aggregation; analysis helpers skip ``None`` records).
+    ``preemptions`` counts every eviction from a running batch;
+    ``swap_outs`` counts the subset whose KV blocks were swapped to host
+    memory instead of discarded (paged ``swap`` mode), so ``preemptions -
+    swap_outs`` prefills were recomputed.
     """
 
     request_id: int
-    instance_id: int
+    instance_id: Optional[int]
     arrival_s: float
     admitted_s: float
     first_token_s: Optional[float]
@@ -156,82 +157,33 @@ class ServedRequest:
         return (self.finish_s - self.first_token_s) / (self.decode_len - 1)
 
 
-class _RequestState:
-    """Mutable in-flight bookkeeping for one request."""
-
-    __slots__ = ("request", "prefill_done", "decode_done", "admitted_s",
-                 "last_admitted_s", "first_token_s", "preemptions",
-                 "swap_outs", "instance_id", "swapped_on")
-
-    def __init__(self, request: Request) -> None:
-        self.request = request
-        self.prefill_done = 0
-        self.decode_done = 0
-        self.admitted_s: Optional[float] = None
-        self.last_admitted_s = 0.0
-        self.first_token_s: Optional[float] = None
-        self.preemptions = 0
-        self.swap_outs = 0
-        self.instance_id = -1
-        #: Instance holding this request's host-tier blocks after a swap-out
-        #: (None otherwise).  A swapped request has instance affinity: its KV
-        #: lives in that instance's host pool, so only that instance may
-        #: resume it.
-        self.swapped_on: Optional[int] = None
-
-    @property
-    def prefill_remaining(self) -> int:
-        return self.request.prefill_len - self.prefill_done
-
-    @property
-    def context_len(self) -> int:
-        """Cached positions the next decode step attends over."""
-        return self.prefill_done + self.decode_done
-
-    def reset_progress(self) -> None:
-        """Drop all computed state (a discarding preemption releases the KV
-        cache, so prefill must be recomputed on re-admission)."""
-        self.prefill_done = 0
-        self.decode_done = 0
-
-
-@dataclass
-class _Instance:
-    """One LoopLynx deployment running a batch of requests."""
-
-    instance_id: int
-    batch: List[_RequestState] = field(default_factory=list)
-    kv_used_tokens: int = 0
-    busy: bool = False
-    #: Per-instance paged block pool (None outside paged mode).
-    kv: Optional[PagedKVManager] = None
-    #: Pending swap-transfer seconds to serialize before the next step.
-    pending_delay_s: float = 0.0
-
-
-@dataclass
-class _RunStats:
-    """Time-weighted occupancy accumulators for one engine run."""
-
-    batch_time: float = 0.0      # Σ advancing requests × step seconds
-    busy_time: float = 0.0       # Σ step seconds (all instances)
-    kv_occ_time: float = 0.0     # Σ occupancy fraction × step seconds
-    frag_time: float = 0.0       # Σ fragmentation fraction × step seconds
-    peak_kv_occupancy: float = 0.0
-    swap_time_s: float = 0.0     # Σ PCIe transfer seconds spent swapping
-    prefill_tokens: int = 0      # prompt tokens computed (recomputes count)
-    decode_time: float = 0.0     # Σ pure-decode step seconds
-    prefill_time: float = 0.0    # Σ pure-prefill step seconds
-    mixed_time: float = 0.0      # Σ mixed prefill+decode step seconds
-
-
 class TokenServingEngine:
-    """Discrete-event simulation of a pool of instances at step granularity.
+    """Discrete-event simulation of a cluster of instances at step
+    granularity.
+
+    Two configuration surfaces build the cluster:
+
+    * **classic** (``num_instances`` × ``num_nodes_per_instance``, the PR 1
+      surface): a homogeneous pool sharing one cycle model, with KV
+      admission supplied as prototype objects (``kv_controller`` /
+      ``kv_block_manager``).  This path is bit-identical to the pre-cluster
+      engines;
+    * **cluster spec** (``cluster="2x1n,2x2n,1x4n"`` or a
+      :class:`~repro.serving.cluster.ClusterSpec`): possibly heterogeneous;
+      each instance class gets its own cycle model, and KV admission is
+      built per class from the recipe knobs (``kv_mode``,
+      ``kv_budget_bytes``, ``kv_block_size``) because one prototype cannot
+      fit several cache layouts.  ``router`` picks the cluster-routing
+      policy (consulted only on heterogeneous pools; single-class pools run
+      the exact classic dispatch order whatever the router).
 
     Parameters
     ----------
     num_instances, num_nodes_per_instance, system:
-        Pool shape, as in :class:`~repro.serving.simulator.ServingSimulator`.
+        Classic pool shape, as in
+        :class:`~repro.serving.simulator.ServingSimulator`.  Ignored when
+        ``cluster`` is given (``system`` is rejected there: each class owns
+        its own).
     policy:
         Scheduler policy name (``fifo``, ``sjf``, ``priority``); a fresh
         :class:`SchedulerPolicy` instance per run is built from the name.
@@ -242,43 +194,40 @@ class TokenServingEngine:
         Prompt tokens processed per prefill step.  Smaller chunks interleave
         prefill with running decodes sooner; ``None`` runs each prompt to
         completion in one step.
-    prefill_mode:
-        ``"exclusive"`` (default): a prefill chunk occupies a step on its
-        own, stalling every co-resident decode while one prompt streams in
-        — the historical regime, kept bit-identical.  ``"mixed"``: each step
-        carries up to ``mixed_step_token_budget`` tokens, filled first with
-        one decode token per running decode and then with prefill-chunk
-        tokens from requests still prefilling, so prompts stream in
-        alongside live decodes (chunked prefill).  In paged KV mode a mixed
-        engine admits a prefilling request with blocks for its *first chunk*
-        only and grows its table step by step as the prompt streams in,
-        instead of allocating the whole prompt at admission.
-    mixed_step_token_budget:
-        Token capacity of one mixed step (decode tokens plus prefill-chunk
-        tokens).  Decode tokens are never dropped to fit the budget; prefill
-        chunks take whatever remains.  Ignored in exclusive mode.
+    prefill_mode, mixed_step_token_budget:
+        Exclusive vs mixed prefill and the mixed-step token budget (see
+        :data:`PREFILL_MODES`).
     kv_controller:
-        Optional :class:`KVAdmissionController`; when set, admission reserves
-        worst-case KV capacity (``prefill + decode`` cached positions) and
-        requests queue while the cache is full.  This is the PR 1 regime,
-        kept bit-identical as the ``reserve`` KV mode.
+        Optional :class:`KVAdmissionController` (classic surface);
+        admission reserves worst-case KV capacity and requests queue while
+        the cache is full.
     kv_block_manager:
-        Optional :class:`~repro.memory.paged_kv.PagedKVManager` prototype;
-        when set, each instance gets its own empty clone and KV capacity is
-        allocated in fixed-size blocks on demand: a request is admitted once
-        blocks for its *prompt* fit (not its worst-case context) and grows
-        block-by-block at decode-step boundaries, preempting batch members
-        when the pool runs dry.  Mutually exclusive with ``kv_controller``.
+        Optional :class:`~repro.memory.paged_kv.PagedKVManager` prototype
+        (classic surface); each instance gets its own empty clone.
+        Mutually exclusive with ``kv_controller``.
     preemption_mode:
         What happens to a paged-mode victim's KV state: ``"swap"`` moves its
-        blocks to the host tier over PCIe (the transfer seconds serialize
-        with the instance's next step) and the request later resumes without
-        recomputation; ``"recompute"`` discards the blocks and the request
-        restarts from prefill, like reservation mode.
+        blocks to the host tier over PCIe and the request later resumes
+        without recomputation; ``"recompute"`` discards the blocks and the
+        request restarts from prefill.
     context_bucket:
         Decode-step timings are memoized with the context length rounded up
-        to this multiple (1 = exact; larger buckets trade a conservative
-        over-estimate for far fewer cycle-model evaluations).
+        to this multiple (1 = exact).
+    cluster:
+        Cluster spec string or :class:`~repro.serving.cluster.ClusterSpec`.
+    router:
+        Router name (see :data:`~repro.serving.cluster.ROUTER_NAMES`) or a
+        :class:`~repro.serving.cluster.Router` instance.
+    kv_mode, kv_budget_bytes, kv_block_size:
+        Per-class KV recipe for the cluster surface: ``None`` (no
+        admission control), ``"reserve"`` (worst-case reservations, needs a
+        budget) or ``"paged"`` (block pool, budget defaults to each node's
+        HBM share net of weights).
+    swap_priority:
+        Paged ``swap`` mode only: park preemption victims on their
+        instance and resume them ahead of new admissions (their KV is
+        already paid for), instead of sending them back through the shared
+        queue.  Off by default — the PR 2/3 regime.
 
     After :meth:`run`, ``last_kv_managers`` holds each instance's block pool
     (paged mode; for inspection of occupancy/swap counters in tests).
@@ -294,9 +243,13 @@ class TokenServingEngine:
                  kv_controller: Optional[KVAdmissionController] = None,
                  kv_block_manager: Optional[PagedKVManager] = None,
                  preemption_mode: str = "swap",
-                 context_bucket: int = 32) -> None:
-        if num_instances <= 0:
-            raise ValueError("num_instances must be positive")
+                 context_bucket: int = 32,
+                 cluster: Optional[Union[str, ClusterSpec]] = None,
+                 router: Union[str, Router] = "round_robin",
+                 kv_mode: Optional[str] = None,
+                 kv_budget_bytes: Optional[int] = None,
+                 kv_block_size: int = 16,
+                 swap_priority: bool = False) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if prefill_chunk_tokens is not None and prefill_chunk_tokens <= 0:
@@ -317,12 +270,21 @@ class TokenServingEngine:
             raise ValueError(
                 f"unknown preemption mode {preemption_mode!r}; "
                 f"known: {', '.join(PREEMPTION_MODES)}")
-        self.num_instances = num_instances
-        self.num_nodes_per_instance = num_nodes_per_instance
-        self.system = system or LoopLynxSystem.paper_configuration(
-            num_nodes=num_nodes_per_instance)
+        if swap_priority and preemption_mode != "swap":
+            raise ValueError(
+                "swap_priority prioritizes resuming swapped-out requests; "
+                "it requires preemption_mode='swap'")
+        if swap_priority and kv_block_manager is None and kv_mode != "paged":
+            raise ValueError(
+                "swap_priority requires paged KV (a kv_block_manager "
+                "prototype or kv_mode='paged'); nothing is ever swapped "
+                "out otherwise")
+        if kv_mode is not None and kv_mode not in KV_RECIPE_MODES:
+            raise ValueError(f"unknown kv mode {kv_mode!r}; "
+                             f"known: {', '.join(KV_RECIPE_MODES)}")
         self.policy = policy
         make_scheduler(policy)  # fail fast on unknown names
+        self.router = make_router(router)
         self.max_batch_size = max_batch_size
         self.prefill_chunk_tokens = prefill_chunk_tokens
         self.prefill_mode = prefill_mode
@@ -331,159 +293,124 @@ class TokenServingEngine:
         self.kv_block_manager = kv_block_manager
         self.preemption_mode = preemption_mode
         self.context_bucket = context_bucket
-        self.last_kv_managers: List[PagedKVManager] = []
-        self._step_cache: Dict[Tuple[int, int], float] = {}
-        self._mixed_step_cache: Dict[Tuple[int, int, int], float] = {}
+        self.swap_priority = swap_priority
 
-    # ------------------------------------------------------------------
-    # step timing (memoized cycle-model evaluations)
-    # ------------------------------------------------------------------
-    def _bucketed(self, context_len: int) -> int:
-        bucket = self.context_bucket
-        if bucket <= 1 or context_len == 0:
-            return context_len
-        return -(-context_len // bucket) * bucket
-
-    def _step_latency_s(self, context_len: int, batch_size: int) -> float:
-        """Seconds for one decode step over ``context_len`` cached positions
-        with ``batch_size`` co-resident requests (memoized per bucket)."""
-        key = (self._bucketed(context_len), batch_size)
-        if key not in self._step_cache:
-            self._step_cache[key] = self.system.decode_step_latency_s(
-                key[0], batch_size)
-        return self._step_cache[key]
-
-    def _prefill_chunk_latency_s(self, start_pos: int, chunk_len: int) -> float:
-        """Seconds of token-serial prefill for ``chunk_len`` prompt tokens
-        starting at cached position ``start_pos`` (same per-position cost as
-        a decode step, which is how the paper's pipeline streams prompts)."""
-        return sum(self._step_latency_s(pos, 1)
-                   for pos in range(start_pos, start_pos + chunk_len))
-
-    def _mixed_step_latency_s(self, max_context: int, num_decode: int,
-                              prefill_tokens: int) -> float:
-        """Seconds for one mixed step advancing ``num_decode`` requests by a
-        token each while streaming ``prefill_tokens`` prompt tokens through
-        the same weight pass.  ``max_context`` is the longest cached prefix
-        in the step — decode contexts and prefill chunk-end positions alike
-        (memoized per context bucket, like :meth:`_step_latency_s`)."""
-        key = (self._bucketed(max_context), num_decode, prefill_tokens)
-        if key not in self._mixed_step_cache:
-            self._mixed_step_cache[key] = self.system.mixed_step_latency_s(
-                [key[0]] * num_decode, prefill_tokens,
-                prefill_context=key[0])
-        return self._mixed_step_cache[key]
-
-    def _next_prefill_chunk(self, state: _RequestState) -> int:
-        """Prompt tokens ``state`` would stream in its next mixed step,
-        before the step's token budget is split (per-request chunk cap and
-        the whole-step budget both apply)."""
-        chunk = min(state.prefill_remaining, self.mixed_step_token_budget)
-        if self.prefill_chunk_tokens is not None:
-            chunk = min(chunk, self.prefill_chunk_tokens)
-        return chunk
-
-    # ------------------------------------------------------------------
-    # KV admission gates (mode-aware)
-    # ------------------------------------------------------------------
-    def _paged_admit_target(self, state: _RequestState) -> int:
-        """Cached positions a (non-swapped) request must cover at admission.
-
-        Exclusive prefill claims the whole prompt plus one slot for the
-        first decode append (the prompt is computed before any other step
-        of the instance runs, so its blocks are needed up front).  Mixed
-        prefill streams the prompt in chunk by chunk, so admission only
-        claims the first chunk and the table grows per step alongside the
-        decode appends.  Both are clamped to the context window.
-        """
-        request = state.request
-        if self.prefill_mode == "mixed" and state.prefill_remaining > 0:
-            tokens = state.context_len + self._next_prefill_chunk(state)
+        if cluster is not None:
+            if system is not None:
+                raise ValueError(
+                    "cluster specs build one cycle model per instance "
+                    "class; drop the system argument")
+            if kv_controller is not None or kv_block_manager is not None:
+                raise ValueError(
+                    "cluster specs build KV admission per instance class; "
+                    "use kv_mode/kv_budget_bytes/kv_block_size instead of "
+                    "prototype objects")
+            if isinstance(cluster, str):
+                cluster = parse_cluster_spec(cluster)
+            if kv_mode is None and (
+                    kv_budget_bytes is not None
+                    or any(spec.kv_budget_bytes is not None
+                           for spec in cluster.specs)):
+                raise ValueError(
+                    "a KV budget without kv_mode would be silently "
+                    "unenforced; pick kv_mode='reserve' or 'paged'")
+            self.cluster = cluster
         else:
-            tokens = request.prefill_len + (1 if request.decode_len > 0 else 0)
-        return min(tokens, self.kv_block_manager.layout.max_seq_len)
+            if num_instances <= 0:
+                raise ValueError("num_instances must be positive")
+            if kv_mode is not None or kv_budget_bytes is not None:
+                raise ValueError(
+                    "kv_mode/kv_budget_bytes describe a cluster-spec KV "
+                    "recipe; pass kv_controller/kv_block_manager on the "
+                    "classic surface")
+            self.cluster = ClusterSpec.homogeneous(num_instances,
+                                                   num_nodes_per_instance)
+        self.num_instances = self.cluster.num_instances
+        # ---- per-class prototypes: (spec, system, controller, manager) ----
+        self._protos = []
+        if cluster is not None:
+            for spec in self.cluster.specs:
+                class_system = LoopLynxSystem.paper_configuration(
+                    num_nodes=spec.num_nodes)
+                budget = (spec.kv_budget_bytes
+                          if spec.kv_budget_bytes is not None
+                          else kv_budget_bytes)
+                controller = manager = None
+                if kv_mode == "paged":
+                    manager = PagedKVManager.for_system(
+                        class_system, block_size_tokens=kv_block_size,
+                        budget_bytes=budget)
+                elif kv_mode == "reserve" and budget is not None:
+                    controller = KVAdmissionController.for_system(
+                        class_system, budget_bytes=budget)
+                self._protos.append((spec, class_system, controller, manager))
+            self.system = self._protos[0][1]
+        else:
+            self.system = system or LoopLynxSystem.paper_configuration(
+                num_nodes=num_nodes_per_instance)
+            self._protos.append((self.cluster.specs[0], self.system,
+                                 kv_controller, kv_block_manager))
+        spec_nodes = {spec.num_nodes for spec in self.cluster.specs}
+        #: Nodes per instance (0 when classes differ — use per-class
+        #: metrics then).
+        self.num_nodes_per_instance = (spec_nodes.pop()
+                                       if len(spec_nodes) == 1 else 0)
+        self._paged = any(proto[3] is not None for proto in self._protos)
+        self._kv_mode = ("paged" if self._paged
+                         else "reserve" if any(proto[2] is not None
+                                               for proto in self._protos)
+                         else "none")
+        # step-timing memo dicts, shared per class and across runs (the
+        # cycle model is pure, so sharing only saves evaluations)
+        self._caches = [({}, {}) for _ in self._protos]
+        self.last_kv_managers: List[PagedKVManager] = []
 
-    def _paged_admit_blocks(self, kv: PagedKVManager,
-                            state: _RequestState) -> int:
-        """Device blocks the queue head must acquire to join the batch: the
-        host-tier restore for a swapped-out request (plus any growth block
-        its very next decode append needs), or its prompt allocation."""
-        rid = state.request.request_id
-        if kv.holds(rid) and kv.table(rid).is_swapped:
-            restore = kv.table(rid).host_blocks
-            if self.prefill_mode == "mixed" and state.prefill_remaining > 0:
-                # a request swapped out mid-prefill appends a whole chunk in
-                # its next mixed step, not a single decode token; budgeting
-                # only context+1 would re-admit it without room to grow and
-                # re-evict it at the same boundary (churn, PCIe both ways)
-                next_tokens = state.context_len + self._next_prefill_chunk(state)
-            else:
-                next_tokens = state.context_len + 1
-            next_target = min(next_tokens, kv.layout.max_seq_len)
-            return restore + max(0, kv.blocks_needed(next_target) - restore)
-        return kv.blocks_missing(rid, self._paged_admit_target(state))
+    # ------------------------------------------------------------------
+    # cluster construction and validation
+    # ------------------------------------------------------------------
+    def _build_runtimes(self) -> List[InstanceRuntime]:
+        """Fresh per-run instance runtimes, ids in spec order."""
+        runtimes: List[InstanceRuntime] = []
+        instance_id = 0
+        for (spec, class_system, controller, manager), caches in zip(
+                self._protos, self._caches):
+            for _ in range(spec.count):
+                runtimes.append(InstanceRuntime(
+                    instance_id, class_system,
+                    class_label=spec.label,
+                    max_batch_size=self.max_batch_size,
+                    prefill_chunk_tokens=self.prefill_chunk_tokens,
+                    prefill_mode=self.prefill_mode,
+                    mixed_step_token_budget=self.mixed_step_token_budget,
+                    kv_controller=controller,
+                    kv=(manager.clone_empty() if manager is not None
+                        else None),
+                    preemption_mode=self.preemption_mode,
+                    context_bucket=self.context_bucket,
+                    swap_priority=self.swap_priority,
+                    step_cache=caches[0],
+                    mixed_step_cache=caches[1]))
+                instance_id += 1
+        return runtimes
 
-    def _paged_growth_headroom(self, kv: PagedKVManager, batch) -> int:
-        """Blocks the current batch members will claim for their next
-        decode appends.  Admission must leave this headroom free, or a
-        newly admitted (or swapped-in) request would be re-evicted by
-        :func:`ensure_decode_capacity` at the same step boundary — pure
-        churn, with PCIe transfers both ways in swap mode."""
-        max_seq = kv.layout.max_seq_len
-        headroom = 0
-        for member in batch:
-            if member.prefill_remaining > 0:
-                if self.prefill_mode != "mixed":
-                    continue  # prompt blocks were claimed at admission
-                # mixed mode grows prefilling tables per step too
-                target = member.context_len + self._next_prefill_chunk(member)
-            else:
-                target = member.context_len + 1
-            headroom += kv.blocks_missing(
-                member.request.request_id, min(target, max_seq))
-        return headroom
-
-    def _kv_admits(self, instance: _Instance, state: _RequestState) -> bool:
-        """Does the instance's KV capacity admit ``state`` right now?
-
-        A swapped-out request may only be resumed by the instance whose
-        host tier holds its blocks (KV state cannot teleport between
-        instances); every other instance reports it inadmissible.
-        """
-        if self.kv_controller is not None:
-            return self.kv_controller.fits(state.request,
-                                           instance.kv_used_tokens)
-        if instance.kv is not None:
-            if (state.swapped_on is not None
-                    and state.swapped_on != instance.instance_id):
-                return False
-            kv = instance.kv
-            need = (self._paged_admit_blocks(kv, state)
-                    + self._paged_growth_headroom(kv, instance.batch))
-            return need <= kv.free_blocks
-        return True
-
-    def _head_fits_after_eviction(self, instance: _Instance,
-                                  victim: _RequestState,
-                                  head: _RequestState) -> bool:
-        """Would evicting ``victim`` make ``head`` admissible?  The batch
-        slot is always freed; with KV admission the freed capacity (token
-        reservation or device blocks) must also cover the head's."""
-        if self.kv_controller is not None:
-            freed = (instance.kv_used_tokens
-                     - self.kv_controller.reservation_tokens(victim.request))
-            return self.kv_controller.fits(head.request, freed)
-        if instance.kv is not None:
-            if (head.swapped_on is not None
-                    and head.swapped_on != instance.instance_id):
-                return False  # the head's KV lives on another instance
-            kv = instance.kv
-            freed = len(kv.table(victim.request.request_id).device_blocks)
-            need = (self._paged_admit_blocks(kv, head)
-                    + self._paged_growth_headroom(
-                        kv, [s for s in instance.batch if s is not victim]))
-            return need <= kv.free_blocks + freed
-        return True
+    def _validate(self, trace: RequestTrace) -> None:
+        """Reject traces containing a request no instance class could ever
+        serve (it would block the queue head forever)."""
+        if len(self._protos) == 1:
+            # single class: the prototype's own validation carries the
+            # precise error message (and the classic path stays identical)
+            _, _, controller, manager = self._protos[0]
+            if controller is not None:
+                controller.validate(trace)
+            if manager is not None:
+                manager.validate(trace)
+            return
+        for request in trace:
+            if not any(kv_capacity_admits(controller, manager, request)
+                       for _, _, controller, manager in self._protos):
+                raise ValueError(
+                    f"request {request.request_id} fits no instance class "
+                    f"of cluster {self.cluster} under the KV budget")
 
     # ------------------------------------------------------------------
     # event loop
@@ -498,310 +425,27 @@ class TokenServingEngine:
         """
         if len(trace) == 0:
             raise ValueError("trace is empty")
-        if self.kv_controller is not None:
-            self.kv_controller.validate(trace)
-        if self.kv_block_manager is not None:
-            self.kv_block_manager.validate(trace)
+        self._validate(trace)
 
         scheduler = make_scheduler(self.policy)
-        instances = [_Instance(i) for i in range(self.num_instances)]
-        if self.kv_block_manager is not None:
-            for instance in instances:
-                instance.kv = self.kv_block_manager.clone_empty()
-        self.last_kv_managers = [i.kv for i in instances if i.kv is not None]
-        stats = _RunStats()
+        runtimes = self._build_runtimes()
+        self.last_kv_managers = [r.kv for r in runtimes if r.kv is not None]
+        multi_class = self.cluster.is_heterogeneous
+        router = self.router
+        gate = router.placement_ok if multi_class else None
+        if multi_class:
+            router.prepare(runtimes, trace)
+        stats = InstanceStats()
         events: List[Tuple[float, int, int, object]] = []
         seq = itertools.count()
         _ARRIVAL, _STEP_DONE = 0, 1
         for request in sorted(trace, key=lambda r: (r.arrival_s, r.request_id)):
             heapq.heappush(events, (request.arrival_s, next(seq), _ARRIVAL,
-                                    _RequestState(request)))
+                                    RequestState(request)))
 
         records: List[ServedRequest] = []
 
-        def release(instance: _Instance, state: _RequestState) -> None:
-            """Return a finished request's KV capacity to the pool."""
-            if self.kv_controller is not None:
-                instance.kv_used_tokens -= \
-                    self.kv_controller.reservation_tokens(state.request)
-            if instance.kv is not None:
-                instance.kv.free(state.request.request_id)
-
-        def admit(instance: _Instance, state: _RequestState, now: float) -> None:
-            """Move the queue head into the running batch, claiming KV
-            capacity (and paying the swap-in transfer for a swapped-out
-            victim resuming in paged ``swap`` mode)."""
-            if state.admitted_s is None:
-                state.admitted_s = now
-            state.last_admitted_s = now
-            state.instance_id = instance.instance_id
-            if self.kv_controller is not None:
-                instance.kv_used_tokens += \
-                    self.kv_controller.reservation_tokens(state.request)
-            if instance.kv is not None:
-                kv = instance.kv
-                rid = state.request.request_id
-                if kv.holds(rid) and kv.table(rid).is_swapped:
-                    blocks, _ = kv.swap_in(rid)
-                    instance.pending_delay_s += kv.swap_transfer_s(blocks)
-                    state.swapped_on = None
-                elif not kv.allocate(rid, self._paged_admit_target(state)):
-                    raise RuntimeError("admission gate admitted an "
-                                       "unallocatable request")  # pragma: no cover
-            instance.batch.append(state)
-
-        def evict(instance: _Instance, victim: _RequestState, now: float) -> None:
-            """Remove ``victim`` from the batch and re-queue it.  Paged
-            ``swap`` mode parks its blocks in the host tier (PCIe transfer
-            serializes with the instance's next step); every other mode
-            discards its KV state and progress."""
-            instance.batch.remove(victim)
-            if instance.kv is not None and self.preemption_mode == "swap":
-                blocks, _ = instance.kv.swap_out(victim.request.request_id)
-                instance.pending_delay_s += \
-                    instance.kv.swap_transfer_s(blocks)
-                victim.swap_outs += 1
-                victim.swapped_on = instance.instance_id
-            else:
-                release(instance, victim)
-                victim.reset_progress()
-            victim.preemptions += 1
-            scheduler.push(victim)
-
-        def grow_to(instance: _Instance, state: _RequestState,
-                    target: int, now: float) -> bool:
-            """Paged mode: allocate blocks so ``state`` covers ``target``
-            cached positions before its next append.  When the pool runs
-            dry, evict the lowest-priority, most recently admitted member of
-            an *equal or lower* priority class than the grower and retry
-            (its blocks swap out or drop per the preemption mode).  Capacity
-            pressure never evicts a strictly higher-priority member — when
-            the grower itself is the lowest class present, it is the one
-            that yields (no priority inversion through block growth).
-
-            Mixed mode additionally requires an equal-priority victim to
-            have been admitted *no earlier* than the grower.  Without this,
-            two requests too big to co-reside can destroy each other
-            forever: the newcomer's chunk growth evicts the old resident
-            (discarding its nearly-finished context), the resident
-            re-admits and returns the favour, and neither ever finishes —
-            a livelock chunked admission makes reachable because it admits
-            on first-chunk fit rather than whole-prompt fit.  Restricting
-            equal-priority eviction to members no older than the grower
-            makes the oldest-admitted member of the highest class
-            un-evictable, so it always advances and the run provably
-            terminates.  Exclusive mode keeps the PR 2 rule unchanged (the
-            bit-identical regime).
-
-            Returns whether any member was evicted."""
-            kv = instance.kv
-            mixed = self.prefill_mode == "mixed"
-            evicted = False
-            while (state in instance.batch
-                   and not kv.allocate(state.request.request_id, target)):
-                others = [s for s in instance.batch if s is not state]
-                if not others:
-                    raise RuntimeError(
-                        "KV block pool cannot hold a single request; "
-                        "validate() should have rejected this trace")
-                candidates = [
-                    s for s in others
-                    if s.request.priority < state.request.priority
-                    or (s.request.priority == state.request.priority
-                        and (not mixed
-                             or s.last_admitted_s >= state.last_admitted_s))]
-                victim = (min(candidates,
-                              key=lambda s: (s.request.priority,
-                                             -s.last_admitted_s))
-                          if candidates else state)
-                evict(instance, victim, now)
-                evicted = True
-            return evicted
-
-        def ensure_decode_capacity(instance: _Instance, now: float) -> None:
-            """Paged mode, before a pure decode step: every batch member
-            needs a block slot for the token position it is about to
-            append."""
-            max_seq = instance.kv.layout.max_seq_len
-            for state in list(instance.batch):
-                if state not in instance.batch:
-                    continue  # already evicted to make room
-                grow_to(instance, state, min(state.context_len + 1, max_seq),
-                        now)
-
-        def plan_mixed_step(instance: _Instance):
-            """Split the mixed-step token budget over the batch: one decode
-            token per running decode first, then prefill-chunk tokens for
-            requests still prefilling, in admission (batch) order.  Decode
-            tokens are never dropped to fit the budget; prefill chunks take
-            whatever budget remains."""
-            decoders = [s for s in instance.batch if s.prefill_remaining == 0]
-            remaining = self.mixed_step_token_budget - len(decoders)
-            chunks: List[Tuple[_RequestState, int]] = []
-            for state in instance.batch:
-                if state.prefill_remaining == 0 or remaining <= 0:
-                    continue
-                chunk = min(self._next_prefill_chunk(state), remaining)
-                chunks.append((state, chunk))
-                remaining -= chunk
-            return decoders, chunks
-
-        def ensure_mixed_capacity(instance: _Instance, now: float):
-            """Paged mode, before a mixed step: every request advancing in
-            the step needs blocks for the positions it appends (one per
-            decode, a whole chunk per prefilling member).  An eviction frees
-            budget and invalidates the split, so replan until one whole pass
-            allocates without evicting; the batch shrinks on every eviction,
-            so the loop terminates.  Returns the final ``(decoders,
-            chunks)`` plan."""
-            max_seq = instance.kv.layout.max_seq_len
-            while True:
-                decoders, chunks = plan_mixed_step(instance)
-                evicted = False
-                targets = [(s, s.context_len + 1) for s in decoders]
-                targets += [(s, s.context_len + c) for s, c in chunks]
-                for state, target in targets:
-                    if state not in instance.batch:
-                        continue  # already evicted to make room
-                    if grow_to(instance, state, min(target, max_seq), now):
-                        evicted = True
-                if not evicted:
-                    return decoders, chunks
-
-        def dispatch(instance: _Instance, now: float) -> None:
-            """Admit/preempt at a step boundary, then launch the next step."""
-            admitted = True
-            while admitted:
-                admitted = False
-                # admissions from the head of the waiting queue
-                while len(instance.batch) < self.max_batch_size:
-                    head = scheduler.peek()
-                    if head is None:
-                        break
-                    if not self._kv_admits(instance, head):
-                        break
-                    scheduler.pop()
-                    admit(instance, head, now)
-                    admitted = True
-                # preemption: a blocked head (no batch slot, or KV capacity
-                # exhausted) may evict strictly lower-priority work — but only
-                # when evicting one victim actually makes the head admissible;
-                # otherwise the victim's computed state would be thrown away
-                # (or shuttled over PCIe) for nothing
-                head = scheduler.peek()
-                if head is not None and instance.batch:
-                    slots_full = len(instance.batch) >= self.max_batch_size
-                    kv_full = not self._kv_admits(instance, head)
-                    victim = None
-                    if slots_full or kv_full:
-                        victim = scheduler.preemption_victim(
-                            instance.batch, head)
-                    if (victim is not None
-                            and self._head_fits_after_eviction(
-                                instance, victim, head)):
-                        evict(instance, victim, now)
-                        admitted = True  # retry admission for the head
-
-            if not instance.batch:
-                instance.busy = False
-                return
-            if self.prefill_mode == "mixed":
-                if instance.kv is not None:
-                    decoders, chunks = ensure_mixed_capacity(instance, now)
-                else:
-                    decoders, chunks = plan_mixed_step(instance)
-                prefill_tokens = sum(chunk for _, chunk in chunks)
-                max_context = max(
-                    [s.context_len for s in decoders]
-                    + [s.context_len + chunk for s, chunk in chunks]
-                    + [0])
-                duration = self._mixed_step_latency_s(
-                    max_context, len(decoders), prefill_tokens)
-                payload = ("mixed", instance, (decoders, chunks),
-                           prefill_tokens)
-                advancing = len(decoders) + len(chunks)
-                if decoders and prefill_tokens:
-                    stats.mixed_time += duration
-                elif prefill_tokens:
-                    stats.prefill_time += duration
-                else:
-                    stats.decode_time += duration
-            else:
-                prefilling = next((s for s in instance.batch
-                                   if s.prefill_remaining > 0), None)
-                if prefilling is not None:
-                    chunk = prefilling.prefill_remaining
-                    if self.prefill_chunk_tokens is not None:
-                        chunk = min(chunk, self.prefill_chunk_tokens)
-                    duration = self._prefill_chunk_latency_s(
-                        prefilling.prefill_done, chunk)
-                    payload = ("prefill", instance, prefilling, chunk)
-                    # only the prefilling request advances; co-resident
-                    # decodes stall for the duration of the chunk
-                    advancing = 1
-                    stats.prefill_time += duration
-                else:
-                    if instance.kv is not None:
-                        ensure_decode_capacity(instance, now)
-                    context = max(s.context_len for s in instance.batch)
-                    duration = self._step_latency_s(context,
-                                                    len(instance.batch))
-                    payload = ("decode", instance, list(instance.batch), 0)
-                    advancing = len(instance.batch)
-                    stats.decode_time += duration
-            if instance.pending_delay_s > 0.0:
-                # swap transfers contend for the same HBM/PCIe datapath, so
-                # they serialize ahead of the next step
-                duration += instance.pending_delay_s
-                stats.swap_time_s += instance.pending_delay_s
-                instance.pending_delay_s = 0.0
-            stats.batch_time += advancing * duration
-            stats.busy_time += duration
-            if instance.kv is not None:
-                occupancy = instance.kv.occupancy_fraction
-                stats.kv_occ_time += occupancy * duration
-                stats.frag_time += \
-                    instance.kv.internal_fragmentation_fraction * duration
-                stats.peak_kv_occupancy = max(stats.peak_kv_occupancy,
-                                              occupancy)
-            instance.busy = True
-            heapq.heappush(events, (now + duration, next(seq), _STEP_DONE,
-                                    payload))
-
-        def complete_step(payload, now: float) -> _Instance:
-            kind, instance, target, chunk = payload
-            if kind == "prefill":
-                target.prefill_done += chunk
-                stats.prefill_tokens += chunk
-                if (target.prefill_remaining == 0
-                        and target.request.decode_len == 0):
-                    finish(instance, target, now)
-            elif kind == "mixed":
-                decoders, chunks = target
-                for state in decoders:
-                    state.decode_done += 1
-                    if state.first_token_s is None:
-                        state.first_token_s = now
-                    if state.decode_done >= state.request.decode_len:
-                        finish(instance, state, now)
-                for state, tokens in chunks:
-                    state.prefill_done += tokens
-                    stats.prefill_tokens += tokens
-                    if (state.prefill_remaining == 0
-                            and state.request.decode_len == 0):
-                        finish(instance, state, now)
-            else:
-                for state in target:
-                    state.decode_done += 1
-                    if state.first_token_s is None:
-                        state.first_token_s = now
-                    if state.decode_done >= state.request.decode_len:
-                        finish(instance, state, now)
-            return instance
-
-        def finish(instance: _Instance, state: _RequestState, now: float) -> None:
-            instance.batch.remove(state)
-            release(instance, state)
+        def record(state: RequestState, now: float) -> None:
             request = state.request
             records.append(ServedRequest(
                 request_id=request.request_id,
@@ -818,26 +462,52 @@ class TokenServingEngine:
                 swap_outs=state.swap_outs,
             ))
 
+        def dispatch(runtime: InstanceRuntime, now: float) -> None:
+            launch = runtime.dispatch(scheduler, now, stats, gate=gate)
+            if launch is not None:
+                heapq.heappush(events, (now + launch.duration_s, next(seq),
+                                        _STEP_DONE, launch.payload))
+
+        def pump(completer: Optional[InstanceRuntime], now: float) -> None:
+            """Offer the queue to every instance at a step boundary.
+
+            Single-class pools replay the exact pre-cluster order: the
+            completing instance first, then — paged mode only, where
+            swap affinity can strand work on an idle instance — every idle
+            instance; arrivals offer to idle instances in id order.
+            Heterogeneous pools let the router order all boundary
+            instances (idle ones are always woken: a vetoed head must be
+            able to reach its preferred class the moment it has a
+            boundary).
+            """
+            if not multi_class:
+                if completer is not None:
+                    dispatch(completer, now)
+                    if self._paged and len(scheduler):
+                        for runtime in runtimes:
+                            if not runtime.busy:
+                                dispatch(runtime, now)
+                else:
+                    for runtime in runtimes:
+                        if not runtime.busy:
+                            dispatch(runtime, now)
+                return
+            candidates = [r for r in runtimes
+                          if r is completer or not r.busy]
+            for runtime in router.dispatch_order(candidates, scheduler.peek()):
+                if runtime is completer or not runtime.busy:
+                    dispatch(runtime, now)
+
         while events:
             now, _, kind, payload = heapq.heappop(events)
             if kind == _ARRIVAL:
                 scheduler.push(payload)
-                for instance in instances:
-                    if not instance.busy:
-                        dispatch(instance, now)
+                pump(None, now)
             else:
-                instance = complete_step(payload, now)
-                dispatch(instance, now)
-                # paged mode: a queued request swapped out on an idle
-                # instance can only resume there, and idle instances are
-                # otherwise only re-dispatched on arrivals — wake them so
-                # affinity work is never stranded (reservation mode has no
-                # affinity, and skipping this keeps its event order
-                # bit-identical to PR 1)
-                if self.kv_block_manager is not None and len(scheduler):
-                    for other in instances:
-                        if not other.busy:
-                            dispatch(other, now)
+                runtime = payload[1]
+                for state in runtime.complete_step(payload, now, stats):
+                    record(state, now)
+                pump(runtime, now)
 
         if len(records) != len(trace):
             raise RuntimeError(
@@ -845,16 +515,29 @@ class TokenServingEngine:
                 "never finished (scheduler head permanently blocked)")
 
         records.sort(key=lambda r: r.request_id)
+        return self._metrics(records, runtimes, stats), records
+
+    # ------------------------------------------------------------------
+    # metrics assembly
+    # ------------------------------------------------------------------
+    def _metrics(self, records: List[ServedRequest],
+                 runtimes: List[InstanceRuntime],
+                 stats: InstanceStats) -> ServingMetrics:
         makespan = max(r.finish_s for r in records)
         pool_time = makespan * self.num_instances
-        if self.kv_block_manager is not None:
-            kv_mode = "paged"
-        elif self.kv_controller is not None:
-            kv_mode = "reserve"
-        else:
-            kv_mode = "none"
         managers = self.last_kv_managers
-        metrics = ServingMetrics(
+        per_class = self._per_class(records, runtimes, makespan)
+        if self._kv_mode == "paged":
+            block_sizes = {m.block_size_tokens for m in managers}
+            kv_block_size = block_sizes.pop() if len(block_sizes) == 1 else 0
+            # per-instance pool size on a single class; the cluster-wide
+            # total when classes have different pools
+            totals = {m.total_blocks for m in managers}
+            kv_total_blocks = (totals.pop() if len(totals) == 1
+                               else sum(m.total_blocks for m in managers))
+        else:
+            kv_block_size = kv_total_blocks = 0
+        return ServingMetrics(
             num_requests=len(records),
             num_instances=self.num_instances,
             num_nodes_per_instance=self.num_nodes_per_instance,
@@ -873,11 +556,9 @@ class TokenServingEngine:
             decode_step_time_s=stats.decode_time,
             prefill_step_time_s=stats.prefill_time,
             mixed_step_time_s=stats.mixed_time,
-            kv_mode=kv_mode,
-            kv_block_size=(self.kv_block_manager.block_size_tokens
-                           if self.kv_block_manager is not None else 0),
-            kv_total_blocks=(self.kv_block_manager.total_blocks
-                             if self.kv_block_manager is not None else 0),
+            kv_mode=self._kv_mode,
+            kv_block_size=kv_block_size,
+            kv_total_blocks=kv_total_blocks,
             mean_running_batch=(stats.batch_time / pool_time
                                 if pool_time > 0 else 0.0),
             mean_kv_occupancy=(stats.kv_occ_time / pool_time
@@ -889,5 +570,50 @@ class TokenServingEngine:
             swap_in_count=sum(m.swap_in_count for m in managers),
             swapped_bytes=sum(m.swapped_bytes_total for m in managers),
             swap_time_s=stats.swap_time_s,
+            cluster=str(self.cluster),
+            router=self.router.name,
+            per_class=per_class,
         )
-        return metrics, records
+
+    def _per_class(self, records: List[ServedRequest],
+                   runtimes: List[InstanceRuntime],
+                   makespan: float) -> List[InstanceClassMetrics]:
+        """Aggregate per-runtime accumulators and records by instance
+        class (spec order).  Records with ``instance_id=None`` never ran on
+        any instance and are excluded."""
+        by_label: Dict[str, List[InstanceRuntime]] = {}
+        for runtime in runtimes:
+            by_label.setdefault(runtime.class_label, []).append(runtime)
+        out: List[InstanceClassMetrics] = []
+        for label, group in by_label.items():
+            ids = {r.instance_id for r in group}
+            class_records = [r for r in records
+                             if r.instance_id is not None
+                             and r.instance_id in ids]
+            class_time = makespan * len(group)
+            out.append(InstanceClassMetrics(
+                label=label,
+                num_instances=len(group),
+                num_nodes=group[0].num_nodes,
+                requests=len(class_records),
+                generated_tokens=sum(r.decode_len for r in class_records),
+                makespan_s=makespan,
+                busy_time_s=sum(r.stats.busy_time for r in group),
+                batch_time_s=sum(r.stats.batch_time for r in group),
+                ttfts_s=[r.ttft_s for r in class_records
+                         if r.ttft_s is not None],
+                tpots_s=[r.tpot_s for r in class_records
+                         if r.ttft_s is not None],
+                preemptions=sum(r.preemptions for r in class_records),
+                mean_kv_occupancy=(sum(r.stats.kv_occ_time for r in group)
+                                   / class_time if class_time > 0 else 0.0),
+                peak_kv_occupancy=max(
+                    (r.stats.peak_kv_occupancy for r in group), default=0.0),
+                kv_total_blocks=(group[0].kv.total_blocks
+                                 if group[0].kv is not None else 0),
+                swap_out_count=sum(r.kv.swap_out_count for r in group
+                                   if r.kv is not None),
+                swap_in_count=sum(r.kv.swap_in_count for r in group
+                                  if r.kv is not None),
+            ))
+        return out

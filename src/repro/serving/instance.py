@@ -1,0 +1,740 @@
+"""Per-instance serving runtime: one LoopLynx deployment at step granularity.
+
+This module is the *instance* half of the serving engine's two-layer split:
+
+* :class:`InstanceRuntime` (here) owns everything that happens **inside one
+  instance** — the running batch, step formation (pure decode, exclusive
+  prefill chunks, or token-budgeted mixed steps), KV-capacity admission
+  gates (worst-case reservation or paged block growth), and preemption
+  mechanics (swap-to-host or discard-and-recompute).  Every runtime owns its
+  own :class:`~repro.core.multi_node.LoopLynxSystem`, so instances in one
+  cluster may differ in node count, KV budget and block pool;
+* the *cluster* half (:mod:`repro.serving.cluster` +
+  :class:`~repro.serving.engine.TokenServingEngine`) owns everything that
+  happens **between** instances: the shared waiting queue, routing of work
+  to instances, and the discrete-event clock.
+
+The boundary is the *step boundary*: the engine calls :meth:`dispatch` when
+an instance is at one (idle, or just completed a step) and the runtime
+returns the next step to execute — the engine never reaches into a batch
+mid-step, and the runtime never touches the event heap.
+
+All the logic here is extracted verbatim from the pre-cluster
+``TokenServingEngine`` (PR 1–3); homogeneous pools remain bit-identical to
+those engines, a property pinned by golden-timestamp tests.
+
+Units match the engine: seconds (simulated clock), tokens (lengths), cached
+positions or blocks per node (KV), bytes summed over nodes (swap traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.multi_node import LoopLynxSystem
+from repro.memory.paged_kv import PagedKVManager
+from repro.serving.schedulers import KVAdmissionController, SchedulerPolicy
+from repro.workloads.traces import Request
+
+
+def kv_capacity_admits(kv_controller: Optional[KVAdmissionController],
+                       kv: Optional[PagedKVManager],
+                       request: Request) -> bool:
+    """Could a KV configuration serve ``request`` running alone and empty?
+
+    The single source of truth for whole-request feasibility, shared by
+    the engine's trace validation, each runtime's admission gate and the
+    class-affinity router's feasibility bump — if these ever disagreed, a
+    request could pass validation yet block the queue head forever.
+    """
+    if kv_controller is not None:
+        return (kv_controller.reservation_tokens(request)
+                <= kv_controller.capacity_tokens)
+    if kv is not None:
+        return (kv.blocks_needed(kv.max_request_tokens(request))
+                <= kv.total_blocks)
+    return True
+
+
+class RequestState:
+    """Mutable in-flight bookkeeping for one request."""
+
+    __slots__ = ("request", "prefill_done", "decode_done", "admitted_s",
+                 "last_admitted_s", "first_token_s", "preemptions",
+                 "swap_outs", "instance_id", "swapped_on")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.prefill_done = 0
+        self.decode_done = 0
+        self.admitted_s: Optional[float] = None
+        self.last_admitted_s = 0.0
+        self.first_token_s: Optional[float] = None
+        self.preemptions = 0
+        self.swap_outs = 0
+        #: Instance that served (or is serving) this request; None until the
+        #: first admission — a request that never ran keeps None, and the
+        #: engine surfaces that as ``ServedRequest.instance_id = None``
+        #: rather than a fake id.
+        self.instance_id: Optional[int] = None
+        #: Instance holding this request's host-tier blocks after a swap-out
+        #: (None otherwise).  A swapped request has instance affinity: its KV
+        #: lives in that instance's host pool, so only that instance may
+        #: resume it.
+        self.swapped_on: Optional[int] = None
+
+    @property
+    def prefill_remaining(self) -> int:
+        return self.request.prefill_len - self.prefill_done
+
+    @property
+    def context_len(self) -> int:
+        """Cached positions the next decode step attends over."""
+        return self.prefill_done + self.decode_done
+
+    def reset_progress(self) -> None:
+        """Drop all computed state (a discarding preemption releases the KV
+        cache, so prefill must be recomputed on re-admission)."""
+        self.prefill_done = 0
+        self.decode_done = 0
+
+
+@dataclass
+class InstanceStats:
+    """Time-weighted occupancy accumulators for one instance (or, summed,
+    for a whole run — the engine keeps one global instance and one per
+    runtime so per-class metrics come for free)."""
+
+    batch_time: float = 0.0      # Σ advancing requests × step seconds
+    busy_time: float = 0.0       # Σ step seconds
+    kv_occ_time: float = 0.0     # Σ occupancy fraction × step seconds
+    frag_time: float = 0.0       # Σ fragmentation fraction × step seconds
+    peak_kv_occupancy: float = 0.0
+    swap_time_s: float = 0.0     # Σ PCIe transfer seconds spent swapping
+    prefill_tokens: int = 0      # prompt tokens computed (recomputes count)
+    decode_time: float = 0.0     # Σ pure-decode step seconds
+    prefill_time: float = 0.0    # Σ pure-prefill step seconds
+    mixed_time: float = 0.0      # Σ mixed prefill+decode step seconds
+
+
+@dataclass
+class StepLaunch:
+    """One step an instance is about to execute, priced and planned.
+
+    The engine turns this into a step-completion event ``duration_s`` ahead
+    of the current clock; ``payload`` round-trips back into
+    :meth:`InstanceRuntime.complete_step`.
+    """
+
+    duration_s: float
+    payload: Tuple
+
+
+class InstanceRuntime:
+    """One LoopLynx deployment running a batch of requests at step
+    granularity.
+
+    Parameters
+    ----------
+    instance_id:
+        Position of this instance in the cluster (stable across the run).
+    system:
+        The instance's own cycle model; node count, and therefore step
+        timing, is per-instance state — this is what lets one cluster mix
+        1/2/4-node instances.
+    class_label:
+        Instance-class tag (e.g. ``"2n"``) used for per-class metrics and
+        class-affinity routing; instances built from the same
+        :class:`~repro.serving.cluster.InstanceSpec` share it.
+    max_batch_size, prefill_chunk_tokens, prefill_mode,
+    mixed_step_token_budget, preemption_mode, context_bucket:
+        Step-formation knobs, exactly as on the engine (see
+        :class:`~repro.serving.engine.TokenServingEngine`).
+    kv_controller:
+        Reservation-mode admission gate (may be shared across instances of
+        one class; it is stateless, the per-instance reservation count lives
+        here in ``kv_used_tokens``).
+    kv:
+        This instance's own paged block pool (never shared), or None.
+    swap_priority:
+        When True (paged swap mode), preemption victims are parked on this
+        instance and resumed ahead of new admissions — their KV is already
+        paid for, so admitting fresh work first would just churn the pool.
+    step_cache, mixed_step_cache:
+        Memoization dicts for step timings; instances of the same class
+        share them (the cycle model is pure, so sharing only saves work).
+    """
+
+    def __init__(self, instance_id: int, system: LoopLynxSystem, *,
+                 class_label: str = "",
+                 max_batch_size: int = 8,
+                 prefill_chunk_tokens: Optional[int] = 64,
+                 prefill_mode: str = "exclusive",
+                 mixed_step_token_budget: int = 256,
+                 kv_controller: Optional[KVAdmissionController] = None,
+                 kv: Optional[PagedKVManager] = None,
+                 preemption_mode: str = "swap",
+                 context_bucket: int = 32,
+                 swap_priority: bool = False,
+                 step_cache: Optional[Dict] = None,
+                 mixed_step_cache: Optional[Dict] = None) -> None:
+        self.instance_id = instance_id
+        self.system = system
+        self.num_nodes = system.num_nodes
+        self.class_label = class_label or f"{system.num_nodes}n"
+        self.max_batch_size = max_batch_size
+        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.prefill_mode = prefill_mode
+        self.mixed_step_token_budget = mixed_step_token_budget
+        self.kv_controller = kv_controller
+        self.kv = kv
+        self.preemption_mode = preemption_mode
+        self.context_bucket = context_bucket
+        self.swap_priority = swap_priority
+        self._step_cache: Dict[Tuple[int, int], float] = (
+            step_cache if step_cache is not None else {})
+        self._mixed_step_cache: Dict[Tuple[int, int, int], float] = (
+            mixed_step_cache if mixed_step_cache is not None else {})
+        # ---- mutable per-run state ----
+        self.batch: List[RequestState] = []
+        self.kv_used_tokens = 0
+        self.busy = False
+        #: Pending swap-transfer seconds to serialize before the next step.
+        self.pending_delay_s = 0.0
+        #: Swap-priority holding pen: this instance's swapped-out victims,
+        #: resumed ahead of new admissions (eviction order).
+        self.parked: List[RequestState] = []
+        #: Requests ever admitted here (re-admissions count) — the
+        #: round-robin router's rotation key.
+        self.admission_count = 0
+        self.stats = InstanceStats()
+
+    # ------------------------------------------------------------------
+    # step timing (memoized cycle-model evaluations)
+    # ------------------------------------------------------------------
+    def _bucketed(self, context_len: int) -> int:
+        bucket = self.context_bucket
+        if bucket <= 1 or context_len == 0:
+            return context_len
+        return -(-context_len // bucket) * bucket
+
+    def step_latency_s(self, context_len: int, batch_size: int) -> float:
+        """Seconds for one decode step over ``context_len`` cached positions
+        with ``batch_size`` co-resident requests (memoized per bucket)."""
+        key = (self._bucketed(context_len), batch_size)
+        if key not in self._step_cache:
+            self._step_cache[key] = self.system.decode_step_latency_s(
+                key[0], batch_size)
+        return self._step_cache[key]
+
+    def prefill_chunk_latency_s(self, start_pos: int, chunk_len: int) -> float:
+        """Seconds of token-serial prefill for ``chunk_len`` prompt tokens
+        starting at cached position ``start_pos`` (same per-position cost as
+        a decode step, which is how the paper's pipeline streams prompts)."""
+        return sum(self.step_latency_s(pos, 1)
+                   for pos in range(start_pos, start_pos + chunk_len))
+
+    def mixed_step_latency_s(self, max_context: int, num_decode: int,
+                             prefill_tokens: int) -> float:
+        """Seconds for one mixed step advancing ``num_decode`` requests by a
+        token each while streaming ``prefill_tokens`` prompt tokens through
+        the same weight pass.  ``max_context`` is the longest cached prefix
+        in the step — decode contexts and prefill chunk-end positions alike
+        (memoized per context bucket, like :meth:`step_latency_s`)."""
+        key = (self._bucketed(max_context), num_decode, prefill_tokens)
+        if key not in self._mixed_step_cache:
+            self._mixed_step_cache[key] = self.system.mixed_step_latency_s(
+                [key[0]] * num_decode, prefill_tokens,
+                prefill_context=key[0])
+        return self._mixed_step_cache[key]
+
+    def _next_prefill_chunk(self, state: RequestState) -> int:
+        """Prompt tokens ``state`` would stream in its next mixed step,
+        before the step's token budget is split (per-request chunk cap and
+        the whole-step budget both apply)."""
+        chunk = min(state.prefill_remaining, self.mixed_step_token_budget)
+        if self.prefill_chunk_tokens is not None:
+            chunk = min(chunk, self.prefill_chunk_tokens)
+        return chunk
+
+    # ------------------------------------------------------------------
+    # KV admission gates (mode-aware)
+    # ------------------------------------------------------------------
+    def _paged_admit_target(self, state: RequestState) -> int:
+        """Cached positions a (non-swapped) request must cover at admission.
+
+        Exclusive prefill claims the whole prompt plus one slot for the
+        first decode append (the prompt is computed before any other step
+        of the instance runs, so its blocks are needed up front).  Mixed
+        prefill streams the prompt in chunk by chunk, so admission only
+        claims the first chunk and the table grows per step alongside the
+        decode appends.  Both are clamped to the context window.
+        """
+        request = state.request
+        if self.prefill_mode == "mixed" and state.prefill_remaining > 0:
+            tokens = state.context_len + self._next_prefill_chunk(state)
+        else:
+            tokens = request.prefill_len + (1 if request.decode_len > 0 else 0)
+        return min(tokens, self.kv.layout.max_seq_len)
+
+    def _paged_admit_blocks(self, kv: PagedKVManager,
+                            state: RequestState) -> int:
+        """Device blocks the queue head must acquire to join the batch: the
+        host-tier restore for a swapped-out request (plus any growth block
+        its very next decode append needs), or its prompt allocation."""
+        rid = state.request.request_id
+        if kv.holds(rid) and kv.table(rid).is_swapped:
+            restore = kv.table(rid).host_blocks
+            if self.prefill_mode == "mixed" and state.prefill_remaining > 0:
+                # a request swapped out mid-prefill appends a whole chunk in
+                # its next mixed step, not a single decode token; budgeting
+                # only context+1 would re-admit it without room to grow and
+                # re-evict it at the same boundary (churn, PCIe both ways)
+                next_tokens = state.context_len + self._next_prefill_chunk(state)
+            else:
+                next_tokens = state.context_len + 1
+            next_target = min(next_tokens, kv.layout.max_seq_len)
+            return restore + max(0, kv.blocks_needed(next_target) - restore)
+        return kv.blocks_missing(rid, self._paged_admit_target(state))
+
+    def _paged_growth_headroom(self, kv: PagedKVManager, batch) -> int:
+        """Blocks the current batch members will claim for their next
+        decode appends.  Admission must leave this headroom free, or a
+        newly admitted (or swapped-in) request would be re-evicted by
+        :meth:`_ensure_decode_capacity` at the same step boundary — pure
+        churn, with PCIe transfers both ways in swap mode."""
+        max_seq = kv.layout.max_seq_len
+        headroom = 0
+        for member in batch:
+            if member.prefill_remaining > 0:
+                if self.prefill_mode != "mixed":
+                    continue  # prompt blocks were claimed at admission
+                # mixed mode grows prefilling tables per step too
+                target = member.context_len + self._next_prefill_chunk(member)
+            else:
+                target = member.context_len + 1
+            headroom += kv.blocks_missing(
+                member.request.request_id, min(target, max_seq))
+        return headroom
+
+    def can_ever_serve(self, request: Request) -> bool:
+        """Could this instance serve ``request`` running alone and empty?
+
+        In a homogeneous pool the engine-level trace validation rules out
+        impossible requests up front; in a heterogeneous pool a request may
+        exceed the *smallest* class's capacity while fitting a larger one,
+        so each instance must also refuse such requests at its own gate
+        (admitting one would strand it mid-growth).
+        """
+        return kv_capacity_admits(self.kv_controller, self.kv, request)
+
+    def kv_admits(self, state: RequestState) -> bool:
+        """Does the instance's KV capacity admit ``state`` right now?
+
+        A swapped-out request may only be resumed by the instance whose
+        host tier holds its blocks (KV state cannot teleport between
+        instances); every other instance reports it inadmissible.
+        """
+        if self.kv_controller is not None:
+            return self.kv_controller.fits(state.request, self.kv_used_tokens)
+        if self.kv is not None:
+            if (state.swapped_on is not None
+                    and state.swapped_on != self.instance_id):
+                return False
+            if not self.can_ever_serve(state.request):
+                return False
+            kv = self.kv
+            need = (self._paged_admit_blocks(kv, state)
+                    + self._paged_growth_headroom(kv, self.batch))
+            return need <= kv.free_blocks
+        return True
+
+    def head_fits_after_eviction(self, victim: RequestState,
+                                 head: RequestState) -> bool:
+        """Would evicting ``victim`` make ``head`` admissible?  The batch
+        slot is always freed; with KV admission the freed capacity (token
+        reservation or device blocks) must also cover the head's."""
+        if self.kv_controller is not None:
+            freed = (self.kv_used_tokens
+                     - self.kv_controller.reservation_tokens(victim.request))
+            return self.kv_controller.fits(head.request, freed)
+        if self.kv is not None:
+            if (head.swapped_on is not None
+                    and head.swapped_on != self.instance_id):
+                return False  # the head's KV lives on another instance
+            if not self.can_ever_serve(head.request):
+                return False
+            kv = self.kv
+            freed = len(kv.table(victim.request.request_id).device_blocks)
+            need = (self._paged_admit_blocks(kv, head)
+                    + self._paged_growth_headroom(
+                        kv, [s for s in self.batch if s is not victim]))
+            return need <= kv.free_blocks + freed
+        return True
+
+    @property
+    def kv_free_fraction(self) -> float:
+        """Free fraction of this instance's KV capacity (1.0 when admission
+        is unconstrained) — the KV-aware router's ranking key."""
+        if self.kv is not None:
+            if self.kv.total_blocks == 0:
+                return 0.0
+            return self.kv.free_blocks / self.kv.total_blocks
+        if self.kv_controller is not None:
+            if self.kv_controller.capacity_tokens == 0:
+                return 0.0
+            return 1.0 - self.kv_used_tokens / self.kv_controller.capacity_tokens
+        return 1.0
+
+    @property
+    def load(self) -> int:
+        """Requests this instance is responsible for right now (running
+        batch plus parked swap-priority victims) — the least-loaded
+        router's ranking key."""
+        return len(self.batch) + len(self.parked)
+
+    def holds_swapped(self, state: RequestState) -> bool:
+        """Does this instance's host tier hold ``state``'s swapped blocks?"""
+        return (state.swapped_on is not None
+                and state.swapped_on == self.instance_id)
+
+    # ------------------------------------------------------------------
+    # batch membership
+    # ------------------------------------------------------------------
+    def release(self, state: RequestState) -> None:
+        """Return a finished request's KV capacity to the pool."""
+        if self.kv_controller is not None:
+            self.kv_used_tokens -= \
+                self.kv_controller.reservation_tokens(state.request)
+        if self.kv is not None:
+            self.kv.free(state.request.request_id)
+
+    def admit(self, state: RequestState, now: float) -> None:
+        """Move a waiting request into the running batch, claiming KV
+        capacity (and paying the swap-in transfer for a swapped-out
+        victim resuming in paged ``swap`` mode)."""
+        if state.admitted_s is None:
+            state.admitted_s = now
+        state.last_admitted_s = now
+        state.instance_id = self.instance_id
+        self.admission_count += 1
+        if self.kv_controller is not None:
+            self.kv_used_tokens += \
+                self.kv_controller.reservation_tokens(state.request)
+        if self.kv is not None:
+            kv = self.kv
+            rid = state.request.request_id
+            if kv.holds(rid) and kv.table(rid).is_swapped:
+                blocks, _ = kv.swap_in(rid)
+                self.pending_delay_s += kv.swap_transfer_s(blocks)
+                state.swapped_on = None
+            elif not kv.allocate(rid, self._paged_admit_target(state)):
+                raise RuntimeError("admission gate admitted an "
+                                   "unallocatable request")  # pragma: no cover
+        self.batch.append(state)
+
+    def evict(self, victim: RequestState, now: float,
+              scheduler: SchedulerPolicy) -> None:
+        """Remove ``victim`` from the batch and re-queue it.  Paged
+        ``swap`` mode parks its blocks in the host tier (PCIe transfer
+        serializes with the instance's next step); every other mode
+        discards its KV state and progress.  With ``swap_priority`` a
+        swapped victim waits in this instance's parked list (resumed ahead
+        of new admissions) instead of re-entering the shared queue."""
+        self.batch.remove(victim)
+        swapped = False
+        if self.kv is not None and self.preemption_mode == "swap":
+            blocks, _ = self.kv.swap_out(victim.request.request_id)
+            self.pending_delay_s += self.kv.swap_transfer_s(blocks)
+            victim.swap_outs += 1
+            victim.swapped_on = self.instance_id
+            swapped = True
+        else:
+            self.release(victim)
+            victim.reset_progress()
+        victim.preemptions += 1
+        if swapped and self.swap_priority:
+            self.parked.append(victim)
+        else:
+            scheduler.push(victim)
+
+    # ------------------------------------------------------------------
+    # paged growth at step boundaries
+    # ------------------------------------------------------------------
+    def _grow_to(self, state: RequestState, target: int, now: float,
+                 scheduler: SchedulerPolicy) -> bool:
+        """Paged mode: allocate blocks so ``state`` covers ``target``
+        cached positions before its next append.  When the pool runs
+        dry, evict the lowest-priority, most recently admitted member of
+        an *equal or lower* priority class than the grower and retry
+        (its blocks swap out or drop per the preemption mode).  Capacity
+        pressure never evicts a strictly higher-priority member — when
+        the grower itself is the lowest class present, it is the one
+        that yields (no priority inversion through block growth).
+
+        Mixed mode additionally requires an equal-priority victim to
+        have been admitted *no earlier* than the grower.  Without this,
+        two requests too big to co-reside can destroy each other
+        forever: the newcomer's chunk growth evicts the old resident
+        (discarding its nearly-finished context), the resident
+        re-admits and returns the favour, and neither ever finishes —
+        a livelock chunked admission makes reachable because it admits
+        on first-chunk fit rather than whole-prompt fit.  Restricting
+        equal-priority eviction to members no older than the grower
+        makes the oldest-admitted member of the highest class
+        un-evictable, so it always advances and the run provably
+        terminates.  Exclusive mode keeps the PR 2 rule unchanged (the
+        bit-identical regime).
+
+        Returns whether any member was evicted."""
+        kv = self.kv
+        mixed = self.prefill_mode == "mixed"
+        evicted = False
+        while (state in self.batch
+               and not kv.allocate(state.request.request_id, target)):
+            others = [s for s in self.batch if s is not state]
+            if not others:
+                raise RuntimeError(
+                    "KV block pool cannot hold a single request; "
+                    "validate() should have rejected this trace")
+            candidates = [
+                s for s in others
+                if s.request.priority < state.request.priority
+                or (s.request.priority == state.request.priority
+                    and (not mixed
+                         or s.last_admitted_s >= state.last_admitted_s))]
+            victim = (min(candidates,
+                          key=lambda s: (s.request.priority,
+                                         -s.last_admitted_s))
+                      if candidates else state)
+            self.evict(victim, now, scheduler)
+            evicted = True
+        return evicted
+
+    def _ensure_decode_capacity(self, now: float,
+                                scheduler: SchedulerPolicy) -> None:
+        """Paged mode, before a pure decode step: every batch member
+        needs a block slot for the token position it is about to
+        append."""
+        max_seq = self.kv.layout.max_seq_len
+        for state in list(self.batch):
+            if state not in self.batch:
+                continue  # already evicted to make room
+            self._grow_to(state, min(state.context_len + 1, max_seq), now,
+                          scheduler)
+
+    def _plan_mixed_step(self):
+        """Split the mixed-step token budget over the batch: one decode
+        token per running decode first, then prefill-chunk tokens for
+        requests still prefilling, in admission (batch) order.  Decode
+        tokens are never dropped to fit the budget; prefill chunks take
+        whatever budget remains."""
+        decoders = [s for s in self.batch if s.prefill_remaining == 0]
+        remaining = self.mixed_step_token_budget - len(decoders)
+        chunks: List[Tuple[RequestState, int]] = []
+        for state in self.batch:
+            if state.prefill_remaining == 0 or remaining <= 0:
+                continue
+            chunk = min(self._next_prefill_chunk(state), remaining)
+            chunks.append((state, chunk))
+            remaining -= chunk
+        return decoders, chunks
+
+    def _ensure_mixed_capacity(self, now: float, scheduler: SchedulerPolicy):
+        """Paged mode, before a mixed step: every request advancing in
+        the step needs blocks for the positions it appends (one per
+        decode, a whole chunk per prefilling member).  An eviction frees
+        budget and invalidates the split, so replan until one whole pass
+        allocates without evicting; the batch shrinks on every eviction,
+        so the loop terminates.  Returns the final ``(decoders,
+        chunks)`` plan."""
+        max_seq = self.kv.layout.max_seq_len
+        while True:
+            decoders, chunks = self._plan_mixed_step()
+            evicted = False
+            targets = [(s, s.context_len + 1) for s in decoders]
+            targets += [(s, s.context_len + c) for s, c in chunks]
+            for state, target in targets:
+                if state not in self.batch:
+                    continue  # already evicted to make room
+                if self._grow_to(state, min(target, max_seq), now, scheduler):
+                    evicted = True
+            if not evicted:
+                return decoders, chunks
+
+    # ------------------------------------------------------------------
+    # step boundary: admission, preemption, step formation
+    # ------------------------------------------------------------------
+    def dispatch(self, scheduler: SchedulerPolicy, now: float,
+                 stats: InstanceStats,
+                 gate: Optional[Callable[["InstanceRuntime", RequestState],
+                                         bool]] = None
+                 ) -> Optional[StepLaunch]:
+        """Admit/preempt at a step boundary, then form the next step.
+
+        ``gate`` is the cluster router's placement veto (None on
+        single-class pools): a head the gate rejects is neither admitted
+        here nor preempted for — it waits for an instance the router likes.
+        Returns the planned step, or None when the batch is empty (the
+        instance goes idle).  Global ``stats`` and the runtime's own
+        :attr:`stats` are both updated, in that order, so whole-run metrics
+        accumulate in the exact event order of the pre-cluster engine while
+        per-class metrics fall out of the per-runtime copies.
+        """
+        admitted = True
+        while admitted:
+            admitted = False
+            if self.parked:
+                # swap-priority: resume this instance's own swapped victims
+                # before admitting anything new — their blocks are a PCIe
+                # round-trip away, not a recompute, and new admissions would
+                # claim the very capacity the resume needs.  A parked head
+                # that does not fit blocks new admissions entirely.
+                while self.parked and len(self.batch) < self.max_batch_size:
+                    resume = self.parked[0]
+                    if not self.kv_admits(resume):
+                        break
+                    self.parked.pop(0)
+                    self.admit(resume, now)
+                    admitted = True
+                continue
+            # admissions from the head of the waiting queue
+            while len(self.batch) < self.max_batch_size:
+                head = scheduler.peek()
+                if head is None:
+                    break
+                if gate is not None and not gate(self, head):
+                    break
+                if not self.kv_admits(head):
+                    break
+                scheduler.pop()
+                self.admit(head, now)
+                admitted = True
+            # preemption: a blocked head (no batch slot, or KV capacity
+            # exhausted) may evict strictly lower-priority work — but only
+            # when evicting one victim actually makes the head admissible;
+            # otherwise the victim's computed state would be thrown away
+            # (or shuttled over PCIe) for nothing
+            head = scheduler.peek()
+            if (head is not None and self.batch
+                    and (gate is None or gate(self, head))):
+                slots_full = len(self.batch) >= self.max_batch_size
+                kv_full = not self.kv_admits(head)
+                victim = None
+                if slots_full or kv_full:
+                    victim = scheduler.preemption_victim(self.batch, head)
+                if (victim is not None
+                        and self.head_fits_after_eviction(victim, head)):
+                    self.evict(victim, now, scheduler)
+                    admitted = True  # retry admission for the head
+
+        if not self.batch:
+            self.busy = False
+            return None
+        if self.prefill_mode == "mixed":
+            if self.kv is not None:
+                decoders, chunks = self._ensure_mixed_capacity(now, scheduler)
+            else:
+                decoders, chunks = self._plan_mixed_step()
+            prefill_tokens = sum(chunk for _, chunk in chunks)
+            max_context = max(
+                [s.context_len for s in decoders]
+                + [s.context_len + chunk for s, chunk in chunks]
+                + [0])
+            duration = self.mixed_step_latency_s(
+                max_context, len(decoders), prefill_tokens)
+            payload = ("mixed", self, (decoders, chunks), prefill_tokens)
+            advancing = len(decoders) + len(chunks)
+            if decoders and prefill_tokens:
+                kind_attr = "mixed_time"
+            elif prefill_tokens:
+                kind_attr = "prefill_time"
+            else:
+                kind_attr = "decode_time"
+        else:
+            prefilling = next((s for s in self.batch
+                               if s.prefill_remaining > 0), None)
+            if prefilling is not None:
+                chunk = prefilling.prefill_remaining
+                if self.prefill_chunk_tokens is not None:
+                    chunk = min(chunk, self.prefill_chunk_tokens)
+                duration = self.prefill_chunk_latency_s(
+                    prefilling.prefill_done, chunk)
+                payload = ("prefill", self, prefilling, chunk)
+                # only the prefilling request advances; co-resident
+                # decodes stall for the duration of the chunk
+                advancing = 1
+                kind_attr = "prefill_time"
+            else:
+                if self.kv is not None:
+                    self._ensure_decode_capacity(now, scheduler)
+                context = max(s.context_len for s in self.batch)
+                duration = self.step_latency_s(context, len(self.batch))
+                payload = ("decode", self, list(self.batch), 0)
+                advancing = len(self.batch)
+                kind_attr = "decode_time"
+        step_duration = duration
+        pending = self.pending_delay_s
+        if pending > 0.0:
+            # swap transfers contend for the same HBM/PCIe datapath, so
+            # they serialize ahead of the next step
+            duration += pending
+            self.pending_delay_s = 0.0
+        for acc in (stats, self.stats):
+            setattr(acc, kind_attr, getattr(acc, kind_attr) + step_duration)
+            if pending > 0.0:
+                acc.swap_time_s += pending
+            acc.batch_time += advancing * duration
+            acc.busy_time += duration
+            if self.kv is not None:
+                occupancy = self.kv.occupancy_fraction
+                acc.kv_occ_time += occupancy * duration
+                acc.frag_time += \
+                    self.kv.internal_fragmentation_fraction * duration
+                acc.peak_kv_occupancy = max(acc.peak_kv_occupancy, occupancy)
+        self.busy = True
+        return StepLaunch(duration_s=duration, payload=payload)
+
+    def complete_step(self, payload: Tuple, now: float,
+                      stats: InstanceStats) -> List[RequestState]:
+        """Apply one finished step's token bookkeeping and return the
+        requests that completed with it (the engine records them)."""
+        kind, _, target, chunk = payload
+        finished: List[RequestState] = []
+
+        def maybe_finish(state: RequestState) -> None:
+            self.batch.remove(state)
+            self.release(state)
+            finished.append(state)
+
+        if kind == "prefill":
+            target.prefill_done += chunk
+            stats.prefill_tokens += chunk
+            self.stats.prefill_tokens += chunk
+            if (target.prefill_remaining == 0
+                    and target.request.decode_len == 0):
+                maybe_finish(target)
+        elif kind == "mixed":
+            decoders, chunks = target
+            for state in decoders:
+                state.decode_done += 1
+                if state.first_token_s is None:
+                    state.first_token_s = now
+                if state.decode_done >= state.request.decode_len:
+                    maybe_finish(state)
+            for state, tokens in chunks:
+                state.prefill_done += tokens
+                stats.prefill_tokens += tokens
+                self.stats.prefill_tokens += tokens
+                if (state.prefill_remaining == 0
+                        and state.request.decode_len == 0):
+                    maybe_finish(state)
+        else:
+            for state in target:
+                state.decode_done += 1
+                if state.first_token_s is None:
+                    state.first_token_s = now
+                if state.decode_done >= state.request.decode_len:
+                    maybe_finish(state)
+        return finished

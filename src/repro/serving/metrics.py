@@ -25,6 +25,69 @@ def percentile(values: Sequence[float], fraction: float) -> float:
 
 
 @dataclass
+class InstanceClassMetrics:
+    """Aggregate statistics of one instance class inside a cluster run.
+
+    A *class* is a group of identical instances (same node count, same KV
+    budget — one :class:`~repro.serving.cluster.InstanceSpec`).  The engine
+    emits one of these per class so heterogeneous pools can be judged class
+    by class: is the big-instance class earning its nodes, are the small
+    instances saturated, where do the swaps happen.  Requests whose
+    ``instance_id`` is ``None`` (never ran) belong to no class and are
+    excluded from every field here.
+
+    Units match :class:`ServingMetrics`: seconds, tokens, blocks per node.
+    """
+
+    label: str
+    num_instances: int
+    num_nodes: int
+    requests: int = 0
+    generated_tokens: int = 0
+    makespan_s: float = 0.0
+    busy_time_s: float = 0.0
+    batch_time_s: float = 0.0
+    ttfts_s: List[float] = field(default_factory=list)
+    tpots_s: List[Optional[float]] = field(default_factory=list)
+    preemptions: int = 0
+    mean_kv_occupancy: float = 0.0
+    peak_kv_occupancy: float = 0.0
+    kv_total_blocks: int = 0
+    swap_out_count: int = 0
+    swap_in_count: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of this class's instance-time spent executing steps."""
+        capacity = self.makespan_s * self.num_instances
+        if capacity <= 0:
+            return 0.0
+        return self.busy_time_s / capacity
+
+    @property
+    def mean_running_batch(self) -> float:
+        """Time-weighted mean co-resident requests per instance of this
+        class over the makespan (idle time counts as zero)."""
+        capacity = self.makespan_s * self.num_instances
+        if capacity <= 0:
+            return 0.0
+        return self.batch_time_s / capacity
+
+    @property
+    def mean_ttft_s(self) -> float:
+        if not self.ttfts_s:
+            return 0.0
+        return sum(self.ttfts_s) / len(self.ttfts_s)
+
+    def ttft_percentile_s(self, fraction: float) -> float:
+        return percentile(self.ttfts_s, fraction)
+
+    def tpot_percentile_s(self, fraction: float) -> float:
+        return percentile([t for t in self.tpots_s if t is not None],
+                          fraction)
+
+
+@dataclass
 class ServingMetrics:
     """Aggregate statistics of one serving simulation.
 
@@ -101,6 +164,14 @@ class ServingMetrics:
     swap_in_count: int = 0
     swapped_bytes: int = 0
     swap_time_s: float = 0.0
+    #: Cluster shape (e.g. ``"2x1n,1x2n"``) and routing policy of the run
+    #: ("" for the whole-request simulator, which has no cluster layer).
+    cluster: str = ""
+    router: str = ""
+    #: One entry per instance class (engine runs only; single-class pools
+    #: get exactly one).  ``num_nodes_per_instance`` is 0 when classes mix
+    #: node counts — per-class numbers live here instead.
+    per_class: List[InstanceClassMetrics] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -221,8 +292,18 @@ class ServingMetrics:
 
     def energy_joules(self, power_model: Optional[FpgaPowerModel] = None,
                       nodes_per_card: int = 2) -> float:
-        """Total deployment energy over the makespan (all instances powered)."""
+        """Total deployment energy over the makespan (all instances powered).
+
+        Heterogeneous clusters sum per-class (each class has its own node
+        count, hence its own per-instance power draw); the homogeneous
+        formula is the single-class special case of the same sum.
+        """
         power_model = power_model or FpgaPowerModel()
+        if self.per_class:
+            return sum(
+                power_model.total_power_watts(c.num_nodes, nodes_per_card)
+                * c.num_instances * self.makespan_s
+                for c in self.per_class)
         per_instance = power_model.total_power_watts(self.num_nodes_per_instance,
                                                      nodes_per_card)
         return per_instance * self.num_instances * self.makespan_s

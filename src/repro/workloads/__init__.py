@@ -9,20 +9,30 @@ from repro.workloads.scenarios import (
     scenario_sweep,
 )
 from repro.workloads.traces import (
+    DEFAULT_BURSTY_TENANTS,
     DEFAULT_TENANTS,
+    REPLAY_COLUMNS,
+    BurstyTenantSpec,
     Request,
     RequestTrace,
     TenantSpec,
+    bursty_multi_tenant_trace,
     bursty_trace,
     multi_tenant_trace,
+    replay_trace,
     synthetic_trace,
 )
 
 __all__ = [
+    "DEFAULT_BURSTY_TENANTS",
     "DEFAULT_TENANTS",
+    "REPLAY_COLUMNS",
+    "BurstyTenantSpec",
     "TenantSpec",
+    "bursty_multi_tenant_trace",
     "bursty_trace",
     "multi_tenant_trace",
+    "replay_trace",
     "FIG8_SCENARIOS",
     "Scenario",
     "chatbot_scenarios",

@@ -1,17 +1,20 @@
-"""Synthetic request traces.
+"""Request traces: synthetic generators and real-trace replay.
 
 The paper evaluates isolated requests; serving deployments see streams of
-requests with varying prompt/generation lengths.  The trace generator here is
-used by the serving-oriented example to estimate sustained throughput and
-energy of a LoopLynx deployment over a request mix, and by tests of the
-analysis utilities.  Lengths are drawn from log-normal-ish distributions
-clamped to the model's context window, with a fixed seed for reproducibility.
+requests with varying prompt/generation lengths.  The synthetic generators
+here (steady Poisson, bursty, multi-tenant) draw lengths from
+log-normal-ish distributions clamped to the model's context window, with a
+fixed seed for reproducibility; :func:`replay_trace` loads recorded
+production traces (Azure-LLM-style CSV) into the same request format so the
+serving engine replays real arrival processes too.
 """
 
 from __future__ import annotations
 
+import csv
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -100,6 +103,16 @@ class RequestTrace:
         return [r.scenario for r in self.requests]
 
 
+def _finalize(requests: List[Request]) -> RequestTrace:
+    """Sort by arrival time and reassign ids in arrival order (so FIFO
+    order equals id order) — the last step of every merged/loaded trace."""
+    ordered = sorted(requests, key=lambda r: r.arrival_s)
+    return RequestTrace(requests=[
+        Request(request_id=i, arrival_s=r.arrival_s, scenario=r.scenario,
+                tenant=r.tenant, priority=r.priority)
+        for i, r in enumerate(ordered)])
+
+
 def synthetic_trace(num_requests: int, seed: int = 0,
                     mean_prefill: int = 64, mean_decode: int = 256,
                     max_seq_len: int = 1024,
@@ -178,6 +191,81 @@ def bursty_trace(num_requests: int, seed: int = 0,
     return RequestTrace(requests=requests)
 
 
+#: Column layout :func:`replay_trace` expects (the Azure LLM inference
+#: trace shape: arrival offset, prompt tokens, output tokens, plus an
+#: optional tenant column for multi-tenant replays).
+REPLAY_COLUMNS = ("arrival_s", "prompt_tokens", "output_tokens", "tenant")
+
+
+def replay_trace(path: Union[str, Path],
+                 max_seq_len: int = 1024) -> RequestTrace:
+    """Load an Azure-LLM-style CSV trace into the request format.
+
+    Each row is ``arrival_s,prompt_tokens,output_tokens[,tenant]`` —
+    arrival offset in seconds from the trace start, prompt and generation
+    lengths in tokens, and an optional tenant name.  A header row matching
+    the column names is skipped, so exported production traces replay
+    as-is.  Requests are sorted by arrival time and ids are assigned in
+    arrival order (FIFO order equals id order, like the synthetic
+    generators).
+
+    Rows that do not parse raise ``ValueError`` naming the offending row
+    (1-based, counting the header): replaying a multi-GiB production trace
+    and silently dropping malformed rows would bias every percentile.
+    ``max_seq_len`` bounds ``prompt + output`` against the model's context
+    window, again naming the row that exceeds it.
+    """
+    path = Path(path)
+    rows: List[Request] = []
+    first_data_row = True
+    with path.open(newline="") as handle:
+        for line_no, row in enumerate(csv.reader(handle), start=1):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue  # blank line
+            cells = [cell.strip() for cell in row]
+            if first_data_row:
+                first_data_row = False
+                if cells[:3] == list(REPLAY_COLUMNS[:3]):
+                    continue  # header row
+            if len(cells) not in (3, 4):
+                raise ValueError(
+                    f"{path}: row {line_no}: expected "
+                    "arrival_s,prompt_tokens,output_tokens[,tenant], got "
+                    f"{len(cells)} columns")
+            try:
+                arrival = float(cells[0])
+                prompt = int(cells[1])
+                output = int(cells[2])
+            except ValueError:
+                raise ValueError(
+                    f"{path}: row {line_no}: non-numeric field in "
+                    f"{','.join(cells[:3])!r}") from None
+            if arrival < 0:
+                raise ValueError(
+                    f"{path}: row {line_no}: arrival_s must be >= 0, "
+                    f"got {arrival}")
+            if prompt <= 0:
+                raise ValueError(
+                    f"{path}: row {line_no}: prompt_tokens must be "
+                    f"positive, got {prompt}")
+            if output < 0:
+                raise ValueError(
+                    f"{path}: row {line_no}: output_tokens cannot be "
+                    f"negative, got {output}")
+            if prompt + output > max_seq_len:
+                raise ValueError(
+                    f"{path}: row {line_no}: prompt + output = "
+                    f"{prompt + output} exceeds the {max_seq_len}-token "
+                    "context window")
+            tenant = cells[3] if len(cells) == 4 and cells[3] else "default"
+            rows.append(Request(request_id=0, arrival_s=arrival,
+                                scenario=Scenario(prompt, output),
+                                tenant=tenant))
+    if not rows:
+        raise ValueError(f"{path}: trace file contains no requests")
+    return _finalize(rows)
+
+
 @dataclass(frozen=True)
 class TenantSpec:
     """Traffic profile of one tenant in a multi-tenant trace."""
@@ -207,6 +295,74 @@ DEFAULT_TENANTS: tuple = (
     TenantSpec("background", arrival_rate_per_s=0.25, mean_prefill=64,
                mean_decode=256, priority=0),
 )
+
+
+@dataclass(frozen=True)
+class BurstyTenantSpec:
+    """Traffic profile of one tenant in a bursty multi-tenant trace: its
+    own request shapes *and* its own burst structure (a chatbot tenant
+    bursts in tight clusters of short prompts; a bulk tenant trickles in
+    rare, long ones)."""
+
+    name: str
+    num_requests: int
+    mean_prefill: int = 64
+    mean_decode: int = 256
+    burst_size: int = 8
+    burst_rate_per_s: float = 20.0
+    idle_gap_s: float = 4.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+
+
+#: Default bursty tenant mix: a chatty interactive tenant arriving in
+#: tight bursts of short prompts, and a bulk tenant trickling in rare
+#: long-prompt, long-generation requests.  The prompt-length distribution
+#: is strongly bimodal — the regime where heterogeneous pools and
+#: class-affinity routing earn their keep.
+DEFAULT_BURSTY_TENANTS: tuple = (
+    BurstyTenantSpec("interactive", num_requests=64, mean_prefill=32,
+                     mean_decode=96, burst_size=16, burst_rate_per_s=20.0,
+                     idle_gap_s=0.5),
+    BurstyTenantSpec("batch", num_requests=4, mean_prefill=450,
+                     mean_decode=256, burst_size=1, burst_rate_per_s=5.0,
+                     idle_gap_s=3.0),
+)
+
+
+def bursty_multi_tenant_trace(
+        tenants: Sequence[BurstyTenantSpec] = DEFAULT_BURSTY_TENANTS,
+        seed: int = 0, max_seq_len: int = 1024) -> RequestTrace:
+    """Merge independent *bursty* streams of several tenants into one trace.
+
+    Unlike :func:`multi_tenant_trace` (independent Poisson streams), every
+    tenant here arrives in bursts with its own burst shape, so the merged
+    trace exercises both burst absorption and mixed request sizes at once.
+    Each tenant's stream is drawn with seed ``seed + its index``, the merge
+    is sorted by arrival time and ids are assigned in arrival order (FIFO
+    order equals id order).
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    merged: List[Request] = []
+    for index, spec in enumerate(tenants):
+        stream = bursty_trace(spec.num_requests, seed=seed + index,
+                              mean_prefill=spec.mean_prefill,
+                              mean_decode=spec.mean_decode,
+                              max_seq_len=max_seq_len,
+                              burst_size=spec.burst_size,
+                              burst_rate_per_s=spec.burst_rate_per_s,
+                              idle_gap_s=spec.idle_gap_s)
+        merged.extend(Request(request_id=0, arrival_s=r.arrival_s,
+                              scenario=r.scenario, tenant=spec.name,
+                              priority=spec.priority)
+                      for r in stream)
+    return _finalize(merged)
 
 
 def multi_tenant_trace(num_requests: int, seed: int = 0,
@@ -243,8 +399,4 @@ def multi_tenant_trace(num_requests: int, seed: int = 0,
                 scenario=_draw_scenario(rng, spec.mean_prefill,
                                         spec.mean_decode, max_seq_len),
                 tenant=spec.name, priority=spec.priority))
-    merged.sort(key=lambda r: r.arrival_s)
-    requests = [Request(request_id=i, arrival_s=r.arrival_s, scenario=r.scenario,
-                        tenant=r.tenant, priority=r.priority)
-                for i, r in enumerate(merged)]
-    return RequestTrace(requests=requests)
+    return _finalize(merged)

@@ -59,7 +59,8 @@ def test_serving_md_documents_every_serve_surface():
     for flag in ("--kv-mode", "--kv-block-size", "--preemption-mode",
                  "--kv-budget-mib", "--compare-kv", "--policy", "--trace",
                  "--prefill-mode", "--mixed-step-token-budget",
-                 "--compare-prefill"):
+                 "--compare-prefill", "--instances", "--router",
+                 "--compare-router", "--trace-file", "--swap-priority"):
         assert flag in text, f"docs/serving.md must document {flag}"
 
 

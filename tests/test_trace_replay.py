@@ -1,0 +1,114 @@
+"""Tests for replaying recorded (Azure-LLM-style CSV) traces."""
+
+import pytest
+
+from repro.analysis.serving import run_policy
+from repro.workloads.traces import (
+    BurstyTenantSpec,
+    bursty_multi_tenant_trace,
+    replay_trace,
+)
+
+
+def _write(tmp_path, text, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestReplayTrace:
+    def test_loads_rows_sorted_with_ids_in_arrival_order(self, tmp_path):
+        path = _write(tmp_path,
+                      "1.5,64,128,batch\n"
+                      "0.0,32,64,chat\n"
+                      "0.25,16,32\n")
+        trace = replay_trace(path)
+        assert len(trace) == 3
+        assert [r.request_id for r in trace] == [0, 1, 2]
+        assert [r.arrival_s for r in trace] == [0.0, 0.25, 1.5]
+        assert [r.prefill_len for r in trace] == [32, 16, 64]
+        assert [r.decode_len for r in trace] == [64, 32, 128]
+        assert [r.tenant for r in trace] == ["chat", "default", "batch"]
+
+    def test_header_row_is_skipped(self, tmp_path):
+        path = _write(tmp_path,
+                      "arrival_s,prompt_tokens,output_tokens,tenant\n"
+                      "0.0,32,64,chat\n")
+        trace = replay_trace(path)
+        assert len(trace) == 1
+        assert trace.requests[0].tenant == "chat"
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = _write(tmp_path, "0.0,32,64\n\n0.5,16,32\n\n")
+        assert len(replay_trace(path)) == 2
+
+    def test_header_after_leading_blank_line_is_skipped(self, tmp_path):
+        path = _write(tmp_path,
+                      "\narrival_s,prompt_tokens,output_tokens\n0.0,32,64\n")
+        assert len(replay_trace(path)) == 1
+
+    @pytest.mark.parametrize("row,fragment", [
+        ("0.0,32", "2 columns"),                 # too few columns
+        ("0.0,32,64,chat,5,extra", "columns"),   # too many columns
+        ("abc,32,64", "non-numeric"),
+        ("0.0,many,64", "non-numeric"),
+        ("-1.0,32,64", "arrival_s"),
+        ("0.0,0,64", "prompt_tokens"),
+        ("0.0,32,-5", "output_tokens"),
+        ("0.0,600,600", "context window"),
+    ])
+    def test_bad_rows_raise_naming_the_row(self, tmp_path, row, fragment):
+        path = _write(tmp_path, "0.0,32,64\n" + row + "\n")
+        with pytest.raises(ValueError) as excinfo:
+            replay_trace(path)
+        message = str(excinfo.value)
+        assert "row 2" in message
+        assert fragment in message
+
+    def test_empty_file_is_rejected(self, tmp_path):
+        path = _write(tmp_path, "")
+        with pytest.raises(ValueError, match="no requests"):
+            replay_trace(path)
+
+    def test_replayed_trace_serves_end_to_end(self, tmp_path):
+        path = _write(tmp_path,
+                      "0.0,32,40,chat\n"
+                      "0.1,16,24,chat\n"
+                      "0.2,64,48,batch\n"
+                      "0.3,24,16\n")
+        metrics, records = run_policy(replay_trace(path), "fifo",
+                                      instances="1x1n,1x2n")
+        assert metrics.num_requests == 4
+        assert metrics.generated_tokens == 40 + 24 + 48 + 16
+        assert {r.tenant for r in records} == {"chat", "batch", "default"}
+
+
+class TestBurstyMultiTenantTrace:
+    def test_merged_stream_is_sorted_and_tagged(self):
+        trace = bursty_multi_tenant_trace(seed=8)
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+        tenants = {r.tenant for r in trace}
+        assert tenants == {"interactive", "batch"}
+        # the default mix is bimodal: every bulk prompt is longer than
+        # every interactive prompt (that gap is what class_affinity cuts)
+        interactive = [r.prefill_len for r in trace
+                       if r.tenant == "interactive"]
+        batch = [r.prefill_len for r in trace if r.tenant == "batch"]
+        assert max(interactive) < min(batch)
+
+    def test_custom_tenants_and_validation(self):
+        trace = bursty_multi_tenant_trace(
+            tenants=(BurstyTenantSpec("a", num_requests=3, priority=1),
+                     BurstyTenantSpec("b", num_requests=2)),
+            seed=1)
+        assert len(trace) == 5
+        assert {r.tenant for r in trace} == {"a", "b"}
+        assert all(r.priority == 1 for r in trace if r.tenant == "a")
+        with pytest.raises(ValueError):
+            bursty_multi_tenant_trace(tenants=())
+        with pytest.raises(ValueError):
+            BurstyTenantSpec("", num_requests=1)
+        with pytest.raises(ValueError):
+            BurstyTenantSpec("x", num_requests=0)
