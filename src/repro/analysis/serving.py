@@ -12,7 +12,12 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
-from repro.serving.cluster import ClusterSpec, ROUTER_NAMES, parse_cluster_spec
+from repro.serving.cluster import (
+    ClusterSpec,
+    InstanceSpec,
+    ROUTER_NAMES,
+    parse_cluster_spec,
+)
 from repro.serving.engine import PREFILL_MODES, TokenServingEngine
 from repro.serving.schedulers import KVAdmissionController
 from repro.serving.simulator import FIFO_EXCLUSIVE, ServingSimulator
@@ -307,14 +312,88 @@ def router_comparison(trace: RequestTrace, instances: Union[str, ClusterSpec],
     return rows
 
 
+def strip_roles(spec: Union[str, ClusterSpec]) -> ClusterSpec:
+    """The colocated twin of a (possibly role-tagged) cluster spec: the
+    same instance classes on the same hardware, with every role reset to
+    ``"both"`` so each instance serves requests end-to-end.  This is the
+    node-equivalent baseline a disaggregated cluster must beat — identical
+    silicon, only the prefill/decode split removed."""
+    if isinstance(spec, str):
+        spec = parse_cluster_spec(spec)
+    return ClusterSpec(tuple(
+        InstanceSpec(s.count, s.num_nodes, s.kv_budget_bytes)
+        for s in spec.specs))
+
+
+def disaggregation_comparison(trace: RequestTrace,
+                              instances: Union[str, ClusterSpec],
+                              policy: str = "fifo",
+                              max_batch_size: int = 8,
+                              kv_budget_bytes: Optional[int] = None,
+                              kv_block_size: int = 16,
+                              preemption_mode: str = "swap",
+                              prefill_mode: str = "exclusive",
+                              mixed_step_token_budget: Optional[int] = None,
+                              router: str = "disaggregated",
+                              colocated_router: str = "least_loaded"
+                              ) -> List[Dict[str, object]]:
+    """Serve one trace on a disaggregated cluster and on its colocated
+    twin (same instances, roles stripped) and tabulate the summaries.
+
+    This is the comparison disaggregation exists to win: with prefill
+    quarantined on the prefill class, the decode instances' steps are never
+    stalled by a prompt streaming in, so tail TPOT drops — at the price of
+    one priced KV handoff per request.  Both rows run paged KV (the
+    handoff *is* a block-table move) under the same budget and block size.
+
+    ``instances`` must be a role-tagged spec (e.g.
+    ``"1x4n:prefill,4x1n:decode"``); raises ``ValueError`` otherwise.
+    """
+    if isinstance(instances, str):
+        instances = parse_cluster_spec(instances)
+    if not instances.has_roles:
+        raise ValueError(
+            f"cluster {instances} has no prefill/decode roles; "
+            "disaggregation_comparison compares a role-tagged cluster "
+            "against its colocated twin")
+    colocated = strip_roles(instances)
+    configs = [
+        (f"disaggregated ({instances})", instances, router),
+        (f"colocated ({colocated})", colocated, colocated_router),
+    ]
+    rows = []
+    for label, spec, spec_router in configs:
+        metrics, _ = run_policy(trace, policy, instances=spec,
+                                router=spec_router,
+                                max_batch_size=max_batch_size,
+                                kv_budget_bytes=kv_budget_bytes,
+                                kv_mode="paged",
+                                kv_block_size=kv_block_size,
+                                preemption_mode=preemption_mode,
+                                prefill_mode=prefill_mode,
+                                mixed_step_token_budget=mixed_step_token_budget)
+        row = metrics_row(label, metrics)
+        row["P95 TPOT (s)"] = metrics.tpot_percentile_s(0.95)
+        row["P99 TPOT (s)"] = metrics.tpot_percentile_s(0.99)
+        row["Handoffs"] = metrics.handoff_count
+        row["Handoff time (s)"] = metrics.handoff_time_s
+        rows.append(row)
+    return rows
+
+
 def class_breakdown(metrics) -> List[Dict[str, object]]:
     """Per-instance-class rows from a cluster run's metrics.
 
     One row per instance class (``metrics.per_class``), showing how the
     cluster's classes divided the work: request counts, utilization,
     sustained batch, TTFT and swap traffic.  Requests that never ran
-    (``instance_id=None``) belong to no class and appear in no row.
+    (``instance_id=None``) belong to no class and appear in no row.  On a
+    disaggregated cluster every row also carries the class's serving role
+    and its share of the KV-handoff traffic — a prefill class completing
+    zero requests while exporting every prompt is working as intended, and
+    the role column is what makes that legible.
     """
+    disaggregated = any(cls.role != "both" for cls in metrics.per_class)
     rows = []
     for cls in metrics.per_class:
         row: Dict[str, object] = {
@@ -327,6 +406,11 @@ def class_breakdown(metrics) -> List[Dict[str, object]]:
             "Mean TTFT (s)": cls.mean_ttft_s,
             "P95 TTFT (s)": cls.ttft_percentile_s(0.95),
         }
+        if disaggregated:
+            row["Role"] = cls.role
+            row["Handoffs out"] = cls.handoffs_out
+            row["Handoffs in"] = cls.handoffs_in
+            row["Handoff time (s)"] = cls.handoff_time_s
         if cls.kv_total_blocks:
             row["KV occupancy"] = cls.mean_kv_occupancy
             row["Swaps"] = cls.swap_out_count

@@ -16,6 +16,8 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro.cli serve --compare-prefill --trace bursty
     python -m repro.cli serve --instances 2x1n,1x2n --router class_affinity
     python -m repro.cli serve --instances 2x1n,1x2n --compare-router
+    python -m repro.cli serve --instances 1x4n:prefill,4x1n:decode --router disaggregated --kv-mode paged
+    python -m repro.cli serve --instances 1x4n:prefill,4x1n:decode --kv-mode paged --compare-disaggregation
     python -m repro.cli serve --trace-file trace.csv --policy sjf
 
 Every subcommand prints plain-text tables (no plotting dependencies).
@@ -115,7 +117,9 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.analysis.serving import (class_breakdown, kv_mode_comparison,
+    from repro.analysis.serving import (class_breakdown,
+                                        disaggregation_comparison,
+                                        kv_mode_comparison,
                                         policy_comparison,
                                         prefill_mode_comparison,
                                         router_comparison, run_policy,
@@ -161,6 +165,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cluster_kwargs = dict(instances=cluster_spec, router=args.router,
                           swap_priority=args.swap_priority)
     try:
+        if args.compare_disaggregation:
+            if cluster_spec is None or not cluster_spec.has_roles:
+                print("serve: --compare-disaggregation needs a role-tagged "
+                      "--instances spec like '1x4n:prefill,4x1n:decode'",
+                      file=sys.stderr)
+                return 2
+            if args.kv_mode != "paged":
+                print("serve: disaggregation hands off paged KV block "
+                      "tables; add --kv-mode paged", file=sys.stderr)
+                return 2
+            if args.swap_priority:
+                print("serve: --swap-priority is not threaded through the "
+                      "comparison tables; drop it or run a single "
+                      "configuration", file=sys.stderr)
+                return 2
+            if args.router not in ("round_robin", "disaggregated"):
+                # (round_robin is the argparse default, i.e. unset)
+                print("serve: --compare-disaggregation always pits the "
+                      "disaggregated router against a least_loaded "
+                      "colocated twin; drop --router or run a single "
+                      "configuration", file=sys.stderr)
+                return 2
+            rows = disaggregation_comparison(
+                trace, cluster_spec, policy=args.policy,
+                max_batch_size=args.max_batch,
+                kv_budget_bytes=kv_budget,
+                kv_block_size=args.kv_block_size,
+                preemption_mode=args.preemption_mode,
+                prefill_mode=args.prefill_mode,
+                mixed_step_token_budget=args.mixed_step_token_budget)
+            print(format_table(
+                rows, title=f"{title} — disaggregated vs colocated"))
+            return 0
         if args.compare_router:
             if cluster_spec is None:
                 cluster_spec = parse_cluster_spec(
@@ -331,18 +368,23 @@ def build_parser() -> argparse.ArgumentParser:
                      default="fifo")
     sub.add_argument("--instances", default="1",
                      help="pool shape: a plain count (homogeneous, with "
-                          "--nodes) or a cluster spec like '2x1n,2x2n,1x4n' "
-                          "mixing instance classes")
+                          "--nodes) or a cluster spec of "
+                          "<count>x<nodes>n[@<size>MiB][:<role>] entries — "
+                          "'2x1n,2x2n,1x4n' mixes instance classes, "
+                          "'2x2n@32MiB' overrides a class's KV budget, "
+                          "'1x4n:prefill,4x1n:decode' disaggregates "
+                          "prefill from decode (requires --kv-mode paged)")
     sub.add_argument("--nodes", type=int, default=2,
                      help="accelerator nodes per instance (plain-count "
                           "--instances only; cluster specs carry their own)")
     sub.add_argument("--router",
                      choices=("round_robin", "least_loaded", "kv_aware",
-                              "class_affinity"),
+                              "class_affinity", "disaggregated"),
                      default="round_robin",
                      help="cluster-routing policy for heterogeneous "
                           "--instances specs (single-class pools behave "
-                          "identically under every router)")
+                          "identically under every router); 'disaggregated' "
+                          "matches requests to prefill/decode roles")
     sub.add_argument("--swap-priority", action="store_true",
                      help="paged swap mode: resume an instance's own "
                           "swapped-out requests ahead of new admissions "
@@ -388,6 +430,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tabulate every cluster router on the same pool "
                           "instead (most interesting with a heterogeneous "
                           "--instances spec)")
+    sub.add_argument("--compare-disaggregation", action="store_true",
+                     help="tabulate a role-tagged --instances spec against "
+                          "its colocated twin (same hardware, roles "
+                          "stripped) instead; needs --kv-mode paged")
     sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser("export", help="save experiment results as JSON")

@@ -316,6 +316,45 @@ class PagedKVManager:
         self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
         return num_blocks, bytes_total
 
+    # ------------------------------------------------------------------
+    # prefill→decode handoff (disaggregated serving)
+    # ------------------------------------------------------------------
+    def export_handoff(self, request_id: int) -> Tuple[int, int, int]:
+        """Release a finished prompt's blocks for transfer to another
+        instance (a prefill→decode handoff).
+
+        The export *is* a swap-out — the blocks leave the device over the
+        same PCIe link, so it reuses :meth:`swap_out` and its counters —
+        except the table is dropped afterwards: the KV now belongs to the
+        importing instance (:meth:`import_handoff`), not to this pool's
+        host tier.  Returns ``(num_blocks, cached_tokens, bytes_total)``.
+        """
+        num_blocks, bytes_total = self.swap_out(request_id)
+        table = self._tables.pop(request_id)
+        return num_blocks, table.cached_tokens, bytes_total
+
+    def import_handoff(self, request_id: int, cached_tokens: int) -> int:
+        """Register a handed-off request's KV in this pool's host tier.
+
+        The blocks arrive swapped (host-resident): the importing instance
+        pays its own swap-in — device allocation, PCIe transfer, counters —
+        when it admits the request, exactly like resuming a preempted
+        victim.  The block count is recomputed for *this* layout (a 4-node
+        prefiller and a 1-node decoder hold the same cached positions in
+        the same number of same-token-size blocks, but per-node byte shares
+        differ).  Returns the host block count.
+        """
+        if cached_tokens <= 0:
+            raise ValueError("handoff must carry at least one cached token")
+        if request_id in self._tables:
+            raise RuntimeError(
+                f"request {request_id} already holds blocks here; a handoff "
+                "may only land on an instance that does not hold it")
+        blocks = self.blocks_needed(cached_tokens)
+        self._tables[request_id] = BlockTable(
+            request_id, host_blocks=blocks, cached_tokens=cached_tokens)
+        return blocks
+
     def _swap_bytes_total(self, num_blocks: int) -> int:
         """PCIe bytes to move ``num_blocks`` blocks, summed over all nodes
         (each node transfers its own head-share)."""

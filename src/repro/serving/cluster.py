@@ -8,10 +8,15 @@ provides the two pieces the engine needs for that:
 
 * **cluster shape** — :class:`InstanceSpec` describes one *class* of
   instances (how many, how many accelerator nodes each, optional per-node
-  KV-budget override) and :class:`ClusterSpec` is an ordered list of them.
-  The text form ``"2x1n,2x2n,1x4n"`` (two 1-node, two 2-node, one 4-node
-  instance) round-trips through :func:`parse_cluster_spec` and is what the
-  ``serve --instances`` flag accepts;
+  KV-budget override, optional serving role) and :class:`ClusterSpec` is an
+  ordered list of them.  The text form follows the grammar
+  ``<count>x<nodes>n[@<size>MiB][:<role>]``: ``"2x1n,2x2n,1x4n"`` is two
+  1-node, two 2-node and one 4-node instance, ``"2x2n@32MiB"`` overrides
+  the per-node KV budget of that class, and ``"1x4n:prefill,4x1n:decode"``
+  is a *disaggregated* cluster — the 4-node class only prefills and hands
+  each finished prompt's paged KV blocks to a 1-node decode instance over
+  PCIe.  Specs round-trip through :func:`parse_cluster_spec` and are what
+  the ``serve --instances`` flag accepts;
 * **routing** — a :class:`Router` decides, at every event boundary, the
   order in which instances at a step boundary get to pull work from the
   shared waiting queue, and (via :meth:`Router.placement_ok`) may veto
@@ -47,7 +52,10 @@ Provided routers (``serve --router``):
 * ``class_affinity`` — SJF-style size matching: short prompts to small
   instances, long prompts to big ones, with the prompt-length thresholds
   derived from the trace so each class's share of prompts matches its share
-  of cluster nodes.
+  of cluster nodes;
+* ``disaggregated`` — role matching for prefill/decode-tagged clusters:
+  fresh requests go to prefill-capable instances, handed-off requests to
+  the decode instance holding their KV, least-loaded first within a role.
 
 Units: node counts are accelerator nodes per instance, KV budgets are bytes
 per node, prompt lengths are tokens.
@@ -60,9 +68,16 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Router names accepted by the engine and the ``serve --router`` flag.
-ROUTER_NAMES = ("round_robin", "least_loaded", "kv_aware", "class_affinity")
+ROUTER_NAMES = ("round_robin", "least_loaded", "kv_aware", "class_affinity",
+                "disaggregated")
 
-_SPEC_PATTERN = re.compile(r"^(\d+)x(\d+)n$")
+#: Serving roles an :class:`InstanceSpec` may carry.  ``"both"`` (default)
+#: serves requests end-to-end; ``"prefill"`` computes prompts only and hands
+#: the finished KV off; ``"decode"`` imports handed-off KV and generates.
+INSTANCE_ROLES = ("both", "prefill", "decode")
+
+_SPEC_PATTERN = re.compile(
+    r"^(\d+)x(\d+)n(?:@(\d+(?:\.\d+)?)MiB)?(?::(\w+))?$")
 
 
 @dataclass(frozen=True)
@@ -74,11 +89,18 @@ class InstanceSpec:
     defaults to each node's HBM share net of weights — note that the same
     byte budget holds a *different* number of cached tokens per class,
     because each node of a bigger instance stores fewer heads per token).
+
+    ``role`` tags the class for disaggregated serving: ``"prefill"``
+    instances compute prompts and hand each finished prompt's paged KV
+    blocks to a decode-capable instance; ``"decode"`` instances only accept
+    requests whose prompt is already computed; ``"both"`` (the default)
+    serves requests end-to-end, exactly as before roles existed.
     """
 
     count: int
     num_nodes: int
     kv_budget_bytes: Optional[int] = None
+    role: str = "both"
 
     def __post_init__(self) -> None:
         if self.count <= 0:
@@ -87,23 +109,35 @@ class InstanceSpec:
             raise ValueError("num_nodes must be positive")
         if self.kv_budget_bytes is not None and self.kv_budget_bytes < 0:
             raise ValueError("kv_budget_bytes cannot be negative")
+        if self.role not in INSTANCE_ROLES:
+            raise ValueError(f"unknown instance role {self.role!r}; "
+                             f"known: {', '.join(INSTANCE_ROLES)}")
 
     @property
     def label(self) -> str:
-        """Class label used in metrics and routing (e.g. ``"2n"``; a
-        per-class KV-budget override is part of the class identity, so it
-        shows up in the label — two same-node-count classes with different
-        budgets must not collapse into one metrics row)."""
-        if self.kv_budget_bytes is None:
-            return f"{self.num_nodes}n"
-        return f"{self.num_nodes}n/{self.kv_budget_bytes / (1 << 20):g}MiB"
+        """Class label used in metrics and routing (e.g. ``"2n"``; the
+        per-class KV-budget override and the serving role are part of the
+        class identity, so they show up in the label — two same-node-count
+        classes with different budgets or roles must not collapse into one
+        metrics row)."""
+        label = f"{self.num_nodes}n"
+        if self.kv_budget_bytes is not None:
+            label += f"/{self.kv_budget_bytes / (1 << 20):g}MiB"
+        if self.role != "both":
+            label += f":{self.role}"
+        return label
 
     @property
     def total_nodes(self) -> int:
         return self.count * self.num_nodes
 
     def __str__(self) -> str:
-        return f"{self.count}x{self.num_nodes}n"
+        text = f"{self.count}x{self.num_nodes}n"
+        if self.kv_budget_bytes is not None:
+            text += f"@{self.kv_budget_bytes / (1 << 20):g}MiB"
+        if self.role != "both":
+            text += f":{self.role}"
+        return text
 
 
 @dataclass(frozen=True)
@@ -138,8 +172,17 @@ class ClusterSpec:
     def is_heterogeneous(self) -> bool:
         """True when the pool mixes instance classes — the regime where the
         router is consulted.  Single-class pools keep the exact pre-cluster
-        dispatch order (and therefore bit-identical timestamps)."""
-        return len({(s.num_nodes, s.kv_budget_bytes) for s in self.specs}) > 1
+        dispatch order (and therefore bit-identical timestamps).  Serving
+        roles are part of class identity: a disaggregated cluster is
+        heterogeneous even when every instance has the same node count."""
+        return len({(s.num_nodes, s.kv_budget_bytes, s.role)
+                    for s in self.specs}) > 1
+
+    @property
+    def has_roles(self) -> bool:
+        """True when any class carries a prefill/decode role — the
+        disaggregated regime, where finished prompts hand their KV off."""
+        return any(spec.role != "both" for spec in self.specs)
 
     @property
     def labels(self) -> List[str]:
@@ -167,8 +210,12 @@ class ClusterSpec:
 def parse_cluster_spec(text: str) -> ClusterSpec:
     """Parse ``"2x1n,2x2n,1x4n"`` into a :class:`ClusterSpec`.
 
-    Each comma-separated entry is ``<count>x<nodes>n``.  Raises
-    ``ValueError`` naming the malformed entry.
+    Each comma-separated entry is ``<count>x<nodes>n[@<size>MiB][:<role>]``:
+    an optional ``@<size>MiB`` overrides the class's per-node KV byte
+    budget, an optional ``:<role>`` (``prefill`` / ``decode`` / ``both``)
+    tags it for disaggregated serving.  ``str()`` of the result round-trips
+    back through this parser.  Raises ``ValueError`` naming the malformed
+    entry.
     """
     if not text or not text.strip():
         raise ValueError("empty cluster spec")
@@ -178,10 +225,21 @@ def parse_cluster_spec(text: str) -> ClusterSpec:
         match = _SPEC_PATTERN.match(entry)
         if match is None:
             raise ValueError(
-                f"bad instance spec {entry!r}: expected <count>x<nodes>n, "
-                "e.g. '2x1n' (two one-node instances)")
+                f"bad instance spec {entry!r}: expected "
+                "<count>x<nodes>n[@<size>MiB][:<role>], e.g. '2x1n' (two "
+                "one-node instances), '2x2n@32MiB' (KV-budget override) or "
+                "'1x4n:prefill' (disaggregated role)")
+        budget = (None if match.group(3) is None
+                  else round(float(match.group(3)) * (1 << 20)))
+        role = match.group(4) or "both"
+        if role not in INSTANCE_ROLES:
+            raise ValueError(
+                f"bad instance spec {entry!r}: unknown role {role!r}; "
+                f"known: {', '.join(INSTANCE_ROLES)}")
         specs.append(InstanceSpec(count=int(match.group(1)),
-                                  num_nodes=int(match.group(2))))
+                                  num_nodes=int(match.group(2)),
+                                  kv_budget_bytes=budget,
+                                  role=role))
     return ClusterSpec(tuple(specs))
 
 
@@ -225,6 +283,19 @@ class Router:
         router accepts; routers must accept at least one class that can
         serve the request, or the run would stall."""
         return True
+
+    def handoff_target(self, runtimes: Sequence, state):
+        """The decode-capable instance a finished prompt's KV should move
+        to: the least-loaded one whose pool can hold the request at full
+        context (ties by instance id).  Returns None when no decode-capable
+        instance fits — the engine treats that as a bug, because trace
+        validation already proved one exists."""
+        candidates = [r for r in runtimes
+                      if r.role in ("decode", "both")
+                      and r.can_ever_serve(state.request)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (r.load, r.instance_id))
 
 
 class RoundRobinRouter(Router):
@@ -307,16 +378,28 @@ class ClassAffinityRouter(Router):
         self._preferred: Dict[int, int] = {}
 
     def prepare(self, runtimes: Sequence, trace) -> None:
+        # size preferences steer *fresh* requests, and on a role-tagged
+        # cluster only prefill-capable instances may take those — sizing
+        # the cuts by decode-only classes would prefer classes whose role
+        # gate then refuses every fresh request, stalling the queue head
+        # forever (handed-off requests bypass the size rule via their
+        # swapped_on pin, so decode classes need no preference here)
+        placeable = [r for r in runtimes if r.role in ("prefill", "both")]
         by_class: Dict[int, List] = {}
-        for runtime in runtimes:
+        for runtime in placeable:
             by_class.setdefault(runtime.num_nodes, []).append(runtime)
         class_nodes = sorted(by_class)
         ordered = sorted(trace, key=lambda r: (r.prefill_len, r.request_id))
         # cut the sorted prompt lengths at the largest relative jumps (mode
         # boundaries on multi-tenant traffic); relative rather than
-        # absolute so the cuts are scale-free
+        # absolute so the cuts are scale-free.  A zero-length prompt below
+        # a positive one is an infinite relative jump — the strongest
+        # possible mode boundary — not a division-by-zero crash, and a
+        # single-request or all-equal-length trace simply has no jumps
+        # (every boundary falls back to its node-share quantile).
         lengths = [r.prefill_len for r in ordered]
-        jumps = [(lengths[i] / lengths[i - 1], i)
+        jumps = [(lengths[i] / lengths[i - 1] if lengths[i - 1] > 0
+                  else float("inf"), i)
                  for i in range(1, len(ordered))
                  if lengths[i] > lengths[i - 1]]
         jumps.sort(key=lambda jump: (-jump[0], jump[1]))
@@ -367,10 +450,53 @@ class ClassAffinityRouter(Router):
         preferred = self._preferred.get(state.request.request_id)
         if preferred is None:  # unseen request (not in the prepared trace)
             return True
+        if runtime.role == "decode":
+            # the size preference only ranks prefill-capable classes (see
+            # prepare); a decode instance's own role gate decides what it
+            # may take, and vetoing here on size would compare against a
+            # scale it was never part of
+            return True
         # never downward (a long prompt would stall a smaller instance);
         # upward spill is free — rank order already biases shorts to the
         # small classes whenever one is at a boundary
         return runtime.num_nodes >= preferred
+
+
+class DisaggregatedRouter(Router):
+    """Role matching for prefill/decode-tagged clusters.
+
+    Fresh requests (prompt not yet computed) route to prefill-capable
+    instances; a handed-off request routes to the decode instance whose
+    host tier holds its KV (nobody else could resume it).  Within a role
+    the least-loaded instance pulls first, so decode load spreads evenly
+    across the small instances while the prefill class drains the prompt
+    queue.  On a role-less cluster every instance is role-``both``, the
+    role test never discriminates, and the router degenerates to
+    least-loaded ordering.
+
+    The role *constraints* themselves (a decode instance never runs a
+    prefill, a prefill instance never decodes) are enforced by the
+    instance runtimes, not here — they hold under every router; this
+    router adds the ordering that makes a disaggregated cluster perform.
+    """
+
+    name = "disaggregated"
+
+    @staticmethod
+    def _role_matches(runtime, head) -> bool:
+        if head.swapped_on is not None:
+            return head.swapped_on == runtime.instance_id
+        if head.prefill_remaining > 0:
+            return runtime.role in ("prefill", "both")
+        return runtime.role in ("decode", "both")
+
+    def rank(self, runtime, head) -> tuple:
+        match = 0 if (head is not None
+                      and self._role_matches(runtime, head)) else 1
+        return (match, runtime.load)
+
+    def placement_ok(self, runtime, state) -> bool:
+        return self._role_matches(runtime, state)
 
 
 def make_router(router) -> Router:
@@ -382,6 +508,7 @@ def make_router(router) -> Router:
         "least_loaded": LeastLoadedRouter,
         "kv_aware": KVAwareRouter,
         "class_affinity": ClassAffinityRouter,
+        "disaggregated": DisaggregatedRouter,
     }
     if router not in routers:
         raise ValueError(f"unknown router {router!r}; "

@@ -40,6 +40,15 @@ Request lifecycle (every transition happens at a step boundary)::
                      │   preempt (evict) │  │ re-admit (swap: resume;
                      └────────── PREEMPTED──┘  recompute: prefill restarts)
 
+On a **disaggregated** cluster (role-tagged specs like
+``"1x4n:prefill,4x1n:decode"``) a prompt finishing on a prefill-role
+instance takes one extra hop: its paged KV blocks are exported (a swap-out
+on the prefiller), a *handoff event* delays the request by the PCIe
+transfer, and it re-enters the queue pinned to the least-loaded
+decode-capable instance, which pays its own swap-in at admission —
+capacity, fragmentation and transfer-time accounting all ride the existing
+swap machinery.
+
 The discrete-event loop reuses the heap/sequence-counter idiom of
 :mod:`repro.dataflow.engine`: a single time-ordered event heap over request
 arrivals and per-instance step completions, so results are exact and
@@ -107,7 +116,10 @@ class ServedRequest:
     ``preemptions`` counts every eviction from a running batch;
     ``swap_outs`` counts the subset whose KV blocks were swapped to host
     memory instead of discarded (paged ``swap`` mode), so ``preemptions -
-    swap_outs`` prefills were recomputed.
+    swap_outs`` prefills were recomputed.  ``handoffs`` counts
+    prefill→decode KV handoffs (disaggregated clusters only; on such a
+    cluster ``instance_id`` is the *decode* instance that generated the
+    request's tokens).
     """
 
     request_id: int
@@ -122,6 +134,7 @@ class ServedRequest:
     priority: int = 0
     preemptions: int = 0
     swap_outs: int = 0
+    handoffs: int = 0
 
     @property
     def queueing_delay_s(self) -> float:
@@ -314,6 +327,21 @@ class TokenServingEngine:
                 raise ValueError(
                     "a KV budget without kv_mode would be silently "
                     "unenforced; pick kv_mode='reserve' or 'paged'")
+            if cluster.has_roles:
+                if kv_mode != "paged":
+                    raise ValueError(
+                        "prefill/decode roles hand off paged KV block "
+                        "tables between instances; role-tagged clusters "
+                        "require kv_mode='paged'")
+                roles = {spec.role for spec in cluster.specs}
+                if not roles & {"prefill", "both"}:
+                    raise ValueError(
+                        f"cluster {cluster} has no prefill-capable class; "
+                        "nothing could ever compute a prompt")
+                if not roles & {"decode", "both"}:
+                    raise ValueError(
+                        f"cluster {cluster} has no decode-capable class; "
+                        "handed-off prompts could never generate")
             self.cluster = cluster
         else:
             if num_instances <= 0:
@@ -378,6 +406,7 @@ class TokenServingEngine:
                 runtimes.append(InstanceRuntime(
                     instance_id, class_system,
                     class_label=spec.label,
+                    role=spec.role,
                     max_batch_size=self.max_batch_size,
                     prefill_chunk_tokens=self.prefill_chunk_tokens,
                     prefill_mode=self.prefill_mode,
@@ -404,6 +433,32 @@ class TokenServingEngine:
                 controller.validate(trace)
             if manager is not None:
                 manager.validate(trace)
+            return
+        if self.cluster.has_roles:
+            # disaggregated: a request needs a place to *start* (a prefill
+            # class holding its prompt, or a role-both class holding its
+            # full context) and a place to *finish* (a decode-capable
+            # class holding its full context)
+            for request in trace:
+                starts = any(
+                    kv_capacity_admits(c, m, request, role="prefill")
+                    for spec, _, c, m in self._protos
+                    if spec.role == "prefill")
+                finishes = any(
+                    kv_capacity_admits(c, m, request)
+                    for spec, _, c, m in self._protos
+                    if spec.role == "decode")
+                whole = any(
+                    kv_capacity_admits(c, m, request)
+                    for spec, _, c, m in self._protos
+                    if spec.role == "both")
+                if not ((starts and (finishes or whole)) or whole):
+                    raise ValueError(
+                        f"request {request.request_id} cannot be served by "
+                        f"cluster {self.cluster} under the KV budget: it "
+                        "needs a prefill-capable class holding its prompt "
+                        "and a decode-capable class holding its full "
+                        "context")
             return
         for request in trace:
             if not any(kv_capacity_admits(controller, manager, request)
@@ -438,7 +493,7 @@ class TokenServingEngine:
         stats = InstanceStats()
         events: List[Tuple[float, int, int, object]] = []
         seq = itertools.count()
-        _ARRIVAL, _STEP_DONE = 0, 1
+        _ARRIVAL, _STEP_DONE, _HANDOFF = 0, 1, 2
         for request in sorted(trace, key=lambda r: (r.arrival_s, r.request_id)):
             heapq.heappush(events, (request.arrival_s, next(seq), _ARRIVAL,
                                     RequestState(request)))
@@ -460,6 +515,7 @@ class TokenServingEngine:
                 priority=request.priority,
                 preemptions=state.preemptions,
                 swap_outs=state.swap_outs,
+                handoffs=state.handoffs,
             ))
 
         def dispatch(runtime: InstanceRuntime, now: float) -> None:
@@ -498,15 +554,38 @@ class TokenServingEngine:
                 if runtime is completer or not runtime.busy:
                     dispatch(runtime, now)
 
+        def launch_handoffs(runtime: InstanceRuntime, now: float) -> None:
+            """Route every prompt the completed step finished on a
+            prefill-role instance: import its KV into the least-loaded
+            decode-capable instance's host tier (so the blocks always live
+            on exactly one instance) and schedule the request's arrival in
+            the queue at its ready offset — the runtime serializes
+            same-step transfers over the one PCIe link, so the offsets
+            already stack."""
+            for state, cached_tokens, ready_s in runtime.take_handoffs():
+                target = router.handoff_target(runtimes, state)
+                if target is None:  # pragma: no cover - validation forbids
+                    raise RuntimeError(
+                        f"no decode-capable instance can hold request "
+                        f"{state.request.request_id}; validate() should "
+                        "have rejected this trace")
+                target.kv.import_handoff(state.request.request_id,
+                                         cached_tokens)
+                state.swapped_on = target.instance_id
+                state.handoff_pending = True
+                heapq.heappush(events, (now + ready_s, next(seq),
+                                        _HANDOFF, state))
+
         while events:
             now, _, kind, payload = heapq.heappop(events)
-            if kind == _ARRIVAL:
+            if kind == _ARRIVAL or kind == _HANDOFF:
                 scheduler.push(payload)
                 pump(None, now)
             else:
                 runtime = payload[1]
                 for state in runtime.complete_step(payload, now, stats):
                     record(state, now)
+                launch_handoffs(runtime, now)
                 pump(runtime, now)
 
         if len(records) != len(trace):
@@ -570,6 +649,8 @@ class TokenServingEngine:
             swap_in_count=sum(m.swap_in_count for m in managers),
             swapped_bytes=sum(m.swapped_bytes_total for m in managers),
             swap_time_s=stats.swap_time_s,
+            handoff_count=sum(r.stats.handoff_out_count for r in runtimes),
+            handoff_time_s=sum(r.stats.handoff_time_s for r in runtimes),
             cluster=str(self.cluster),
             router=self.router.name,
             per_class=per_class,
@@ -595,6 +676,7 @@ class TokenServingEngine:
                 label=label,
                 num_instances=len(group),
                 num_nodes=group[0].num_nodes,
+                role=group[0].role,
                 requests=len(class_records),
                 generated_tokens=sum(r.decode_len for r in class_records),
                 makespan_s=makespan,
@@ -615,5 +697,8 @@ class TokenServingEngine:
                                    if r.kv is not None),
                 swap_in_count=sum(r.kv.swap_in_count for r in group
                                   if r.kv is not None),
+                handoffs_out=sum(r.stats.handoff_out_count for r in group),
+                handoffs_in=sum(r.stats.handoff_in_count for r in group),
+                handoff_time_s=sum(r.stats.handoff_time_s for r in group),
             ))
         return out

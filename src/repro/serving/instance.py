@@ -34,26 +34,37 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
+from repro.serving.cluster import INSTANCE_ROLES
 from repro.serving.schedulers import KVAdmissionController, SchedulerPolicy
 from repro.workloads.traces import Request
 
 
 def kv_capacity_admits(kv_controller: Optional[KVAdmissionController],
                        kv: Optional[PagedKVManager],
-                       request: Request) -> bool:
+                       request: Request,
+                       role: str = "both") -> bool:
     """Could a KV configuration serve ``request`` running alone and empty?
 
     The single source of truth for whole-request feasibility, shared by
     the engine's trace validation, each runtime's admission gate and the
     class-affinity router's feasibility bump — if these ever disagreed, a
     request could pass validation yet block the queue head forever.
+
+    ``role`` bounds the context the instance must hold: a ``"prefill"``
+    instance hands the KV off the moment the prompt is computed, so only
+    the prompt itself must fit; ``"decode"`` and ``"both"`` instances carry
+    the request to its full context.
     """
     if kv_controller is not None:
-        return (kv_controller.reservation_tokens(request)
-                <= kv_controller.capacity_tokens)
+        tokens = (min(request.prefill_len, kv_controller.layout.max_seq_len)
+                  if role == "prefill"
+                  else kv_controller.reservation_tokens(request))
+        return tokens <= kv_controller.capacity_tokens
     if kv is not None:
-        return (kv.blocks_needed(kv.max_request_tokens(request))
-                <= kv.total_blocks)
+        tokens = (min(request.prefill_len, kv.layout.max_seq_len)
+                  if role == "prefill"
+                  else kv.max_request_tokens(request))
+        return kv.blocks_needed(tokens) <= kv.total_blocks
     return True
 
 
@@ -62,7 +73,8 @@ class RequestState:
 
     __slots__ = ("request", "prefill_done", "decode_done", "admitted_s",
                  "last_admitted_s", "first_token_s", "preemptions",
-                 "swap_outs", "instance_id", "swapped_on")
+                 "swap_outs", "instance_id", "swapped_on", "handoffs",
+                 "handoff_pending")
 
     def __init__(self, request: Request) -> None:
         self.request = request
@@ -73,6 +85,14 @@ class RequestState:
         self.first_token_s: Optional[float] = None
         self.preemptions = 0
         self.swap_outs = 0
+        #: Prefill→decode handoffs this request went through (0 outside
+        #: disaggregated clusters; >1 only if a recompute preemption sent
+        #: it back through the prefill pool).
+        self.handoffs = 0
+        #: True between a handoff's KV import and the decode instance's
+        #: swap-in — lets the resuming instance attribute that transfer to
+        #: handoff accounting rather than preemption traffic.
+        self.handoff_pending = False
         #: Instance that served (or is serving) this request; None until the
         #: first admission — a request that never ran keeps None, and the
         #: engine surfaces that as ``ServedRequest.instance_id = None``
@@ -116,6 +136,11 @@ class InstanceStats:
     decode_time: float = 0.0     # Σ pure-decode step seconds
     prefill_time: float = 0.0    # Σ pure-prefill step seconds
     mixed_time: float = 0.0      # Σ mixed prefill+decode step seconds
+    # prefill→decode handoffs (disaggregated clusters; accumulated on the
+    # per-runtime stats only — the engine sums runtimes for cluster totals)
+    handoff_out_count: int = 0   # prompts exported to a decode instance
+    handoff_in_count: int = 0    # handed-off prompts resumed here
+    handoff_time_s: float = 0.0  # Σ PCIe seconds of handoff transfers
 
 
 @dataclass
@@ -147,6 +172,14 @@ class InstanceRuntime:
         Instance-class tag (e.g. ``"2n"``) used for per-class metrics and
         class-affinity routing; instances built from the same
         :class:`~repro.serving.cluster.InstanceSpec` share it.
+    role:
+        Serving role (``"both"``, ``"prefill"``, ``"decode"``).  A prefill
+        runtime only admits requests whose prompt is not yet computed and
+        hands each finished prompt's paged KV blocks off instead of
+        decoding; a decode runtime only admits requests whose prompt is
+        done (their KV arrives via handoff).  Both restricted roles
+        require a paged block pool — the handoff *is* a block-table move —
+        and ``"both"`` is the historical, bit-identical behaviour.
     max_batch_size, prefill_chunk_tokens, prefill_mode,
     mixed_step_token_budget, preemption_mode, context_bucket:
         Step-formation knobs, exactly as on the engine (see
@@ -168,6 +201,7 @@ class InstanceRuntime:
 
     def __init__(self, instance_id: int, system: LoopLynxSystem, *,
                  class_label: str = "",
+                 role: str = "both",
                  max_batch_size: int = 8,
                  prefill_chunk_tokens: Optional[int] = 64,
                  prefill_mode: str = "exclusive",
@@ -183,6 +217,14 @@ class InstanceRuntime:
         self.system = system
         self.num_nodes = system.num_nodes
         self.class_label = class_label or f"{system.num_nodes}n"
+        if role not in INSTANCE_ROLES:
+            raise ValueError(f"unknown instance role {role!r}; "
+                             f"known: {', '.join(INSTANCE_ROLES)}")
+        if role != "both" and kv is None:
+            raise ValueError(
+                "prefill/decode roles hand off paged KV block tables; "
+                "build the runtime with a PagedKVManager (kv=...)")
+        self.role = role
         self.max_batch_size = max_batch_size
         self.prefill_chunk_tokens = prefill_chunk_tokens
         self.prefill_mode = prefill_mode
@@ -208,6 +250,10 @@ class InstanceRuntime:
         #: Requests ever admitted here (re-admissions count) — the
         #: round-robin router's rotation key.
         self.admission_count = 0
+        #: Handoffs produced by the last completed step: ``(state,
+        #: cached_tokens, transfer_s)`` records the engine drains via
+        #: :meth:`take_handoffs` and turns into handoff events.
+        self.pending_handoffs: List[Tuple[RequestState, int, float]] = []
         self.stats = InstanceStats()
 
     # ------------------------------------------------------------------
@@ -274,6 +320,10 @@ class InstanceRuntime:
         request = state.request
         if self.prefill_mode == "mixed" and state.prefill_remaining > 0:
             tokens = state.context_len + self._next_prefill_chunk(state)
+        elif self.role == "prefill":
+            # a prefill instance never appends a decode token: the prompt
+            # hands off the moment it completes, so no +1 growth slot
+            tokens = request.prefill_len
         else:
             tokens = request.prefill_len + (1 if request.decode_len > 0 else 0)
         return min(tokens, self.kv.layout.max_seq_len)
@@ -325,9 +375,29 @@ class InstanceRuntime:
         impossible requests up front; in a heterogeneous pool a request may
         exceed the *smallest* class's capacity while fitting a larger one,
         so each instance must also refuse such requests at its own gate
-        (admitting one would strand it mid-growth).
+        (admitting one would strand it mid-growth).  A prefill-role
+        instance only ever holds the prompt (the KV hands off at prompt
+        completion), so only the prompt must fit.
         """
-        return kv_capacity_admits(self.kv_controller, self.kv, request)
+        return kv_capacity_admits(self.kv_controller, self.kv, request,
+                                  role=self.role)
+
+    def role_admits(self, state: RequestState) -> bool:
+        """Does this instance's serving role accept ``state`` at all?
+
+        Enforced in the runtime itself (not only in the disaggregated
+        router) so role constraints hold under *every* router: a prefill
+        instance only takes requests whose prompt still needs computing,
+        a decode instance only takes requests whose prompt is done (their
+        KV arrives via handoff — or was computed here before a swap).  A
+        recompute-preempted victim loses its prompt progress, so it flows
+        back through the prefill pool automatically.
+        """
+        if self.role == "prefill":
+            return state.prefill_remaining > 0
+        if self.role == "decode":
+            return state.prefill_remaining == 0
+        return True
 
     def kv_admits(self, state: RequestState) -> bool:
         """Does the instance's KV capacity admit ``state`` right now?
@@ -427,7 +497,14 @@ class InstanceRuntime:
             rid = state.request.request_id
             if kv.holds(rid) and kv.table(rid).is_swapped:
                 blocks, _ = kv.swap_in(rid)
-                self.pending_delay_s += kv.swap_transfer_s(blocks)
+                transfer = kv.swap_transfer_s(blocks)
+                self.pending_delay_s += transfer
+                if state.handoff_pending:
+                    # the restore of a handed-off prompt is the receiving
+                    # half of the handoff transfer, not preemption traffic
+                    state.handoff_pending = False
+                    self.stats.handoff_in_count += 1
+                    self.stats.handoff_time_s += transfer
                 state.swapped_on = None
             elif not kv.allocate(rid, self._paged_admit_target(state)):
                 raise RuntimeError("admission gate admitted an "
@@ -458,6 +535,40 @@ class InstanceRuntime:
             self.parked.append(victim)
         else:
             scheduler.push(victim)
+
+    # ------------------------------------------------------------------
+    # prefill→decode handoff (prefill-role instances)
+    # ------------------------------------------------------------------
+    def _begin_handoff(self, state: RequestState) -> None:
+        """Export a finished prompt's KV blocks for a decode instance.
+
+        The export is a swap-out on this instance's PCIe link: the
+        transfer serializes ahead of the next step here (the link is
+        busy), and the engine delays the request's arrival at its decode
+        instance by its *ready offset* — when one step completes several
+        prompts (mixed mode), their transfers share the one link, so the
+        k-th handoff is ready only after the k-1 before it have drained,
+        exactly matching the serial ``pending_delay_s`` charge.  The
+        decode instance pays its own swap-in when it admits the request.
+        """
+        self.batch.remove(state)
+        num_blocks, cached_tokens, _ = \
+            self.kv.export_handoff(state.request.request_id)
+        transfer = self.kv.swap_transfer_s(num_blocks)
+        self.pending_delay_s += transfer
+        state.handoffs += 1
+        self.stats.handoff_out_count += 1
+        self.stats.handoff_time_s += transfer
+        ready_offset = transfer + (self.pending_handoffs[-1][2]
+                                   if self.pending_handoffs else 0.0)
+        self.pending_handoffs.append((state, cached_tokens, ready_offset))
+
+    def take_handoffs(self) -> List[Tuple[RequestState, int, float]]:
+        """Drain the handoffs produced by the last completed step (the
+        engine routes each to a decode instance and schedules its arrival
+        at its serialized ready offset ahead of the clock)."""
+        handoffs, self.pending_handoffs = self.pending_handoffs, []
+        return handoffs
 
     # ------------------------------------------------------------------
     # paged growth at step boundaries
@@ -604,6 +715,8 @@ class InstanceRuntime:
                 head = scheduler.peek()
                 if head is None:
                     break
+                if not self.role_admits(head):
+                    break
                 if gate is not None and not gate(self, head):
                     break
                 if not self.kv_admits(head):
@@ -618,6 +731,7 @@ class InstanceRuntime:
             # (or shuttled over PCIe) for nothing
             head = scheduler.peek()
             if (head is not None and self.batch
+                    and self.role_admits(head)
                     and (gate is None or gate(self, head))):
                 slots_full = len(self.batch) >= self.max_batch_size
                 kv_full = not self.kv_admits(head)
@@ -708,13 +822,21 @@ class InstanceRuntime:
             self.release(state)
             finished.append(state)
 
+        def prefill_completed(state: RequestState) -> None:
+            """A prompt just finished: a request with nothing to generate
+            is done; on a prefill-role instance one with decode work hands
+            its KV off instead of decoding here."""
+            if state.request.decode_len == 0:
+                maybe_finish(state)
+            elif self.role == "prefill":
+                self._begin_handoff(state)
+
         if kind == "prefill":
             target.prefill_done += chunk
             stats.prefill_tokens += chunk
             self.stats.prefill_tokens += chunk
-            if (target.prefill_remaining == 0
-                    and target.request.decode_len == 0):
-                maybe_finish(target)
+            if target.prefill_remaining == 0:
+                prefill_completed(target)
         elif kind == "mixed":
             decoders, chunks = target
             for state in decoders:
@@ -727,9 +849,8 @@ class InstanceRuntime:
                 state.prefill_done += tokens
                 stats.prefill_tokens += tokens
                 self.stats.prefill_tokens += tokens
-                if (state.prefill_remaining == 0
-                        and state.request.decode_len == 0):
-                    maybe_finish(state)
+                if state.prefill_remaining == 0:
+                    prefill_completed(state)
         else:
             for state in target:
                 state.decode_done += 1

@@ -42,6 +42,12 @@ class InstanceClassMetrics:
     label: str
     num_instances: int
     num_nodes: int
+    #: Serving role of the class (``"both"`` outside disaggregated
+    #: clusters): handoff traffic only makes sense per role — prefill
+    #: classes export (``handoffs_out``), decode classes import
+    #: (``handoffs_in``) — and a prefill class legitimately completes
+    #: zero requests while doing most of the compute.
+    role: str = "both"
     requests: int = 0
     generated_tokens: int = 0
     makespan_s: float = 0.0
@@ -55,6 +61,9 @@ class InstanceClassMetrics:
     kv_total_blocks: int = 0
     swap_out_count: int = 0
     swap_in_count: int = 0
+    handoffs_out: int = 0
+    handoffs_in: int = 0
+    handoff_time_s: float = 0.0
 
     @property
     def utilization(self) -> float:
@@ -132,7 +141,13 @@ class ServingMetrics:
     * ``swap_out_count`` / ``swap_in_count`` / ``swapped_bytes`` /
       ``swap_time_s`` — host-tier traffic of swap-based preemption:
       transfers, PCIe bytes (summed over nodes) and the seconds those
-      transfers occupied instances.
+      transfers occupied instances;
+    * ``handoff_count`` / ``handoff_time_s`` — prefill→decode KV handoffs
+      on disaggregated clusters and the PCIe seconds they cost (export on
+      the prefiller plus import on the decoder).  A handoff rides the swap
+      machinery, so its transfers are *also* counted in the swap fields
+      and in ``busy_time_s`` (they serialize ahead of instance steps);
+      these two fields isolate the disaggregation share.
     """
 
     num_requests: int
@@ -164,6 +179,8 @@ class ServingMetrics:
     swap_in_count: int = 0
     swapped_bytes: int = 0
     swap_time_s: float = 0.0
+    handoff_count: int = 0
+    handoff_time_s: float = 0.0
     #: Cluster shape (e.g. ``"2x1n,1x2n"``) and routing policy of the run
     #: ("" for the whole-request simulator, which has no cluster layer).
     cluster: str = ""
@@ -357,5 +374,10 @@ class ServingMetrics:
                 "swap_ins": float(self.swap_in_count),
                 "swapped_mib": self.swapped_bytes / (1 << 20),
                 "swap_time_s": self.swap_time_s,
+            })
+        if self.handoff_count:  # disaggregated clusters only
+            out.update({
+                "handoffs": float(self.handoff_count),
+                "handoff_time_s": self.handoff_time_s,
             })
         return out

@@ -1,10 +1,14 @@
 """Pluggable scheduling policies for the token-level serving engine.
 
 A policy owns the *waiting* queue: the engine pushes requests on arrival (and
-back on preemption) and, at every step boundary, admits from the head of the
+back on preemption, and again when a prefill→decode KV handoff lands on a
+disaggregated cluster — a handed-off request competes under the same
+ordering as everything else, it is merely pinned to the instance holding
+its blocks) and, at every step boundary, admits from the head of the
 queue into an instance's running batch.  Policies are strictly head-of-line:
-when the head cannot be admitted (no batch slot, KV capacity exhausted) the
-engine stops admitting until the situation changes, which keeps every policy
+when the head cannot be admitted (no batch slot, KV capacity exhausted, or
+an instance whose serving role does not match the head) the engine stops
+admitting there until the situation changes, which keeps every policy
 starvation-free with respect to its own ordering.
 
 Provided policies:

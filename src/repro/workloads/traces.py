@@ -12,9 +12,10 @@ serving engine replays real arrival processes too.
 from __future__ import annotations
 
 import csv
+import gzip
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -198,7 +199,9 @@ REPLAY_COLUMNS = ("arrival_s", "prompt_tokens", "output_tokens", "tenant")
 
 
 def replay_trace(path: Union[str, Path],
-                 max_seq_len: int = 1024) -> RequestTrace:
+                 max_seq_len: int = 1024,
+                 column_map: Optional[Mapping[str, str]] = None
+                 ) -> RequestTrace:
     """Load an Azure-LLM-style CSV trace into the request format.
 
     Each row is ``arrival_s,prompt_tokens,output_tokens[,tenant]`` —
@@ -209,6 +212,18 @@ def replay_trace(path: Union[str, Path],
     arrival order (FIFO order equals id order, like the synthetic
     generators).
 
+    A ``.gz`` path is decompressed on the fly, so raw production trace
+    dumps replay without an unpack step.  ``column_map`` lets such dumps
+    replay without a rewrite step either: it maps this loader's column
+    names to the file's header names, e.g. ``{"arrival_s": "TIMESTAMP",
+    "prompt_tokens": "ContextTokens", "output_tokens":
+    "GeneratedTokens"}`` for an Azure LLM-inference dump.  With a
+    ``column_map`` the first row *must* be a header containing every
+    mapped name (``ValueError`` names any missing column); unmapped
+    columns are ignored, and the ``tenant`` mapping is optional.  Values
+    keep the same requirements as the positional form (the arrival column
+    must already be numeric seconds from the trace start).
+
     Rows that do not parse raise ``ValueError`` naming the offending row
     (1-based, counting the header): replaying a multi-GiB production trace
     and silently dropping malformed rows would bias every percentile.
@@ -216,17 +231,62 @@ def replay_trace(path: Union[str, Path],
     window, again naming the row that exceeds it.
     """
     path = Path(path)
+    if column_map is not None:
+        missing = [name for name in REPLAY_COLUMNS[:3] if name not in column_map]
+        if missing:
+            raise ValueError(
+                f"column_map must map {', '.join(REPLAY_COLUMNS[:3])}; "
+                f"missing {', '.join(missing)}")
     rows: List[Request] = []
     first_data_row = True
-    with path.open(newline="") as handle:
+    indices: Optional[List[int]] = None
+    tenant_index: Optional[int] = None
+    last_mapped_index = 0
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt", newline="") as handle:
         for line_no, row in enumerate(csv.reader(handle), start=1):
             if not row or (len(row) == 1 and not row[0].strip()):
                 continue  # blank line
             cells = [cell.strip() for cell in row]
             if first_data_row:
                 first_data_row = False
+                if column_map is not None:
+                    # mapped mode: the first row is the header, resolved
+                    # once into column indices
+                    header = cells
+                    absent = [column_map[name] for name in REPLAY_COLUMNS[:3]
+                              if column_map[name] not in header]
+                    if absent:
+                        raise ValueError(
+                            f"{path}: header row {line_no} has no column "
+                            f"{', '.join(repr(a) for a in absent)} "
+                            f"(header: {', '.join(header)})")
+                    indices = [header.index(column_map[name])
+                               for name in REPLAY_COLUMNS[:3]]
+                    tenant_name = column_map.get("tenant")
+                    if tenant_name is not None:
+                        if tenant_name not in header:
+                            raise ValueError(
+                                f"{path}: header row {line_no} has no "
+                                f"column {tenant_name!r} "
+                                f"(header: {', '.join(header)})")
+                        tenant_index = header.index(tenant_name)
+                    last_mapped_index = max(
+                        indices + ([tenant_index]
+                                   if tenant_index is not None else []))
+                    continue
                 if cells[:3] == list(REPLAY_COLUMNS[:3]):
                     continue  # header row
+            if indices is not None:
+                if len(cells) <= last_mapped_index:
+                    raise ValueError(
+                        f"{path}: row {line_no}: expected at least "
+                        f"{last_mapped_index + 1} columns to cover the "
+                        f"mapped ones, got {len(cells)}")
+                tenant_cell = (cells[tenant_index]
+                               if tenant_index is not None else "")
+                cells = [cells[i] for i in indices] + (
+                    [tenant_cell] if tenant_cell else [])
             if len(cells) not in (3, 4):
                 raise ValueError(
                     f"{path}: row {line_no}: expected "

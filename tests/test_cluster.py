@@ -288,6 +288,68 @@ class TestRoutingConservation:
         assert sorted(r.request_id for r in records) == list(range(len(trace)))
 
 
+class _FakeRequest:
+    """Minimal stand-in for :class:`Request` in router-prepare tests —
+    lets degenerate prompt lengths (zero) be expressed, which
+    :class:`~repro.workloads.scenarios.Scenario` validation forbids."""
+
+    def __init__(self, request_id, prefill_len):
+        self.request_id = request_id
+        self.prefill_len = prefill_len
+
+
+class TestClassAffinityDegenerateTraces:
+    """Satellite bugfix: ``ClassAffinityRouter.prepare`` must survive
+    single-request traces, all-equal prompt lengths (no jumps) and
+    zero/minimal prompt lengths in the relative-jump computation — with
+    the resulting placement pinned."""
+
+    def _prepared(self, requests, instances="2x1n,1x2n"):
+        engine = TokenServingEngine(cluster=instances,
+                                    router="class_affinity")
+        router = engine.router
+        router.prepare(engine._build_runtimes(), requests)
+        return router
+
+    def test_single_request_trace(self):
+        router = self._prepared([_FakeRequest(0, 64)])
+        # one request, no jumps: it stays on the small class
+        assert router._preferred == {0: 1}
+
+    def test_single_request_trace_end_to_end(self):
+        trace = RequestTrace(requests=[
+            Request(request_id=0, arrival_s=0.0, scenario=Scenario(64, 32))])
+        metrics, records = run_policy(trace, "fifo", instances="2x1n,1x2n",
+                                      router="class_affinity")
+        assert metrics.num_requests == 1
+        assert records[0].instance_id in {0, 1}  # a 1n instance
+
+    def test_all_equal_lengths_fall_back_to_node_share_quantile(self):
+        """No jumps at all: the cut lands at the small class's node share
+        (half the nodes here → half the requests)."""
+        router = self._prepared([_FakeRequest(i, 64) for i in range(8)])
+        preferred = [router._preferred[i] for i in range(8)]
+        assert preferred == [1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_zero_length_prompts_do_not_divide_by_zero(self):
+        """A zero-length prompt below a positive one is an infinite
+        relative jump — the cut, not a ZeroDivisionError."""
+        requests = [_FakeRequest(0, 0), _FakeRequest(1, 0)] + \
+            [_FakeRequest(i, 64) for i in range(2, 8)]
+        router = self._prepared(requests)
+        assert router._preferred[0] == 1
+        assert router._preferred[1] == 1
+        assert all(router._preferred[i] == 2 for i in range(2, 8))
+
+    def test_minimal_prompt_lengths(self):
+        """All-ones prompts exercise the smallest positive ratio path."""
+        router = self._prepared([_FakeRequest(i, 1) for i in range(5)])
+        assert set(router._preferred.values()) <= {1, 2}
+        # the small class keeps at least its floor share
+        small = sum(1 for v in router._preferred.values() if v == 1)
+        assert small >= 2
+
+
 class TestRouterPlacement:
     def test_class_affinity_sends_long_prompts_to_big_instances(self):
         """On a bimodal trace, every bulk-tenant (long-prompt) request runs

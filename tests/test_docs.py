@@ -60,7 +60,8 @@ def test_serving_md_documents_every_serve_surface():
                  "--kv-budget-mib", "--compare-kv", "--policy", "--trace",
                  "--prefill-mode", "--mixed-step-token-budget",
                  "--compare-prefill", "--instances", "--router",
-                 "--compare-router", "--trace-file", "--swap-priority"):
+                 "--compare-router", "--trace-file", "--swap-priority",
+                 "--compare-disaggregation"):
         assert flag in text, f"docs/serving.md must document {flag}"
 
 

@@ -1,5 +1,7 @@
 """Tests for replaying recorded (Azure-LLM-style CSV) traces."""
 
+import gzip
+
 import pytest
 
 from repro.analysis.serving import run_policy
@@ -81,6 +83,98 @@ class TestReplayTrace:
         assert metrics.num_requests == 4
         assert metrics.generated_tokens == 40 + 24 + 48 + 16
         assert {r.tenant for r in records} == {"chat", "batch", "default"}
+
+
+#: An Azure-LLM-inference-style dump: different column names, an extra
+#: column the loader must ignore, rows not sorted by arrival.
+AZURE_STYLE = (
+    "TIMESTAMP,ContextTokens,GeneratedTokens,Deployment\n"
+    "1.5,64,128,gpt-batch\n"
+    "0.0,32,64,gpt-chat\n"
+    "0.25,16,32,gpt-chat\n")
+
+AZURE_MAP = {"arrival_s": "TIMESTAMP",
+             "prompt_tokens": "ContextTokens",
+             "output_tokens": "GeneratedTokens"}
+
+
+class TestReplayGzipAndColumnMap:
+    """Satellite: raw (gzipped, differently-named-column) production trace
+    dumps replay without preprocessing."""
+
+    def _write_gz(self, tmp_path, text, name="trace.csv.gz"):
+        path = tmp_path / name
+        with gzip.open(path, "wt", newline="") as handle:
+            handle.write(text)
+        return path
+
+    def test_gzip_trace_replays(self, tmp_path):
+        path = self._write_gz(tmp_path, "0.0,32,64,chat\n0.5,16,32\n")
+        trace = replay_trace(path)
+        assert len(trace) == 2
+        assert [r.prefill_len for r in trace] == [32, 16]
+
+    def test_column_map_selects_and_reorders(self, tmp_path):
+        path = _write(tmp_path, AZURE_STYLE)
+        trace = replay_trace(path, column_map=AZURE_MAP)
+        assert len(trace) == 3
+        assert [r.arrival_s for r in trace] == [0.0, 0.25, 1.5]
+        assert [r.prefill_len for r in trace] == [32, 16, 64]
+        # the unmapped Deployment column is ignored, tenant stays default
+        assert {r.tenant for r in trace} == {"default"}
+
+    def test_column_map_with_tenant(self, tmp_path):
+        path = _write(tmp_path, AZURE_STYLE)
+        trace = replay_trace(path, column_map=dict(AZURE_MAP,
+                                                   tenant="Deployment"))
+        assert [r.tenant for r in trace] == \
+            ["gpt-chat", "gpt-chat", "gpt-batch"]
+
+    def test_gzip_and_column_map_compose(self, tmp_path):
+        path = self._write_gz(tmp_path, AZURE_STYLE)
+        trace = replay_trace(path, column_map=AZURE_MAP)
+        assert len(trace) == 3
+
+    def test_incomplete_column_map_is_rejected(self):
+        with pytest.raises(ValueError, match="missing output_tokens"):
+            replay_trace("unused.csv",
+                         column_map={"arrival_s": "TIMESTAMP",
+                                     "prompt_tokens": "ContextTokens"})
+
+    def test_missing_header_column_names_it(self, tmp_path):
+        path = _write(tmp_path, "TIMESTAMP,ContextTokens\n0.0,32\n")
+        with pytest.raises(ValueError, match="GeneratedTokens"):
+            replay_trace(path, column_map=AZURE_MAP)
+
+    def test_missing_tenant_column_names_it(self, tmp_path):
+        path = _write(tmp_path, AZURE_STYLE)
+        with pytest.raises(ValueError, match="Owner"):
+            replay_trace(path, column_map=dict(AZURE_MAP, tenant="Owner"))
+
+    def test_row_validation_still_names_the_row(self, tmp_path):
+        """The existing row-naming validation errors survive the mapped
+        path (the header is row 1, so the bad data row is row 3)."""
+        path = _write(tmp_path,
+                      "TIMESTAMP,ContextTokens,GeneratedTokens\n"
+                      "0.0,32,64\n"
+                      "0.5,none,64\n")
+        with pytest.raises(ValueError, match="row 3.*non-numeric"):
+            replay_trace(path, column_map=AZURE_MAP)
+
+    def test_short_row_under_column_map_names_the_row(self, tmp_path):
+        path = _write(tmp_path,
+                      "TIMESTAMP,ContextTokens,GeneratedTokens\n"
+                      "0.0,32\n")
+        with pytest.raises(ValueError, match="row 2"):
+            replay_trace(path, column_map=AZURE_MAP)
+
+    def test_mapped_trace_serves_end_to_end(self, tmp_path):
+        path = self._write_gz(tmp_path, AZURE_STYLE)
+        trace = replay_trace(path, column_map=dict(AZURE_MAP,
+                                                   tenant="Deployment"))
+        metrics, records = run_policy(trace, "fifo")
+        assert metrics.num_requests == 3
+        assert metrics.generated_tokens == 64 + 32 + 128
 
 
 class TestBurstyMultiTenantTrace:
