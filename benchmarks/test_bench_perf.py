@@ -1,0 +1,183 @@
+"""Million-request replay harness: the serving engine's perf trajectory.
+
+Replays a pinned synthetic Azure-style trace (diurnal Poisson arrivals,
+lognormal prompt/output lengths) through the token-level engine and measures
+end-to-end simulator throughput (requests simulated per wall-clock second)
+and peak RSS, in both metrics modes:
+
+* ``full`` — one record per request, exact percentiles (the default);
+* ``streaming`` — constant-memory aggregates, the trace consumed lazily
+  straight off the generator.
+
+Each measurement runs in a fresh subprocess so peak RSS (``ru_maxrss``) and
+GC state describe that run alone.  Results are written to
+``BENCH_serving_perf.json`` at the repo root — CI uploads it as an artifact
+and the committed copy records the perf trajectory this PR claims:
+the 1M-request replay at >= 10x the seed-measured rate.
+
+The CI gate asserts a deliberately slacker floor (``THROUGHPUT_FLOOR_X``
+times the seed rate) so a slower runner cannot produce a false regression
+signal, while a genuine event-loop regression (which costs integer factors,
+not percents) still trips it.  The makespan pin is exact: the optimized
+engine must simulate the *same* system, bit for bit, at any speed.
+
+Scales: the 100k replay always runs; the 1M replay is opt-in via
+``RUN_PERF_1M=1`` (it takes ~a minute per mode).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+BENCH_JSON = os.path.join(_ROOT, "BENCH_serving_perf.json")
+
+#: The pinned replay workload and pool (chosen so the pool runs busy but
+#: unsaturated: queueing happens, batches form, nothing diverges).
+BENCH_CONFIG = {
+    "trace": "synthetic_azure_trace(seed=0, mean_rate_per_s=8.0, "
+             "diurnal_amplitude=0.3)",
+    "cluster": "8x2n",
+    "max_batch_size": 8,
+    "policy": "fifo",
+}
+
+#: Seed-engine measurements (the commit preceding this PR, same protocol:
+#: trace materialized up front, ``engine.run`` wall time only), recorded on
+#: the development box that also produced the committed optimized numbers —
+#: the speedup ratios in ``BENCH_serving_perf.json`` are like-for-like.
+SEED_BASELINE = {
+    "100000": {"requests_per_s": 2138.67, "wall_s": 46.758,
+               "peak_rss_mib": 109.66,
+               "makespan_s": 11215.373149180861},
+    "1000000": {"requests_per_s": 1902.15, "wall_s": 525.72,
+                "peak_rss_mib": 733.89,
+                "makespan_s": 118372.07426123784},
+}
+
+#: CI throughput floor, as a multiple of the seed rate at the same scale.
+#: The committed trajectory is >= 10x on the reference box; 2x leaves room
+#: for slow shared runners while still catching order-of-magnitude
+#: regressions (an event-loop regression costs factors, not percents).
+THROUGHPUT_FLOOR_X = 2.0
+
+#: Streaming mode must hold peak RSS far below full mode at scale; the
+#: committed 1M numbers are ~70 MiB vs ~730 MiB.
+STREAMING_RSS_CEILING_FRACTION = 0.75
+
+_CHILD = r"""
+import json, resource, sys, time
+from repro.workloads.traces import synthetic_azure_trace, RequestTrace
+from repro.serving.engine import TokenServingEngine
+
+n, mode = int(sys.argv[1]), sys.argv[2]
+trace = synthetic_azure_trace(n, seed=0, mean_rate_per_s=8.0,
+                              diurnal_amplitude=0.3)
+kwargs = {}
+if mode == "streaming":
+    # lazy consumption: the timed region includes trace generation, which
+    # is the honest protocol for a mode whose point is never materializing
+    kwargs = dict(metrics_mode="streaming", slo=(2.0, 0.05))
+else:
+    trace = RequestTrace(requests=list(trace))
+engine = TokenServingEngine(cluster="8x2n", max_batch_size=8, policy="fifo",
+                            **kwargs)
+t0 = time.perf_counter()
+metrics, records = engine.run(trace)
+wall = time.perf_counter() - t0
+print(json.dumps({
+    "num_requests": n,
+    "metrics_mode": mode,
+    "wall_s": wall,
+    "requests_per_s": n / wall,
+    "makespan_s": metrics.makespan_s,
+    "generated_tokens": metrics.generated_tokens,
+    "mean_queueing_delay_s": metrics.mean_queueing_delay_s,
+    "p99_ttft_s": metrics.ttft_percentile_s(0.99),
+    "num_records": len(records),
+    "peak_rss_mib":
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+}))
+"""
+
+
+def _measure(num_requests: int, mode: str) -> dict:
+    """Run one replay in a fresh subprocess and parse its JSON report."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(num_requests), mode],
+        capture_output=True, text=True, env=env, cwd=_ROOT, check=False)
+    assert proc.returncode == 0, (
+        f"replay subprocess failed (n={num_requests}, mode={mode}):\n"
+        f"{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def _merge_results(scale: str, results: dict) -> dict:
+    """Fold one scale's measurements into ``BENCH_serving_perf.json``,
+    preserving scales measured elsewhere (the committed 1M numbers survive
+    a CI run that only re-measures 100k)."""
+    doc = {"config": BENCH_CONFIG, "seed": SEED_BASELINE, "optimized": {}}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            previous = json.load(handle)
+        doc["optimized"] = previous.get("optimized", {})
+        doc["speedup_x"] = previous.get("speedup_x", {})
+    doc["optimized"][scale] = results
+    doc.setdefault("speedup_x", {})
+    doc["speedup_x"][scale] = {
+        mode: round(report["requests_per_s"]
+                    / SEED_BASELINE[scale]["requests_per_s"], 2)
+        for mode, report in results.items()}
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
+def _check_scale(scale: str) -> dict:
+    seed = SEED_BASELINE[scale]
+    n = int(scale)
+    results = {mode: _measure(n, mode) for mode in ("full", "streaming")}
+    doc = _merge_results(scale, results)
+
+    # the optimized engine must simulate the same system, bit for bit:
+    # any speed is worthless if the simulated clock drifts
+    assert results["full"]["makespan_s"] == seed["makespan_s"]
+    assert results["streaming"]["makespan_s"] == seed["makespan_s"]
+    # streaming mode keeps no records and bounds memory
+    assert results["streaming"]["num_records"] == 0
+    assert results["full"]["num_records"] == n
+    assert (results["streaming"]["peak_rss_mib"]
+            < STREAMING_RSS_CEILING_FRACTION
+            * results["full"]["peak_rss_mib"])
+    # the CI throughput floor (see module docstring for the slack rationale)
+    floor = THROUGHPUT_FLOOR_X * seed["requests_per_s"]
+    for mode in ("full", "streaming"):
+        assert results[mode]["requests_per_s"] >= floor, (
+            f"{scale}-request {mode} replay ran at "
+            f"{results[mode]['requests_per_s']:.0f} req/s, below the "
+            f"regression floor of {floor:.0f} req/s "
+            f"({THROUGHPUT_FLOOR_X}x the seed engine)")
+    return doc
+
+
+def test_replay_100k_floor_and_fidelity():
+    """100k-request replay: throughput floor, exact makespan, bounded RSS."""
+    _check_scale("100000")
+
+
+@pytest.mark.skipif(os.environ.get("RUN_PERF_1M") != "1",
+                    reason="1M-request replay takes ~a minute per mode; "
+                           "set RUN_PERF_1M=1 to run it")
+def test_replay_1m_floor_and_fidelity():
+    """1M-request replay (opt-in): the headline perf-trajectory numbers."""
+    doc = _check_scale("1000000")
+    # the committed trajectory claim: >= 10x the seed rate at 1M on the
+    # reference box (informational here; the CI gate is the 2x floor above)
+    print("1M speedups:", doc["speedup_x"]["1000000"])

@@ -95,6 +95,10 @@ def run_policy(trace: RequestTrace, policy: str,
             raise ValueError(
                 "fifo-exclusive never preempts, so swap_priority has "
                 "nothing to prioritize; pick a token-level policy")
+        if engine_kwargs.get("metrics_mode", "full") != "full":
+            raise ValueError(
+                "fifo-exclusive predates streaming metrics; pick a "
+                "token-level policy to use metrics_mode")
         simulator = ServingSimulator(num_instances=num_instances,
                                      num_nodes_per_instance=num_nodes_per_instance)
         return simulator.run(trace)
@@ -154,7 +158,7 @@ def metrics_row(label: str, metrics) -> Dict[str, object]:
         "P50 latency (s)": summary["p50_latency_s"],
         "P99 latency (s)": summary["p99_latency_s"],
     }
-    if metrics.ttfts_s:
+    if metrics.has_token_metrics:
         row["P50 TTFT (s)"] = summary["p50_ttft_s"]
         row["P95 TTFT (s)"] = summary["p95_ttft_s"]
         row["P99 TTFT (s)"] = summary["p99_ttft_s"]

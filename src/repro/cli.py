@@ -19,6 +19,7 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro.cli serve --instances 1x4n:prefill,4x1n:decode --router disaggregated --kv-mode paged
     python -m repro.cli serve --instances 1x4n:prefill,4x1n:decode --kv-mode paged --compare-disaggregation
     python -m repro.cli serve --trace-file trace.csv --policy sjf
+    python -m repro.cli serve --trace bursty --metrics-mode streaming
 
 Every subcommand prints plain-text tables (no plotting dependencies).
 """
@@ -165,6 +166,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cluster_kwargs = dict(instances=cluster_spec, router=args.router,
                           swap_priority=args.swap_priority)
     try:
+        if args.metrics_mode != "full" and (
+                args.compare or args.compare_kv or args.compare_prefill
+                or args.compare_router or args.compare_disaggregation):
+            print("serve: the comparison tables keep full-fidelity metrics; "
+                  "drop --metrics-mode or run a single configuration",
+                  file=sys.stderr)
+            return 2
         if args.compare_disaggregation:
             if cluster_spec is None or not cluster_spec.has_roles:
                 print("serve: --compare-disaggregation needs a role-tagged "
@@ -277,6 +285,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print("\n(fifo-exclusive omitted: it has no KV admission "
                       "control to constrain)")
             return 0
+        metrics_kwargs = {}
+        if args.metrics_mode != "full":
+            # streaming runs count SLO attainment online, so the SLO pair
+            # must be pinned before the run rather than queried after it
+            metrics_kwargs = dict(metrics_mode=args.metrics_mode,
+                                  slo=(args.ttft_slo, args.tpot_slo))
         metrics, records = run_policy(
             trace, args.policy, num_instances=num_instances,
             num_nodes_per_instance=args.nodes, max_batch_size=args.max_batch,
@@ -285,6 +299,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             preemption_mode=args.preemption_mode,
             prefill_mode=args.prefill_mode,
             mixed_step_token_budget=args.mixed_step_token_budget,
+            **metrics_kwargs,
             **cluster_kwargs)
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
@@ -293,21 +308,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for name, value in metrics.summary().items()]
     print(format_table(rows, title=f"{title} — policy {args.policy!r}, "
                                    f"KV {metrics.kv_mode}, "
-                                   f"prefill {metrics.prefill_mode}"))
+                                   f"prefill {metrics.prefill_mode}, "
+                                   f"metrics {metrics.metrics_mode}"))
     if cluster_spec is not None and cluster_spec.is_heterogeneous:
         print()
         print(format_table(class_breakdown(metrics),
                            title=f"Per-class breakdown (router {args.router})"))
-    if metrics.ttfts_s:
+    if metrics.has_token_metrics:
         slo = metrics.slo_goodput_rps(args.ttft_slo, args.tpot_slo)
         print(f"\nSLO goodput (TTFT<={args.ttft_slo}s, TPOT<={args.tpot_slo}s): "
               f"{slo:.3f} req/s "
               f"({100 * metrics.slo_attainment(args.ttft_slo, args.tpot_slo):.1f}% "
               "of requests)")
-    if args.trace == "multitenant" and metrics.ttfts_s:
-        print()
-        print(format_table(tenant_breakdown(records, tenants=trace.tenants),
-                           title="Per-tenant breakdown"))
+    if args.trace == "multitenant" and metrics.has_token_metrics:
+        if records:
+            print()
+            print(format_table(tenant_breakdown(records, tenants=trace.tenants),
+                               title="Per-tenant breakdown"))
+        else:
+            print("\n(per-tenant breakdown needs per-request records; "
+                  "re-run with --metrics-mode full)")
     return 0
 
 
@@ -414,6 +434,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--mixed-step-token-budget", type=int, default=256,
                      help="token capacity of one mixed step (decode tokens "
                           "plus prefill-chunk tokens)")
+    sub.add_argument("--metrics-mode", choices=("full", "streaming"),
+                     default="full",
+                     help="full: keep one record per request (exact "
+                          "percentiles, default); streaming: constant-memory "
+                          "aggregates with <=0.5%% percentile error — for "
+                          "million-request traces (pins the SLO pair at "
+                          "run time)")
     sub.add_argument("--ttft-slo", type=float, default=2.0,
                      help="TTFT SLO in seconds for goodput reporting")
     sub.add_argument("--tpot-slo", type=float, default=0.05,

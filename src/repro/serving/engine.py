@@ -76,12 +76,17 @@ from repro.serving.instance import (
     RequestState,
     kv_capacity_admits,
 )
-from repro.serving.metrics import InstanceClassMetrics, ServingMetrics
+from repro.serving.metrics import (
+    METRICS_MODES,
+    InstanceClassMetrics,
+    ServingMetrics,
+    StreamingMetricsCollector,
+)
 from repro.serving.schedulers import (
     KVAdmissionController,
     make_scheduler,
 )
-from repro.workloads.traces import Request, RequestTrace
+from repro.workloads.traces import Request, RequestTrace, StreamingTrace
 
 #: Accepted values for ``TokenServingEngine(preemption_mode=...)`` (paged
 #: KV mode only; reservation mode always recomputes).
@@ -104,7 +109,35 @@ DEFAULT_MIXED_STEP_TOKEN_BUDGET = 256
 KV_RECIPE_MODES = ("reserve", "paged")
 
 
-@dataclass(frozen=True)
+def _is_arrival_sorted(requests: List[Request]) -> bool:
+    """True when the requests are already ordered by ``(arrival_s,
+    request_id)`` — the invariant every finalized trace satisfies — so the
+    engine can skip re-sorting them on every run."""
+    prev_arrival = float("-inf")
+    prev_id = -1
+    for request in requests:
+        arrival = request.arrival_s
+        if arrival < prev_arrival or (arrival == prev_arrival
+                                      and request.request_id < prev_id):
+            return False
+        prev_arrival = arrival
+        prev_id = request.request_id
+    return True
+
+
+def _is_id_sorted(records: List["ServedRequest"]) -> bool:
+    """True when completion order already equals id order (common for
+    near-FIFO runs), so the final record sort can be skipped."""
+    prev = -1
+    for record in records:
+        rid = record.request_id
+        if rid < prev:
+            return False
+        prev = rid
+    return True
+
+
+@dataclass(frozen=True, slots=True)
 class ServedRequest:
     """Token-level timing record of one served request.
 
@@ -241,6 +274,37 @@ class TokenServingEngine:
         instance and resume them ahead of new admissions (their KV is
         already paid for), instead of sending them back through the shared
         queue.  Off by default — the PR 2/3 regime.
+    metrics_mode:
+        ``"full"`` (default) keeps one record per request — exact
+        percentiles, the golden regime.  ``"streaming"`` folds every
+        finished request into O(1)-memory aggregates
+        (:class:`~repro.serving.metrics.StreamingMetricsCollector`) and
+        returns an *empty* record list, so million-request replays hold no
+        per-request state; percentiles then carry a bounded relative error
+        (``quantile_error``) while counters, means and extremes stay exact.
+    slo:
+        Optional ``(ttft_slo_s, tpot_slo_s)`` pair pinned for streaming
+        runs: joint SLO attainment needs per-request TTFT/TPOT *pairs*,
+        which marginal aggregates cannot recover, so streaming counts
+        attainment online against exactly this pin.  Full mode answers
+        arbitrary SLO queries after the fact and rejects a pin.
+    quantile_error:
+        Guaranteed relative error of streaming-mode percentile estimates
+        (default 0.5% — see :class:`~repro.serving.metrics.StreamingQuantile`).
+    multistep:
+        Allow the event loop to fast-forward provably identical
+        consecutive pure-decode steps into single events (see
+        :meth:`~repro.serving.instance.InstanceRuntime.dispatch`).  Only
+        engaged where it is exact — single-class pools without paged KV —
+        and produces bit-identical timestamps there; the switch exists so
+        equivalence tests can compare against the one-event-per-step
+        execution.
+
+    :meth:`run` also accepts a
+    :class:`~repro.workloads.traces.StreamingTrace`: arrivals are then
+    drawn lazily (never materialized), the stream must be arrival-sorted,
+    and KV validation happens per request as it is drawn rather than up
+    front.
 
     After :meth:`run`, ``last_kv_managers`` holds each instance's block pool
     (paged mode; for inspection of occupancy/swap counters in tests).
@@ -262,7 +326,27 @@ class TokenServingEngine:
                  kv_mode: Optional[str] = None,
                  kv_budget_bytes: Optional[int] = None,
                  kv_block_size: int = 16,
-                 swap_priority: bool = False) -> None:
+                 swap_priority: bool = False,
+                 metrics_mode: str = "full",
+                 slo: Optional[Tuple[float, float]] = None,
+                 quantile_error: float = 0.005,
+                 multistep: bool = True) -> None:
+        if metrics_mode not in METRICS_MODES:
+            raise ValueError(
+                f"unknown metrics mode {metrics_mode!r}; "
+                f"known: {', '.join(METRICS_MODES)}")
+        if slo is not None:
+            if metrics_mode != "streaming":
+                raise ValueError(
+                    "an SLO pin only applies to metrics_mode='streaming' "
+                    "(full mode answers arbitrary SLO queries after the "
+                    "fact)")
+            if len(slo) != 2:
+                raise ValueError("slo must be a (ttft_slo_s, tpot_slo_s) "
+                                 "pair")
+            slo = (float(slo[0]), float(slo[1]))
+        if not 0.0 < quantile_error < 1.0:
+            raise ValueError("quantile_error must be in (0, 1)")
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if prefill_chunk_tokens is not None and prefill_chunk_tokens <= 0:
@@ -307,6 +391,10 @@ class TokenServingEngine:
         self.preemption_mode = preemption_mode
         self.context_bucket = context_bucket
         self.swap_priority = swap_priority
+        self.metrics_mode = metrics_mode
+        self.slo = slo
+        self.quantile_error = quantile_error
+        self.multistep = multistep
 
         if cluster is not None:
             if system is not None:
@@ -388,9 +476,10 @@ class TokenServingEngine:
                          else "reserve" if any(proto[2] is not None
                                                for proto in self._protos)
                          else "none")
-        # step-timing memo dicts, shared per class and across runs (the
-        # cycle model is pure, so sharing only saves evaluations)
-        self._caches = [({}, {}) for _ in self._protos]
+        # step-timing memo dicts (decode, mixed, prefill-chunk, transfer),
+        # shared per class and across runs (the cycle model and the PCIe
+        # pricing are pure, so sharing only saves evaluations)
+        self._caches = [({}, {}, {}, {}) for _ in self._protos]
         self.last_kv_managers: List[PagedKVManager] = []
 
     # ------------------------------------------------------------------
@@ -400,10 +489,17 @@ class TokenServingEngine:
         """Fresh per-run instance runtimes, ids in spec order."""
         runtimes: List[InstanceRuntime] = []
         instance_id = 0
+        # fast-forwarding decode runs is only provably exact on
+        # single-class pools (the routers' dispatch_order is stateful, so
+        # skipped boundaries would diverge it) without paged KV (block
+        # growth at a boundary can evict even when the queue is empty)
+        allow_multistep = (self.multistep
+                           and not self.cluster.is_heterogeneous
+                           and not self._paged)
         for (spec, class_system, controller, manager), caches in zip(
                 self._protos, self._caches):
             for _ in range(spec.count):
-                runtimes.append(InstanceRuntime(
+                runtime = InstanceRuntime(
                     instance_id, class_system,
                     class_label=spec.label,
                     role=spec.role,
@@ -418,111 +514,192 @@ class TokenServingEngine:
                     context_bucket=self.context_bucket,
                     swap_priority=self.swap_priority,
                     step_cache=caches[0],
-                    mixed_step_cache=caches[1]))
+                    mixed_step_cache=caches[1],
+                    prefill_cache=caches[2],
+                    transfer_cache=caches[3])
+                runtime.allow_multistep = allow_multistep
+                runtimes.append(runtime)
                 instance_id += 1
         return runtimes
 
-    def _validate(self, trace: RequestTrace) -> None:
+    @property
+    def _needs_validation(self) -> bool:
+        """Whether any instance class constrains admission at all (with no
+        KV admission anywhere, every request is trivially servable and
+        validation can skip the trace scan entirely)."""
+        return any(controller is not None or manager is not None
+                   for _, _, controller, manager in self._protos)
+
+    def _validate(self, trace) -> None:
         """Reject traces containing a request no instance class could ever
         serve (it would block the queue head forever)."""
+        if not self._needs_validation:
+            return
+        for request in trace:
+            self._validate_request(request)
+
+    def _validate_request(self, request: Request) -> None:
+        """Per-request slice of :meth:`_validate` — streaming traces
+        validate each request lazily as it is drawn."""
         if len(self._protos) == 1:
             # single class: the prototype's own validation carries the
             # precise error message (and the classic path stays identical)
             _, _, controller, manager = self._protos[0]
             if controller is not None:
-                controller.validate(trace)
+                controller.validate((request,))
             if manager is not None:
-                manager.validate(trace)
+                manager.validate((request,))
             return
         if self.cluster.has_roles:
             # disaggregated: a request needs a place to *start* (a prefill
             # class holding its prompt, or a role-both class holding its
             # full context) and a place to *finish* (a decode-capable
             # class holding its full context)
-            for request in trace:
-                starts = any(
-                    kv_capacity_admits(c, m, request, role="prefill")
-                    for spec, _, c, m in self._protos
-                    if spec.role == "prefill")
-                finishes = any(
-                    kv_capacity_admits(c, m, request)
-                    for spec, _, c, m in self._protos
-                    if spec.role == "decode")
-                whole = any(
-                    kv_capacity_admits(c, m, request)
-                    for spec, _, c, m in self._protos
-                    if spec.role == "both")
-                if not ((starts and (finishes or whole)) or whole):
-                    raise ValueError(
-                        f"request {request.request_id} cannot be served by "
-                        f"cluster {self.cluster} under the KV budget: it "
-                        "needs a prefill-capable class holding its prompt "
-                        "and a decode-capable class holding its full "
-                        "context")
-            return
-        for request in trace:
-            if not any(kv_capacity_admits(controller, manager, request)
-                       for _, _, controller, manager in self._protos):
+            starts = any(
+                kv_capacity_admits(c, m, request, role="prefill")
+                for spec, _, c, m in self._protos
+                if spec.role == "prefill")
+            finishes = any(
+                kv_capacity_admits(c, m, request)
+                for spec, _, c, m in self._protos
+                if spec.role == "decode")
+            whole = any(
+                kv_capacity_admits(c, m, request)
+                for spec, _, c, m in self._protos
+                if spec.role == "both")
+            if not ((starts and (finishes or whole)) or whole):
                 raise ValueError(
-                    f"request {request.request_id} fits no instance class "
-                    f"of cluster {self.cluster} under the KV budget")
+                    f"request {request.request_id} cannot be served by "
+                    f"cluster {self.cluster} under the KV budget: it "
+                    "needs a prefill-capable class holding its prompt "
+                    "and a decode-capable class holding its full "
+                    "context")
+            return
+        if not any(kv_capacity_admits(controller, manager, request)
+                   for _, _, controller, manager in self._protos):
+            raise ValueError(
+                f"request {request.request_id} fits no instance class "
+                f"of cluster {self.cluster} under the KV budget")
 
     # ------------------------------------------------------------------
     # event loop
     # ------------------------------------------------------------------
-    def run(self, trace: RequestTrace) -> Tuple[ServingMetrics, List[ServedRequest]]:
+    def run(self, trace: Union[RequestTrace, StreamingTrace]
+            ) -> Tuple[ServingMetrics, List[ServedRequest]]:
         """Serve the trace and return aggregate metrics plus per-request
         records (sorted by request id).
+
+        A :class:`~repro.workloads.traces.StreamingTrace` is consumed
+        lazily: arrivals merge into the event loop straight off the
+        iterator (the stream contract says they come pre-sorted; an
+        out-of-order arrival raises), and KV validation runs per request
+        as it is drawn.  In ``metrics_mode="streaming"`` the returned
+        record list is empty — all aggregates live in the metrics object —
+        so memory stays bounded however long the trace is.
 
         Raises ``ValueError`` for an empty trace or one containing a request
         that could never be admitted (KV validation), and ``RuntimeError``
         if the scheduler head deadlocks (a bug, not a workload property).
         """
-        if len(trace) == 0:
-            raise ValueError("trace is empty")
-        self._validate(trace)
+        streaming_trace = isinstance(trace, StreamingTrace)
+        if not streaming_trace:
+            if len(trace) == 0:
+                raise ValueError("trace is empty")
+            self._validate(trace)
 
         scheduler = make_scheduler(self.policy)
         runtimes = self._build_runtimes()
         self.last_kv_managers = [r.kv for r in runtimes if r.kv is not None]
         multi_class = self.cluster.is_heterogeneous
+        has_roles = self.cluster.has_roles
         router = self.router
         gate = router.placement_ok if multi_class else None
         if multi_class:
+            # routers may precompute placement from the trace; a
+            # StreamingTrace is re-iterable by contract, so this pass does
+            # not consume the engine's arrival stream
             router.prepare(runtimes, trace)
         stats = InstanceStats()
         events: List[Tuple[float, int, int, object]] = []
+        heappush, heappop = heapq.heappush, heapq.heappop
         seq = itertools.count()
-        _ARRIVAL, _STEP_DONE, _HANDOFF = 0, 1, 2
-        for request in sorted(trace, key=lambda r: (r.arrival_s, r.request_id)):
-            heapq.heappush(events, (request.arrival_s, next(seq), _ARRIVAL,
-                                    RequestState(request)))
+        _STEP_DONE, _HANDOFF = 1, 2
+
+        # ---- arrival stream ----------------------------------------------
+        # Arrivals never enter the event heap: the loop below lazy-merges
+        # the (sorted) arrival iterator with the heap, processing an
+        # arrival whenever it is due no later than the earliest event —
+        # exactly the order the old push-everything-first loop produced,
+        # without a million heap entries or the re-sort of an
+        # already-sorted trace.
+        if streaming_trace:
+            validate = (self._validate_request if self._needs_validation
+                        else None)
+
+            def arrival_states():
+                last = float("-inf")
+                for request in trace:
+                    if request.arrival_s < last:
+                        raise ValueError(
+                            "streaming traces must be sorted by arrival "
+                            f"time; request {request.request_id} at "
+                            f"{request.arrival_s}s follows one at {last}s")
+                    last = request.arrival_s
+                    if validate is not None:
+                        validate(request)
+                    yield RequestState(request)
+
+            arrivals = arrival_states()
+        else:
+            requests = (trace.requests if isinstance(trace, RequestTrace)
+                        else list(trace))
+            if not _is_arrival_sorted(requests):
+                requests = sorted(requests,
+                                  key=lambda r: (r.arrival_s, r.request_id))
+            arrivals = map(RequestState, requests)
+        next_state = next(arrivals, None)
+        if next_state is None:
+            raise ValueError("trace is empty")
+        next_arrival_t = next_state.request.arrival_s
+        num_arrivals = 0
 
         records: List[ServedRequest] = []
-
-        def record(state: RequestState, now: float) -> None:
-            request = state.request
-            records.append(ServedRequest(
-                request_id=request.request_id,
-                instance_id=state.instance_id,
-                arrival_s=request.arrival_s,
-                admitted_s=state.admitted_s if state.admitted_s is not None else now,
-                first_token_s=state.first_token_s,
-                finish_s=now,
-                prefill_len=request.prefill_len,
-                decode_len=request.decode_len,
-                tenant=request.tenant,
-                priority=request.priority,
-                preemptions=state.preemptions,
-                swap_outs=state.swap_outs,
-                handoffs=state.handoffs,
-            ))
+        collector: Optional[StreamingMetricsCollector] = None
+        if self.metrics_mode == "streaming":
+            collector = StreamingMetricsCollector(
+                slo=self.slo, quantile_error=self.quantile_error,
+                class_of_instance={r.instance_id: r.class_label
+                                   for r in runtimes})
+            record = collector.add
+        else:
+            def record(state: RequestState, now: float) -> None:
+                request = state.request
+                records.append(ServedRequest(
+                    request_id=request.request_id,
+                    instance_id=state.instance_id,
+                    arrival_s=request.arrival_s,
+                    admitted_s=(state.admitted_s
+                                if state.admitted_s is not None else now),
+                    first_token_s=state.first_token_s,
+                    finish_s=now,
+                    prefill_len=state.prefill_len,
+                    decode_len=state.decode_len,
+                    tenant=request.tenant,
+                    priority=request.priority,
+                    preemptions=state.preemptions,
+                    swap_outs=state.swap_outs,
+                    handoffs=state.handoffs,
+                ))
 
         def dispatch(runtime: InstanceRuntime, now: float) -> None:
-            launch = runtime.dispatch(scheduler, now, stats, gate=gate)
+            launch = runtime.dispatch(scheduler, now, stats, gate=gate,
+                                      horizon_s=next_arrival_t)
             if launch is not None:
-                heapq.heappush(events, (now + launch.duration_s, next(seq),
-                                        _STEP_DONE, launch.payload))
+                completes = launch.completes_at_s
+                if completes is None:
+                    completes = now + launch.duration_s
+                heappush(events, (completes, next(seq), _STEP_DONE,
+                                  launch.payload))
 
         def pump(completer: Optional[InstanceRuntime], now: float) -> None:
             """Offer the queue to every instance at a step boundary.
@@ -543,8 +720,18 @@ class TokenServingEngine:
                         for runtime in runtimes:
                             if not runtime.busy:
                                 dispatch(runtime, now)
-                else:
+                elif self._paged:
                     for runtime in runtimes:
+                        if not runtime.busy:
+                            dispatch(runtime, now)
+                else:
+                    # without paged KV an idle instance holds no batch and
+                    # no parked work, so once the queue drains the
+                    # remaining idle dispatches would be no-ops — skip them
+                    qlen = scheduler.__len__
+                    for runtime in runtimes:
+                        if not qlen():
+                            break
                         if not runtime.busy:
                             dispatch(runtime, now)
                 return
@@ -573,32 +760,82 @@ class TokenServingEngine:
                                          cached_tokens)
                 state.swapped_on = target.instance_id
                 state.handoff_pending = True
-                heapq.heappush(events, (now + ready_s, next(seq),
-                                        _HANDOFF, state))
+                heappush(events, (now + ready_s, next(seq),
+                                  _HANDOFF, state))
 
-        while events:
-            now, _, kind, payload = heapq.heappop(events)
-            if kind == _ARRIVAL or kind == _HANDOFF:
+        # single-class non-paged pools take the straight-line path below:
+        # a completed step only ever re-dispatches its own instance, so
+        # the pump/dispatch closures are inlined out of the hot loop
+        fast_completer = (not multi_class and not self._paged
+                          and not has_roles)
+        while True:
+            if next_state is not None and (
+                    not events or next_arrival_t <= events[0][0]):
+                now = next_arrival_t
+                scheduler.push(next_state)
+                num_arrivals += 1
+                # peel the following arrival *before* pumping so the
+                # dispatch horizon already points past this one
+                next_state = next(arrivals, None)
+                next_arrival_t = (next_state.request.arrival_s
+                                  if next_state is not None
+                                  else float("inf"))
+                pump(None, now)
+                continue
+            if not events:
+                break
+            now, _, kind, payload = heappop(events)
+            if kind == _HANDOFF:
                 scheduler.push(payload)
                 pump(None, now)
             else:
                 runtime = payload[1]
                 for state in runtime.complete_step(payload, now, stats):
                     record(state, now)
-                launch_handoffs(runtime, now)
-                pump(runtime, now)
+                if fast_completer:
+                    launch = runtime.dispatch(scheduler, now, stats, None,
+                                              next_arrival_t)
+                    if launch is not None:
+                        completes = launch.completes_at_s
+                        if completes is None:
+                            completes = now + launch.duration_s
+                        heappush(events, (completes, next(seq), _STEP_DONE,
+                                          launch.payload))
+                else:
+                    if has_roles:
+                        launch_handoffs(runtime, now)
+                    pump(runtime, now)
 
-        if len(records) != len(trace):
+        completed = len(records) if collector is None else collector.count
+        if completed != num_arrivals:
             raise RuntimeError(
-                f"engine stalled: {len(trace) - len(records)} requests "
+                f"engine stalled: {num_arrivals - completed} requests "
                 "never finished (scheduler head permanently blocked)")
 
-        records.sort(key=lambda r: r.request_id)
+        if collector is not None:
+            return self._metrics_streaming(collector, runtimes, stats), []
+        if not _is_id_sorted(records):
+            records.sort(key=lambda r: r.request_id)
         return self._metrics(records, runtimes, stats), records
 
     # ------------------------------------------------------------------
     # metrics assembly
     # ------------------------------------------------------------------
+    def _kv_pool_shape(self) -> Tuple[int, int]:
+        """``(kv_block_size, kv_total_blocks)`` of the paged pools (0, 0
+        outside paged mode)."""
+        if self._kv_mode != "paged":
+            return 0, 0
+        managers = self.last_kv_managers
+        block_sizes = {m.block_size_tokens for m in managers}
+        kv_block_size = block_sizes.pop() if len(block_sizes) == 1 else 0
+        # per-instance pool size on a single class; the cluster-wide
+        # total when classes have different pools
+        totals = {m.total_blocks for m in managers}
+        kv_total_blocks = (totals.pop() if len(totals) == 1
+                           else sum(m.total_blocks for m in managers))
+        return kv_block_size, kv_total_blocks
+
     def _metrics(self, records: List[ServedRequest],
                  runtimes: List[InstanceRuntime],
                  stats: InstanceStats) -> ServingMetrics:
@@ -606,16 +843,7 @@ class TokenServingEngine:
         pool_time = makespan * self.num_instances
         managers = self.last_kv_managers
         per_class = self._per_class(records, runtimes, makespan)
-        if self._kv_mode == "paged":
-            block_sizes = {m.block_size_tokens for m in managers}
-            kv_block_size = block_sizes.pop() if len(block_sizes) == 1 else 0
-            # per-instance pool size on a single class; the cluster-wide
-            # total when classes have different pools
-            totals = {m.total_blocks for m in managers}
-            kv_total_blocks = (totals.pop() if len(totals) == 1
-                               else sum(m.total_blocks for m in managers))
-        else:
-            kv_block_size = kv_total_blocks = 0
+        kv_block_size, kv_total_blocks = self._kv_pool_shape()
         return ServingMetrics(
             num_requests=len(records),
             num_instances=self.num_instances,
@@ -687,6 +915,101 @@ class TokenServingEngine:
                 tpots_s=[r.tpot_s for r in class_records
                          if r.ttft_s is not None],
                 preemptions=sum(r.preemptions for r in class_records),
+                mean_kv_occupancy=(sum(r.stats.kv_occ_time for r in group)
+                                   / class_time if class_time > 0 else 0.0),
+                peak_kv_occupancy=max(
+                    (r.stats.peak_kv_occupancy for r in group), default=0.0),
+                kv_total_blocks=(group[0].kv.total_blocks
+                                 if group[0].kv is not None else 0),
+                swap_out_count=sum(r.kv.swap_out_count for r in group
+                                   if r.kv is not None),
+                swap_in_count=sum(r.kv.swap_in_count for r in group
+                                  if r.kv is not None),
+                handoffs_out=sum(r.stats.handoff_out_count for r in group),
+                handoffs_in=sum(r.stats.handoff_in_count for r in group),
+                handoff_time_s=sum(r.stats.handoff_time_s for r in group),
+            ))
+        return out
+
+    def _metrics_streaming(self, collector: StreamingMetricsCollector,
+                           runtimes: List[InstanceRuntime],
+                           stats: InstanceStats) -> ServingMetrics:
+        """Streaming-mode metrics assembly: counters and step accounting
+        are exact (identical to full mode), latency distributions come as
+        :class:`~repro.serving.metrics.StreamingQuantile` aggregates, and
+        the per-request lists stay empty."""
+        makespan = collector.max_finish_s
+        pool_time = makespan * self.num_instances
+        managers = self.last_kv_managers
+        kv_block_size, kv_total_blocks = self._kv_pool_shape()
+        return ServingMetrics(
+            num_requests=collector.count,
+            num_instances=self.num_instances,
+            num_nodes_per_instance=self.num_nodes_per_instance,
+            makespan_s=makespan,
+            generated_tokens=collector.generated_tokens,
+            preemptions=collector.preemptions,
+            policy=self.policy,
+            prefill_mode=self.prefill_mode,
+            busy_time_s=stats.busy_time,
+            prefill_tokens_processed=stats.prefill_tokens,
+            decode_step_time_s=stats.decode_time,
+            prefill_step_time_s=stats.prefill_time,
+            mixed_step_time_s=stats.mixed_time,
+            kv_mode=self._kv_mode,
+            kv_block_size=kv_block_size,
+            kv_total_blocks=kv_total_blocks,
+            mean_running_batch=(stats.batch_time / pool_time
+                                if pool_time > 0 else 0.0),
+            mean_kv_occupancy=(stats.kv_occ_time / pool_time
+                               if pool_time > 0 else 0.0),
+            peak_kv_occupancy=stats.peak_kv_occupancy,
+            mean_kv_fragmentation=(stats.frag_time / stats.busy_time
+                                   if stats.busy_time > 0 else 0.0),
+            swap_out_count=sum(m.swap_out_count for m in managers),
+            swap_in_count=sum(m.swap_in_count for m in managers),
+            swapped_bytes=sum(m.swapped_bytes_total for m in managers),
+            swap_time_s=stats.swap_time_s,
+            handoff_count=sum(r.stats.handoff_out_count for r in runtimes),
+            handoff_time_s=sum(r.stats.handoff_time_s for r in runtimes),
+            cluster=str(self.cluster),
+            router=self.router.name,
+            per_class=self._per_class_streaming(collector, runtimes,
+                                                makespan),
+            metrics_mode="streaming",
+            streams=collector.streams(),
+            slo_pin=collector.slo,
+            slo_good_requests=collector.slo_good,
+        )
+
+    def _per_class_streaming(self, collector: StreamingMetricsCollector,
+                             runtimes: List[InstanceRuntime],
+                             makespan: float) -> List[InstanceClassMetrics]:
+        """Per-class aggregates without per-request records: request and
+        token counters come from the collector's per-class tallies, the
+        time-weighted accumulators from the per-runtime stats (exactly as
+        in full mode).  Per-class latency *percentiles* are full-fidelity
+        only; the mean TTFT survives via the count/sum pair."""
+        by_label: Dict[str, List[InstanceRuntime]] = {}
+        for runtime in runtimes:
+            by_label.setdefault(runtime.class_label, []).append(runtime)
+        out: List[InstanceClassMetrics] = []
+        for label, group in by_label.items():
+            tally = collector.per_class.get(label, [0, 0, 0, 0, 0.0])
+            class_time = makespan * len(group)
+            out.append(InstanceClassMetrics(
+                label=label,
+                num_instances=len(group),
+                num_nodes=group[0].num_nodes,
+                role=group[0].role,
+                requests=tally[0],
+                generated_tokens=tally[1],
+                makespan_s=makespan,
+                busy_time_s=sum(r.stats.busy_time for r in group),
+                batch_time_s=sum(r.stats.batch_time for r in group),
+                ttft_count=tally[3],
+                ttft_sum_s=tally[4],
+                preemptions=tally[2],
                 mean_kv_occupancy=(sum(r.stats.kv_occ_time for r in group)
                                    / class_time if class_time > 0 else 0.0),
                 peak_kv_occupancy=max(

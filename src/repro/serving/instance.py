@@ -71,13 +71,20 @@ def kv_capacity_admits(kv_controller: Optional[KVAdmissionController],
 class RequestState:
     """Mutable in-flight bookkeeping for one request."""
 
-    __slots__ = ("request", "prefill_done", "decode_done", "admitted_s",
+    __slots__ = ("request", "prefill_len", "decode_len", "prefill_done",
+                 "decode_done", "admitted_s",
                  "last_admitted_s", "first_token_s", "preemptions",
                  "swap_outs", "instance_id", "swapped_on", "handoffs",
                  "handoff_pending")
 
     def __init__(self, request: Request) -> None:
         self.request = request
+        # request lengths cached as plain ints: the step-formation loop
+        # reads them once per batch member per step, and two attribute
+        # hops through the frozen Request/Scenario pair are measurable
+        # at a million requests
+        self.prefill_len = request.prefill_len
+        self.decode_len = request.decode_len
         self.prefill_done = 0
         self.decode_done = 0
         self.admitted_s: Optional[float] = None
@@ -106,7 +113,7 @@ class RequestState:
 
     @property
     def prefill_remaining(self) -> int:
-        return self.request.prefill_len - self.prefill_done
+        return self.prefill_len - self.prefill_done
 
     @property
     def context_len(self) -> int:
@@ -149,11 +156,16 @@ class StepLaunch:
 
     The engine turns this into a step-completion event ``duration_s`` ahead
     of the current clock; ``payload`` round-trips back into
-    :meth:`InstanceRuntime.complete_step`.
+    :meth:`InstanceRuntime.complete_step`.  A fast-forwarded launch (several
+    provably identical decode steps folded into one event) carries the
+    absolute completion time in ``completes_at_s`` — accumulated one step
+    at a time so the float arithmetic matches the event-per-step chain
+    bit for bit.
     """
 
     duration_s: float
     payload: Tuple
+    completes_at_s: Optional[float] = None
 
 
 class InstanceRuntime:
@@ -194,9 +206,11 @@ class InstanceRuntime:
         When True (paged swap mode), preemption victims are parked on this
         instance and resumed ahead of new admissions — their KV is already
         paid for, so admitting fresh work first would just churn the pool.
-    step_cache, mixed_step_cache:
-        Memoization dicts for step timings; instances of the same class
-        share them (the cycle model is pure, so sharing only saves work).
+    step_cache, mixed_step_cache, prefill_cache, transfer_cache:
+        Memoization dicts for step, prefill-chunk and swap/handoff-transfer
+        timings; instances of the same class share them (the cycle model
+        and the PCIe pricing are pure functions of shape, so sharing only
+        saves evaluations — cache hits are bit-identical to cold computes).
     """
 
     def __init__(self, instance_id: int, system: LoopLynxSystem, *,
@@ -212,7 +226,9 @@ class InstanceRuntime:
                  context_bucket: int = 32,
                  swap_priority: bool = False,
                  step_cache: Optional[Dict] = None,
-                 mixed_step_cache: Optional[Dict] = None) -> None:
+                 mixed_step_cache: Optional[Dict] = None,
+                 prefill_cache: Optional[Dict] = None,
+                 transfer_cache: Optional[Dict] = None) -> None:
         self.instance_id = instance_id
         self.system = system
         self.num_nodes = system.num_nodes
@@ -238,8 +254,24 @@ class InstanceRuntime:
             step_cache if step_cache is not None else {})
         self._mixed_step_cache: Dict[Tuple[int, int, int], float] = (
             mixed_step_cache if mixed_step_cache is not None else {})
+        self._prefill_cache: Dict[Tuple[int, int], float] = (
+            prefill_cache if prefill_cache is not None else {})
+        self._transfer_cache: Dict[int, float] = (
+            transfer_cache if transfer_cache is not None else {})
+        #: Set by the engine when fast-forwarding batched decode steps is
+        #: provably identical to one-event-per-step execution (single-class
+        #: pools without paged KV; see :meth:`dispatch`).
+        self.allow_multistep = False
+        #: True when every waiting request is trivially admissible here —
+        #: no role constraint and no KV gate of either kind — letting the
+        #: admission loop skip the per-head checks.
+        self._admits_all = (role == "both" and kv_controller is None
+                            and kv is None)
         # ---- mutable per-run state ----
         self.batch: List[RequestState] = []
+        #: Batch members whose prompt is not fully computed — maintained
+        #: incrementally so step formation skips the per-step batch scan.
+        self._num_prefilling = 0
         self.kv_used_tokens = 0
         self.busy = False
         #: Pending swap-transfer seconds to serialize before the next step.
@@ -268,18 +300,41 @@ class InstanceRuntime:
     def step_latency_s(self, context_len: int, batch_size: int) -> float:
         """Seconds for one decode step over ``context_len`` cached positions
         with ``batch_size`` co-resident requests (memoized per bucket)."""
-        key = (self._bucketed(context_len), batch_size)
-        if key not in self._step_cache:
-            self._step_cache[key] = self.system.decode_step_latency_s(
-                key[0], batch_size)
-        return self._step_cache[key]
+        bucket = self.context_bucket
+        if bucket > 1 and context_len:
+            context_len = -(-context_len // bucket) * bucket
+        key = (context_len, batch_size)
+        cached = self._step_cache.get(key)
+        if cached is None:
+            cached = self._step_cache[key] = \
+                self.system.decode_step_latency_s(context_len, batch_size)
+        return cached
 
     def prefill_chunk_latency_s(self, start_pos: int, chunk_len: int) -> float:
         """Seconds of token-serial prefill for ``chunk_len`` prompt tokens
         starting at cached position ``start_pos`` (same per-position cost as
-        a decode step, which is how the paper's pipeline streams prompts)."""
-        return sum(self.step_latency_s(pos, 1)
-                   for pos in range(start_pos, start_pos + chunk_len))
+        a decode step, which is how the paper's pipeline streams prompts).
+        Memoized on ``(start_pos, chunk_len)``: the per-position sum is a
+        pure function of the chunk shape, so a cache hit returns the exact
+        float a cold compute would."""
+        key = (start_pos, chunk_len)
+        cached = self._prefill_cache.get(key)
+        if cached is None:
+            cached = self._prefill_cache[key] = sum(
+                self.step_latency_s(pos, 1)
+                for pos in range(start_pos, start_pos + chunk_len))
+        return cached
+
+    def swap_transfer_s(self, num_blocks: int) -> float:
+        """Seconds one swap/handoff transfer of ``num_blocks`` device
+        blocks occupies the PCIe link — the block manager's pricing,
+        memoized per block count (it is a pure function of the count and
+        the class's fixed block geometry)."""
+        cached = self._transfer_cache.get(num_blocks)
+        if cached is None:
+            cached = self._transfer_cache[num_blocks] = \
+                self.kv.swap_transfer_s(num_blocks)
+        return cached
 
     def mixed_step_latency_s(self, max_context: int, num_decode: int,
                              prefill_tokens: int) -> float:
@@ -289,11 +344,13 @@ class InstanceRuntime:
         in the step — decode contexts and prefill chunk-end positions alike
         (memoized per context bucket, like :meth:`step_latency_s`)."""
         key = (self._bucketed(max_context), num_decode, prefill_tokens)
-        if key not in self._mixed_step_cache:
-            self._mixed_step_cache[key] = self.system.mixed_step_latency_s(
-                [key[0]] * num_decode, prefill_tokens,
-                prefill_context=key[0])
-        return self._mixed_step_cache[key]
+        cached = self._mixed_step_cache.get(key)
+        if cached is None:
+            cached = self._mixed_step_cache[key] = \
+                self.system.mixed_step_latency_s(
+                    [key[0]] * num_decode, prefill_tokens,
+                    prefill_context=key[0])
+        return cached
 
     def _next_prefill_chunk(self, state: RequestState) -> int:
         """Prompt tokens ``state`` would stream in its next mixed step,
@@ -497,7 +554,7 @@ class InstanceRuntime:
             rid = state.request.request_id
             if kv.holds(rid) and kv.table(rid).is_swapped:
                 blocks, _ = kv.swap_in(rid)
-                transfer = kv.swap_transfer_s(blocks)
+                transfer = self.swap_transfer_s(blocks)
                 self.pending_delay_s += transfer
                 if state.handoff_pending:
                     # the restore of a handed-off prompt is the receiving
@@ -510,6 +567,8 @@ class InstanceRuntime:
                 raise RuntimeError("admission gate admitted an "
                                    "unallocatable request")  # pragma: no cover
         self.batch.append(state)
+        if state.prefill_len > state.prefill_done:
+            self._num_prefilling += 1
 
     def evict(self, victim: RequestState, now: float,
               scheduler: SchedulerPolicy) -> None:
@@ -520,10 +579,12 @@ class InstanceRuntime:
         swapped victim waits in this instance's parked list (resumed ahead
         of new admissions) instead of re-entering the shared queue."""
         self.batch.remove(victim)
+        if victim.prefill_len > victim.prefill_done:
+            self._num_prefilling -= 1
         swapped = False
         if self.kv is not None and self.preemption_mode == "swap":
             blocks, _ = self.kv.swap_out(victim.request.request_id)
-            self.pending_delay_s += self.kv.swap_transfer_s(blocks)
+            self.pending_delay_s += self.swap_transfer_s(blocks)
             victim.swap_outs += 1
             victim.swapped_on = self.instance_id
             swapped = True
@@ -554,7 +615,7 @@ class InstanceRuntime:
         self.batch.remove(state)
         num_blocks, cached_tokens, _ = \
             self.kv.export_handoff(state.request.request_id)
-        transfer = self.kv.swap_transfer_s(num_blocks)
+        transfer = self.swap_transfer_s(num_blocks)
         self.pending_delay_s += transfer
         state.handoffs += 1
         self.stats.handoff_out_count += 1
@@ -641,11 +702,15 @@ class InstanceRuntime:
         requests still prefilling, in admission (batch) order.  Decode
         tokens are never dropped to fit the budget; prefill chunks take
         whatever budget remains."""
-        decoders = [s for s in self.batch if s.prefill_remaining == 0]
+        if not self._num_prefilling:
+            # pure decode (the steady-state hot path): every member
+            # advances, no chunks to plan
+            return self.batch.copy(), []
+        decoders = [s for s in self.batch if s.prefill_len == s.prefill_done]
         remaining = self.mixed_step_token_budget - len(decoders)
         chunks: List[Tuple[RequestState, int]] = []
         for state in self.batch:
-            if state.prefill_remaining == 0 or remaining <= 0:
+            if state.prefill_len == state.prefill_done or remaining <= 0:
                 continue
             chunk = min(self._next_prefill_chunk(state), remaining)
             chunks.append((state, chunk))
@@ -680,7 +745,8 @@ class InstanceRuntime:
     def dispatch(self, scheduler: SchedulerPolicy, now: float,
                  stats: InstanceStats,
                  gate: Optional[Callable[["InstanceRuntime", RequestState],
-                                         bool]] = None
+                                         bool]] = None,
+                 horizon_s: Optional[float] = None
                  ) -> Optional[StepLaunch]:
         """Admit/preempt at a step boundary, then form the next step.
 
@@ -692,87 +758,131 @@ class InstanceRuntime:
         :attr:`stats` are both updated, in that order, so whole-run metrics
         accumulate in the exact event order of the pre-cluster engine while
         per-class metrics fall out of the per-runtime copies.
+
+        ``horizon_s`` is the next trace arrival's timestamp (None when the
+        engine cannot bound it).  With :attr:`allow_multistep` set, a pure
+        decode step whose following step boundaries are provably inert —
+        the waiting queue is empty until the horizon, or the batch is full
+        under a scheduler that never preempts — is fast-forwarded: up to k
+        identical steps fold into one event, with k bounded so no batch
+        member finishes early and the context stays inside one pricing
+        bucket.  The folded launch carries its absolute completion time in
+        :attr:`StepLaunch.completes_at_s`, accumulated one step at a time
+        so the timestamps match the event-per-step chain bit for bit.
         """
-        admitted = True
-        while admitted:
-            admitted = False
+        batch = self.batch
+        max_batch = self.max_batch_size
+        while True:
             if self.parked:
                 # swap-priority: resume this instance's own swapped victims
                 # before admitting anything new — their blocks are a PCIe
                 # round-trip away, not a recompute, and new admissions would
                 # claim the very capacity the resume needs.  A parked head
                 # that does not fit blocks new admissions entirely.
-                while self.parked and len(self.batch) < self.max_batch_size:
+                admitted = False
+                while self.parked and len(batch) < max_batch:
                     resume = self.parked[0]
                     if not self.kv_admits(resume):
                         break
                     self.parked.pop(0)
                     self.admit(resume, now)
                     admitted = True
-                continue
+                if admitted:
+                    continue
+                break
             # admissions from the head of the waiting queue
-            while len(self.batch) < self.max_batch_size:
-                head = scheduler.peek()
-                if head is None:
-                    break
-                if not self.role_admits(head):
-                    break
-                if gate is not None and not gate(self, head):
-                    break
-                if not self.kv_admits(head):
-                    break
-                scheduler.pop()
-                self.admit(head, now)
-                admitted = True
+            head = scheduler.peek()
+            if self._admits_all and gate is None:
+                while head is not None and len(batch) < max_batch:
+                    scheduler.pop()
+                    self.admit(head, now)
+                    head = scheduler.peek()
+            else:
+                while head is not None and len(batch) < max_batch:
+                    if not self.role_admits(head):
+                        break
+                    if gate is not None and not gate(self, head):
+                        break
+                    if not self.kv_admits(head):
+                        break
+                    scheduler.pop()
+                    self.admit(head, now)
+                    head = scheduler.peek()
             # preemption: a blocked head (no batch slot, or KV capacity
             # exhausted) may evict strictly lower-priority work — but only
             # when evicting one victim actually makes the head admissible;
             # otherwise the victim's computed state would be thrown away
-            # (or shuttled over PCIe) for nothing
-            head = scheduler.peek()
-            if (head is not None and self.batch
+            # (or shuttled over PCIe) for nothing.  Schedulers that never
+            # preempt make this block a provable no-op — skip it.
+            if (not scheduler.never_preempts
+                    and head is not None and batch
                     and self.role_admits(head)
                     and (gate is None or gate(self, head))):
-                slots_full = len(self.batch) >= self.max_batch_size
+                slots_full = len(batch) >= max_batch
                 kv_full = not self.kv_admits(head)
                 victim = None
                 if slots_full or kv_full:
-                    victim = scheduler.preemption_victim(self.batch, head)
+                    victim = scheduler.preemption_victim(batch, head)
                 if (victim is not None
                         and self.head_fits_after_eviction(victim, head)):
                     self.evict(victim, now, scheduler)
-                    admitted = True  # retry admission for the head
+                    continue  # retry admission for the head
+            break
 
-        if not self.batch:
+        if not batch:
             self.busy = False
             return None
+        ff_members = None   # pure-decode members, when fast-forwardable
+        ff_context = 0
+        ff_mixed = False    # price folded steps through the mixed model
+        ff_prefill = None   # chunked exclusive prefill, when foldable
         if self.prefill_mode == "mixed":
             if self.kv is not None:
                 decoders, chunks = self._ensure_mixed_capacity(now, scheduler)
             else:
                 decoders, chunks = self._plan_mixed_step()
-            prefill_tokens = sum(chunk for _, chunk in chunks)
-            max_context = max(
-                [s.context_len for s in decoders]
-                + [s.context_len + chunk for s, chunk in chunks]
-                + [0])
-            duration = self.mixed_step_latency_s(
-                max_context, len(decoders), prefill_tokens)
-            payload = ("mixed", self, (decoders, chunks), prefill_tokens)
-            advancing = len(decoders) + len(chunks)
-            if decoders and prefill_tokens:
-                kind_attr = "mixed_time"
-            elif prefill_tokens:
-                kind_attr = "prefill_time"
+            if chunks:
+                prefill_tokens = sum(chunk for _, chunk in chunks)
+                max_context = max(
+                    [s.prefill_done + s.decode_done for s in decoders]
+                    + [s.prefill_done + s.decode_done + chunk
+                       for s, chunk in chunks])
+                duration = self.mixed_step_latency_s(
+                    max_context, len(decoders), prefill_tokens)
+                payload = ("mixed", self, (decoders, chunks), prefill_tokens)
+                advancing = len(decoders) + len(chunks)
+                kind_attr = "mixed_time" if decoders else "prefill_time"
             else:
+                # all prompts done: a mixed step degenerates to pure decode
+                # (priced through the same mixed-step model, bit-identical
+                # to the historical path)
+                context = 0
+                for s in decoders:
+                    c = s.prefill_done + s.decode_done
+                    if c > context:
+                        context = c
+                duration = self.mixed_step_latency_s(context,
+                                                     len(decoders), 0)
+                payload = ("mixed", self, (decoders, chunks), 0)
+                advancing = len(decoders)
                 kind_attr = "decode_time"
+                ff_members = decoders
+                ff_context = context
+                ff_mixed = True
         else:
-            prefilling = next((s for s in self.batch
-                               if s.prefill_remaining > 0), None)
+            prefilling = None
+            if self._num_prefilling:
+                for s in batch:
+                    if s.prefill_len > s.prefill_done:
+                        prefilling = s
+                        break
             if prefilling is not None:
-                chunk = prefilling.prefill_remaining
-                if self.prefill_chunk_tokens is not None:
-                    chunk = min(chunk, self.prefill_chunk_tokens)
+                chunk = prefilling.prefill_len - prefilling.prefill_done
+                cap = self.prefill_chunk_tokens
+                if cap is not None:
+                    if cap < chunk:
+                        chunk = cap
+                    ff_prefill = prefilling
                 duration = self.prefill_chunk_latency_s(
                     prefilling.prefill_done, chunk)
                 payload = ("prefill", self, prefilling, chunk)
@@ -783,11 +893,18 @@ class InstanceRuntime:
             else:
                 if self.kv is not None:
                     self._ensure_decode_capacity(now, scheduler)
-                context = max(s.context_len for s in self.batch)
-                duration = self.step_latency_s(context, len(self.batch))
-                payload = ("decode", self, list(self.batch), 0)
-                advancing = len(self.batch)
+                context = 0
+                for s in batch:
+                    c = s.prefill_done + s.decode_done
+                    if c > context:
+                        context = c
+                members = batch.copy()
+                duration = self.step_latency_s(context, len(members))
+                payload = ("decode", self, members, 0)
+                advancing = len(members)
                 kind_attr = "decode_time"
+                ff_members = members
+                ff_context = context
         step_duration = duration
         pending = self.pending_delay_s
         if pending > 0.0:
@@ -795,20 +912,162 @@ class InstanceRuntime:
             # they serialize ahead of the next step
             duration += pending
             self.pending_delay_s = 0.0
-        for acc in (stats, self.stats):
-            setattr(acc, kind_attr, getattr(acc, kind_attr) + step_duration)
-            if pending > 0.0:
-                acc.swap_time_s += pending
-            acc.batch_time += advancing * duration
-            acc.busy_time += duration
-            if self.kv is not None:
-                occupancy = self.kv.occupancy_fraction
-                acc.kv_occ_time += occupancy * duration
-                acc.frag_time += \
-                    self.kv.internal_fragmentation_fraction * duration
-                acc.peak_kv_occupancy = max(acc.peak_kv_occupancy, occupancy)
+        steps = 1
+        completes_at = None
+        ff_segments = None
+        if (self.allow_multistep and pending == 0.0
+                and horizon_s is not None
+                and (ff_members is not None or ff_prefill is not None)):
+            # Fast-forward: fold provably inert step boundaries into one
+            # event.  Boundaries inside the fold must change nothing —
+            # no admission, preemption or step-shape change could happen at
+            # them.  Two regimes qualify: the waiting queue is empty until
+            # the next arrival (``horizon_s``), or the batch is full under
+            # a scheduler that never preempts (a boundary then has nothing
+            # to do even when requests are waiting).  A decode fold may
+            # cross context-bucket boundaries and a prefill fold marches
+            # the prompt chunk by chunk: every per-step price is a
+            # memoized pure function of shape, so repricing at each window
+            # or chunk edge reproduces the per-event chain exactly.
+            limit = None
+            if scheduler.peek() is None:
+                limit = horizon_s
+            elif (scheduler.never_preempts
+                    and len(batch) >= max_batch):
+                limit = float("inf")
+            if limit is not None and ff_prefill is not None:
+                # chunked exclusive prefill: successive chunks of the same
+                # prompt (the batch-order scan re-picks this member at
+                # every inert boundary, and stalled decoders never change).
+                # Chain each chunk's memoized price; completion bookkeeping
+                # is the ordinary "prefill" payload with the folded token
+                # total.
+                state = ff_prefill
+                total = payload[3]
+                cap = self.prefill_chunk_tokens
+                done = state.prefill_done + total
+                remaining = state.prefill_len - done
+                t = now + duration
+                if remaining > 0 and t < limit:
+                    ff_segments = [[duration, 1]]
+                    while remaining > 0 and t < limit:
+                        c = cap if cap < remaining else remaining
+                        d = self.prefill_chunk_latency_s(done, c)
+                        t += d
+                        done += c
+                        total += c
+                        remaining -= c
+                        steps += 1
+                        ff_segments.append([d, 1])
+                    payload = ("prefill", self, state, total)
+                    completes_at = t
+            elif limit is not None:
+                kmax = ff_members[0].decode_len - ff_members[0].decode_done
+                for s in ff_members:
+                    r = s.decode_len - s.decode_done
+                    if r < kmax:
+                        kmax = r
+                # chain the completion times one step at a time: each
+                # boundary before the last must fall strictly before the
+                # limit (an arrival at exactly the boundary is processed
+                # first by the engine, so that boundary is a real event).
+                # ff_segments collects (step duration, step count) runs so
+                # the stats replay below walks the identical float chain.
+                t = now + duration
+                if steps < kmax and t < limit:
+                    bucket = self.context_bucket
+                    d = duration
+                    # steps after the first that still price in its window
+                    # (bucket arithmetic inlined from _bucketed)
+                    win = ((-(-ff_context // bucket) * bucket - ff_context)
+                           if bucket > 1 and ff_context else 0)
+                    seg = [d, 1]
+                    ff_segments = [seg]
+                    while steps < kmax and t < limit:
+                        if win == 0:
+                            c = ff_context + steps
+                            if ff_mixed:
+                                nd = self.mixed_step_latency_s(
+                                    c, advancing, 0)
+                            else:
+                                nd = self.step_latency_s(c, advancing)
+                            win = ((-(-c // bucket) * bucket - c + 1)
+                                   if bucket > 1 else 1)
+                            if nd != d:
+                                d = nd
+                                seg = [d, 0]
+                                ff_segments.append(seg)
+                        t += d
+                        steps += 1
+                        seg[1] += 1
+                        win -= 1
+                if steps > 1:
+                    payload = ("decode_k", self,
+                               (ff_members, steps, now + duration), 0)
+                    completes_at = t
+        if steps == 1:
+            bd = advancing * duration
+            kvm = self.kv
+            if kvm is not None:
+                occupancy = kvm.occupancy_fraction
+                frag_term = kvm.internal_fragmentation_fraction * duration
+            for acc in (stats, self.stats):
+                if kind_attr == "decode_time":
+                    acc.decode_time += step_duration
+                elif kind_attr == "prefill_time":
+                    acc.prefill_time += step_duration
+                else:
+                    acc.mixed_time += step_duration
+                if pending > 0.0:
+                    acc.swap_time_s += pending
+                acc.batch_time += bd
+                acc.busy_time += duration
+                if kvm is not None:
+                    acc.kv_occ_time += occupancy * duration
+                    acc.frag_time += frag_term
+                    if occupancy > acc.peak_kv_occupancy:
+                        acc.peak_kv_occupancy = occupancy
+        else:
+            # k folded steps: the per-step stat adds collapse to one
+            # closed-form add per pricing segment (duration × count).
+            # This is the one fast-forward shortcut that is not replayed
+            # add-by-add: time-weighted aggregates may differ from
+            # per-event execution in the last float bits, while every
+            # timestamp, token count and per-request record stays exact
+            # (the completion chain above still walks step by step).
+            # Fast-forward requires kv is None and pending == 0, so only
+            # the three time accumulators apply.
+            td = 0.0
+            for d_seg, n_seg in ff_segments:
+                td += d_seg * n_seg
+            bd = advancing * td
+            decode_fold = kind_attr == "decode_time"
+            for acc in (stats, self.stats):
+                if decode_fold:
+                    acc.decode_time += td
+                else:
+                    acc.prefill_time += td
+                acc.batch_time += bd
+                acc.busy_time += td
         self.busy = True
-        return StepLaunch(duration_s=duration, payload=payload)
+        return StepLaunch(duration_s=duration, payload=payload,
+                          completes_at_s=completes_at)
+
+    def _finish(self, state: RequestState,
+                finished: List[RequestState]) -> None:
+        self.batch.remove(state)
+        self.release(state)
+        finished.append(state)
+
+    def _prefill_completed(self, state: RequestState,
+                           finished: List[RequestState]) -> None:
+        """A prompt just finished: a request with nothing to generate
+        is done; on a prefill-role instance one with decode work hands
+        its KV off instead of decoding here."""
+        if state.decode_len == 0:
+            self._finish(state, finished)
+        elif self.role == "prefill":
+            self._begin_handoff(state)
 
     def complete_step(self, payload: Tuple, now: float,
                       stats: InstanceStats) -> List[RequestState]:
@@ -816,46 +1075,44 @@ class InstanceRuntime:
         requests that completed with it (the engine records them)."""
         kind, _, target, chunk = payload
         finished: List[RequestState] = []
-
-        def maybe_finish(state: RequestState) -> None:
-            self.batch.remove(state)
-            self.release(state)
-            finished.append(state)
-
-        def prefill_completed(state: RequestState) -> None:
-            """A prompt just finished: a request with nothing to generate
-            is done; on a prefill-role instance one with decode work hands
-            its KV off instead of decoding here."""
-            if state.request.decode_len == 0:
-                maybe_finish(state)
-            elif self.role == "prefill":
-                self._begin_handoff(state)
-
-        if kind == "prefill":
+        if kind == "decode":
+            for state in target:
+                state.decode_done += 1
+                if state.first_token_s is None:
+                    state.first_token_s = now
+                if state.decode_done >= state.decode_len:
+                    self._finish(state, finished)
+        elif kind == "decode_k":
+            # k folded decode steps completing at once: the first token of
+            # a still-tokenless member was produced at the fold's first
+            # step boundary (carried in the payload), not at ``now``
+            members, steps, t_first = target
+            for state in members:
+                if state.first_token_s is None:
+                    state.first_token_s = t_first
+                state.decode_done += steps
+                if state.decode_done >= state.decode_len:
+                    self._finish(state, finished)
+        elif kind == "prefill":
             target.prefill_done += chunk
             stats.prefill_tokens += chunk
             self.stats.prefill_tokens += chunk
-            if target.prefill_remaining == 0:
-                prefill_completed(target)
-        elif kind == "mixed":
+            if target.prefill_len == target.prefill_done:
+                self._num_prefilling -= 1
+                self._prefill_completed(target, finished)
+        else:  # mixed
             decoders, chunks = target
             for state in decoders:
                 state.decode_done += 1
                 if state.first_token_s is None:
                     state.first_token_s = now
-                if state.decode_done >= state.request.decode_len:
-                    maybe_finish(state)
+                if state.decode_done >= state.decode_len:
+                    self._finish(state, finished)
             for state, tokens in chunks:
                 state.prefill_done += tokens
                 stats.prefill_tokens += tokens
                 self.stats.prefill_tokens += tokens
-                if state.prefill_remaining == 0:
-                    prefill_completed(state)
-        else:
-            for state in target:
-                state.decode_done += 1
-                if state.first_token_s is None:
-                    state.first_token_s = now
-                if state.decode_done >= state.request.decode_len:
-                    maybe_finish(state)
+                if state.prefill_len == state.prefill_done:
+                    self._num_prefilling -= 1
+                    self._prefill_completed(state, finished)
         return finished

@@ -1,11 +1,26 @@
-"""Serving metrics: latency percentiles, throughput, utilization, energy."""
+"""Serving metrics: latency percentiles, throughput, utilization, energy.
+
+Two fidelity modes exist.  The default (``metrics_mode="full"``) keeps one
+entry per request in the ``*_s`` lists, so every percentile is exact — the
+regime all golden tests pin.  ``metrics_mode="streaming"`` replaces those
+unbounded lists with O(1)-memory incremental aggregates
+(:class:`StreamingQuantile` log-bucketed histograms plus exact
+count/sum/min/max), so a million-request replay holds a few hundred
+histogram buckets instead of five million floats; percentiles then carry a
+bounded relative error (0.5% by construction at the default resolution)
+while counters, means and extremes stay exact.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.energy.power import FpgaPowerModel
+
+#: Accepted values for the engine's ``metrics_mode``.
+METRICS_MODES = ("full", "streaming")
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
@@ -22,6 +37,101 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     weight = position - low
     return float(ordered[low] * (1 - weight) + ordered[high] * weight)
+
+
+class StreamingQuantile:
+    """Bounded-memory quantile estimator over non-negative samples.
+
+    A log-bucketed histogram (the HDR-histogram idea): sample ``v`` lands
+    in bucket ``floor(log_base(v))`` with ``base = (1 + e) / (1 - e)``, and
+    a percentile query answers with the geometric centre of the bucket
+    holding the requested rank — so every reported quantile is within
+    relative error ``e`` of the true order statistic *by construction*,
+    not in expectation like a reservoir sample.  Count, sum, min and max
+    are tracked exactly; memory is one dict entry per occupied bucket
+    (a few hundred for second-scale latencies at the default 0.5%).
+
+    >>> q = StreamingQuantile()
+    >>> for v in [0.1, 0.2, 0.3, 0.4]:
+    ...     q.add(v)
+    >>> q.count
+    4
+    >>> abs(q.percentile(0.5) - 0.25) <= 0.25 * 0.01
+    True
+    """
+
+    __slots__ = ("relative_error", "count", "total", "min", "max",
+                 "_zeros", "_buckets", "_inv_log_base", "_log_base")
+
+    def __init__(self, relative_error: float = 0.005) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError("relative_error must be in (0, 1)")
+        self.relative_error = relative_error
+        self._log_base = math.log((1.0 + relative_error)
+                                  / (1.0 - relative_error))
+        self._inv_log_base = 1.0 / self._log_base
+        self._buckets: Dict[int, int] = {}
+        self._zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one sample (non-negative; queueing delays can be 0.0)."""
+        if value < 0.0:
+            raise ValueError("StreamingQuantile tracks non-negative samples")
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value == 0.0:
+            self._zeros += 1
+            return
+        index = math.floor(math.log(value) * self._inv_log_base)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Quantile estimate within ``relative_error`` of the exact order
+        statistic (0.0 with no samples)."""
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = fraction * (self.count - 1)
+        if rank <= 0:
+            return float(self.min)
+        if rank >= self.count - 1:
+            return float(self.max)
+        cumulative = self._zeros
+        if rank < cumulative:
+            return 0.0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if rank < cumulative:
+                # geometric centre of [base^index, base^(index+1))
+                centre = math.exp((index + 0.5) * self._log_base)
+                return float(min(max(centre, self.min), self.max))
+        return float(self.max)  # pragma: no cover - rank < count guaranteed
+
+    def merge(self, other: "StreamingQuantile") -> None:
+        """Fold another estimator of the same resolution into this one."""
+        if other.relative_error != self.relative_error:
+            raise ValueError("cannot merge estimators of different "
+                             "resolutions")
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._zeros += other._zeros
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
 
 
 @dataclass
@@ -55,6 +165,10 @@ class InstanceClassMetrics:
     batch_time_s: float = 0.0
     ttfts_s: List[float] = field(default_factory=list)
     tpots_s: List[Optional[float]] = field(default_factory=list)
+    #: Streaming-mode fallback for :attr:`mean_ttft_s` when the per-request
+    #: lists are not kept (per-class percentiles are full-fidelity only).
+    ttft_count: int = 0
+    ttft_sum_s: float = 0.0
     preemptions: int = 0
     mean_kv_occupancy: float = 0.0
     peak_kv_occupancy: float = 0.0
@@ -64,6 +178,20 @@ class InstanceClassMetrics:
     handoffs_out: int = 0
     handoffs_in: int = 0
     handoff_time_s: float = 0.0
+    _tpot_view: Optional[Tuple[int, List[float]]] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def _tpot_values(self) -> List[float]:
+        """The non-``None`` TPOT samples, filtered once per batch of
+        queries: the view is cached against the list length, so a summary
+        asking for several percentiles filters once, while hand-mutated
+        metrics still see fresh data."""
+        cached = self._tpot_view
+        if cached is None or cached[0] != len(self.tpots_s):
+            cached = (len(self.tpots_s),
+                      [t for t in self.tpots_s if t is not None])
+            self._tpot_view = cached
+        return cached[1]
 
     @property
     def utilization(self) -> float:
@@ -84,16 +212,17 @@ class InstanceClassMetrics:
 
     @property
     def mean_ttft_s(self) -> float:
-        if not self.ttfts_s:
-            return 0.0
-        return sum(self.ttfts_s) / len(self.ttfts_s)
+        if self.ttfts_s:
+            return sum(self.ttfts_s) / len(self.ttfts_s)
+        if self.ttft_count:
+            return self.ttft_sum_s / self.ttft_count
+        return 0.0
 
     def ttft_percentile_s(self, fraction: float) -> float:
         return percentile(self.ttfts_s, fraction)
 
     def tpot_percentile_s(self, fraction: float) -> float:
-        return percentile([t for t in self.tpots_s if t is not None],
-                          fraction)
+        return percentile(self._tpot_values(), fraction)
 
 
 @dataclass
@@ -189,6 +318,25 @@ class ServingMetrics:
     #: get exactly one).  ``num_nodes_per_instance`` is 0 when classes mix
     #: node counts — per-class numbers live here instead.
     per_class: List[InstanceClassMetrics] = field(default_factory=list)
+    #: ``"full"`` (per-request lists, exact percentiles — the golden
+    #: regime) or ``"streaming"`` (incremental aggregates, O(1) memory).
+    metrics_mode: str = "full"
+    #: Streaming-mode aggregates keyed ``"queueing_delay"``, ``"latency"``,
+    #: ``"service_time"``, ``"ttft"``, ``"tpot"``; ``None`` in full mode.
+    #: The per-request lists stay empty when this is set — every
+    #: latency/percentile accessor transparently falls through to these.
+    streams: Optional[Dict[str, StreamingQuantile]] = None
+    #: The (ttft_slo_s, tpot_slo_s) pair pinned at run time in streaming
+    #: mode.  Joint SLO attainment needs the per-request *pair* of TTFT and
+    #: TPOT, which marginal aggregates cannot recover, so streaming runs
+    #: count attainment online against exactly one pinned pair.
+    slo_pin: Optional[Tuple[float, float]] = None
+    #: Requests meeting the pinned SLO pair (streaming mode).
+    slo_good_requests: int = 0
+    _tpot_view: Optional[Tuple[int, List[float]]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _slo_cache: Optional[Tuple[int, int, float, float, float]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -205,9 +353,11 @@ class ServingMetrics:
 
     @property
     def mean_queueing_delay_s(self) -> float:
-        if not self.queueing_delays_s:
-            return 0.0
-        return sum(self.queueing_delays_s) / len(self.queueing_delays_s)
+        if self.queueing_delays_s:
+            return sum(self.queueing_delays_s) / len(self.queueing_delays_s)
+        if self.streams is not None:
+            return self.streams["queueing_delay"].mean
+        return 0.0
 
     @property
     def instance_utilization(self) -> float:
@@ -250,27 +400,53 @@ class ServingMetrics:
         return self.mixed_step_time_s / self.busy_time_s
 
     def latency_percentile_s(self, fraction: float) -> float:
+        if not self.end_to_end_latencies_s and self.streams is not None:
+            return self.streams["latency"].percentile(fraction)
         return percentile(self.end_to_end_latencies_s, fraction)
 
     # ------------------------------------------------------------------
     # token-level metrics (engine runs only)
     # ------------------------------------------------------------------
     @property
+    def has_token_metrics(self) -> bool:
+        """Whether token-level (TTFT/TPOT) data exists in either mode."""
+        if self.ttfts_s:
+            return True
+        return self.streams is not None and self.streams["ttft"].count > 0
+
+    @property
     def mean_ttft_s(self) -> float:
-        if not self.ttfts_s:
-            return 0.0
-        return sum(self.ttfts_s) / len(self.ttfts_s)
+        if self.ttfts_s:
+            return sum(self.ttfts_s) / len(self.ttfts_s)
+        if self.streams is not None:
+            return self.streams["ttft"].mean
+        return 0.0
 
     def ttft_percentile_s(self, fraction: float) -> float:
         """Time-to-first-token percentile (arrival to first generated token)."""
+        if not self.ttfts_s and self.streams is not None:
+            return self.streams["ttft"].percentile(fraction)
         return percentile(self.ttfts_s, fraction)
+
+    def _tpot_values(self) -> List[float]:
+        """The non-``None`` TPOT samples, filtered once per batch of
+        queries (cached against the list length, so one summary's several
+        percentile calls share a single filtering pass)."""
+        cached = self._tpot_view
+        if cached is None or cached[0] != len(self.tpots_s):
+            cached = (len(self.tpots_s),
+                      [t for t in self.tpots_s if t is not None])
+            self._tpot_view = cached
+        return cached[1]
 
     def tpot_percentile_s(self, fraction: float) -> float:
         """Time-per-output-token percentile (mean inter-token gap after the
         first token, one value per request).  Requests with fewer than two
         generated tokens have no inter-token gap and are excluded instead of
         contributing a bias-inducing 0.0."""
-        return percentile([t for t in self.tpots_s if t is not None], fraction)
+        if not self.tpots_s and self.streams is not None:
+            return self.streams["tpot"].percentile(fraction)
+        return percentile(self._tpot_values(), fraction)
 
     def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
         """Fraction of requests meeting both the TTFT and TPOT SLOs.
@@ -279,13 +455,37 @@ class ServingMetrics:
         ``tpots_s`` describe the same request (the engine emits them sorted
         by request id).  A ``None`` TPOT (single-token request) meets the
         TPOT SLO vacuously — there is no inter-token gap to violate it.
+        The result for one SLO pair is cached against the list lengths, so
+        an attainment query followed by the goodput built on it scans the
+        per-request lists once, not twice.
 
         Raises ``ValueError`` when both lists are populated with different
-        lengths (``zip(strict=True)`` semantics, spelled out for Python 3.9):
+        lengths (``zip(strict=True)`` semantics, spelled out explicitly):
         silently zip-truncating mismatched hand-built metrics would pair
         entries from different requests and overstate attainment.
+
+        In streaming mode the per-request pairs no longer exist, so
+        attainment is counted online against the SLO pair pinned at run
+        time (``slo_pin``); querying any other pair raises ``ValueError``
+        — a silently wrong number would be worse than no number.
         """
         if not self.ttfts_s:
+            if self.streams is not None:
+                eligible = self.streams["ttft"].count
+                if eligible == 0:
+                    return 0.0
+                if self.slo_pin is None:
+                    raise ValueError(
+                        "streaming metrics cannot answer arbitrary SLO "
+                        "queries after the fact; pin (ttft_slo_s, "
+                        "tpot_slo_s) on the engine run to count "
+                        "attainment online")
+                if (ttft_slo_s, tpot_slo_s) != self.slo_pin:
+                    raise ValueError(
+                        f"streaming run pinned SLOs {self.slo_pin}; "
+                        f"attainment for ({ttft_slo_s}, {tpot_slo_s}) "
+                        "was not counted (re-run with that pin)")
+                return self.slo_good_requests / eligible
             return 0.0
         tpots: List[Optional[float]] = self.tpots_s
         if tpots and len(tpots) != len(self.ttfts_s):
@@ -293,12 +493,20 @@ class ServingMetrics:
                 f"ttfts_s has {len(self.ttfts_s)} entries but tpots_s has "
                 f"{len(tpots)}; per-request lists must align index-for-index "
                 "(use None for requests without a TPOT sample)")
+        cached = self._slo_cache
+        if (cached is not None
+                and cached[:4] == (len(self.ttfts_s), len(tpots),
+                                   ttft_slo_s, tpot_slo_s)):
+            return cached[4]
         if not tpots:
             tpots = [None] * len(self.ttfts_s)
         good = sum(1 for ttft, tpot in zip(self.ttfts_s, tpots)
                    if ttft <= ttft_slo_s
                    and (tpot is None or tpot <= tpot_slo_s))
-        return good / len(self.ttfts_s)
+        result = good / len(self.ttfts_s)
+        self._slo_cache = (len(self.ttfts_s), len(self.tpots_s),
+                           ttft_slo_s, tpot_slo_s, result)
+        return result
 
     def slo_goodput_rps(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
         """SLO-meeting requests served per second of makespan."""
@@ -344,7 +552,7 @@ class ServingMetrics:
             "p99_latency_s": self.latency_percentile_s(0.99),
             "instance_utilization": self.instance_utilization,
         }
-        if self.ttfts_s:
+        if self.has_token_metrics:
             out.update({
                 "mean_ttft_s": self.mean_ttft_s,
                 "p50_ttft_s": self.ttft_percentile_s(0.50),
@@ -381,3 +589,86 @@ class ServingMetrics:
                 "handoff_time_s": self.handoff_time_s,
             })
         return out
+
+
+class StreamingMetricsCollector:
+    """O(1)-memory accumulator the engine feeds one finished request at a
+    time in ``metrics_mode="streaming"``.
+
+    Replaces the per-request record list: counters (requests, tokens,
+    preemptions, per-class totals) and means stay exact, latency
+    distributions go through :class:`StreamingQuantile`, and joint SLO
+    attainment is counted online against the SLO pair pinned at
+    construction (it cannot be recovered from marginal distributions
+    afterwards).  ``class_of_instance`` maps instance id → class label so
+    per-class counters survive without records.
+    """
+
+    __slots__ = ("count", "generated_tokens", "preemptions", "max_finish_s",
+                 "slo", "slo_good", "queueing", "latency", "service",
+                 "ttft", "tpot", "class_of_instance", "per_class")
+
+    def __init__(self, slo: Optional[Tuple[float, float]] = None,
+                 quantile_error: float = 0.005,
+                 class_of_instance: Optional[Dict[int, str]] = None) -> None:
+        self.count = 0
+        self.generated_tokens = 0
+        self.preemptions = 0
+        self.max_finish_s = 0.0
+        self.slo = slo
+        self.slo_good = 0
+        self.queueing = StreamingQuantile(quantile_error)
+        self.latency = StreamingQuantile(quantile_error)
+        self.service = StreamingQuantile(quantile_error)
+        self.ttft = StreamingQuantile(quantile_error)
+        self.tpot = StreamingQuantile(quantile_error)
+        self.class_of_instance = class_of_instance or {}
+        # label -> [requests, generated_tokens, preemptions,
+        #           ttft_count, ttft_sum_s]
+        self.per_class: Dict[str, List] = {}
+
+    def add(self, state, now: float) -> None:
+        """Fold in one finished request (``state`` is the engine's
+        :class:`~repro.serving.instance.RequestState` at completion)."""
+        request = state.request
+        arrival = request.arrival_s
+        admitted = state.admitted_s if state.admitted_s is not None else now
+        decode_len = state.decode_len
+        self.count += 1
+        self.generated_tokens += decode_len
+        self.preemptions += state.preemptions
+        if now > self.max_finish_s:
+            self.max_finish_s = now
+        self.queueing.add(admitted - arrival)
+        self.latency.add(now - arrival)
+        self.service.add(now - admitted)
+        first_token = state.first_token_s
+        ttft = tpot = None
+        if first_token is not None:
+            ttft = first_token - arrival
+            self.ttft.add(ttft)
+            if decode_len > 1:
+                tpot = (now - first_token) / (decode_len - 1)
+                self.tpot.add(tpot)
+            slo = self.slo
+            if (slo is not None and ttft <= slo[0]
+                    and (tpot is None or tpot <= slo[1])):
+                self.slo_good += 1
+        label = self.class_of_instance.get(state.instance_id)
+        if label is not None:
+            entry = self.per_class.get(label)
+            if entry is None:
+                entry = self.per_class[label] = [0, 0, 0, 0, 0.0]
+            entry[0] += 1
+            entry[1] += decode_len
+            entry[2] += state.preemptions
+            if ttft is not None:
+                entry[3] += 1
+                entry[4] += ttft
+
+    def streams(self) -> Dict[str, StreamingQuantile]:
+        """The aggregate dict :class:`ServingMetrics` exposes as
+        ``streams``."""
+        return {"queueing_delay": self.queueing, "latency": self.latency,
+                "service_time": self.service, "ttft": self.ttft,
+                "tpot": self.tpot}

@@ -60,6 +60,13 @@ class SchedulerPolicy:
 
     name = "base"
 
+    #: True when :meth:`preemption_victim` can never return a victim — the
+    #: engine's fast-forward optimisation relies on this to prove that a
+    #: full batch makes step boundaries inert (nothing to admit, nothing to
+    #: preempt).  Subclasses that override :meth:`preemption_victim` must
+    #: clear it.
+    never_preempts = True
+
     def __init__(self) -> None:
         self._heap: List[Tuple[tuple, int, object]] = []
         self._seq = itertools.count()
@@ -138,6 +145,7 @@ class PriorityScheduler(SchedulerPolicy):
     preempt strictly lower-priority running work when the batch is full."""
 
     name = "priority"
+    never_preempts = False
 
     def sort_key(self, entry) -> tuple:
         return (-entry.request.priority, entry.request.arrival_s,

@@ -7,6 +7,14 @@ log-normal-ish distributions clamped to the model's context window, with a
 fixed seed for reproducibility; :func:`replay_trace` loads recorded
 production traces (Azure-LLM-style CSV) into the same request format so the
 serving engine replays real arrival processes too.
+
+Two trace containers exist.  :class:`RequestTrace` materializes every
+request in a list — right for the goldens and anything that inspects the
+trace more than once.  :class:`StreamingTrace` holds a *recipe* (a factory
+returning a fresh iterator of arrival-sorted requests) so million-request
+traces flow through the engine without ever living in memory at once;
+:func:`synthetic_azure_trace` and ``replay_trace(..., streaming=True)``
+produce them.
 """
 
 from __future__ import annotations
@@ -15,14 +23,14 @@ import csv
 import gzip
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.workloads.scenarios import Scenario
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One request in a trace.
 
@@ -104,10 +112,50 @@ class RequestTrace:
         return [r.scenario for r in self.requests]
 
 
+@dataclass
+class StreamingTrace:
+    """A lazily generated, arrival-sorted request stream.
+
+    Holds a *factory* rather than a list: every ``iter()`` call builds a
+    fresh iterator, so the trace is re-playable (the engine, a validation
+    pass and a comparison run all see the same requests) while only a
+    bounded window of requests is ever alive.  ``length`` is the known
+    request count when the recipe implies one (synthetic generators);
+    file-backed streams of unknown length leave it ``None`` and ``len()``
+    raises.
+
+    Iteration order is the contract: requests must come out sorted by
+    ``(arrival_s, request_id)`` with ids assigned in arrival order, exactly
+    like a finalized :class:`RequestTrace` — the engine trusts this and
+    skips its re-sort.
+    """
+
+    factory: Callable[[], Iterator[Request]]
+    length: Optional[int] = None
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.factory())
+
+    def __len__(self) -> int:
+        if self.length is None:
+            raise TypeError("this StreamingTrace has no known length")
+        return self.length
+
+
+def _is_sorted_by_arrival(requests: Sequence[Request]) -> bool:
+    """True when arrivals are already non-decreasing (the common case for
+    generated and exported traces), so finalization can skip the sort."""
+    return all(requests[i].arrival_s <= requests[i + 1].arrival_s
+               for i in range(len(requests) - 1))
+
+
 def _finalize(requests: List[Request]) -> RequestTrace:
     """Sort by arrival time and reassign ids in arrival order (so FIFO
-    order equals id order) — the last step of every merged/loaded trace."""
-    ordered = sorted(requests, key=lambda r: r.arrival_s)
+    order equals id order) — the last step of every merged/loaded trace.
+    Already-sorted inputs (single-stream generators, exported production
+    dumps) skip the sort."""
+    ordered = (requests if _is_sorted_by_arrival(requests)
+               else sorted(requests, key=lambda r: r.arrival_s))
     return RequestTrace(requests=[
         Request(request_id=i, arrival_s=r.arrival_s, scenario=r.scenario,
                 tenant=r.tenant, priority=r.priority)
@@ -192,6 +240,85 @@ def bursty_trace(num_requests: int, seed: int = 0,
     return RequestTrace(requests=requests)
 
 
+def synthetic_azure_trace(num_requests: int = 1_000_000, seed: int = 0,
+                          mean_prefill: int = 128, mean_decode: int = 64,
+                          max_seq_len: int = 1024,
+                          mean_rate_per_s: float = 50.0,
+                          diurnal_amplitude: float = 0.5,
+                          day_length_s: float = 86_400.0,
+                          chunk_size: int = 65_536) -> StreamingTrace:
+    """An Azure-LLM-inference-shaped synthetic trace at production scale.
+
+    Mimics the published Azure LLM inference traces in the aggregate:
+    prompt-heavy log-normal length mix (short generations dominate),
+    Poisson arrivals whose rate swings sinusoidally over a simulated day
+    (``mean_rate_per_s`` scaled by ``1 + diurnal_amplitude * sin``), and a
+    single tenant.  Returns a :class:`StreamingTrace`: requests are drawn
+    lazily in ``chunk_size`` batches of vectorized numpy sampling, so a
+    ``num_requests=1_000_000`` trace streams through the engine without a
+    million-element list ever existing.  Same seed, same trace — every
+    iteration replays identical requests.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if mean_prefill <= 0 or mean_decode <= 0:
+        raise ValueError("means must be positive")
+    if max_seq_len <= 2:
+        raise ValueError("max_seq_len too small")
+    if mean_rate_per_s <= 0:
+        raise ValueError("arrival rate must be positive")
+    if not 0.0 <= diurnal_amplitude < 1.0:
+        raise ValueError("diurnal_amplitude must be in [0, 1)")
+    if day_length_s <= 0:
+        raise ValueError("day_length_s must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+
+    log_prefill = float(np.log(mean_prefill))
+    log_decode = float(np.log(mean_decode))
+    omega = 2.0 * np.pi / day_length_s
+
+    def generate() -> Iterator[Request]:
+        rng = np.random.default_rng(seed)
+        # Scenario objects repeat heavily under the clamped length model;
+        # interning them keeps per-request allocation to the Request itself.
+        scenarios: dict = {}
+        arrival = 0.0
+        request_id = 0
+        remaining = num_requests
+        while remaining > 0:
+            n = min(chunk_size, remaining)
+            remaining -= n
+            base_gaps = rng.exponential(1.0 / mean_rate_per_s, n)
+            # modulate each gap by the instantaneous diurnal rate at the
+            # (nominal) arrival instant; gaps stay positive so the stream
+            # stays sorted
+            nominal = arrival + np.cumsum(base_gaps)
+            rate_scale = 1.0 + diurnal_amplitude * np.sin(omega * nominal)
+            arrivals = arrival + np.cumsum(base_gaps / rate_scale)
+            prefills = np.clip(
+                rng.lognormal(log_prefill, 0.6, n), 1,
+                max_seq_len // 2).astype(np.int64)
+            decode_caps = max_seq_len - prefills - 1
+            decodes = np.minimum(np.clip(
+                rng.lognormal(log_decode, 0.6, n), 1, None).astype(np.int64),
+                decode_caps)
+            arrival = float(arrivals[-1])
+            arrivals_list = arrivals.tolist()
+            prefills_list = prefills.tolist()
+            decodes_list = decodes.tolist()
+            for i in range(n):
+                key = (prefills_list[i], decodes_list[i])
+                scenario = scenarios.get(key)
+                if scenario is None:
+                    scenario = scenarios[key] = Scenario(key[0], key[1])
+                yield Request(request_id=request_id,
+                              arrival_s=arrivals_list[i], scenario=scenario)
+                request_id += 1
+
+    return StreamingTrace(factory=generate, length=num_requests)
+
+
 #: Column layout :func:`replay_trace` expects (the Azure LLM inference
 #: trace shape: arrival offset, prompt tokens, output tokens, plus an
 #: optional tenant column for multi-tenant replays).
@@ -200,8 +327,9 @@ REPLAY_COLUMNS = ("arrival_s", "prompt_tokens", "output_tokens", "tenant")
 
 def replay_trace(path: Union[str, Path],
                  max_seq_len: int = 1024,
-                 column_map: Optional[Mapping[str, str]] = None
-                 ) -> RequestTrace:
+                 column_map: Optional[Mapping[str, str]] = None,
+                 streaming: bool = False
+                 ) -> Union[RequestTrace, "StreamingTrace"]:
     """Load an Azure-LLM-style CSV trace into the request format.
 
     Each row is ``arrival_s,prompt_tokens,output_tokens[,tenant]`` —
@@ -229,6 +357,16 @@ def replay_trace(path: Union[str, Path],
     and silently dropping malformed rows would bias every percentile.
     ``max_seq_len`` bounds ``prompt + output`` against the model's context
     window, again naming the row that exceeds it.
+
+    Parsing itself is a row-at-a-time generator — the whole CSV is never
+    materialized as text.  The default return is still a fully built
+    :class:`RequestTrace` (sorted, ids reassigned).  With
+    ``streaming=True`` the function instead returns a
+    :class:`StreamingTrace` that re-parses the file on every iteration and
+    keeps only one row alive at a time; the file must then already be
+    sorted by ``arrival_s`` (an out-of-order row raises ``ValueError``
+    naming it), ids are assigned in file order, and errors — including an
+    empty file — surface on iteration rather than at call time.
     """
     path = Path(path)
     if column_map is not None:
@@ -237,7 +375,43 @@ def replay_trace(path: Union[str, Path],
             raise ValueError(
                 f"column_map must map {', '.join(REPLAY_COLUMNS[:3])}; "
                 f"missing {', '.join(missing)}")
-    rows: List[Request] = []
+    if streaming:
+        return StreamingTrace(
+            factory=lambda: _stream_replay_rows(path, max_seq_len, column_map))
+    rows = list(_parse_replay_rows(path, max_seq_len, column_map))
+    if not rows:
+        raise ValueError(f"{path}: trace file contains no requests")
+    return _finalize(rows)
+
+
+def _stream_replay_rows(path: Path, max_seq_len: int,
+                        column_map: Optional[Mapping[str, str]]
+                        ) -> Iterator[Request]:
+    """Streaming replay: parsed rows with ids assigned in file order,
+    enforcing that the file is already arrival-sorted."""
+    last_arrival = float("-inf")
+    request_id = -1
+    for request_id, request in enumerate(
+            _parse_replay_rows(path, max_seq_len, column_map)):
+        if request.arrival_s < last_arrival:
+            raise ValueError(
+                f"{path}: streaming replay needs an arrival-sorted file, "
+                f"but request {request_id} arrives at {request.arrival_s} "
+                f"after one at {last_arrival}; load it with "
+                "streaming=False to sort in memory")
+        last_arrival = request.arrival_s
+        yield Request(request_id=request_id, arrival_s=request.arrival_s,
+                      scenario=request.scenario, tenant=request.tenant,
+                      priority=request.priority)
+    if request_id < 0:
+        raise ValueError(f"{path}: trace file contains no requests")
+
+
+def _parse_replay_rows(path: Path, max_seq_len: int,
+                       column_map: Optional[Mapping[str, str]]
+                       ) -> Iterator[Request]:
+    """Yield one :class:`Request` (id 0) per CSV row, never holding the
+    whole file: the shared parsing core of both replay modes."""
     first_data_row = True
     indices: Optional[List[int]] = None
     tenant_index: Optional[int] = None
@@ -318,12 +492,8 @@ def replay_trace(path: Union[str, Path],
                     f"{prompt + output} exceeds the {max_seq_len}-token "
                     "context window")
             tenant = cells[3] if len(cells) == 4 and cells[3] else "default"
-            rows.append(Request(request_id=0, arrival_s=arrival,
-                                scenario=Scenario(prompt, output),
-                                tenant=tenant))
-    if not rows:
-        raise ValueError(f"{path}: trace file contains no requests")
-    return _finalize(rows)
+            yield Request(request_id=0, arrival_s=arrival,
+                          scenario=Scenario(prompt, output), tenant=tenant)
 
 
 @dataclass(frozen=True)

@@ -24,28 +24,42 @@ from repro.cli import main
 DOCS = Path(__file__).resolve().parent.parent / "docs"
 SERVING_MD = DOCS / "serving.md"
 ARCHITECTURE_MD = DOCS / "ARCHITECTURE.md"
+PERFORMANCE_MD = DOCS / "performance.md"
 README = Path(__file__).resolve().parent.parent / "README.md"
 
 
 def _documented_cli_commands():
-    """CLI invocations inside ```bash fences of docs/serving.md."""
-    text = SERVING_MD.read_text()
+    """CLI invocations inside ```bash fences of the serving-facing docs."""
     commands = []
-    for fence in re.findall(r"```bash\n(.*?)```", text, flags=re.DOTALL):
-        for line in fence.splitlines():
-            line = line.strip()
-            if line.startswith("PYTHONPATH=src python -m repro.cli"):
-                argv = shlex.split(line)[3:]  # drop env + python -m repro.cli
-                commands.append(argv[1:])     # drop the module path itself
+    for doc in (SERVING_MD, PERFORMANCE_MD):
+        text = doc.read_text()
+        for fence in re.findall(r"```bash\n(.*?)```", text, flags=re.DOTALL):
+            for line in fence.splitlines():
+                line = line.strip()
+                if line.startswith("PYTHONPATH=src python -m repro.cli"):
+                    argv = shlex.split(line)[3:]  # drop env + python -m ...
+                    commands.append(argv[1:])     # drop the module path
     return commands
 
 
 def test_docs_exist_and_are_linked_from_readme():
     assert SERVING_MD.is_file()
     assert ARCHITECTURE_MD.is_file()
+    assert PERFORMANCE_MD.is_file()
     readme = README.read_text()
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/serving.md" in readme
+    assert "docs/performance.md" in readme
+
+
+def test_performance_md_cross_links():
+    """performance.md is reachable from the architecture overview and
+    names the artifacts it cites, so the numbers stay auditable."""
+    assert "performance.md" in ARCHITECTURE_MD.read_text()
+    text = PERFORMANCE_MD.read_text()
+    assert "BENCH_serving_perf.json" in text
+    assert "test_bench_perf.py" in text
+    assert "--metrics-mode streaming" in text
 
 
 def test_serving_md_doctests():

@@ -7,6 +7,7 @@ import pytest
 from repro.analysis.serving import run_policy
 from repro.workloads.traces import (
     BurstyTenantSpec,
+    StreamingTrace,
     bursty_multi_tenant_trace,
     replay_trace,
 )
@@ -206,3 +207,66 @@ class TestBurstyMultiTenantTrace:
             BurstyTenantSpec("", num_requests=1)
         with pytest.raises(ValueError):
             BurstyTenantSpec("x", num_requests=0)
+
+
+class TestStreamingReplay:
+    """``replay_trace(streaming=True)``: production dumps replay with one
+    row alive at a time."""
+
+    SORTED = "0.0,32,64,chat\n0.25,16,32\n1.5,64,128,batch\n"
+
+    def test_returns_lazy_reiterable_stream(self, tmp_path):
+        path = _write(tmp_path, self.SORTED)
+        stream = replay_trace(path, streaming=True)
+        assert isinstance(stream, StreamingTrace)
+        first = list(stream)
+        second = list(stream)  # a fresh iterator re-parses the file
+        assert first == second
+        assert [r.request_id for r in first] == [0, 1, 2]
+        assert [r.tenant for r in first] == ["chat", "default", "batch"]
+
+    def test_unknown_length_raises(self, tmp_path):
+        path = _write(tmp_path, self.SORTED)
+        stream = replay_trace(path, streaming=True)
+        with pytest.raises(TypeError, match="no known length"):
+            len(stream)
+
+    def test_out_of_order_file_names_the_request(self, tmp_path):
+        path = _write(tmp_path, "1.0,32,64\n0.5,16,32\n")
+        stream = replay_trace(path, streaming=True)
+        with pytest.raises(ValueError, match="sorted"):
+            list(stream)
+
+    def test_errors_surface_on_iteration_not_at_call_time(self, tmp_path):
+        path = _write(tmp_path, "")
+        stream = replay_trace(path, streaming=True)  # no error yet
+        with pytest.raises(ValueError, match="no requests"):
+            list(stream)
+
+    def test_gzip_and_column_map_compose_with_streaming(self, tmp_path):
+        sorted_azure = ("TIMESTAMP,ContextTokens,GeneratedTokens,Deployment\n"
+                        "0.0,32,64,gpt-chat\n"
+                        "0.25,16,32,gpt-chat\n"
+                        "1.5,64,128,gpt-batch\n")
+        path = tmp_path / "dump.csv.gz"
+        with gzip.open(path, "wt", newline="") as handle:
+            handle.write(sorted_azure)
+        stream = replay_trace(path, streaming=True,
+                              column_map=dict(
+                                  arrival_s="TIMESTAMP",
+                                  prompt_tokens="ContextTokens",
+                                  output_tokens="GeneratedTokens",
+                                  tenant="Deployment"))
+        rows = list(stream)
+        assert [r.prefill_len for r in rows] == [32, 16, 64]
+        assert [r.tenant for r in rows] == \
+            ["gpt-chat", "gpt-chat", "gpt-batch"]
+
+    def test_streamed_file_serves_identically_to_materialized(self, tmp_path):
+        path = _write(tmp_path, self.SORTED * 1)
+        stream = replay_trace(path, streaming=True)
+        materialized = replay_trace(path)
+        metrics_stream, records_stream = run_policy(stream, "fifo")
+        metrics_mat, records_mat = run_policy(materialized, "fifo")
+        assert records_stream == records_mat
+        assert metrics_stream.summary() == metrics_mat.summary()
