@@ -39,6 +39,7 @@ def run_policy(trace: RequestTrace, policy: str,
                instances: Optional[Union[str, ClusterSpec]] = None,
                router: str = "round_robin",
                swap_priority: bool = False,
+               kv_prefix_sharing: bool = False,
                **engine_kwargs):
     """Run ``trace`` under one policy and return ``(metrics, records)``.
 
@@ -74,10 +75,19 @@ def run_policy(trace: RequestTrace, policy: str,
       ``kv_budget_bytes`` defaults to the node's full HBM share net of
       weights.  ``preemption_mode`` picks what eviction does to a victim's
       blocks (``"swap"`` to host over PCIe, ``"recompute"`` discard).
+
+    ``kv_prefix_sharing`` (paged mode only) content-hashes full prompt
+    blocks into per-pool prefix indices so requests sharing a prompt prefix
+    reuse cached blocks (copy-on-write on divergence) and skip the matched
+    prefill tokens.  Off by default — historical runs stay bit-identical.
     """
     if kv_mode not in KV_MODES:
         raise ValueError(f"unknown kv mode {kv_mode!r}; "
                          f"known: {', '.join(KV_MODES)}")
+    if kv_prefix_sharing and kv_mode != "paged":
+        raise ValueError(
+            "kv_prefix_sharing builds prefix indices into the paged block "
+            "pools; it requires kv_mode='paged'")
     if policy == FIFO_EXCLUSIVE:
         if kv_budget_bytes is not None or kv_mode == "paged":
             raise ValueError(
@@ -116,6 +126,7 @@ def run_policy(trace: RequestTrace, policy: str,
                      else "reserve" if kv_budget_bytes is not None else None),
             kv_budget_bytes=kv_budget_bytes,
             kv_block_size=kv_block_size,
+            kv_prefix_sharing=kv_prefix_sharing,
             preemption_mode=preemption_mode,
             swap_priority=swap_priority,
             **engine_kwargs)
@@ -129,7 +140,8 @@ def run_policy(trace: RequestTrace, policy: str,
             num_nodes=num_nodes_per_instance)
         kv_block_manager = PagedKVManager.for_system(
             system, block_size_tokens=kv_block_size,
-            budget_bytes=kv_budget_bytes)
+            budget_bytes=kv_budget_bytes,
+            prefix_sharing=kv_prefix_sharing)
         engine_kwargs = dict(engine_kwargs, system=system)
     elif kv_budget_bytes is not None:
         system = LoopLynxSystem.paper_configuration(
@@ -289,7 +301,8 @@ def router_comparison(trace: RequestTrace, instances: Union[str, ClusterSpec],
                       kv_block_size: int = 16,
                       preemption_mode: str = "swap",
                       prefill_mode: str = "exclusive",
-                      swap_priority: bool = False
+                      swap_priority: bool = False,
+                      kv_prefix_sharing: bool = False
                       ) -> List[Dict[str, object]]:
     """Serve one trace on the same cluster under each router and tabulate
     the summaries side by side.
@@ -309,9 +322,13 @@ def router_comparison(trace: RequestTrace, instances: Union[str, ClusterSpec],
                                 kv_mode=kv_mode, kv_block_size=kv_block_size,
                                 preemption_mode=preemption_mode,
                                 prefill_mode=prefill_mode,
-                                swap_priority=swap_priority)
+                                swap_priority=swap_priority,
+                                kv_prefix_sharing=kv_prefix_sharing)
         row = metrics_row(router, metrics)
         row["P95 TTFT (s)"] = metrics.ttft_percentile_s(0.95)
+        if kv_prefix_sharing:
+            row["Prefix hits"] = metrics.prefix_hits
+            row["Prefill tokens saved"] = metrics.prefill_tokens_saved
         rows.append(row)
     return rows
 
@@ -398,6 +415,7 @@ def class_breakdown(metrics) -> List[Dict[str, object]]:
     the role column is what makes that legible.
     """
     disaggregated = any(cls.role != "both" for cls in metrics.per_class)
+    sharing = getattr(metrics, "kv_prefix_sharing", False)
     rows = []
     for cls in metrics.per_class:
         row: Dict[str, object] = {
@@ -418,6 +436,9 @@ def class_breakdown(metrics) -> List[Dict[str, object]]:
         if cls.kv_total_blocks:
             row["KV occupancy"] = cls.mean_kv_occupancy
             row["Swaps"] = cls.swap_out_count
+        if sharing:
+            row["Prefix hits"] = cls.prefix_hits
+            row["Prefill saved"] = cls.prefill_tokens_saved
         rows.append(row)
     return rows
 

@@ -18,6 +18,7 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH=src``)::
     python -m repro.cli serve --instances 2x1n,1x2n --compare-router
     python -m repro.cli serve --instances 1x4n:prefill,4x1n:decode --router disaggregated --kv-mode paged
     python -m repro.cli serve --instances 1x4n:prefill,4x1n:decode --kv-mode paged --compare-disaggregation
+    python -m repro.cli serve --trace multiturn --kv-mode paged --kv-prefix-sharing --instances 2x1n,2x2n --router prefix_aware
     python -m repro.cli serve --trace-file trace.csv --policy sjf
     python -m repro.cli serve --trace bursty --metrics-mode streaming
 
@@ -127,12 +128,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                         tenant_breakdown)
     from repro.serving.cluster import parse_cluster_spec
     from repro.workloads.traces import (bursty_trace, multi_tenant_trace,
-                                        replay_trace, synthetic_trace)
+                                        multi_turn_trace, replay_trace,
+                                        synthetic_trace)
 
     generators = {
         "steady": synthetic_trace,
         "bursty": bursty_trace,
         "multitenant": multi_tenant_trace,
+        "multiturn": multi_turn_trace,
     }
     try:
         if args.trace_file is not None:
@@ -164,7 +167,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                  else args.kv_budget_mib * (1 << 20))
     title = f"Serving {len(trace)} {trace_label} requests on {pool_label}"
     cluster_kwargs = dict(instances=cluster_spec, router=args.router,
-                          swap_priority=args.swap_priority)
+                          swap_priority=args.swap_priority,
+                          kv_prefix_sharing=args.kv_prefix_sharing)
     try:
         if args.metrics_mode != "full" and (
                 args.compare or args.compare_kv or args.compare_prefill
@@ -183,10 +187,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print("serve: disaggregation hands off paged KV block "
                       "tables; add --kv-mode paged", file=sys.stderr)
                 return 2
-            if args.swap_priority:
-                print("serve: --swap-priority is not threaded through the "
-                      "comparison tables; drop it or run a single "
-                      "configuration", file=sys.stderr)
+            if args.swap_priority or args.kv_prefix_sharing:
+                print("serve: --swap-priority/--kv-prefix-sharing are not "
+                      "threaded through this comparison table; drop them "
+                      "or run a single configuration", file=sys.stderr)
                 return 2
             if args.router not in ("round_robin", "disaggregated"):
                 # (round_robin is the argparse default, i.e. unset)
@@ -217,7 +221,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 kv_block_size=args.kv_block_size,
                 preemption_mode=args.preemption_mode,
                 prefill_mode=args.prefill_mode,
-                swap_priority=args.swap_priority)
+                swap_priority=args.swap_priority,
+                kv_prefix_sharing=args.kv_prefix_sharing)
             print(format_table(
                 rows, title=f"{title} — router comparison"))
             if not cluster_spec.is_heterogeneous:
@@ -230,10 +235,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       "tabulate homogeneous pools; use --compare-router "
                       "for cluster specs", file=sys.stderr)
                 return 2
-            if args.swap_priority:
-                print("serve: --swap-priority is not threaded through the "
-                      "comparison tables; drop it or run a single "
-                      "configuration", file=sys.stderr)
+            if args.swap_priority or args.kv_prefix_sharing:
+                print("serve: --swap-priority/--kv-prefix-sharing are not "
+                      "threaded through these comparison tables; drop them "
+                      "or run a single configuration", file=sys.stderr)
                 return 2
         if args.compare_prefill:
             if args.policy == "fifo-exclusive":
@@ -375,8 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = subparsers.add_parser(
         "serve", help="run a request trace through the token-level serving engine")
-    sub.add_argument("--trace", choices=("steady", "bursty", "multitenant"),
-                     default="steady")
+    sub.add_argument("--trace",
+                     choices=("steady", "bursty", "multitenant", "multiturn"),
+                     default="steady",
+                     help="workload generator; 'multiturn' replays chat "
+                          "sessions whose every turn re-sends the prior "
+                          "transcript (the prefix-sharing workload)")
     sub.add_argument("--trace-file", default=None, metavar="CSV",
                      help="replay a recorded trace instead of generating "
                           "one: CSV rows of arrival_s,prompt_tokens,"
@@ -399,12 +408,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "--instances only; cluster specs carry their own)")
     sub.add_argument("--router",
                      choices=("round_robin", "least_loaded", "kv_aware",
-                              "class_affinity", "disaggregated"),
+                              "class_affinity", "disaggregated",
+                              "prefix_aware"),
                      default="round_robin",
                      help="cluster-routing policy for heterogeneous "
                           "--instances specs (single-class pools behave "
                           "identically under every router); 'disaggregated' "
-                          "matches requests to prefill/decode roles")
+                          "matches requests to prefill/decode roles; "
+                          "'prefix_aware' prefers the instance caching the "
+                          "longest prompt prefix (use with "
+                          "--kv-prefix-sharing)")
     sub.add_argument("--swap-priority", action="store_true",
                      help="paged swap mode: resume an instance's own "
                           "swapped-out requests ahead of new admissions "
@@ -421,6 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "(PR 1 behaviour) or on-demand paged blocks")
     sub.add_argument("--kv-block-size", type=int, default=16,
                      help="cached token positions per paged KV block")
+    sub.add_argument("--kv-prefix-sharing", action="store_true",
+                     help="paged mode: content-hash full prompt blocks so "
+                          "requests sharing a prompt prefix reuse cached "
+                          "blocks (copy-on-write on divergence) and skip "
+                          "the matched prefill tokens")
     sub.add_argument("--preemption-mode", choices=("swap", "recompute"),
                      default="swap",
                      help="paged-mode eviction: swap blocks to host over "

@@ -24,7 +24,17 @@ This module models that scheme on top of the head-wise
   modeled host-memory tier over PCIe
   (:func:`PagedKVManager.swap_transfer_s` prices the transfer with the same
   :class:`~repro.network.link.LinkConfig` cycle model the ring links use)
-  and later swapped back in, resuming the request without recomputation.
+  and later swapped back in, resuming the request without recomputation;
+* with ``prefix_sharing=True`` the pool additionally keeps a **prefix
+  index**: every full block of a *completed* prompt is registered under a
+  chain hash (``hash((parent_hash, token_chunk))`` over the request's
+  ``prompt_token_ids``), later requests whose prompt matches reuse the
+  physical blocks with a per-block **refcount**, the final partially-reused
+  block is **copied on write** before the matching request recomputes its
+  last prompt token, and blocks whose refcount drops to zero linger in an
+  LRU *reclaimable* tier (still indexed, still device-resident) until pool
+  pressure recycles them — so a finished conversation turn can seed the
+  next turn's arrival, vLLM / rtp-llm flexlb style.
 
 Units: capacities are counted in blocks and cached token positions per node
 (the most-loaded node under uneven head splits), byte figures are per-node
@@ -53,6 +63,13 @@ DEFAULT_HOST_LINK = LinkConfig(
     hop_latency_cycles=2048,
     datapack_bytes=64,
 )
+
+#: Seed of the per-block chain hash.  The chain folds each full block's
+#: token-id chunk over its parent's hash, so equal hashes imply equal
+#: *whole prefixes*, not just equal blocks.  ``hash`` over int tuples is
+#: deterministic across processes (only str/bytes hashing is salted), so
+#: shared-mode runs stay bit-reproducible.
+PREFIX_HASH_SEED = 0x9E3779B9
 
 
 @dataclass
@@ -105,12 +122,17 @@ class PagedKVManager:
     nodes_per_card:
         Accelerator nodes sharing one card (and therefore one PCIe link);
         swaps of a multi-card deployment proceed card-parallel.
+    prefix_sharing:
+        Enable the hash-indexed prefix cache (OFF by default — with the
+        flag off every code path is byte-identical to the private-blocks
+        manager, which the golden-timestamp pins rely on).
     """
 
     def __init__(self, layout: KVCacheLayout, block_size_tokens: int = 16,
                  budget_bytes: Optional[int] = None,
                  host_link: Optional[LinkConfig] = None,
-                 nodes_per_card: int = 2) -> None:
+                 nodes_per_card: int = 2,
+                 prefix_sharing: bool = False) -> None:
         if block_size_tokens <= 0:
             raise ValueError("block_size_tokens must be positive")
         if nodes_per_card <= 0:
@@ -124,17 +146,28 @@ class PagedKVManager:
         self.budget_bytes = int(budget_bytes)
         self.host_link = host_link or DEFAULT_HOST_LINK
         self.nodes_per_card = int(nodes_per_card)
+        self.prefix_sharing = bool(prefix_sharing)
         capacity_tokens = layout.max_cached_tokens(self.budget_bytes)
         #: Total device blocks in the pool (per node; every node holds its
         #: head-share of each block, so the count is uniform across nodes).
         self.total_blocks = capacity_tokens // self.block_size_tokens
         self._free: List[int] = list(range(self.total_blocks - 1, -1, -1))
         self._tables: Dict[int, BlockTable] = {}
+        # prefix-sharing state (all empty and untouched when the flag is off)
+        self._ref: Dict[int, int] = {}           # block id -> live refcount
+        self._prefix_index: Dict[int, int] = {}  # chain hash -> block id
+        self._block_hash: Dict[int, int] = {}    # registered block -> hash
+        #: ref==0 registered blocks, insertion order == LRU reclaim order
+        self._reclaimable: Dict[int, None] = {}
+        self._multi_ref = 0                      # blocks with refcount >= 2
         # lifetime counters (monotonic; survive free())
         self.peak_used_blocks = 0
         self.swap_out_count = 0
         self.swap_in_count = 0
         self.swapped_bytes_total = 0
+        self.prefix_hits = 0
+        self.prefix_tokens_reused = 0
+        self.cow_copies = 0
 
     # ------------------------------------------------------------------
     # constructors
@@ -143,7 +176,8 @@ class PagedKVManager:
     def for_system(system, block_size_tokens: int = 16,
                    budget_bytes: Optional[int] = None,
                    kv_bytes_per_element: int = 1,
-                   host_link: Optional[LinkConfig] = None) -> "PagedKVManager":
+                   host_link: Optional[LinkConfig] = None,
+                   prefix_sharing: bool = False) -> "PagedKVManager":
         """Build a manager for a :class:`~repro.core.multi_node.LoopLynxSystem`.
 
         ``budget_bytes`` defaults to the node's HBM share net of resident
@@ -160,14 +194,15 @@ class PagedKVManager:
                 nodes_per_card=system.config.nodes_per_card)
         return PagedKVManager(layout, block_size_tokens=block_size_tokens,
                               budget_bytes=budget_bytes, host_link=host_link,
-                              nodes_per_card=system.config.nodes_per_card)
+                              nodes_per_card=system.config.nodes_per_card,
+                              prefix_sharing=prefix_sharing)
 
     def clone_empty(self) -> "PagedKVManager":
         """A fresh manager with the same configuration and no allocations
         (the engine gives each instance, and each run, its own pool)."""
         return PagedKVManager(self.layout, self.block_size_tokens,
                               self.budget_bytes, self.host_link,
-                              self.nodes_per_card)
+                              self.nodes_per_card, self.prefix_sharing)
 
     # ------------------------------------------------------------------
     # sizes and occupancy
@@ -180,11 +215,33 @@ class PagedKVManager:
 
     @property
     def used_blocks(self) -> int:
-        return self.total_blocks - len(self._free)
+        """Blocks referenced by at least one live block table (excludes the
+        reclaimable prefix-cache tier, which is free capacity on demand)."""
+        return self.total_blocks - self.free_blocks
 
     @property
     def free_blocks(self) -> int:
-        return len(self._free)
+        """Blocks an allocation could take right now: the free list plus
+        ref==0 cached prefix blocks (reclaimed LRU-first under pressure)."""
+        return len(self._free) + len(self._reclaimable)
+
+    @property
+    def cached_blocks(self) -> int:
+        """Device-resident prefix-cache blocks no request references."""
+        return len(self._reclaimable)
+
+    @property
+    def shared_blocks(self) -> int:
+        """Device blocks currently referenced by two or more requests."""
+        return self._multi_ref
+
+    @property
+    def shared_block_fraction(self) -> float:
+        """Fraction of the pool serving the prefix cache: blocks referenced
+        by multiple requests plus idle cached blocks awaiting reuse."""
+        if self.total_blocks == 0:
+            return 0.0
+        return (self._multi_ref + len(self._reclaimable)) / self.total_blocks
 
     @property
     def occupancy_fraction(self) -> float:
@@ -241,28 +298,199 @@ class PagedKVManager:
         Returns False without side effects when the free pool cannot supply
         the missing blocks — the caller must preempt someone and retry.
         """
-        table = self._tables.setdefault(request_id, BlockTable(request_id))
-        if table.is_swapped:
+        table = self._tables.get(request_id)
+        if table is not None and table.is_swapped:
             raise RuntimeError(
                 f"request {request_id} is swapped out; swap_in() it first")
-        missing = self.blocks_needed(target_tokens) - len(table.device_blocks)
-        if missing > len(self._free):
+        held = 0 if table is None else len(table.device_blocks)
+        missing = self.blocks_needed(target_tokens) - held
+        if missing > self.free_blocks:
             return False
-        for _ in range(max(missing, 0)):
-            table.device_blocks.append(self._free.pop())
+        if table is None:
+            table = self._tables[request_id] = BlockTable(request_id)
+        if self.prefix_sharing:
+            for _ in range(max(missing, 0)):
+                block = self._take_block()
+                self._ref[block] = 1
+                table.device_blocks.append(block)
+        else:
+            for _ in range(max(missing, 0)):
+                table.device_blocks.append(self._free.pop())
         table.cached_tokens = max(table.cached_tokens, target_tokens)
         self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
         return True
 
     def free(self, request_id: int) -> int:
         """Release every block (device and host) a request holds; returns
-        the number of device blocks returned to the pool."""
+        the number of device blocks this request held exclusively (shared
+        prefix blocks merely drop a reference — blocks other requests still
+        hold, and registered blocks whose refcount hits zero, stay
+        device-resident)."""
         table = self._tables.pop(request_id, None)
         if table is None:
             return 0
-        released = len(table.device_blocks)
-        self._free.extend(reversed(table.device_blocks))
+        if not self.prefix_sharing:
+            released = len(table.device_blocks)
+            self._free.extend(reversed(table.device_blocks))
+            return released
+        released = 0
+        for block in table.device_blocks:
+            if self._ref[block] == 1:
+                released += 1
+            self._deref(block)
         return released
+
+    # ------------------------------------------------------------------
+    # prefix sharing (hash-indexed block reuse with copy-on-write)
+    # ------------------------------------------------------------------
+    def _take_block(self) -> int:
+        """Pop a physical block: the free list first, then the oldest
+        reclaimable cached block (which is deregistered from the index)."""
+        if self._free:
+            return self._free.pop()
+        block = next(iter(self._reclaimable))
+        del self._reclaimable[block]
+        chain_hash = self._block_hash.pop(block)
+        del self._prefix_index[chain_hash]
+        return block
+
+    def _addref(self, block: int) -> None:
+        refs = self._ref.get(block, 0) + 1
+        self._ref[block] = refs
+        if refs == 2:
+            self._multi_ref += 1
+        elif refs == 1:
+            self._reclaimable.pop(block, None)
+
+    def _deref(self, block: int) -> None:
+        refs = self._ref[block] - 1
+        if refs == 0:
+            del self._ref[block]
+            if block in self._block_hash:
+                self._reclaimable[block] = None
+            else:
+                self._free.append(block)
+        else:
+            self._ref[block] = refs
+            if refs == 1:
+                self._multi_ref -= 1
+
+    def _match_chain(self, token_ids) -> List[int]:
+        """Block ids of the longest indexed chain-hash prefix of
+        ``token_ids`` (full blocks only — a partial tail never matches)."""
+        matched: List[int] = []
+        chain = PREFIX_HASH_SEED
+        size = self.block_size_tokens
+        index = self._prefix_index
+        for i in range(len(token_ids) // size):
+            chain = hash((chain, tuple(token_ids[i * size:(i + 1) * size])))
+            block = index.get(chain)
+            if block is None:
+                break
+            matched.append(block)
+        return matched
+
+    def match_prefix_tokens(self, token_ids) -> int:
+        """Prompt positions a request with this token-id prefix could reuse
+        from the pool right now (read-only; the cache-aware router's score).
+
+        Always leaves at least one prompt token to recompute — a fully
+        matched prompt still needs a prefill step to produce its first
+        logits, exactly like vLLM's recompute-the-last-block rule.
+        """
+        if not self.prefix_sharing or not token_ids:
+            return 0
+        matched = len(self._match_chain(token_ids))
+        if not matched:
+            return 0
+        return min(matched * self.block_size_tokens, len(token_ids) - 1)
+
+    def allocate_prefix(self, request_id: int, target_tokens: int,
+                        token_ids) -> Optional[int]:
+        """First allocation for a request carrying prompt token ids: reuse
+        every indexed prefix block (bumping refcounts), copy-on-write the
+        final matched block when the request must rewrite its last prompt
+        token into a block someone else holds, and allocate fresh blocks up
+        to ``target_tokens``.
+
+        Returns the number of reused prompt positions, or ``None`` without
+        side effects when the pool cannot supply the fresh blocks (same
+        contract as :meth:`allocate` returning False).
+        """
+        if not self.prefix_sharing:
+            return 0 if self.allocate(request_id, target_tokens) else None
+        table = self._tables.get(request_id)
+        if table is not None and (table.device_blocks or table.is_swapped
+                                  or table.cached_tokens):
+            raise RuntimeError(
+                f"request {request_id} already holds KV here; prefix "
+                "allocation only applies to a fresh table")
+        matched_ids = self._match_chain(token_ids) if token_ids else []
+        matched_tokens = 0
+        if matched_ids:
+            matched_tokens = min(len(matched_ids) * self.block_size_tokens,
+                                 len(token_ids) - 1)
+        # COW: the last matched block is only partially reused (the final
+        # prompt token will be recomputed and rewritten); if another request
+        # also references it, the write must go to a private copy.
+        cow = bool(matched_ids) \
+            and matched_tokens < len(matched_ids) * self.block_size_tokens \
+            and self._ref.get(matched_ids[-1], 0) >= 1
+        fresh = max(0, self.blocks_needed(target_tokens) - len(matched_ids))
+        takes = fresh + (1 if cow else 0)
+        resurrected = sum(1 for b in matched_ids if b in self._reclaimable)
+        if takes > self.free_blocks - resurrected:
+            return None
+        shared = matched_ids[:-1] if cow else matched_ids
+        for block in shared:
+            self._addref(block)
+        blocks = list(shared)
+        if cow:
+            copy = self._take_block()
+            self._ref[copy] = 1
+            blocks.append(copy)
+            self.cow_copies += 1
+        for _ in range(fresh):
+            block = self._take_block()
+            self._ref[block] = 1
+            blocks.append(block)
+        if table is None:
+            table = self._tables.setdefault(request_id,
+                                            BlockTable(request_id))
+        table.device_blocks = blocks
+        table.cached_tokens = max(target_tokens, matched_tokens)
+        self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
+        if matched_tokens > 0:
+            self.prefix_hits += 1
+            self.prefix_tokens_reused += matched_tokens
+        return matched_tokens
+
+    def register_prefix(self, request_id: int, token_ids) -> int:
+        """Index the full prompt blocks of a *completed* prefill so later
+        matching prompts can reuse them; returns the number of newly
+        registered blocks.  Idempotent: blocks whose chain hash is already
+        indexed (including blocks this request itself reused) are skipped.
+        """
+        if not self.prefix_sharing or not token_ids:
+            return 0
+        table = self._tables.get(request_id)
+        if table is None or table.is_swapped:
+            return 0
+        size = self.block_size_tokens
+        full_blocks = min(len(token_ids) // size, len(table.device_blocks))
+        chain = PREFIX_HASH_SEED
+        registered = 0
+        for i in range(full_blocks):
+            chain = hash((chain, tuple(token_ids[i * size:(i + 1) * size])))
+            if chain in self._prefix_index:
+                continue
+            block = table.device_blocks[i]
+            if block in self._block_hash:
+                continue
+            self._prefix_index[chain] = block
+            self._block_hash[block] = chain
+            registered += 1
+        return registered
 
     # ------------------------------------------------------------------
     # swap tier
@@ -279,7 +507,15 @@ class PagedKVManager:
         if table.is_swapped:
             raise RuntimeError(f"request {request_id} is already swapped out")
         num_blocks = len(table.device_blocks)
-        self._free.extend(reversed(table.device_blocks))
+        if self.prefix_sharing:
+            # The host snapshot is private and complete (full PCIe bytes);
+            # device-side, shared prefix blocks just drop this request's
+            # reference and stay resident for the other holders / the
+            # reclaimable cache.
+            for block in table.device_blocks:
+                self._deref(block)
+        else:
+            self._free.extend(reversed(table.device_blocks))
         table.device_blocks = []
         table.host_blocks = num_blocks
         bytes_total = self._swap_bytes_total(num_blocks)
@@ -302,13 +538,22 @@ class PagedKVManager:
         table = self._tables[request_id]
         if not table.is_swapped:
             raise RuntimeError(f"request {request_id} is not swapped out")
-        if table.host_blocks > len(self._free):
+        if table.host_blocks > self.free_blocks:
             raise RuntimeError(
                 f"cannot swap request {request_id} in: needs "
-                f"{table.host_blocks} blocks, {len(self._free)} free")
+                f"{table.host_blocks} blocks, {self.free_blocks} free")
         num_blocks = table.host_blocks
-        for _ in range(num_blocks):
-            table.device_blocks.append(self._free.pop())
+        if self.prefix_sharing:
+            # Swap-in restores a private snapshot: the request no longer
+            # shares blocks with anyone (its prefix references were dropped
+            # at swap-out) and its prompt blocks are not re-registered.
+            for _ in range(num_blocks):
+                block = self._take_block()
+                self._ref[block] = 1
+                table.device_blocks.append(block)
+        else:
+            for _ in range(num_blocks):
+                table.device_blocks.append(self._free.pop())
         table.host_blocks = 0
         bytes_total = self._swap_bytes_total(num_blocks)
         self.swap_in_count += 1

@@ -55,7 +55,12 @@ Provided routers (``serve --router``):
   of cluster nodes;
 * ``disaggregated`` — role matching for prefill/decode-tagged clusters:
   fresh requests go to prefill-capable instances, handed-off requests to
-  the decode instance holding their KV, least-loaded first within a role.
+  the decode instance holding their KV, least-loaded first within a role;
+* ``prefix_aware`` — cache-status-aware: the instance whose prefix index
+  holds the longest match for the queue head's prompt pulls first (swap
+  affinity still wins outright; ties fall back to least-loaded).  Only
+  useful with ``--kv-prefix-sharing``; without it every match is zero and
+  the router degrades to least-loaded.
 
 Units: node counts are accelerator nodes per instance, KV budgets are bytes
 per node, prompt lengths are tokens.
@@ -69,7 +74,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Router names accepted by the engine and the ``serve --router`` flag.
 ROUTER_NAMES = ("round_robin", "least_loaded", "kv_aware", "class_affinity",
-                "disaggregated")
+                "disaggregated", "prefix_aware")
 
 #: Serving roles an :class:`InstanceSpec` may carry.  ``"both"`` (default)
 #: serves requests end-to-end; ``"prefill"`` computes prompts only and hands
@@ -236,10 +241,13 @@ def parse_cluster_spec(text: str) -> ClusterSpec:
             raise ValueError(
                 f"bad instance spec {entry!r}: unknown role {role!r}; "
                 f"known: {', '.join(INSTANCE_ROLES)}")
-        specs.append(InstanceSpec(count=int(match.group(1)),
-                                  num_nodes=int(match.group(2)),
-                                  kv_budget_bytes=budget,
-                                  role=role))
+        try:
+            specs.append(InstanceSpec(count=int(match.group(1)),
+                                      num_nodes=int(match.group(2)),
+                                      kv_budget_bytes=budget,
+                                      role=role))
+        except ValueError as exc:
+            raise ValueError(f"bad instance spec {entry!r}: {exc}") from None
     return ClusterSpec(tuple(specs))
 
 
@@ -329,6 +337,23 @@ class KVAwareRouter(Router):
         affinity = 0 if (head is not None
                          and runtime.holds_swapped(head)) else 1
         return (affinity, -runtime.kv_free_fraction)
+
+
+class PrefixAwareRouter(Router):
+    """Cache-status-aware routing: the instance holding the longest
+    registered prefix of the queue head's prompt pulls first, so multi-turn
+    follow-ups land where their KV blocks already live (rtp-llm's flexlb
+    policy).  Swap affinity still outranks everything — only the holder can
+    resume a swapped request — and ties fall back to least-loaded."""
+
+    name = "prefix_aware"
+
+    def rank(self, runtime, head) -> tuple:
+        affinity = 0 if (head is not None
+                         and runtime.holds_swapped(head)) else 1
+        matched = (runtime.matched_prefix_tokens(head.request)
+                   if head is not None else 0)
+        return (affinity, -matched, runtime.load)
 
 
 class ClassAffinityRouter(Router):
@@ -509,6 +534,7 @@ def make_router(router) -> Router:
         "kv_aware": KVAwareRouter,
         "class_affinity": ClassAffinityRouter,
         "disaggregated": DisaggregatedRouter,
+        "prefix_aware": PrefixAwareRouter,
     }
     if router not in routers:
         raise ValueError(f"unknown router {router!r}; "

@@ -269,6 +269,13 @@ class TokenServingEngine:
         admission control), ``"reserve"`` (worst-case reservations, needs a
         budget) or ``"paged"`` (block pool, budget defaults to each node's
         HBM share net of weights).
+    kv_prefix_sharing:
+        Paged cluster recipe only: content-hash full prompt blocks into a
+        per-pool prefix index so later requests whose
+        ``prompt_token_ids`` share a prefix reuse the cached blocks
+        (copy-on-write on divergence) and skip the matched prefill
+        tokens.  Off by default — with it off every historical
+        configuration is bit-identical to before the feature existed.
     swap_priority:
         Paged ``swap`` mode only: park preemption victims on their
         instance and resume them ahead of new admissions (their KV is
@@ -326,6 +333,7 @@ class TokenServingEngine:
                  kv_mode: Optional[str] = None,
                  kv_budget_bytes: Optional[int] = None,
                  kv_block_size: int = 16,
+                 kv_prefix_sharing: bool = False,
                  swap_priority: bool = False,
                  metrics_mode: str = "full",
                  slo: Optional[Tuple[float, float]] = None,
@@ -379,6 +387,12 @@ class TokenServingEngine:
         if kv_mode is not None and kv_mode not in KV_RECIPE_MODES:
             raise ValueError(f"unknown kv mode {kv_mode!r}; "
                              f"known: {', '.join(KV_RECIPE_MODES)}")
+        if kv_prefix_sharing and kv_mode != "paged":
+            raise ValueError(
+                "kv_prefix_sharing builds prefix indices into the "
+                "per-class paged block pools; it requires kv_mode='paged' "
+                "(on the classic surface, build the kv_block_manager "
+                "prototype with prefix_sharing=True instead)")
         self.policy = policy
         make_scheduler(policy)  # fail fast on unknown names
         self.router = make_router(router)
@@ -390,6 +404,10 @@ class TokenServingEngine:
         self.kv_block_manager = kv_block_manager
         self.preemption_mode = preemption_mode
         self.context_bucket = context_bucket
+        self.kv_prefix_sharing = (
+            kv_prefix_sharing
+            or (kv_block_manager is not None
+                and kv_block_manager.prefix_sharing))
         self.swap_priority = swap_priority
         self.metrics_mode = metrics_mode
         self.slo = slo
@@ -455,7 +473,8 @@ class TokenServingEngine:
                 if kv_mode == "paged":
                     manager = PagedKVManager.for_system(
                         class_system, block_size_tokens=kv_block_size,
-                        budget_bytes=budget)
+                        budget_bytes=budget,
+                        prefix_sharing=kv_prefix_sharing)
                 elif kv_mode == "reserve" and budget is not None:
                     controller = KVAdmissionController.for_system(
                         class_system, budget_bytes=budget)
@@ -879,6 +898,13 @@ class TokenServingEngine:
             swap_time_s=stats.swap_time_s,
             handoff_count=sum(r.stats.handoff_out_count for r in runtimes),
             handoff_time_s=sum(r.stats.handoff_time_s for r in runtimes),
+            kv_prefix_sharing=self.kv_prefix_sharing,
+            prefix_hits=sum(m.prefix_hits for m in managers),
+            prefill_tokens_saved=sum(m.prefix_tokens_reused
+                                     for m in managers),
+            cow_copies=sum(m.cow_copies for m in managers),
+            mean_kv_shared_fraction=(stats.shared_kv_time / stats.busy_time
+                                     if stats.busy_time > 0 else 0.0),
             cluster=str(self.cluster),
             router=self.router.name,
             per_class=per_class,
@@ -925,6 +951,11 @@ class TokenServingEngine:
                                    if r.kv is not None),
                 swap_in_count=sum(r.kv.swap_in_count for r in group
                                   if r.kv is not None),
+                prefix_hits=sum(r.kv.prefix_hits for r in group
+                                if r.kv is not None),
+                prefill_tokens_saved=sum(r.kv.prefix_tokens_reused
+                                         for r in group
+                                         if r.kv is not None),
                 handoffs_out=sum(r.stats.handoff_out_count for r in group),
                 handoffs_in=sum(r.stats.handoff_in_count for r in group),
                 handoff_time_s=sum(r.stats.handoff_time_s for r in group),
@@ -972,6 +1003,13 @@ class TokenServingEngine:
             swap_time_s=stats.swap_time_s,
             handoff_count=sum(r.stats.handoff_out_count for r in runtimes),
             handoff_time_s=sum(r.stats.handoff_time_s for r in runtimes),
+            kv_prefix_sharing=self.kv_prefix_sharing,
+            prefix_hits=sum(m.prefix_hits for m in managers),
+            prefill_tokens_saved=sum(m.prefix_tokens_reused
+                                     for m in managers),
+            cow_copies=sum(m.cow_copies for m in managers),
+            mean_kv_shared_fraction=(stats.shared_kv_time / stats.busy_time
+                                     if stats.busy_time > 0 else 0.0),
             cluster=str(self.cluster),
             router=self.router.name,
             per_class=self._per_class_streaming(collector, runtimes,
@@ -1020,6 +1058,11 @@ class TokenServingEngine:
                                    if r.kv is not None),
                 swap_in_count=sum(r.kv.swap_in_count for r in group
                                   if r.kv is not None),
+                prefix_hits=sum(r.kv.prefix_hits for r in group
+                                if r.kv is not None),
+                prefill_tokens_saved=sum(r.kv.prefix_tokens_reused
+                                         for r in group
+                                         if r.kv is not None),
                 handoffs_out=sum(r.stats.handoff_out_count for r in group),
                 handoffs_in=sum(r.stats.handoff_in_count for r in group),
                 handoff_time_s=sum(r.stats.handoff_time_s for r in group),

@@ -137,6 +137,7 @@ class InstanceStats:
     busy_time: float = 0.0       # Σ step seconds
     kv_occ_time: float = 0.0     # Σ occupancy fraction × step seconds
     frag_time: float = 0.0       # Σ fragmentation fraction × step seconds
+    shared_kv_time: float = 0.0  # Σ shared/cached block fraction × step secs
     peak_kv_occupancy: float = 0.0
     swap_time_s: float = 0.0     # Σ PCIe transfer seconds spent swapping
     prefill_tokens: int = 0      # prompt tokens computed (recomputes count)
@@ -526,6 +527,18 @@ class InstanceRuntime:
         return (state.swapped_on is not None
                 and state.swapped_on == self.instance_id)
 
+    def matched_prefix_tokens(self, request: Request) -> int:
+        """Prompt positions this instance's prefix cache could serve for
+        ``request`` right now (0 without a sharing-enabled paged pool) —
+        the cache-aware router's ranking signal."""
+        kv = self.kv
+        if kv is None or not kv.prefix_sharing:
+            return 0
+        token_ids = request.prompt_token_ids
+        if not token_ids:
+            return 0
+        return kv.match_prefix_tokens(token_ids)
+
     # ------------------------------------------------------------------
     # batch membership
     # ------------------------------------------------------------------
@@ -563,6 +576,20 @@ class InstanceRuntime:
                     self.stats.handoff_in_count += 1
                     self.stats.handoff_time_s += transfer
                 state.swapped_on = None
+            elif (kv.prefix_sharing and state.prefill_done == 0
+                    and not kv.holds(rid)
+                    and state.request.prompt_token_ids is not None):
+                matched = kv.match_prefix_tokens(state.request.prompt_token_ids)
+                if matched > 0:
+                    # credit the reused prompt positions as already computed:
+                    # prefill resumes at the matched offset, so both
+                    # prefill_tokens_processed and TTFT genuinely drop
+                    state.prefill_done = min(matched, state.prefill_len - 1)
+                if kv.allocate_prefix(
+                        rid, self._paged_admit_target(state),
+                        state.request.prompt_token_ids) is None:
+                    raise RuntimeError("admission gate admitted an "
+                                       "unallocatable request")  # pragma: no cover
             elif not kv.allocate(rid, self._paged_admit_target(state)):
                 raise RuntimeError("admission gate admitted an "
                                    "unallocatable request")  # pragma: no cover
@@ -1011,6 +1038,8 @@ class InstanceRuntime:
             if kvm is not None:
                 occupancy = kvm.occupancy_fraction
                 frag_term = kvm.internal_fragmentation_fraction * duration
+                shared_term = (kvm.shared_block_fraction * duration
+                               if kvm.prefix_sharing else 0.0)
             for acc in (stats, self.stats):
                 if kind_attr == "decode_time":
                     acc.decode_time += step_duration
@@ -1025,6 +1054,7 @@ class InstanceRuntime:
                 if kvm is not None:
                     acc.kv_occ_time += occupancy * duration
                     acc.frag_time += frag_term
+                    acc.shared_kv_time += shared_term
                     if occupancy > acc.peak_kv_occupancy:
                         acc.peak_kv_occupancy = occupancy
         else:
@@ -1064,6 +1094,14 @@ class InstanceRuntime:
         """A prompt just finished: a request with nothing to generate
         is done; on a prefill-role instance one with decode work hands
         its KV off instead of decoding here."""
+        kv = self.kv
+        if kv is not None and kv.prefix_sharing:
+            # the prompt's full blocks now hold real KV — index them so
+            # later matching prompts (the conversation's next turn) reuse
+            # them instead of re-prefilling
+            token_ids = state.request.prompt_token_ids
+            if token_ids:
+                kv.register_prefix(state.request.request_id, token_ids)
         if state.decode_len == 0:
             self._finish(state, finished)
         elif self.role == "prefill":

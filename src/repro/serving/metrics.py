@@ -175,6 +175,11 @@ class InstanceClassMetrics:
     kv_total_blocks: int = 0
     swap_out_count: int = 0
     swap_in_count: int = 0
+    #: Prefix-sharing traffic of this class's pools (zero with the
+    #: feature off): prompts that reused at least one cached block, and
+    #: the prefill tokens those reuses skipped.
+    prefix_hits: int = 0
+    prefill_tokens_saved: int = 0
     handoffs_out: int = 0
     handoffs_in: int = 0
     handoff_time_s: float = 0.0
@@ -310,6 +315,20 @@ class ServingMetrics:
     swap_time_s: float = 0.0
     handoff_count: int = 0
     handoff_time_s: float = 0.0
+    #: Whether the run had hash-based prefix sharing enabled on its paged
+    #: pools (the counters below stay zero with it off, but the flag
+    #: distinguishes "off" from "on but nothing matched").
+    kv_prefix_sharing: bool = False
+    #: Requests that reused at least one cached prefix block at admission.
+    prefix_hits: int = 0
+    #: Prompt tokens credited as already computed by prefix reuse — prefill
+    #: work the cluster did *not* redo (compare ``prefill_tokens_processed``).
+    prefill_tokens_saved: int = 0
+    #: Shared blocks copied on first divergent write (copy-on-write).
+    cow_copies: int = 0
+    #: Time-weighted fraction of the device pools holding shared or
+    #: reclaimable cached blocks, normalized by busy time.
+    mean_kv_shared_fraction: float = 0.0
     #: Cluster shape (e.g. ``"2x1n,1x2n"``) and routing policy of the run
     #: ("" for the whole-request simulator, which has no cluster layer).
     cluster: str = ""
@@ -582,6 +601,13 @@ class ServingMetrics:
                 "swap_ins": float(self.swap_in_count),
                 "swapped_mib": self.swapped_bytes / (1 << 20),
                 "swap_time_s": self.swap_time_s,
+            })
+        if self.kv_prefix_sharing:  # sharing-enabled paged runs only
+            out.update({
+                "prefix_hits": float(self.prefix_hits),
+                "prefill_tokens_saved": float(self.prefill_tokens_saved),
+                "cow_copies": float(self.cow_copies),
+                "mean_kv_shared_fraction": self.mean_kv_shared_fraction,
             })
         if self.handoff_count:  # disaggregated clusters only
             out.update({

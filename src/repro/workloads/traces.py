@@ -23,7 +23,8 @@ import csv
 import gzip
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Mapping, Optional, Sequence, \
+    Tuple, Union
 
 import numpy as np
 
@@ -38,6 +39,14 @@ class Request:
     them (multi-tenant traces, the priority scheduler); the default values make
     every request indistinguishable, so single-tenant traces are unaffected.
     Higher ``priority`` values are more urgent.
+
+    ``prompt_token_ids`` is the prompt's content identity for prefix
+    sharing: a tuple of ``prefill_len`` synthetic token ids (two prompts
+    share a prefix exactly when their id tuples do).  ``None`` — the
+    default, and what every generator without conversation structure
+    emits — means the prompt has no shareable identity, so the paged
+    prefix cache never matches it and all historical behaviour is
+    preserved bit for bit.
     """
 
     request_id: int
@@ -45,6 +54,7 @@ class Request:
     scenario: Scenario
     tenant: str = "default"
     priority: int = 0
+    prompt_token_ids: Optional[Tuple[int, ...]] = None
 
     @property
     def prefill_len(self) -> int:
@@ -158,7 +168,8 @@ def _finalize(requests: List[Request]) -> RequestTrace:
                else sorted(requests, key=lambda r: r.arrival_s))
     return RequestTrace(requests=[
         Request(request_id=i, arrival_s=r.arrival_s, scenario=r.scenario,
-                tenant=r.tenant, priority=r.priority)
+                tenant=r.tenant, priority=r.priority,
+                prompt_token_ids=r.prompt_token_ids)
         for i, r in enumerate(ordered)])
 
 
@@ -402,7 +413,8 @@ def _stream_replay_rows(path: Path, max_seq_len: int,
         last_arrival = request.arrival_s
         yield Request(request_id=request_id, arrival_s=request.arrival_s,
                       scenario=request.scenario, tenant=request.tenant,
-                      priority=request.priority)
+                      priority=request.priority,
+                      prompt_token_ids=request.prompt_token_ids)
     if request_id < 0:
         raise ValueError(f"{path}: trace file contains no requests")
 
@@ -593,6 +605,93 @@ def bursty_multi_tenant_trace(
                               priority=spec.priority)
                       for r in stream)
     return _finalize(merged)
+
+
+def multi_turn_trace(num_requests: int, seed: int = 0,
+                     turns_per_session: int = 4,
+                     system_prompt_len: int = 48,
+                     mean_user_tokens: int = 24,
+                     mean_decode: int = 48,
+                     think_time_s: float = 4.0,
+                     session_rate_per_s: float = 0.5,
+                     max_seq_len: int = 1024,
+                     assumed_tpot_s: float = 0.02) -> RequestTrace:
+    """Multi-turn conversations: each turn re-arrives with the prior turns
+    as its prompt prefix.
+
+    Sessions open as a Poisson process at ``session_rate_per_s``.  Every
+    session shares one system prompt (``system_prompt_len`` tokens with
+    identical ids across *all* sessions, so even first turns share those
+    blocks), then alternates user turns and assistant replies: turn ``t``'s
+    prompt is the full transcript so far — system prompt, every earlier
+    user turn and assistant reply — plus the new user message, and its
+    decode is the next reply.  ``prompt_token_ids`` carries this structure
+    (session-unique ids for the transcript, shared ids for the system
+    prompt), which is what the paged prefix cache hashes and matches.
+
+    Turn ``t+1`` arrives a *think-time gap* after turn ``t``: an
+    exponential pause with mean ``think_time_s`` plus the time the reply
+    itself plausibly took to stream (``decode × assumed_tpot_s``) — the
+    trace is open-loop, so the service estimate stands in for the actual
+    finish time.  A session ends after ``turns_per_session`` turns or when
+    the next turn would no longer fit the context window, whichever is
+    first.  The merged trace is sorted by arrival and ids are reassigned
+    in arrival order, like every other generator here.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if turns_per_session <= 0:
+        raise ValueError("turns_per_session must be positive")
+    if system_prompt_len < 0:
+        raise ValueError("system_prompt_len cannot be negative")
+    if mean_user_tokens <= 0 or mean_decode <= 0:
+        raise ValueError("means must be positive")
+    if think_time_s < 0 or assumed_tpot_s < 0:
+        raise ValueError("gaps cannot be negative")
+    if session_rate_per_s <= 0:
+        raise ValueError("session rate must be positive")
+    if max_seq_len <= system_prompt_len + 2:
+        raise ValueError("max_seq_len too small for the system prompt")
+    rng = np.random.default_rng(seed)
+    system_ids = tuple(range(system_prompt_len))
+    requests: List[Request] = []
+    session_start = 0.0
+    session_index = 0
+    while len(requests) < num_requests:
+        session_start += float(rng.exponential(1.0 / session_rate_per_s))
+        # session-unique token ids, disjoint from every other session's and
+        # from the shared system prompt
+        next_id = (session_index + 1) * 1_000_000
+        transcript: List[int] = list(system_ids)
+        arrival = session_start
+        for _ in range(turns_per_session):
+            user_len = int(np.clip(
+                rng.lognormal(np.log(mean_user_tokens), 0.5), 1,
+                max_seq_len // 4))
+            decode_len = int(np.clip(
+                rng.lognormal(np.log(mean_decode), 0.5), 1,
+                max_seq_len // 4))
+            if len(transcript) + user_len + decode_len + 1 > max_seq_len:
+                break  # context window exhausted: the session ends early
+            user_ids = range(next_id, next_id + user_len)
+            next_id += user_len
+            prompt_ids = tuple(transcript) + tuple(user_ids)
+            requests.append(Request(
+                request_id=0, arrival_s=arrival,
+                scenario=Scenario(len(prompt_ids), decode_len),
+                tenant=f"session{session_index}",
+                prompt_token_ids=prompt_ids))
+            if len(requests) >= num_requests:
+                break
+            # the next turn's prompt extends the transcript with this
+            # user message and the assistant's reply tokens
+            transcript.extend(user_ids)
+            transcript.extend(range(next_id, next_id + decode_len))
+            next_id += decode_len
+            arrival += (decode_len * assumed_tpot_s
+                        + float(rng.exponential(think_time_s)))
+        session_index += 1
+    return _finalize(requests)
 
 
 def multi_tenant_trace(num_requests: int, seed: int = 0,

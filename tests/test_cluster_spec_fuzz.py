@@ -1,0 +1,117 @@
+"""Round-trip fuzz for the cluster-spec grammar.
+
+``parse_cluster_spec`` and ``ClusterSpec.__str__`` pin a tiny grammar —
+``<count>x<nodes>n[@<size>MiB][:<role>]`` joined by commas — that the CLI,
+the benchmark configs and the docs all speak.  Two properties hold:
+
+* every *valid* spec round-trips: ``str(parse(s))`` re-parses to an equal
+  ``ClusterSpec``, and rendering is a fixed point (``str ∘ parse`` is
+  idempotent), so specs can be stored, logged and re-fed indefinitely;
+* every *invalid* entry is rejected with a ``ValueError`` that names the
+  offending entry verbatim, so a typo inside a 10-class spec is findable.
+"""
+
+import random
+
+import pytest
+
+from repro.serving.cluster import (
+    INSTANCE_ROLES,
+    ClusterSpec,
+    InstanceSpec,
+    parse_cluster_spec,
+)
+
+SEEDS = range(50)
+
+#: Budget overrides are rendered with ``%g`` (6 significant digits), so the
+#: fuzz draws byte counts whose MiB value is exact under that format:
+#: multiples of 1/16 MiB up to ~100 MiB (e.g. ``99.9375`` is 6 digits).
+BUDGET_QUANTUM = 1 << 16
+MAX_BUDGET_QUANTA = 1599
+
+
+def _random_spec(rng):
+    budget = None
+    if rng.random() < 0.5:
+        budget = rng.randint(0, MAX_BUDGET_QUANTA) * BUDGET_QUANTUM
+    return InstanceSpec(count=rng.randint(1, 16),
+                        num_nodes=rng.randint(1, 8),
+                        kv_budget_bytes=budget,
+                        role=rng.choice(INSTANCE_ROLES))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_valid_specs_round_trip(seed):
+    rng = random.Random(seed)
+    cluster = ClusterSpec(tuple(_random_spec(rng)
+                                for _ in range(rng.randint(1, 6))))
+    text = str(cluster)
+    parsed = parse_cluster_spec(text)
+    assert parsed == cluster
+    assert str(parsed) == text  # rendering is a fixed point
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_valid_strings_round_trip(seed):
+    """Same property entered from the string side, with the noise a human
+    would type: whitespace around entries and ``:both`` spelled out (both
+    normalize away, then the canonical form is stable)."""
+    rng = random.Random(1000 + seed)
+    entries = []
+    for _ in range(rng.randint(1, 5)):
+        spec = _random_spec(rng)
+        entry = f"{spec.count}x{spec.num_nodes}n"
+        if spec.kv_budget_bytes is not None:
+            entry += f"@{spec.kv_budget_bytes / (1 << 20):g}MiB"
+        if spec.role != "both" or rng.random() < 0.3:
+            entry += f":{spec.role}"  # sometimes writes the default role
+        entries.append(rng.choice(["", " "]) + entry + rng.choice(["", " "]))
+    text = ",".join(entries)
+    canonical = str(parse_cluster_spec(text))
+    assert parse_cluster_spec(canonical) == parse_cluster_spec(text)
+    assert str(parse_cluster_spec(canonical)) == canonical
+
+
+def _corrupt(rng, entry):
+    """One invalid mutation of a single valid entry."""
+    kind = rng.choice(("drop_n", "bad_role", "zero_count", "zero_nodes",
+                       "bad_separator", "empty_budget", "negative"))
+    if kind == "drop_n":
+        return entry.replace("n", "", 1)
+    if kind == "bad_role":
+        return entry.split(":")[0] + ":turbo"
+    if kind == "zero_count":
+        return "0x" + entry.split("x", 1)[1]
+    if kind == "zero_nodes":
+        return entry.split("x", 1)[0] + "x0n"
+    if kind == "bad_separator":
+        return entry.replace("x", "y", 1)
+    if kind == "empty_budget":
+        return entry.split("@")[0].split(":")[0] + "@MiB"
+    return "-" + entry  # negative count never matches the pattern
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_invalid_mutations_name_the_bad_entry(seed):
+    rng = random.Random(2000 + seed)
+    specs = [_random_spec(rng) for _ in range(rng.randint(2, 5))]
+    entries = [str(spec) for spec in specs]
+    victim = rng.randrange(len(entries))
+    entries[victim] = _corrupt(rng, entries[victim])
+    with pytest.raises(ValueError) as excinfo:
+        parse_cluster_spec(",".join(entries))
+    # the error names the malformed entry verbatim — in a long spec the
+    # user must be pointed at the right one
+    assert repr(entries[victim]) in str(excinfo.value)
+
+
+def test_empty_spec_rejected():
+    for text in ("", "   "):
+        with pytest.raises(ValueError, match="empty"):
+            parse_cluster_spec(text)
+
+
+def test_trailing_comma_names_the_empty_entry():
+    with pytest.raises(ValueError, match="''"):
+        parse_cluster_spec("2x1n,")

@@ -1,0 +1,275 @@
+"""Randomized property tests for :class:`PagedKVManager`.
+
+Each test case drives one seeded random sequence of operations —
+allocate / allocate_prefix / grow / free / register_prefix / swap_out /
+swap_in / export_handoff→import_handoff — against a pair of pools (so
+handoffs cross pools, as on a disaggregated cluster) and a lightweight
+reference model, and checks the block-accounting invariants after *every*
+operation:
+
+* no block is simultaneously free and in a table (and never in two tiers
+  at once: free list, reclaimable cache, live tables are disjoint);
+* ``used_blocks + free_blocks == total_blocks`` and the three tiers
+  partition the physical pool exactly;
+* with sharing on, every block's refcount equals the number of block
+  tables referencing it (and ``shared_blocks`` counts the ≥2 ones);
+* freeing or handing off a request never releases a block another
+  request still holds.
+
+The whole battery runs with prefix sharing both off (the historical
+private-blocks manager) and on (hash-indexed reuse + copy-on-write), 100
+seeds each — ≥200 distinct op sequences per CI run.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.memory.kv_cache import KVCacheLayout
+from repro.memory.paged_kv import PagedKVManager
+
+BLOCK_SIZE = 4
+POOL_BLOCKS = 24
+MAX_SEQ = 256
+OPS_PER_SEQUENCE = 60
+SEEDS = range(100)
+
+#: Shared prompt vocabularies: prompts drawn from the same family share a
+#: prefix, which is what exercises matching, refcounts and COW.
+FAMILIES = 4
+
+
+def _manager(prefix_sharing):
+    layout = KVCacheLayout(num_layers=2, num_heads=4, head_dim=8,
+                           max_seq_len=MAX_SEQ, num_nodes=2)
+    budget = POOL_BLOCKS * BLOCK_SIZE * layout.bytes_per_token_per_node()
+    return PagedKVManager(layout, block_size_tokens=BLOCK_SIZE,
+                          budget_bytes=budget,
+                          prefix_sharing=prefix_sharing)
+
+
+def check_invariants(manager):
+    """The four pinned invariants (plus index consistency), white-box."""
+    free_set = set(manager._free)
+    assert len(free_set) == len(manager._free), "duplicate in free list"
+    reclaimable = set(manager._reclaimable)
+    assert not free_set & reclaimable, "block both free and reclaimable"
+
+    table_refs = Counter()
+    for table in manager._tables.values():
+        assert len(set(table.device_blocks)) == len(table.device_blocks), \
+            "table lists a block twice"
+        if table.is_swapped:
+            assert not table.device_blocks, "swapped table holds device blocks"
+        for block in table.device_blocks:
+            table_refs[block] += 1
+    held = set(table_refs)
+
+    # invariant 1: no block simultaneously free and in a table
+    assert not free_set & held, "block simultaneously free and in a table"
+    assert not reclaimable & held, "reclaimable block still in a table"
+
+    # invariant 2: the tiers partition the physical pool
+    assert len(free_set) + len(reclaimable) + len(held) == \
+        manager.total_blocks
+    assert manager.used_blocks + manager.free_blocks == manager.total_blocks
+    assert manager.used_blocks == len(held)
+    assert all(0 <= b < manager.total_blocks
+               for b in free_set | reclaimable | held)
+
+    # invariant 3: refcounts equal the number of tables referencing a block
+    if manager.prefix_sharing:
+        assert dict(table_refs) == manager._ref
+        assert manager.shared_blocks == \
+            sum(1 for count in table_refs.values() if count >= 2)
+        # index consistency: hash->block and block->hash mirror each other,
+        # and only registered blocks may linger in the reclaimable tier
+        assert set(manager._block_hash) == set(manager._prefix_index.values())
+        for chain_hash, block in manager._prefix_index.items():
+            assert manager._block_hash[block] == chain_hash
+        assert reclaimable <= set(manager._block_hash)
+    else:
+        assert all(count == 1 for count in table_refs.values()), \
+            "sharing is off but a block appears in two tables"
+        assert not manager._ref and not manager._reclaimable
+        assert not manager._prefix_index and not manager._block_hash
+
+
+def _blocks_held_by_others(manager, request_id):
+    """Device blocks any *other* request's table references."""
+    held = set()
+    for rid, table in manager._tables.items():
+        if rid != request_id:
+            held.update(table.device_blocks)
+    return held
+
+
+def _prompt_ids(rng):
+    """A prompt from one of a few shared families: a common family prefix
+    (drives matches and refcounts) plus an optional divergent tail (drives
+    partial matches and copy-on-write)."""
+    family = rng.randrange(FAMILIES)
+    prefix_len = rng.randint(1, 10 * BLOCK_SIZE)
+    ids = [family * 100_000 + i for i in range(prefix_len)]
+    if rng.random() < 0.5:
+        tail = rng.randint(1, 3 * BLOCK_SIZE)
+        ids += [900_000 + rng.randrange(1_000_000) for _ in range(tail)]
+    return tuple(ids)
+
+
+class Reference:
+    """Minimal mirror of the documented per-request contract: which pool
+    holds each request, whether it is swapped, and its cached-token floor
+    (sharing can only raise ``cached_tokens``, never lower it)."""
+
+    def __init__(self):
+        self.state = {}  # rid -> [pool_index, swapped, cached_floor]
+
+    def check(self, managers):
+        for rid, (pool, swapped, floor) in self.state.items():
+            manager = managers[pool]
+            assert manager.holds(rid)
+            table = manager.table(rid)
+            assert table.is_swapped == swapped
+            assert table.cached_tokens >= floor
+            if not swapped:
+                assert len(table.device_blocks) * manager.block_size_tokens \
+                    >= table.cached_tokens
+        for pool, manager in enumerate(managers):
+            for rid in manager._tables:
+                assert rid in self.state and self.state[rid][0] == pool
+
+
+@pytest.mark.parametrize("prefix_sharing", [False, True],
+                         ids=["sharing-off", "sharing-on"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_op_sequences(seed, prefix_sharing):
+    rng = random.Random(seed * 2 + int(prefix_sharing))
+    managers = [_manager(prefix_sharing), _manager(prefix_sharing)]
+    reference = Reference()
+    prompts = {}  # rid -> token ids
+    next_rid = 0
+
+    def live(predicate):
+        matches = [rid for rid, s in reference.state.items() if predicate(s)]
+        return rng.choice(matches) if matches else None
+
+    for _ in range(OPS_PER_SEQUENCE):
+        op = rng.choice(("new", "new", "new", "grow", "grow", "free", "free",
+                         "register", "swap_out", "swap_in", "handoff"))
+        if op == "new":
+            pool = rng.randrange(2)
+            manager = managers[pool]
+            rid = next_rid
+            ids = _prompt_ids(rng)
+            target = len(ids)
+            before_free = manager.free_blocks
+            if prefix_sharing:
+                matched = manager.allocate_prefix(rid, target, ids)
+                ok = matched is not None
+            else:
+                ok = manager.allocate(rid, target)
+                matched = 0 if ok else None
+            if ok:
+                next_rid += 1
+                prompts[rid] = ids
+                reference.state[rid] = [pool, False, target]
+                assert (matched or 0) <= max(0, len(ids) - 1)
+            else:
+                # all-or-nothing: a refused allocation has no side effects
+                assert not manager.holds(rid)
+                assert manager.free_blocks == before_free
+        elif op == "grow":
+            rid = live(lambda s: not s[1])
+            if rid is None:
+                continue
+            pool, _, floor = reference.state[rid]
+            manager = managers[pool]
+            target = min(manager.table(rid).cached_tokens
+                         + rng.randint(1, 2 * BLOCK_SIZE), MAX_SEQ)
+            if manager.allocate(rid, target):
+                reference.state[rid][2] = max(floor, target)
+        elif op == "free":
+            rid = live(lambda s: True)
+            if rid is None:
+                continue
+            pool = reference.state[rid][0]
+            manager = managers[pool]
+            others = _blocks_held_by_others(manager, rid)
+            released = manager.free(rid)
+            assert released >= 0
+            # invariant 4: nothing another request holds was released
+            assert not others & set(manager._free)
+            assert not others & set(manager._reclaimable)
+            for table in manager._tables.values():
+                assert others >= others & set(table.device_blocks)
+            del reference.state[rid]
+        elif op == "register":
+            rid = live(lambda s: not s[1])
+            if rid is None:
+                continue
+            pool = reference.state[rid][0]
+            managers[pool].register_prefix(rid, prompts[rid])
+        elif op == "swap_out":
+            rid = live(lambda s: not s[1])
+            if rid is None:
+                continue
+            pool = reference.state[rid][0]
+            manager = managers[pool]
+            if not manager.table(rid).device_blocks:
+                continue
+            others = _blocks_held_by_others(manager, rid)
+            manager.swap_out(rid)
+            assert not others & set(manager._free)
+            reference.state[rid][1] = True
+        elif op == "swap_in":
+            rid = live(lambda s: s[1])
+            if rid is None:
+                continue
+            pool = reference.state[rid][0]
+            manager = managers[pool]
+            if manager.can_swap_in(rid):
+                manager.swap_in(rid)
+                reference.state[rid][1] = False
+            else:
+                with pytest.raises(RuntimeError):
+                    manager.swap_in(rid)
+        elif op == "handoff":
+            rid = live(lambda s: not s[1])
+            if rid is None:
+                continue
+            pool = reference.state[rid][0]
+            source = managers[pool]
+            if not source.table(rid).device_blocks:
+                continue
+            others = _blocks_held_by_others(source, rid)
+            _, cached_tokens, _ = source.export_handoff(rid)
+            assert not others & set(source._free)
+            assert not others & set(source._reclaimable) or prefix_sharing
+            assert not source.holds(rid)
+            target = managers[1 - pool]
+            target.import_handoff(rid, cached_tokens)
+            reference.state[rid] = [1 - pool, True, 0]
+        for manager in managers:
+            check_invariants(manager)
+        reference.check(managers)
+
+    # drain: freeing everything returns the pool to a clean state
+    for rid in list(reference.state):
+        pool = reference.state[rid][0]
+        managers[pool].free(rid)
+        del reference.state[rid]
+        for manager in managers:
+            check_invariants(manager)
+    for manager in managers:
+        assert manager.used_blocks == 0
+        assert manager.free_blocks == manager.total_blocks
+        if not prefix_sharing:
+            assert len(manager._free) == manager.total_blocks
+
+
+def test_sequence_count_meets_ci_floor():
+    """The parametrization above is the CI contract: ≥200 randomized op
+    sequences per run, split evenly across sharing off/on."""
+    assert len(SEEDS) * 2 >= 200

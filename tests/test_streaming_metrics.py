@@ -14,7 +14,12 @@ import pytest
 
 from repro.serving.engine import TokenServingEngine
 from repro.serving.metrics import StreamingQuantile
-from repro.workloads.traces import Request, RequestTrace, bursty_trace
+from repro.workloads.traces import (
+    Request,
+    RequestTrace,
+    bursty_trace,
+    multi_turn_trace,
+)
 
 TTFT_SLO_S = 2.0
 TPOT_SLO_S = 0.05
@@ -120,6 +125,36 @@ class TestStreamingVsFullParity:
             kv_budget_bytes=64 << 20, max_batch_size=4)
         _assert_counters_exact(full, stream)
         assert full.handoff_count > 0
+
+    def test_multiturn_prefix_sharing_parity(self):
+        """Multi-turn trace on a sharing-enabled paged cluster: the new
+        prefix counters must be exactly equal across modes (they sum the
+        same per-manager lifetime counters), and the latency quantiles
+        stay within the 1% acceptance bound."""
+        trace = multi_turn_trace(600, seed=13, session_rate_per_s=1.5,
+                                 think_time_s=1.0)
+        full, stream = _run_both_modes(
+            trace, cluster="2x1n,1x2n", policy="fifo", max_batch_size=4,
+            kv_mode="paged", router="prefix_aware", kv_prefix_sharing=True)
+        _assert_counters_exact(full, stream)
+        assert full.prefix_hits > 0  # the parity is not 0 == 0
+        assert stream.kv_prefix_sharing == full.kv_prefix_sharing is True
+        assert stream.prefix_hits == full.prefix_hits
+        assert stream.prefill_tokens_saved == full.prefill_tokens_saved
+        assert stream.cow_copies == full.cow_copies
+        assert stream.mean_kv_shared_fraction == pytest.approx(
+            full.mean_kv_shared_fraction, rel=1e-9)
+        for p in (0.50, 0.90, 0.99):
+            assert stream.ttft_percentile_s(p) == pytest.approx(
+                full.ttft_percentile_s(p), rel=0.01)
+            assert stream.latency_percentile_s(p) == pytest.approx(
+                full.latency_percentile_s(p), rel=0.01)
+        # per-class prefix breakdowns stream identically too
+        full_by_class = {c.label: (c.prefix_hits, c.prefill_tokens_saved)
+                         for c in full.per_class}
+        stream_by_class = {c.label: (c.prefix_hits, c.prefill_tokens_saved)
+                           for c in stream.per_class}
+        assert stream_by_class == full_by_class
 
     def test_streaming_counts_preemptions_exactly(self):
         base = bursty_trace(300, seed=8, mean_prefill=40, mean_decode=80)
