@@ -8,7 +8,7 @@ serving benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
@@ -18,7 +18,7 @@ from repro.serving.cluster import (
     ROUTER_NAMES,
     parse_cluster_spec,
 )
-from repro.serving.engine import PREFILL_MODES, TokenServingEngine
+from repro.serving.engine import PREFILL_MODES, ServedRequest, TokenServingEngine
 from repro.serving.schedulers import KVAdmissionController
 from repro.serving.simulator import FIFO_EXCLUSIVE, ServingSimulator
 from repro.workloads.traces import RequestTrace
@@ -40,7 +40,8 @@ def run_policy(trace: RequestTrace, policy: str,
                router: str = "round_robin",
                swap_priority: bool = False,
                kv_prefix_sharing: bool = False,
-               **engine_kwargs):
+               **engine_kwargs: Any
+               ) -> Tuple[ServingMetrics, List[ServedRequest]]:
     """Run ``trace`` under one policy and return ``(metrics, records)``.
 
     ``policy`` may be ``fifo-exclusive`` (whole-request compatibility mode;
@@ -160,7 +161,7 @@ def run_policy(trace: RequestTrace, policy: str,
     return engine.run(trace)
 
 
-def metrics_row(label: str, metrics) -> Dict[str, object]:
+def metrics_row(label: str, metrics: ServingMetrics) -> Dict[str, object]:
     """One policy's summary as a flat table row."""
     summary = metrics.summary()
     row: Dict[str, object] = {
@@ -402,7 +403,7 @@ def disaggregation_comparison(trace: RequestTrace,
     return rows
 
 
-def class_breakdown(metrics) -> List[Dict[str, object]]:
+def class_breakdown(metrics: ServingMetrics) -> List[Dict[str, object]]:
     """Per-instance-class rows from a cluster run's metrics.
 
     One row per instance class (``metrics.per_class``), showing how the
@@ -443,7 +444,8 @@ def class_breakdown(metrics) -> List[Dict[str, object]]:
     return rows
 
 
-def instance_breakdown(records) -> List[Dict[str, object]]:
+def instance_breakdown(records: Sequence[ServedRequest]
+                       ) -> List[Dict[str, object]]:
     """Per-instance latency/TTFT means from token-level request records.
 
     Requests with ``instance_id=None`` never ran on any instance; they are
@@ -481,7 +483,8 @@ def instance_breakdown(records) -> List[Dict[str, object]]:
     return rows
 
 
-def tenant_breakdown(records, tenants: Optional[Sequence[str]] = None
+def tenant_breakdown(records: Sequence[ServedRequest],
+                     tenants: Optional[Sequence[str]] = None
                      ) -> List[Dict[str, object]]:
     """Per-tenant latency/TTFT means from token-level request records.
 

@@ -296,6 +296,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # must be pinned before the run rather than queried after it
             metrics_kwargs = dict(metrics_mode=args.metrics_mode,
                                   slo=(args.ttft_slo, args.tpot_slo))
+        sanitize_kwargs = {"sanitize": True} if args.sanitize else {}
         metrics, records = run_policy(
             trace, args.policy, num_instances=num_instances,
             num_nodes_per_instance=args.nodes, max_batch_size=args.max_batch,
@@ -304,6 +305,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             preemption_mode=args.preemption_mode,
             prefill_mode=args.prefill_mode,
             mixed_step_token_budget=args.mixed_step_token_budget,
+            **sanitize_kwargs,
             **metrics_kwargs,
             **cluster_kwargs)
     except ValueError as error:
@@ -459,6 +461,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "aggregates with <=0.5%% percentile error — for "
                           "million-request traces (pins the SLO pair at "
                           "run time)")
+    sub.add_argument("--sanitize", action="store_true",
+                     help="shadow-validate engine invariants (event-time "
+                          "monotonicity, KV block/refcount conservation, "
+                          "request conservation) after every event; "
+                          "read-only, output stays bit-identical (also "
+                          "reachable via REPRO_SANITIZE=1)")
     sub.add_argument("--ttft-slo", type=float, default=2.0,
                      help="TTFT SLO in seconds for goodput reporting")
     sub.add_argument("--tpot-slo", type=float, default=0.05,

@@ -35,6 +35,8 @@ from repro.dataflow.fifo import Fifo
 from repro.dataflow.trace import TraceRecorder
 from repro.model.config import LinearLayerSpec
 
+from repro.errors import InvariantError
+
 
 @dataclass
 class EventSimResult:
@@ -156,7 +158,10 @@ class EventDrivenMatrixKernel:
         engine.add_process(quant_process(), name="quant")
         pid = engine.add_process(router_process(), name="router")
         total = engine.run()
-        assert engine.result_of(pid) == num_chunks
+        if engine.result_of(pid) != num_chunks:
+            raise InvariantError(
+                f"router consumed {engine.result_of(pid)} chunks, "
+                f"expected {num_chunks}")
         return EventSimResult(total_cycles=total, trace=trace, items=num_blocks)
 
     def analytical_timing(self, spec: LinearLayerSpec, num_nodes: int = 1,
@@ -245,7 +250,10 @@ class EventDrivenAttentionKernel:
             engine.add_process(score_then_softmax_process(), name="score+softmax")
         pid = engine.add_process(mix_process(), name="mix")
         total = engine.run()
-        assert engine.result_of(pid) == heads_per_node
+        if engine.result_of(pid) != heads_per_node:
+            raise InvariantError(
+                f"mix stage completed {engine.result_of(pid)} heads, "
+                f"expected {heads_per_node}")
         return EventSimResult(total_cycles=total, trace=trace, items=heads_per_node)
 
     def analytical_timing(self, seq_len: int, heads_per_node: int, head_dim: int,

@@ -38,6 +38,8 @@ from repro.model.gpt2 import GPT2Model
 from repro.model.layers import causal_attention, split_heads
 from repro.quant.int8 import quantize_per_tensor
 
+from repro.errors import InvariantError
+
 
 @dataclass
 class _ShardedLinear:
@@ -85,7 +87,10 @@ class FunctionalAcceleratorNode:
 
     def _build_shards(self) -> None:
         quantized = self.model._quantized_layers
-        assert quantized is not None
+        if quantized is None:
+            raise InvariantError(
+                "model has no quantized layers; quantize() must run "
+                "before sharding")
         for (layer, name), entry in quantized.items():
             weight_q = entry["weight_q"]
             start, stop = self._row_range(weight_q.data.shape[0])

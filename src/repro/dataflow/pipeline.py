@@ -90,7 +90,8 @@ def pipeline_latency(stages: Sequence[PipelineStage], items: Optional[int] = Non
         if len(counts) != 1:
             raise ValueError(
                 f"stages disagree on item counts {sorted(counts)}; pass items explicitly")
-        items = counts.pop()
+        # order-independent: the guard above ensures a singleton set
+        items = counts.pop()  # repro-lint: disable=R006
     if items <= 0:
         return 0
     fill = sum(stage.timing.latency for stage in stages)

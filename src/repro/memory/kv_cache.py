@@ -16,9 +16,19 @@ Two classes live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
+
+
+class ModelDims(Protocol):
+    """Structural type of anything :meth:`KVCacheLayout.for_model` accepts:
+    a model config exposing the four cache-shaping dimensions."""
+
+    num_layers: int
+    num_heads: int
+    head_dim: int
+    max_seq_len: int
 
 
 def partition_heads(num_heads: int, num_nodes: int) -> List[List[int]]:
@@ -80,7 +90,7 @@ class KVCacheLayout:
             raise ValueError("invalid node count for head-wise partitioning")
 
     @classmethod
-    def for_model(cls, model, num_nodes: int = 1,
+    def for_model(cls, model: "ModelDims", num_nodes: int = 1,
                   bytes_per_element: int = 1) -> "KVCacheLayout":
         """Layout for a model config (anything exposing ``num_layers``,
         ``num_heads``, ``head_dim``, ``max_seq_len``) head-partitioned
@@ -141,7 +151,7 @@ class KVCache:
     """
 
     def __init__(self, num_layers: int, num_heads: int, head_dim: int,
-                 max_seq_len: int, dtype=np.float64) -> None:
+                 max_seq_len: int, dtype: type = np.float64) -> None:
         if min(num_layers, num_heads, head_dim, max_seq_len) <= 0:
             raise ValueError("all dimensions must be positive")
         self.num_layers = num_layers

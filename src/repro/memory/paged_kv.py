@@ -44,11 +44,15 @@ unless suffixed ``_total``, and all transfer times are seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.memory.hbm import kv_budget_bytes_per_node
 from repro.memory.kv_cache import KVCacheLayout
 from repro.network.link import LinkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.multi_node import LoopLynxSystem
+    from repro.workloads.traces import Request
 
 #: Effective bandwidth of the host link used for KV swaps.  The Alveo U50 is
 #: a PCIe Gen3 x16 card: 15.754 GB/s raw, derated to ~12 GB/s sustained DMA
@@ -173,7 +177,7 @@ class PagedKVManager:
     # constructors
     # ------------------------------------------------------------------
     @staticmethod
-    def for_system(system, block_size_tokens: int = 16,
+    def for_system(system: "LoopLynxSystem", block_size_tokens: int = 16,
                    budget_bytes: Optional[int] = None,
                    kv_bytes_per_element: int = 1,
                    host_link: Optional[LinkConfig] = None,
@@ -375,7 +379,7 @@ class PagedKVManager:
             if refs == 1:
                 self._multi_ref -= 1
 
-    def _match_chain(self, token_ids) -> List[int]:
+    def _match_chain(self, token_ids: Sequence[int]) -> List[int]:
         """Block ids of the longest indexed chain-hash prefix of
         ``token_ids`` (full blocks only — a partial tail never matches)."""
         matched: List[int] = []
@@ -390,7 +394,7 @@ class PagedKVManager:
             matched.append(block)
         return matched
 
-    def match_prefix_tokens(self, token_ids) -> int:
+    def match_prefix_tokens(self, token_ids: Sequence[int]) -> int:
         """Prompt positions a request with this token-id prefix could reuse
         from the pool right now (read-only; the cache-aware router's score).
 
@@ -406,7 +410,7 @@ class PagedKVManager:
         return min(matched * self.block_size_tokens, len(token_ids) - 1)
 
     def allocate_prefix(self, request_id: int, target_tokens: int,
-                        token_ids) -> Optional[int]:
+                        token_ids: Sequence[int]) -> Optional[int]:
         """First allocation for a request carrying prompt token ids: reuse
         every indexed prefix block (bumping refcounts), copy-on-write the
         final matched block when the request must rewrite its last prompt
@@ -465,7 +469,8 @@ class PagedKVManager:
             self.prefix_tokens_reused += matched_tokens
         return matched_tokens
 
-    def register_prefix(self, request_id: int, token_ids) -> int:
+    def register_prefix(self, request_id: int,
+                        token_ids: Sequence[int]) -> int:
         """Index the full prompt blocks of a *completed* prefill so later
         matching prompts can reuse them; returns the number of newly
         registered blocks.  Idempotent: blocks whose chain hash is already
@@ -626,12 +631,12 @@ class PagedKVManager:
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------
-    def max_request_tokens(self, request) -> int:
+    def max_request_tokens(self, request: "Request") -> int:
         """Cached positions a request occupies at its maximum context."""
         return min(request.prefill_len + request.decode_len,
                    self.layout.max_seq_len)
 
-    def validate(self, requests: Iterable) -> None:
+    def validate(self, requests: Iterable["Request"]) -> None:
         """Reject traces containing a request whose maximum context cannot
         fit the device pool even running alone (it could never finish)."""
         for request in requests:

@@ -70,7 +70,15 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - cluster is imported by instance
+    from repro.serving.instance import InstanceRuntime, RequestState
+    from repro.workloads.traces import Request
+
+#: Router sort key: heterogeneous tuples of ints/floats compared
+#: lexicographically (ties always break on ``instance_id`` afterwards).
+RankKey = Tuple[float, ...]
 
 #: Router names accepted by the engine and the ``serve --router`` flag.
 ROUTER_NAMES = ("round_robin", "least_loaded", "kv_aware", "class_affinity",
@@ -269,30 +277,36 @@ class Router:
 
     name = "base"
 
-    def prepare(self, runtimes: Sequence, trace) -> None:
+    def prepare(self, runtimes: Sequence["InstanceRuntime"],
+                trace: Iterable["Request"]) -> None:
         """Called once per run before the clock starts, with the built
         instance runtimes and the full trace (routers may precompute
         per-request placement from it — the same oracle standing the SJF
         scheduler uses)."""
 
-    def rank(self, runtime, head) -> tuple:
+    def rank(self, runtime: "InstanceRuntime",
+             head: Optional["RequestState"]) -> RankKey:
         """Sort key for one boundary instance (smaller dispatches first);
         ``head`` is the current queue head (may be None)."""
         return ()
 
-    def dispatch_order(self, candidates: List, head) -> List:
+    def dispatch_order(self, candidates: List["InstanceRuntime"],
+                       head: Optional["RequestState"]
+                       ) -> List["InstanceRuntime"]:
         """Order the instances at a step boundary for this event."""
         return sorted(candidates,
                       key=lambda r: (self.rank(r, head), r.instance_id))
 
-    def placement_ok(self, runtime, state) -> bool:
+    def placement_ok(self, runtime: "InstanceRuntime",
+                     state: "RequestState") -> bool:
         """May ``state`` be admitted on ``runtime``?  A vetoed head is not
         admitted (nor preempted for) there and waits for an instance the
         router accepts; routers must accept at least one class that can
         serve the request, or the run would stall."""
         return True
 
-    def handoff_target(self, runtimes: Sequence, state):
+    def handoff_target(self, runtimes: Sequence["InstanceRuntime"],
+                       state: "RequestState") -> Optional["InstanceRuntime"]:
         """The decode-capable instance a finished prompt's KV should move
         to: the least-loaded one whose pool can hold the request at full
         context (ties by instance id).  Returns None when no decode-capable
@@ -312,7 +326,8 @@ class RoundRobinRouter(Router):
 
     name = "round_robin"
 
-    def rank(self, runtime, head) -> tuple:
+    def rank(self, runtime: "InstanceRuntime",
+             head: Optional["RequestState"]) -> RankKey:
         return (runtime.admission_count,)
 
 
@@ -322,7 +337,8 @@ class LeastLoadedRouter(Router):
 
     name = "least_loaded"
 
-    def rank(self, runtime, head) -> tuple:
+    def rank(self, runtime: "InstanceRuntime",
+             head: Optional["RequestState"]) -> RankKey:
         return (runtime.load,)
 
 
@@ -333,7 +349,8 @@ class KVAwareRouter(Router):
 
     name = "kv_aware"
 
-    def rank(self, runtime, head) -> tuple:
+    def rank(self, runtime: "InstanceRuntime",
+             head: Optional["RequestState"]) -> RankKey:
         affinity = 0 if (head is not None
                          and runtime.holds_swapped(head)) else 1
         return (affinity, -runtime.kv_free_fraction)
@@ -348,7 +365,8 @@ class PrefixAwareRouter(Router):
 
     name = "prefix_aware"
 
-    def rank(self, runtime, head) -> tuple:
+    def rank(self, runtime: "InstanceRuntime",
+             head: Optional["RequestState"]) -> RankKey:
         affinity = 0 if (head is not None
                          and runtime.holds_swapped(head)) else 1
         matched = (runtime.matched_prefix_tokens(head.request)
@@ -402,7 +420,8 @@ class ClassAffinityRouter(Router):
         #: request_id -> preferred class key (num_nodes).
         self._preferred: Dict[int, int] = {}
 
-    def prepare(self, runtimes: Sequence, trace) -> None:
+    def prepare(self, runtimes: Sequence["InstanceRuntime"],
+                trace: Iterable["Request"]) -> None:
         # size preferences steer *fresh* requests, and on a role-tagged
         # cluster only prefill-capable instances may take those — sizing
         # the cuts by decode-only classes would prefer classes whose role
@@ -410,7 +429,7 @@ class ClassAffinityRouter(Router):
         # forever (handed-off requests bypass the size rule via their
         # swapped_on pin, so decode classes need no preference here)
         placeable = [r for r in runtimes if r.role in ("prefill", "both")]
-        by_class: Dict[int, List] = {}
+        by_class: Dict[int, List["InstanceRuntime"]] = {}
         for runtime in placeable:
             by_class.setdefault(runtime.num_nodes, []).append(runtime)
         class_nodes = sorted(by_class)
@@ -464,12 +483,14 @@ class ClassAffinityRouter(Router):
                     nodes)
             self._preferred[request.request_id] = nodes
 
-    def rank(self, runtime, head) -> tuple:
+    def rank(self, runtime: "InstanceRuntime",
+             head: Optional["RequestState"]) -> RankKey:
         # small classes first: they pick up their short requests before a
         # big instance (dispatched later) sweeps the queue
         return (runtime.num_nodes,)
 
-    def placement_ok(self, runtime, state) -> bool:
+    def placement_ok(self, runtime: "InstanceRuntime",
+                     state: "RequestState") -> bool:
         if state.swapped_on is not None:
             return state.swapped_on == runtime.instance_id
         preferred = self._preferred.get(state.request.request_id)
@@ -508,23 +529,26 @@ class DisaggregatedRouter(Router):
     name = "disaggregated"
 
     @staticmethod
-    def _role_matches(runtime, head) -> bool:
+    def _role_matches(runtime: "InstanceRuntime",
+                      head: "RequestState") -> bool:
         if head.swapped_on is not None:
             return head.swapped_on == runtime.instance_id
         if head.prefill_remaining > 0:
             return runtime.role in ("prefill", "both")
         return runtime.role in ("decode", "both")
 
-    def rank(self, runtime, head) -> tuple:
+    def rank(self, runtime: "InstanceRuntime",
+             head: Optional["RequestState"]) -> RankKey:
         match = 0 if (head is not None
                       and self._role_matches(runtime, head)) else 1
         return (match, runtime.load)
 
-    def placement_ok(self, runtime, state) -> bool:
+    def placement_ok(self, runtime: "InstanceRuntime",
+                     state: "RequestState") -> bool:
         return self._role_matches(runtime, state)
 
 
-def make_router(router) -> Router:
+def make_router(router: Union[str, Router]) -> Router:
     """Instantiate a router by name (or pass a :class:`Router` through)."""
     if isinstance(router, Router):
         return router

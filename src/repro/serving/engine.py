@@ -65,7 +65,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
@@ -86,6 +86,7 @@ from repro.serving.schedulers import (
     KVAdmissionController,
     make_scheduler,
 )
+from repro.sanitize import EngineSanitizer, sanitize_enabled
 from repro.workloads.traces import Request, RequestTrace, StreamingTrace
 
 #: Accepted values for ``TokenServingEngine(preemption_mode=...)`` (paged
@@ -117,8 +118,7 @@ def _is_arrival_sorted(requests: List[Request]) -> bool:
     prev_id = -1
     for request in requests:
         arrival = request.arrival_s
-        if arrival < prev_arrival or (arrival == prev_arrival
-                                      and request.request_id < prev_id):
+        if (arrival, request.request_id) < (prev_arrival, prev_id):
             return False
         prev_arrival = arrival
         prev_id = request.request_id
@@ -306,6 +306,14 @@ class TokenServingEngine:
         and produces bit-identical timestamps there; the switch exists so
         equivalence tests can compare against the one-event-per-step
         execution.
+    sanitize:
+        Opt-in shadow validation (see :mod:`repro.sanitize`): re-verify
+        event-time monotonicity, paged-KV block/refcount conservation and
+        queue/request conservation after every processed event, raising
+        :class:`~repro.errors.SanitizerError` with the offending event
+        attached.  ``None`` (default) defers to the ``REPRO_SANITIZE``
+        environment variable.  The checks are read-only, so sanitized
+        runs stay bit-identical to unsanitized ones.
 
     :meth:`run` also accepts a
     :class:`~repro.workloads.traces.StreamingTrace`: arrivals are then
@@ -338,7 +346,8 @@ class TokenServingEngine:
                  metrics_mode: str = "full",
                  slo: Optional[Tuple[float, float]] = None,
                  quantile_error: float = 0.005,
-                 multistep: bool = True) -> None:
+                 multistep: bool = True,
+                 sanitize: Optional[bool] = None) -> None:
         if metrics_mode not in METRICS_MODES:
             raise ValueError(
                 f"unknown metrics mode {metrics_mode!r}; "
@@ -413,6 +422,9 @@ class TokenServingEngine:
         self.slo = slo
         self.quantile_error = quantile_error
         self.multistep = multistep
+        #: resolved at construction: explicit argument wins over the
+        #: ``REPRO_SANITIZE`` environment switch (see :mod:`repro.sanitize`)
+        self.sanitize = sanitize_enabled(sanitize)
 
         if cluster is not None:
             if system is not None:
@@ -487,8 +499,9 @@ class TokenServingEngine:
                                  kv_controller, kv_block_manager))
         spec_nodes = {spec.num_nodes for spec in self.cluster.specs}
         #: Nodes per instance (0 when classes differ — use per-class
-        #: metrics then).
-        self.num_nodes_per_instance = (spec_nodes.pop()
+        #: metrics then).  pop() is order-independent here: only taken on
+        #: a singleton set.
+        self.num_nodes_per_instance = (spec_nodes.pop()  # repro-lint: disable=R006
                                        if len(spec_nodes) == 1 else 0)
         self._paged = any(proto[3] is not None for proto in self._protos)
         self._kv_mode = ("paged" if self._paged
@@ -549,7 +562,7 @@ class TokenServingEngine:
         return any(controller is not None or manager is not None
                    for _, _, controller, manager in self._protos)
 
-    def _validate(self, trace) -> None:
+    def _validate(self, trace: Iterable[Request]) -> None:
         """Reject traces containing a request no instance class could ever
         serve (it would block the queue head forever)."""
         if not self._needs_validation:
@@ -655,7 +668,7 @@ class TokenServingEngine:
             validate = (self._validate_request if self._needs_validation
                         else None)
 
-            def arrival_states():
+            def arrival_states() -> Iterator[RequestState]:
                 last = float("-inf")
                 for request in trace:
                     if request.arrival_s < last:
@@ -782,6 +795,20 @@ class TokenServingEngine:
                 heappush(events, (now + ready_s, next(seq),
                                   _HANDOFF, state))
 
+        # ---- shadow validation (opt-in, read-only) -----------------------
+        sanitizer = EngineSanitizer() if self.sanitize else None
+
+        def sanitize_check(now: float, event: object) -> None:
+            """Re-verify the engine invariants after one processed event
+            (only ever called with the sanitizer enabled)."""
+            assert sanitizer is not None  # mypy narrowing  # repro-lint: disable=R005
+            completed = len(records) if collector is None else collector.count
+            in_flight = sum(1 for entry in events if entry[2] == _HANDOFF)
+            sanitizer.after_event(
+                now, event, scheduler=scheduler, runtimes=runtimes,
+                num_arrivals=num_arrivals, completed=completed,
+                in_flight_handoffs=in_flight)
+
         # single-class non-paged pools take the straight-line path below:
         # a completed step only ever re-dispatches its own instance, so
         # the pump/dispatch closures are inlined out of the hot loop
@@ -793,6 +820,7 @@ class TokenServingEngine:
                 now = next_arrival_t
                 scheduler.push(next_state)
                 num_arrivals += 1
+                arrived = next_state
                 # peel the following arrival *before* pumping so the
                 # dispatch horizon already points past this one
                 next_state = next(arrivals, None)
@@ -800,6 +828,9 @@ class TokenServingEngine:
                                   if next_state is not None
                                   else float("inf"))
                 pump(None, now)
+                if sanitizer is not None:
+                    sanitize_check(now, ("arrival",
+                                         arrived.request.request_id, now))
                 continue
             if not events:
                 break
@@ -807,6 +838,9 @@ class TokenServingEngine:
             if kind == _HANDOFF:
                 scheduler.push(payload)
                 pump(None, now)
+                if sanitizer is not None:
+                    sanitize_check(now, ("handoff",
+                                         payload.request.request_id, now))
             else:
                 runtime = payload[1]
                 for state in runtime.complete_step(payload, now, stats):
@@ -824,6 +858,9 @@ class TokenServingEngine:
                     if has_roles:
                         launch_handoffs(runtime, now)
                     pump(runtime, now)
+                if sanitizer is not None:
+                    sanitize_check(now, ("step-done",
+                                         runtime.instance_id, now))
 
         completed = len(records) if collector is None else collector.count
         if completed != num_arrivals:
@@ -846,12 +883,14 @@ class TokenServingEngine:
         if self._kv_mode != "paged":
             return 0, 0
         managers = self.last_kv_managers
+        # the pop()s are order-independent: only taken on singleton sets
         block_sizes = {m.block_size_tokens for m in managers}
-        kv_block_size = block_sizes.pop() if len(block_sizes) == 1 else 0
+        kv_block_size = (block_sizes.pop()  # repro-lint: disable=R006
+                         if len(block_sizes) == 1 else 0)
         # per-instance pool size on a single class; the cluster-wide
         # total when classes have different pools
         totals = {m.total_blocks for m in managers}
-        kv_total_blocks = (totals.pop() if len(totals) == 1
+        kv_total_blocks = (totals.pop() if len(totals) == 1  # repro-lint: disable=R006
                            else sum(m.total_blocks for m in managers))
         return kv_block_size, kv_total_blocks
 

@@ -30,7 +30,7 @@ positions or blocks per node (KV), bytes summed over nodes (swap traffic).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
@@ -406,7 +406,8 @@ class InstanceRuntime:
             return restore + max(0, kv.blocks_needed(next_target) - restore)
         return kv.blocks_missing(rid, self._paged_admit_target(state))
 
-    def _paged_growth_headroom(self, kv: PagedKVManager, batch) -> int:
+    def _paged_growth_headroom(self, kv: PagedKVManager,
+                               batch: Sequence[RequestState]) -> int:
         """Blocks the current batch members will claim for their next
         decode appends.  Admission must leave this headroom free, or a
         newly admitted (or swapped-in) request would be re-evicted by
@@ -723,7 +724,8 @@ class InstanceRuntime:
             self._grow_to(state, min(state.context_len + 1, max_seq), now,
                           scheduler)
 
-    def _plan_mixed_step(self):
+    def _plan_mixed_step(self) -> Tuple[List[RequestState],
+                                        List[Tuple[RequestState, int]]]:
         """Split the mixed-step token budget over the batch: one decode
         token per running decode first, then prefill-chunk tokens for
         requests still prefilling, in admission (batch) order.  Decode
@@ -744,7 +746,9 @@ class InstanceRuntime:
             remaining -= chunk
         return decoders, chunks
 
-    def _ensure_mixed_capacity(self, now: float, scheduler: SchedulerPolicy):
+    def _ensure_mixed_capacity(self, now: float, scheduler: SchedulerPolicy
+                               ) -> Tuple[List[RequestState],
+                                          List[Tuple[RequestState, int]]]:
         """Paged mode, before a mixed step: every request advancing in
         the step needs blocks for the positions it appends (one per
         decode, a whole chunk per prefilling member).  An eviction frees

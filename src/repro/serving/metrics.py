@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports metrics
+    from repro.serving.instance import RequestState
 
 from repro.energy.power import FpgaPowerModel
 
@@ -651,9 +654,9 @@ class StreamingMetricsCollector:
         self.class_of_instance = class_of_instance or {}
         # label -> [requests, generated_tokens, preemptions,
         #           ttft_count, ttft_sum_s]
-        self.per_class: Dict[str, List] = {}
+        self.per_class: Dict[str, List[float]] = {}
 
-    def add(self, state, now: float) -> None:
+    def add(self, state: "RequestState", now: float) -> None:
         """Fold in one finished request (``state`` is the engine's
         :class:`~repro.serving.instance.RequestState` at completion)."""
         request = state.request

@@ -40,11 +40,19 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from repro.memory.hbm import kv_budget_bytes_per_node
 from repro.memory.kv_cache import KVCacheLayout
 from repro.workloads.traces import Request
+
+if TYPE_CHECKING:  # pragma: no cover - schedulers is imported by instance
+    from repro.core.multi_node import LoopLynxSystem
+    from repro.serving.instance import RequestState
+
+#: Admission-order key: heterogeneous tuples of ints/floats compared
+#: lexicographically; the policy heap adds a sequence number for ties.
+SortKey = Tuple[float, ...]
 
 #: Policy names accepted by the engine/CLI (`fifo-exclusive` is handled by
 #: :class:`repro.serving.simulator.ServingSimulator`).
@@ -68,21 +76,21 @@ class SchedulerPolicy:
     never_preempts = True
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[tuple, int, object]] = []
+        self._heap: List[Tuple[SortKey, int, "RequestState"]] = []
         self._seq = itertools.count()
 
     # ------------------------------------------------------------------
-    def sort_key(self, entry) -> tuple:
+    def sort_key(self, entry: "RequestState") -> SortKey:
         """Admission-order key for one waiting entry (an engine request
         state exposing ``.request``); smaller sorts first."""
         raise NotImplementedError
 
-    def push(self, entry) -> None:
+    def push(self, entry: "RequestState") -> None:
         """Enqueue a waiting entry (called on arrival and on preemption; a
         preempted entry competes again under the same ordering)."""
         heapq.heappush(self._heap, (self.sort_key(entry), next(self._seq), entry))
 
-    def peek(self):
+    def peek(self) -> Optional["RequestState"]:
         """The next request to admit, or None when the queue is empty.
 
         Policies are strictly head-of-line: the engine admits (or blocks on)
@@ -90,7 +98,7 @@ class SchedulerPolicy:
         """
         return self._heap[0][2] if self._heap else None
 
-    def pop(self):
+    def pop(self) -> "RequestState":
         """Remove and return the head (the entry :meth:`peek` showed)."""
         if not self._heap:
             raise IndexError("scheduler queue is empty")
@@ -101,7 +109,9 @@ class SchedulerPolicy:
         return len(self._heap)
 
     # ------------------------------------------------------------------
-    def preemption_victim(self, running: List, head) -> Optional[object]:
+    def preemption_victim(self, running: List["RequestState"],
+                          head: "RequestState"
+                          ) -> Optional["RequestState"]:
         """A running entry the waiting ``head`` may displace, or None.
 
         Consulted at a step boundary when the head is blocked (no batch
@@ -121,7 +131,7 @@ class FifoScheduler(SchedulerPolicy):
 
     name = "fifo"
 
-    def sort_key(self, entry) -> tuple:
+    def sort_key(self, entry: "RequestState") -> SortKey:
         return (entry.request.arrival_s, entry.request.request_id)
 
 
@@ -135,7 +145,7 @@ class ShortestJobFirstScheduler(SchedulerPolicy):
 
     name = "sjf"
 
-    def sort_key(self, entry) -> tuple:
+    def sort_key(self, entry: "RequestState") -> SortKey:
         return (entry.request.total_tokens, entry.request.arrival_s,
                 entry.request.request_id)
 
@@ -147,11 +157,13 @@ class PriorityScheduler(SchedulerPolicy):
     name = "priority"
     never_preempts = False
 
-    def sort_key(self, entry) -> tuple:
+    def sort_key(self, entry: "RequestState") -> SortKey:
         return (-entry.request.priority, entry.request.arrival_s,
                 entry.request.request_id)
 
-    def preemption_victim(self, running: List, head) -> Optional[object]:
+    def preemption_victim(self, running: List["RequestState"],
+                          head: "RequestState"
+                          ) -> Optional["RequestState"]:
         candidates = [e for e in running
                       if e.request.priority < head.request.priority]
         if not candidates:
@@ -197,7 +209,8 @@ class KVAdmissionController:
         self.capacity_tokens = layout.max_cached_tokens(self.budget_bytes)
 
     @staticmethod
-    def for_system(system, budget_bytes: Optional[int] = None,
+    def for_system(system: "LoopLynxSystem",
+                   budget_bytes: Optional[int] = None,
                    kv_bytes_per_element: int = 1) -> "KVAdmissionController":
         """Build a controller for a :class:`~repro.core.multi_node.LoopLynxSystem`.
 
@@ -224,7 +237,7 @@ class KVAdmissionController:
         cached positions (both in tokens per node)?"""
         return used_tokens + self.reservation_tokens(request) <= self.capacity_tokens
 
-    def validate(self, requests) -> None:
+    def validate(self, requests: Iterable[Request]) -> None:
         """Reject traces containing a request that could never be admitted
         (it would block the queue head forever)."""
         for request in requests:

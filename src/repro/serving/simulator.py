@@ -22,11 +22,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.serving.metrics import ServingMetrics
 from repro.workloads.traces import Request, RequestTrace
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports are lazy here
+    from repro.serving.engine import ServedRequest, TokenServingEngine
 
 #: Policy name of the whole-request, one-request-per-instance FIFO mode.
 FIFO_EXCLUSIVE = "fifo-exclusive"
@@ -68,7 +71,7 @@ class ServingSimulator:
 
     def __init__(self, num_instances: int = 1, num_nodes_per_instance: int = 2,
                  system: Optional[LoopLynxSystem] = None,
-                 policy: str = FIFO_EXCLUSIVE, **engine_kwargs) -> None:
+                 policy: str = FIFO_EXCLUSIVE, **engine_kwargs: Any) -> None:
         if num_instances <= 0:
             raise ValueError("num_instances must be positive")
         self.num_instances = num_instances
@@ -76,7 +79,7 @@ class ServingSimulator:
         self.system = system or LoopLynxSystem.paper_configuration(
             num_nodes=num_nodes_per_instance)
         self.policy = policy
-        self._engine = None
+        self._engine: Optional["TokenServingEngine"] = None
         if policy != FIFO_EXCLUSIVE:
             from repro.serving.engine import TokenServingEngine
 
@@ -99,7 +102,10 @@ class ServingSimulator:
             self._service_cache[key] = report.total_ms / 1e3
         return self._service_cache[key]
 
-    def run(self, trace: RequestTrace):
+    def run(self, trace: RequestTrace
+            ) -> Tuple[ServingMetrics,
+                       Union[Sequence[CompletedRequest],
+                             Sequence["ServedRequest"]]]:
         """Serve the trace and return aggregate metrics plus per-request
         records (:class:`CompletedRequest` in FIFO-exclusive mode,
         :class:`~repro.serving.engine.ServedRequest` otherwise)."""

@@ -1,0 +1,182 @@
+"""The determinism linter's own contract (``tools/repro_lint.py``).
+
+Three layers:
+
+* **per-rule fixtures** — for every rule ID, one snippet that must trigger
+  it and the same snippet with a ``# repro-lint: disable=RXXX`` comment
+  that must suppress it (the suppression syntax is part of the contract);
+* **negative fixtures** — idiomatic simulator code (seeded RNG, simulated
+  clocks, tolerance comparisons) must stay clean, or the linter would be
+  too noisy to gate CI;
+* **the repository itself** — ``src/`` must lint clean, which is what the
+  CI ``static-analysis`` job enforces with ``python tools/repro_lint.py
+  src/``.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+LINTER = ROOT / "tools" / "repro_lint.py"
+
+_spec = importlib.util.spec_from_file_location("repro_lint", LINTER)
+repro_lint = importlib.util.module_from_spec(_spec)
+sys.modules["repro_lint"] = repro_lint  # dataclasses resolve the module
+_spec.loader.exec_module(repro_lint)
+
+
+def findings_for(source):
+    return repro_lint.lint_source(source, path="fixture.py")
+
+
+def rule_ids(source):
+    return sorted({f.rule for f in findings_for(source)})
+
+
+#: rule ID -> source snippet that must trigger exactly that rule.
+TRIGGERS = {
+    "R001": "import random\nvalue = random.randint(0, 10)\n",
+    "R002": "import time\nstamp = time.time()\n",
+    "R003": "flag = arrival_s == finish_s\n",
+    "R004": "def enqueue(item, queue=[]):\n    queue.append(item)\n",
+    "R005": "def free(n):\n    assert n >= 0\n    return n\n",
+    "R006": "blocks = {1, 2, 3}\nfor block in blocks:\n    print(block)\n",
+}
+
+#: Additional spellings each rule must also catch.
+EXTRA_TRIGGERS = {
+    "R001": [
+        "import numpy as np\nnoise = np.random.rand(4)\n",
+        "import numpy as np\nnp.random.seed(0)\n",
+    ],
+    "R002": [
+        "import time\nt0 = time.perf_counter()\n",
+        "from datetime import datetime\nstamp = datetime.now()\n",
+    ],
+    "R003": [
+        "if now != state.finish_s:\n    pass\n",
+        "hit = record.arrival_s == 0.0\n",
+    ],
+    "R004": [
+        "def f(mapping={}):\n    return mapping\n",
+        "def f(seen=set()):\n    return seen\n",
+        "import collections\ndef f(c=collections.Counter()):\n    return c\n",
+    ],
+    "R005": ["assert manager.used_blocks == 0, 'leak'\n"],
+    "R006": [
+        "chosen = {1, 2, 3}.pop()\n",
+        "ids = set(table)\nfirst = ids.pop()\n",
+        "out = [x for x in set(items)]\n",
+    ],
+}
+
+#: Idiomatic simulator code that must NOT trigger anything.
+CLEAN = [
+    # seeded RNG objects are the sanctioned idiom
+    "import random\nrng = random.Random(7)\nvalue = rng.random()\n",
+    "import numpy as np\nrng = np.random.default_rng(7)\nx = rng.normal()\n",
+    # simulated clocks are plain floats, not wall-clock reads
+    "now = events[0][0]\nlater = now + step_duration_s\n",
+    # ordering / tolerance comparisons on timestamps are fine
+    "done = finish_s <= deadline_s\nclose = abs(now - finish_s) < 1e-9\n",
+    # counter names are exempt from the timestamp heuristic
+    "stalled = num_arrivals == completed\n",
+    # immutable defaults are fine
+    "def f(x=(), y=None, z=0):\n    return x, y, z\n",
+    # sorted iteration over a set is the sanctioned fix for R006
+    "for block in sorted({3, 1, 2}):\n    print(block)\n",
+    # list.pop() is positional, not an unordered pick
+    "stack = [1, 2, 3]\ntop = stack.pop()\n",
+]
+
+
+@pytest.mark.parametrize("rule_id", sorted(TRIGGERS))
+def test_rule_triggers(rule_id):
+    assert rule_ids(TRIGGERS[rule_id]) == [rule_id]
+
+
+@pytest.mark.parametrize(
+    "rule_id,source",
+    [(rule_id, source) for rule_id in sorted(EXTRA_TRIGGERS)
+     for source in EXTRA_TRIGGERS[rule_id]])
+def test_rule_extra_spellings(rule_id, source):
+    assert rule_id in rule_ids(source)
+
+
+@pytest.mark.parametrize("rule_id", sorted(TRIGGERS))
+def test_rule_suppression(rule_id):
+    """Appending ``# repro-lint: disable=RXXX`` on the flagged line
+    silences exactly that finding."""
+    source = TRIGGERS[rule_id]
+    findings = findings_for(source)
+    assert findings, "fixture stopped triggering"
+    lines = source.splitlines()
+    for finding in findings:
+        lines[finding.line - 1] += f"  # repro-lint: disable={rule_id}"
+    assert findings_for("\n".join(lines) + "\n") == []
+
+
+def test_suppression_is_rule_specific():
+    """Disabling one rule does not blanket-silence the line; ``all`` does."""
+    source = "def f(q=[]):\n    assert q is not None\n"
+    assert rule_ids(source) == ["R004", "R005"]
+    wrong = "def f(q=[]):  # repro-lint: disable=R005\n    assert q is not None\n"
+    assert rule_ids(wrong) == ["R004", "R005"]
+    both = ("def f(q=[]):  # repro-lint: disable=R004\n"
+            "    assert q is not None  # repro-lint: disable=all\n")
+    assert findings_for(both) == []
+
+
+@pytest.mark.parametrize("source", CLEAN)
+def test_clean_idioms_stay_clean(source):
+    assert findings_for(source) == []
+
+
+def test_catalogue_has_at_least_six_documented_rules():
+    assert len(repro_lint.RULES) >= 6
+    for rule_id, (name, message) in repro_lint.RULES.items():
+        assert rule_id.startswith("R") and name and message
+        assert rule_id in TRIGGERS, f"{rule_id} has no trigger fixture"
+
+
+def test_src_tree_lints_clean():
+    """The acceptance gate: the library carries zero findings (real
+    exemptions use line suppressions with a justification comment)."""
+    findings = repro_lint.lint_path([str(ROOT / "src")])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_exit_codes(tmp_path):
+    """`python tools/repro_lint.py <path>` exits 0 on clean trees, 1 on
+    findings, and prints one location-prefixed line per finding."""
+    clean = tmp_path / "clean.py"
+    clean.write_text("import random\nrng = random.Random(3)\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nstamp = time.time()\n")
+
+    ok = subprocess.run([sys.executable, str(LINTER), str(clean)],
+                        capture_output=True, text=True)
+    assert ok.returncode == 0 and ok.stdout == ""
+
+    bad = subprocess.run([sys.executable, str(LINTER), str(dirty)],
+                         capture_output=True, text=True)
+    assert bad.returncode == 1
+    assert "dirty.py:2:" in bad.stdout and "R002" in bad.stdout
+
+    rules = subprocess.run([sys.executable, str(LINTER), "--list-rules"],
+                           capture_output=True, text=True)
+    assert rules.returncode == 0
+    for rule_id in repro_lint.RULES:
+        assert rule_id in rules.stdout
+
+
+def test_rules_documented_in_development_guide():
+    """Every rule ID appears in docs/development.md, so the catalogue and
+    the guide cannot drift apart silently."""
+    guide = (ROOT / "docs" / "development.md").read_text()
+    for rule_id in repro_lint.RULES:
+        assert rule_id in guide, f"{rule_id} missing from docs/development.md"

@@ -1,0 +1,98 @@
+"""The strict typing ladder, pinned without needing mypy installed.
+
+CI's ``static-analysis`` job runs ``mypy --strict`` over the four strict
+packages (see ``pyproject.toml``); this test pins the property mypy's
+``disallow_untyped_defs`` / ``disallow_incomplete_defs`` would enforce —
+every function in a strict package is fully annotated — via the AST, so
+the ladder cannot rot on machines (or CI paths) where mypy is absent.
+
+Also pins the config itself: the strict override list in
+``pyproject.toml`` and the documented ladder in ``docs/development.md``
+must name the same packages as this test, so the three cannot drift
+apart silently.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+#: Packages (and single modules) on the strict rung of the ladder.
+STRICT_PACKAGES = ("serving", "memory", "workloads", "analysis")
+STRICT_MODULES = ("sanitize.py", "errors.py")
+
+
+def strict_files():
+    files = []
+    for package in STRICT_PACKAGES:
+        files.extend(sorted((SRC / package).rglob("*.py")))
+    files.extend(SRC / name for name in STRICT_MODULES)
+    return files
+
+
+def unannotated_defs(path):
+    """(line, name, problem) for every def missing annotations."""
+    problems = []
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        every_arg = args.posonlyargs + args.args + args.kwonlyargs
+        for arg in every_arg:
+            if arg.annotation is None and arg.arg not in ("self", "cls"):
+                problems.append((node.lineno, node.name,
+                                 f"argument {arg.arg!r} unannotated"))
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None and extra.annotation is None:
+                problems.append((node.lineno, node.name,
+                                 f"argument *{extra.arg} unannotated"))
+        if node.returns is None:
+            problems.append((node.lineno, node.name, "return unannotated"))
+    return problems
+
+
+def test_strict_file_set_is_nonempty():
+    files = strict_files()
+    assert len(files) >= 15  # the four packages plus the two modules
+    for path in files:
+        assert path.is_file(), path
+
+
+@pytest.mark.parametrize("path", strict_files(),
+                         ids=lambda p: str(p.relative_to(SRC)))
+def test_strict_packages_are_fully_annotated(path):
+    problems = unannotated_defs(path)
+    assert problems == [], "\n".join(
+        f"{path}:{line} {name}: {problem}"
+        for line, name, problem in problems)
+
+
+def test_pyproject_declares_the_strict_ladder():
+    """The mypy strict overrides in pyproject.toml cover exactly the
+    packages this test enforces (plus the sanitizer modules)."""
+    pyproject = (ROOT / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in pyproject
+    assert "strict = true" in pyproject
+    for package in STRICT_PACKAGES:
+        assert f'"repro.{package}.*"' in pyproject, package
+    for module in STRICT_MODULES:
+        assert f'"repro.{module.removesuffix(".py")}"' in pyproject, module
+
+
+def test_development_guide_documents_the_ladder():
+    guide = (ROOT / "docs" / "development.md").read_text()
+    for package in STRICT_PACKAGES:
+        assert f"repro.{package}" in guide, package
+    assert "strict" in guide and "typing" in guide.lower()
+
+
+def test_ci_runs_the_static_analysis_gates():
+    workflow = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "static-analysis" in workflow
+    assert "repro_lint" in workflow
+    assert "mypy" in workflow
+    assert "ruff" in workflow

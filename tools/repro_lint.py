@@ -1,0 +1,448 @@
+#!/usr/bin/env python3
+"""repro-lint: project-specific determinism and robustness lint.
+
+The simulator's contract is *bit-identical replay*: the same trace, seed,
+and config must produce the same timestamps on every run, on every
+machine, forever (see ``docs/ARCHITECTURE.md`` and the golden-timestamp
+tests).  A handful of Python idioms silently break that contract — global
+RNG state, wall-clock reads, float equality on computed times, mutable
+default arguments, and iteration over unordered collections — and one
+more (bare ``assert`` in library code) silently *disables* the guards
+under ``python -O``.  Generic linters do not know which of these matter
+here; this one does.
+
+Rules
+-----
+
+======  ==============================  ==========================================
+ID      name                            catches
+======  ==============================  ==========================================
+R001    unseeded-random                 module-level ``random.*`` / legacy
+                                        ``np.random.*`` calls that draw from
+                                        hidden global state
+R002    wall-clock                      ``time.time()`` / ``datetime.now()`` and
+                                        friends inside simulation code
+R003    float-timestamp-equality        ``==`` / ``!=`` between simulated
+                                        timestamps (floats accumulate error;
+                                        compare with tolerances or orderings)
+R004    mutable-default-arg             ``def f(x=[])`` — state shared across
+                                        calls
+R005    bare-assert                     ``assert`` guarding a runtime invariant
+                                        in library code (stripped under ``-O``)
+R006    unordered-iteration             iterating (or ``.pop()``-ing) a ``set``
+                                        in scheduler/router code, where order
+                                        feeds the event stream
+======  ==============================  ==========================================
+
+Suppression
+-----------
+
+Append ``# repro-lint: disable=R001`` (comma-separate several IDs, or use
+``disable=all``) to the offending line.  Suppressions are per-line and
+should carry a justification in a neighbouring comment — see
+``docs/development.md`` for etiquette.
+
+Usage
+-----
+
+.. code-block:: bash
+
+    python tools/repro_lint.py src/            # lint a tree, exit 1 on findings
+    python tools/repro_lint.py --list-rules    # print the rule catalogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import os
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set
+
+__all__ = ["Finding", "RULES", "lint_source", "lint_path", "main"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: where, which rule, and a human-readable message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+#: Rule catalogue: ID -> (name, one-line description).  Kept flat so both
+#: ``--list-rules`` and the docs table are generated from one source.
+RULES: Dict[str, tuple] = {
+    "R001": (
+        "unseeded-random",
+        "module-level random.*/np.random.* call draws from hidden global RNG "
+        "state; use random.Random(seed) / np.random.default_rng(seed)",
+    ),
+    "R002": (
+        "wall-clock",
+        "wall-clock read in simulation code; simulated time must come from "
+        "the event loop, never the host clock",
+    ),
+    "R003": (
+        "float-timestamp-equality",
+        "== / != between simulated timestamps; float arithmetic is not "
+        "associative — compare orderings or use an explicit tolerance",
+    ),
+    "R004": (
+        "mutable-default-arg",
+        "mutable default argument is shared across calls; default to None "
+        "and materialise inside the function",
+    ),
+    "R005": (
+        "bare-assert",
+        "assert guarding a runtime invariant in library code is stripped "
+        "under python -O; raise a typed error instead",
+    ),
+    "R006": (
+        "unordered-iteration",
+        "iteration order of a set is not part of the language contract; "
+        "sort it (or justify why order cannot reach the event stream)",
+    ),
+}
+
+_WALL_CLOCK_TIME_ATTRS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock_gettime",
+    "localtime", "gmtime", "ctime",
+}
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_SEEDED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+_SEEDED_NP_RANDOM_ATTRS = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "Philox", "MT19937", "SFC64",
+}
+_MUTABLE_FACTORIES = {"list", "dict", "set"}
+_MUTABLE_FACTORY_ATTRS = {"defaultdict", "Counter", "OrderedDict", "deque"}
+
+#: Identifiers that look like simulated timestamps.  Matched against the
+#: terminal name of a ``Name``/``Attribute`` operand of ``==`` / ``!=``.
+_TIMESTAMP_RE = re.compile(
+    r"(^|_)(time|times|timestamp|arrival|arrivals|deadline|finish|start|now|"
+    r"makespan|tick)($|_)|(_s|_ts|_at)$"
+)
+
+#: Counter-style prefixes: ``num_arrivals`` counts events, it does not
+#: carry a simulated time — integer equality on it is exact and fine.
+_COUNTER_RE = re.compile(r"^(num|n|count|total|idx|index)_")
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """``a.b.finish_s`` -> ``finish_s``; ``now`` -> ``now``; else ``''``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_timestamp_like(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if not name or _COUNTER_RE.match(name):
+        return False
+    return bool(_TIMESTAMP_RE.search(name))
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted path of an attribute chain (``np.random.rand``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Expression that *is* a set: display, comprehension, or constructor."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra (a | b, a - b, ...) stays a set if either side is one
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor emitting findings for all rules."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        #: names bound to set expressions in the enclosing function scope
+        #: (lightweight local dataflow for R006)
+        self._set_names_stack: List[Set[str]] = [set()]
+
+    # -- helpers ---------------------------------------------------------
+
+    def _emit(self, node: ast.AST, rule: str) -> None:
+        name, message = RULES[rule]
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=f"[{name}] {message}",
+            )
+        )
+
+    @property
+    def _set_names(self) -> Set[str]:
+        return self._set_names_stack[-1]
+
+    # -- scopes ----------------------------------------------------------
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._set_names_stack.append(set())
+        self.generic_visit(node)
+        self._set_names_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self._visit_scope(node)
+
+    # -- R004 ------------------------------------------------------------
+
+    def _check_defaults(self, node: ast.AST) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self._emit(default, "R004")
+            elif isinstance(default, ast.Call):
+                func = default.func
+                if isinstance(func, ast.Name) and func.id in _MUTABLE_FACTORIES:
+                    self._emit(default, "R004")
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTABLE_FACTORY_ATTRS
+                ):
+                    self._emit(default, "R004")
+
+    # -- R001 / R002 -----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        parts = dotted.split(".") if dotted else []
+        if len(parts) == 2 and parts[0] == "random":
+            if parts[1] not in _SEEDED_RANDOM_ATTRS:
+                self._emit(node, "R001")
+        elif (
+            len(parts) >= 2
+            and parts[-2] == "random"
+            and parts[0] in {"np", "numpy"}
+        ):
+            if parts[-1] not in _SEEDED_NP_RANDOM_ATTRS:
+                self._emit(node, "R001")
+        if len(parts) == 2 and parts[0] == "time":
+            if parts[1] in _WALL_CLOCK_TIME_ATTRS:
+                self._emit(node, "R002")
+        elif parts and parts[-1] in _WALL_CLOCK_DATETIME_ATTRS:
+            if parts[-2:-1] in (["datetime"], ["date"]) or parts[:-1] in (
+                ["datetime", "datetime"],
+                ["datetime", "date"],
+            ):
+                self._emit(node, "R002")
+        # R006: zero-arg .pop() on a set-typed local — order-dependent pick
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and not node.args
+            and not node.keywords
+        ):
+            target = node.func.value
+            if _is_set_expr(target) or (
+                isinstance(target, ast.Name) and target.id in self._set_names
+            ):
+                self._emit(node, "R006")
+        self.generic_visit(node)
+
+    # -- R003 ------------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if any(
+                isinstance(side, ast.Constant)
+                and not isinstance(side.value, (int, float))
+                for side in (left, right)
+            ):
+                continue  # == None / == "str": not a timestamp comparison
+            if _is_timestamp_like(left) or _is_timestamp_like(right):
+                self._emit(node, "R003")
+                break
+        self.generic_visit(node)
+
+    # -- R005 ------------------------------------------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._emit(node, "R005")
+        self.generic_visit(node)
+
+    # -- R006 (local dataflow) ------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names.add(target.id)
+        else:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names.discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if node.value is not None and _is_set_expr(node.value):
+                self._set_names.add(node.target.id)
+            else:
+                self._set_names.discard(node.target.id)
+        self.generic_visit(node)
+
+    def _check_iter(self, node: ast.AST, iter_node: ast.AST) -> None:
+        if _is_set_expr(iter_node) or (
+            isinstance(iter_node, ast.Name) and iter_node.id in self._set_names
+        ):
+            self._emit(node, "R006")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for comp in node.generators:
+            self._check_iter(node, comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule IDs disabled on that line."""
+    disabled: Dict[int, Set[str]] = {}
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_RE.search(tok.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            disabled.setdefault(tok.start[0], set()).update(
+                {"all"} if "all" in ids else ids
+            )
+    except tokenize.TokenError:
+        pass
+    return disabled
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; returns surviving findings, sorted."""
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path)
+    checker.visit(tree)
+    disabled = _suppressions(source)
+    findings = [
+        f
+        for f in checker.findings
+        if not ({f.rule, "all"} & disabled.get(f.line, set()))
+    ]
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_path(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file in _iter_py_files(paths):
+        findings.extend(lint_source(file.read_text(), str(file)))
+    return findings
+
+
+def _print_rules() -> None:
+    for rule_id, (name, message) in sorted(RULES.items()):
+        print(f"{rule_id}  {name}")
+        print(f"      {message}")
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro_lint", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python tools/repro_lint.py src/)")
+    findings = lint_path(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); swap in devnull
+        # so the interpreter's final flush doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
