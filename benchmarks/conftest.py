@@ -1,9 +1,39 @@
 """Benchmark-suite conftest: make the src layout importable when the package
-has not been installed (mirrors the root conftest)."""
+has not been installed (mirrors the root conftest), register the
+``--refresh-seed`` option, and mark every benchmark as ``serial``.
+
+Benchmarks measure wall time, so running them alongside other workers
+(pytest-xdist) would corrupt the numbers; the ``serial`` marker lets CI
+split the run into a parallel pass (``-m "not serial"``) and a serial
+pass (``-m serial``).
+"""
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--refresh-seed", action="store_true", default=False,
+        help="re-measure the seed-engine reference numbers in "
+             "BENCH_serving_perf.json (compatibility path, multistep "
+             "disabled) instead of trusting the committed floors")
+
+
+@pytest.fixture
+def refresh_seed(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--refresh-seed"))
+
+
+def pytest_collection_modifyitems(config: pytest.Config,
+                                  items: "list[pytest.Item]") -> None:
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.serial)

@@ -186,6 +186,25 @@ def metrics_row(label: str, metrics: ServingMetrics) -> Dict[str, object]:
     return row
 
 
+def _sweep_metrics(trace: RequestTrace,
+                   labeled_configs: Sequence[Tuple[str, Dict[str, Any]]],
+                   workers: int) -> List[ServingMetrics]:
+    """Run labelled run_policy configurations through the sweep engine.
+
+    ``workers=1`` executes in-process in config order — byte-for-byte
+    the behavior of the old serial for-loops; larger values fan the
+    configs over a process pool (results stay in config order and
+    bit-identical to serial).  A failing config raises, preserving the
+    comparisons' fail-fast contract.
+    """
+    from repro.serving.sweep import SweepJob, run_jobs
+    jobs = [SweepJob(index=i, label=label, trace=trace, params=params)
+            for i, (label, params) in enumerate(labeled_configs)]
+    outcome = run_jobs(jobs, workers=workers, keep_metrics=True)
+    outcome.raise_failures()
+    return [r.metrics for r in outcome.results if r.metrics is not None]
+
+
 def policy_comparison(trace: RequestTrace,
                       policies: Sequence[str] = (FIFO_EXCLUSIVE, "fifo", "sjf"),
                       num_instances: int = 1,
@@ -194,27 +213,29 @@ def policy_comparison(trace: RequestTrace,
                       kv_budget_bytes: Optional[int] = None,
                       kv_mode: str = "reserve",
                       kv_block_size: int = 16,
-                      preemption_mode: str = "swap"
+                      preemption_mode: str = "swap",
+                      workers: int = 1
                       ) -> List[Dict[str, object]]:
     """Serve the same trace under each policy and tabulate the summaries.
 
     The KV options mirror :func:`run_policy` and apply to every token-level
     row.  With a KV budget or paged mode, ``fifo-exclusive`` is excluded
     (it has no admission control, so its row would not be comparable to the
-    constrained ones).
+    constrained ones).  ``workers`` fans the rows over a process pool
+    (bit-identical to serial; see :mod:`repro.serving.sweep`).
     """
-    rows = []
     if kv_budget_bytes is not None or kv_mode == "paged":
         policies = [p for p in policies if p != FIFO_EXCLUSIVE]
-    for policy in policies:
-        metrics, _ = run_policy(trace, policy, num_instances=num_instances,
-                                num_nodes_per_instance=num_nodes_per_instance,
-                                max_batch_size=max_batch_size,
-                                kv_budget_bytes=kv_budget_bytes,
-                                kv_mode=kv_mode, kv_block_size=kv_block_size,
-                                preemption_mode=preemption_mode)
-        rows.append(metrics_row(policy, metrics))
-    return rows
+    configs = [(policy, dict(policy=policy, num_instances=num_instances,
+                             num_nodes_per_instance=num_nodes_per_instance,
+                             max_batch_size=max_batch_size,
+                             kv_budget_bytes=kv_budget_bytes,
+                             kv_mode=kv_mode, kv_block_size=kv_block_size,
+                             preemption_mode=preemption_mode))
+               for policy in policies]
+    return [metrics_row(label, metrics)
+            for (label, _), metrics
+            in zip(configs, _sweep_metrics(trace, configs, workers))]
 
 
 def kv_mode_comparison(trace: RequestTrace, kv_budget_bytes: int,
@@ -223,7 +244,8 @@ def kv_mode_comparison(trace: RequestTrace, kv_budget_bytes: int,
                        num_nodes_per_instance: int = 2,
                        max_batch_size: int = 8,
                        kv_block_size: int = 16,
-                       preemption_mode: str = "swap"
+                       preemption_mode: str = "swap",
+                       workers: int = 1
                        ) -> List[Dict[str, object]]:
     """Serve one trace under the same KV byte budget in reservation mode and
     paged mode (plus paged/recompute when ``preemption_mode`` is ``swap``)
@@ -233,21 +255,20 @@ def kv_mode_comparison(trace: RequestTrace, kv_budget_bytes: int,
     capacity, on-demand block allocation sustains a higher running batch than
     worst-case reservations.
     """
-    configs = [("reserve", "reserve", "swap"),
-               (f"paged/{preemption_mode}", "paged", preemption_mode)]
+    modes = [("reserve", "reserve", "swap"),
+             (f"paged/{preemption_mode}", "paged", preemption_mode)]
     if preemption_mode == "swap":
-        configs.append(("paged/recompute", "paged", "recompute"))
-    rows = []
-    for label, kv_mode, mode in configs:
-        metrics, _ = run_policy(trace, policy, num_instances=num_instances,
-                                num_nodes_per_instance=num_nodes_per_instance,
-                                max_batch_size=max_batch_size,
-                                kv_budget_bytes=kv_budget_bytes,
-                                kv_mode=kv_mode, kv_block_size=kv_block_size,
-                                preemption_mode=mode)
-        row = metrics_row(label, metrics)
-        rows.append(row)
-    return rows
+        modes.append(("paged/recompute", "paged", "recompute"))
+    configs = [(label, dict(policy=policy, num_instances=num_instances,
+                            num_nodes_per_instance=num_nodes_per_instance,
+                            max_batch_size=max_batch_size,
+                            kv_budget_bytes=kv_budget_bytes,
+                            kv_mode=kv_mode, kv_block_size=kv_block_size,
+                            preemption_mode=mode))
+               for label, kv_mode, mode in modes]
+    return [metrics_row(label, metrics)
+            for (label, _), metrics
+            in zip(configs, _sweep_metrics(trace, configs, workers))]
 
 
 def prefill_mode_comparison(trace: RequestTrace,
@@ -259,7 +280,8 @@ def prefill_mode_comparison(trace: RequestTrace,
                             kv_budget_bytes: Optional[int] = None,
                             kv_mode: str = "reserve",
                             kv_block_size: int = 16,
-                            preemption_mode: str = "swap"
+                            preemption_mode: str = "swap",
+                            workers: int = 1
                             ) -> List[Dict[str, object]]:
     """Serve one trace under exclusive and mixed prefill and tabulate the
     summaries side by side.
@@ -270,16 +292,19 @@ def prefill_mode_comparison(trace: RequestTrace,
     benchmark suite asserts it).  The KV options mirror :func:`run_policy`
     and apply to both rows.
     """
+    configs = [(prefill_mode,
+                dict(policy=policy, num_instances=num_instances,
+                     num_nodes_per_instance=num_nodes_per_instance,
+                     max_batch_size=max_batch_size,
+                     kv_budget_bytes=kv_budget_bytes,
+                     kv_mode=kv_mode, kv_block_size=kv_block_size,
+                     preemption_mode=preemption_mode,
+                     prefill_mode=prefill_mode,
+                     mixed_step_token_budget=mixed_step_token_budget))
+               for prefill_mode in PREFILL_MODES]
     rows = []
-    for prefill_mode in PREFILL_MODES:
-        metrics, _ = run_policy(trace, policy, num_instances=num_instances,
-                                num_nodes_per_instance=num_nodes_per_instance,
-                                max_batch_size=max_batch_size,
-                                kv_budget_bytes=kv_budget_bytes,
-                                kv_mode=kv_mode, kv_block_size=kv_block_size,
-                                preemption_mode=preemption_mode,
-                                prefill_mode=prefill_mode,
-                                mixed_step_token_budget=mixed_step_token_budget)
+    for (prefill_mode, _), metrics in zip(
+            configs, _sweep_metrics(trace, configs, workers)):
         row = metrics_row(prefill_mode, metrics)
         # "stall" = pure-prefill steps, where no decode advances: the cost
         # exclusive mode pays for every prompt and mixed mode only pays
@@ -303,7 +328,8 @@ def router_comparison(trace: RequestTrace, instances: Union[str, ClusterSpec],
                       preemption_mode: str = "swap",
                       prefill_mode: str = "exclusive",
                       swap_priority: bool = False,
-                      kv_prefix_sharing: bool = False
+                      kv_prefix_sharing: bool = False,
+                      workers: int = 1
                       ) -> List[Dict[str, object]]:
     """Serve one trace on the same cluster under each router and tabulate
     the summaries side by side.
@@ -315,16 +341,19 @@ def router_comparison(trace: RequestTrace, instances: Union[str, ClusterSpec],
     smoke check that routing never costs anything when there is nothing to
     decide.
     """
+    configs = [(router,
+                dict(policy=policy, instances=instances,
+                     router=router, max_batch_size=max_batch_size,
+                     kv_budget_bytes=kv_budget_bytes,
+                     kv_mode=kv_mode, kv_block_size=kv_block_size,
+                     preemption_mode=preemption_mode,
+                     prefill_mode=prefill_mode,
+                     swap_priority=swap_priority,
+                     kv_prefix_sharing=kv_prefix_sharing))
+               for router in routers]
     rows = []
-    for router in routers:
-        metrics, _ = run_policy(trace, policy, instances=instances,
-                                router=router, max_batch_size=max_batch_size,
-                                kv_budget_bytes=kv_budget_bytes,
-                                kv_mode=kv_mode, kv_block_size=kv_block_size,
-                                preemption_mode=preemption_mode,
-                                prefill_mode=prefill_mode,
-                                swap_priority=swap_priority,
-                                kv_prefix_sharing=kv_prefix_sharing)
+    for (router, _), metrics in zip(
+            configs, _sweep_metrics(trace, configs, workers)):
         row = metrics_row(router, metrics)
         row["P95 TTFT (s)"] = metrics.ttft_percentile_s(0.95)
         if kv_prefix_sharing:
@@ -357,7 +386,8 @@ def disaggregation_comparison(trace: RequestTrace,
                               prefill_mode: str = "exclusive",
                               mixed_step_token_budget: Optional[int] = None,
                               router: str = "disaggregated",
-                              colocated_router: str = "least_loaded"
+                              colocated_router: str = "least_loaded",
+                              workers: int = 1
                               ) -> List[Dict[str, object]]:
     """Serve one trace on a disaggregated cluster and on its colocated
     twin (same instances, roles stripped) and tabulate the summaries.
@@ -379,21 +409,24 @@ def disaggregation_comparison(trace: RequestTrace,
             "disaggregation_comparison compares a role-tagged cluster "
             "against its colocated twin")
     colocated = strip_roles(instances)
-    configs = [
+    pairs = [
         (f"disaggregated ({instances})", instances, router),
         (f"colocated ({colocated})", colocated, colocated_router),
     ]
+    configs = [(label,
+                dict(policy=policy, instances=spec,
+                     router=spec_router,
+                     max_batch_size=max_batch_size,
+                     kv_budget_bytes=kv_budget_bytes,
+                     kv_mode="paged",
+                     kv_block_size=kv_block_size,
+                     preemption_mode=preemption_mode,
+                     prefill_mode=prefill_mode,
+                     mixed_step_token_budget=mixed_step_token_budget))
+               for label, spec, spec_router in pairs]
     rows = []
-    for label, spec, spec_router in configs:
-        metrics, _ = run_policy(trace, policy, instances=spec,
-                                router=spec_router,
-                                max_batch_size=max_batch_size,
-                                kv_budget_bytes=kv_budget_bytes,
-                                kv_mode="paged",
-                                kv_block_size=kv_block_size,
-                                preemption_mode=preemption_mode,
-                                prefill_mode=prefill_mode,
-                                mixed_step_token_budget=mixed_step_token_budget)
+    for (label, _), metrics in zip(
+            configs, _sweep_metrics(trace, configs, workers)):
         row = metrics_row(label, metrics)
         row["P95 TPOT (s)"] = metrics.tpot_percentile_s(0.95)
         row["P99 TPOT (s)"] = metrics.tpot_percentile_s(0.99)

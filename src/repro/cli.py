@@ -206,7 +206,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 kv_block_size=args.kv_block_size,
                 preemption_mode=args.preemption_mode,
                 prefill_mode=args.prefill_mode,
-                mixed_step_token_budget=args.mixed_step_token_budget)
+                mixed_step_token_budget=args.mixed_step_token_budget,
+                workers=args.workers)
             print(format_table(
                 rows, title=f"{title} — disaggregated vs colocated"))
             return 0
@@ -222,7 +223,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 preemption_mode=args.preemption_mode,
                 prefill_mode=args.prefill_mode,
                 swap_priority=args.swap_priority,
-                kv_prefix_sharing=args.kv_prefix_sharing)
+                kv_prefix_sharing=args.kv_prefix_sharing,
+                workers=args.workers)
             print(format_table(
                 rows, title=f"{title} — router comparison"))
             if not cluster_spec.is_heterogeneous:
@@ -254,7 +256,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 kv_budget_bytes=kv_budget,
                 kv_mode=args.kv_mode,
                 kv_block_size=args.kv_block_size,
-                preemption_mode=args.preemption_mode)
+                preemption_mode=args.preemption_mode,
+                workers=args.workers)
             print(format_table(
                 rows, title=f"{title} — exclusive vs mixed prefill "
                             f"(budget {args.mixed_step_token_budget} tok/step)"))
@@ -270,7 +273,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 num_nodes_per_instance=args.nodes,
                 max_batch_size=args.max_batch,
                 kv_block_size=args.kv_block_size,
-                preemption_mode=args.preemption_mode)
+                preemption_mode=args.preemption_mode,
+                workers=args.workers)
             print(format_table(
                 rows, title=f"{title} — reservation vs paged KV "
                             f"({args.kv_budget_mib} MiB/node)"))
@@ -282,7 +286,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 num_nodes_per_instance=args.nodes,
                 max_batch_size=args.max_batch, kv_budget_bytes=kv_budget,
                 kv_mode=args.kv_mode, kv_block_size=args.kv_block_size,
-                preemption_mode=args.preemption_mode)
+                preemption_mode=args.preemption_mode,
+                workers=args.workers)
             print(format_table(
                 rows, title=f"{title} — policy comparison "
                             f"(KV {args.kv_mode})"))
@@ -297,6 +302,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics_kwargs = dict(metrics_mode=args.metrics_mode,
                                   slo=(args.ttft_slo, args.tpot_slo))
         sanitize_kwargs = {"sanitize": True} if args.sanitize else {}
+        if (args.pricing_cache is not None
+                and args.policy != "fifo-exclusive"):
+            sanitize_kwargs = dict(sanitize_kwargs,
+                                   pricing_cache=args.pricing_cache)
         metrics, records = run_policy(
             trace, args.policy, num_instances=num_instances,
             num_nodes_per_instance=args.nodes, max_batch_size=args.max_batch,
@@ -336,6 +345,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("\n(per-tenant breakdown needs per-request records; "
                   "re-run with --metrics-mode full)")
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.serving.sweep import run_sweep
+
+    def coerce(text: str) -> object:
+        lowered = text.lower()
+        if lowered in ("true", "false"):
+            return lowered == "true"
+        try:
+            return int(text)
+        except ValueError:
+            pass
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+    grid: dict = {}
+    for axis in args.grid:
+        name, sep, values = axis.partition("=")
+        if not sep or not name.strip() or not values:
+            print(f"sweep: malformed --grid {axis!r} (want AXIS=V1|V2)",
+                  file=sys.stderr)
+            return 2
+        grid[name.strip()] = [coerce(value) for value in values.split("|")]
+    if not grid:
+        # no axes: a single-config "sweep" of the base configuration
+        grid = {"router": ["round_robin"]}
+    base = {"policy": args.policy, "instances": args.instances,
+            "max_batch_size": args.max_batch,
+            "metrics_mode": args.metrics_mode}
+    if args.pricing_cache is not None:
+        base["pricing_cache"] = args.pricing_cache
+    spec = {
+        "trace": {"name": args.trace, "num_requests": args.requests,
+                  "seed": args.seed},
+        "base": base,
+        "grid": grid,
+    }
+    try:
+        outcome = run_sweep(spec, workers=args.workers)
+    except ValueError as error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = [{"label": r.label, "seed": r.seed,
+                    "summary": r.summary,
+                    "failure": (None if r.failure is None
+                                else {"error_type": r.failure.error_type,
+                                      "message": r.failure.message})}
+                   for r in outcome.results]
+        print(json_module.dumps({"workers": outcome.workers,
+                                 "wall_s": outcome.wall_s,
+                                 "results": payload}, indent=2))
+    else:
+        rows = [{"Config": r.label,
+                 "Requests": int(r.summary["requests"]),
+                 "Makespan (s)": r.summary["makespan_s"],
+                 "Throughput (tok/s)": r.summary["throughput_tok_s"],
+                 "P99 latency (s)": r.summary["p99_latency_s"]}
+                for r in outcome.results if r.ok and r.summary is not None]
+        if rows:
+            print(format_table(
+                rows,
+                title=f"Sweep: {len(outcome.results)} configs x "
+                      f"{args.requests} {args.trace} requests "
+                      f"({outcome.workers} worker(s), "
+                      f"{outcome.wall_s:.2f}s wall)"))
+    failures = outcome.failures
+    for result in failures:
+        failure = result.failure
+        assert failure is not None  # mypy narrowing  # repro-lint: disable=R005
+        print(f"sweep: config {result.label!r} failed: "
+              f"{failure.error_type}: {failure.message}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -487,7 +574,52 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tabulate a role-tagged --instances spec against "
                           "its colocated twin (same hardware, roles "
                           "stripped) instead; needs --kv-mode paged")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="process-pool workers for the --compare-* tables "
+                          "(1 = in-process; results are bit-identical "
+                          "either way)")
+    sub.add_argument("--pricing-cache", default=None, metavar="DIR",
+                     help="directory for the persistent pricing cache "
+                          "(repeat runs start with warm price tables; "
+                          "see docs/performance.md)")
     sub.set_defaults(func=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "sweep",
+        help="expand a config grid and serve it, optionally in parallel")
+    sub.add_argument("--trace",
+                     choices=("azure", "bursty", "bursty_multi_tenant",
+                              "multi_tenant", "multi_turn", "synthetic"),
+                     default="azure",
+                     help="trace recipe every config serves "
+                          "(rebuilt per worker from --seed)")
+    sub.add_argument("--requests", type=int, default=2000)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--policy", default="fifo")
+    sub.add_argument("--instances", default="4x2n",
+                     help="base cluster spec (a grid axis named "
+                          "'instances' overrides it per config)")
+    sub.add_argument("--max-batch", type=int, default=8)
+    sub.add_argument("--metrics-mode", choices=("full", "streaming"),
+                     default="streaming",
+                     help="streaming keeps worker results small; "
+                          "full keeps per-request percentiles exact")
+    sub.add_argument("--grid", action="append", default=[],
+                     metavar="AXIS=V1|V2",
+                     help="one cartesian axis, pipe-separated values "
+                          "(e.g. --grid 'router=round_robin|least_loaded' "
+                          "--grid 'instances=8x2n|2x4n,4x2n'); repeatable, "
+                          "axes multiply in the order given")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="process-pool size (1 = serial in-process; "
+                          "parallel results are bit-identical to serial)")
+    sub.add_argument("--pricing-cache", default=None, metavar="DIR",
+                     help="persistent pricing-cache directory shared by "
+                          "all workers")
+    sub.add_argument("--json", action="store_true",
+                     help="emit the full per-config summaries as JSON "
+                          "instead of a table")
+    sub.set_defaults(func=_cmd_sweep)
 
     sub = subparsers.add_parser("export", help="save experiment results as JSON")
     sub.add_argument("experiments", nargs="+",

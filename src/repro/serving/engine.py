@@ -62,13 +62,19 @@ node** (paged mode), and swap traffic is **bytes summed over all nodes**.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.multi_node import LoopLynxSystem
+from repro.core.pricing_cache import (
+    PricingCacheStore,
+    PricingTables,
+    config_fingerprint,
+)
 from repro.memory.paged_kv import PagedKVManager
+from repro.serving.events import BucketedEventQueue, Event
 from repro.serving.cluster import ClusterSpec, Router, make_router, parse_cluster_spec
 from repro.serving.instance import (
     InstanceRuntime,
@@ -347,7 +353,10 @@ class TokenServingEngine:
                  slo: Optional[Tuple[float, float]] = None,
                  quantile_error: float = 0.005,
                  multistep: bool = True,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 pricing_cache: Optional[
+                     Union[str, "os.PathLike[str]", PricingCacheStore]
+                 ] = None) -> None:
         if metrics_mode not in METRICS_MODES:
             raise ValueError(
                 f"unknown metrics mode {metrics_mode!r}; "
@@ -511,8 +520,51 @@ class TokenServingEngine:
         # step-timing memo dicts (decode, mixed, prefill-chunk, transfer),
         # shared per class and across runs (the cycle model and the PCIe
         # pricing are pure, so sharing only saves evaluations)
-        self._caches = [({}, {}, {}, {}) for _ in self._protos]
+        self._caches: List[PricingTables] = [
+            ({}, {}, {}, {}) for _ in self._protos]
+        # persistent pricing-cache plumbing (opt-in): warm each class's
+        # memo dicts from disk now; save back after a run that grew them
+        self._pricing_store: Optional[PricingCacheStore] = None
+        self._pricing_fps: List[str] = []
+        self._pricing_loaded_counts: List[Tuple[int, int, int, int]] = []
+        #: entries loaded from / saved to the persistent pricing cache
+        #: (diagnostics for tests and benchmarks)
+        self.pricing_cache_stats: Dict[str, int] = {"loaded": 0, "saved": 0}
+        if pricing_cache is not None:
+            store = (pricing_cache
+                     if isinstance(pricing_cache, PricingCacheStore)
+                     else PricingCacheStore(pricing_cache))
+            self._pricing_store = store
+            for (_, class_system, _, manager), caches in zip(
+                    self._protos, self._caches):
+                probe = (manager.swap_transfer_s(1)
+                         if manager is not None else None)
+                fp = config_fingerprint(class_system.config, probe)
+                self._pricing_fps.append(fp)
+                loaded = store.load(fp)
+                if loaded is not None:
+                    for table, warm in zip(caches, loaded):
+                        table.update(warm)
+                        self.pricing_cache_stats["loaded"] += len(warm)
+                self._pricing_loaded_counts.append(
+                    (len(caches[0]), len(caches[1]),
+                     len(caches[2]), len(caches[3])))
         self.last_kv_managers: List[PagedKVManager] = []
+
+    def _save_pricing_caches(self) -> None:
+        """Persist any pricing table that grew since it was last synced
+        with the store (no-op without a configured store)."""
+        store = self._pricing_store
+        if store is None:
+            return
+        for i, (fp, caches) in enumerate(zip(self._pricing_fps,
+                                             self._caches)):
+            counts = (len(caches[0]), len(caches[1]),
+                      len(caches[2]), len(caches[3]))
+            if counts != self._pricing_loaded_counts[i]:
+                store.save(fp, caches)
+                self._pricing_loaded_counts[i] = counts
+                self.pricing_cache_stats["saved"] += 1
 
     # ------------------------------------------------------------------
     # cluster construction and validation
@@ -652,8 +704,12 @@ class TokenServingEngine:
             # not consume the engine's arrival stream
             router.prepare(runtimes, trace)
         stats = InstanceStats()
-        events: List[Tuple[float, int, int, object]] = []
-        heappush, heappop = heapq.heappush, heapq.heappop
+        # two-level bucketed queue (near-future ring + far heap); pops
+        # come out in exactly heapq's (time, seq) order, so the replay
+        # is bit-identical to the old global heap
+        events = BucketedEventQueue()
+        push_event, pop_event = events.push, events.pop
+        peek_event_time = events.peek_time
         seq = itertools.count()
         _STEP_DONE, _HANDOFF = 1, 2
 
@@ -694,6 +750,9 @@ class TokenServingEngine:
             raise ValueError("trace is empty")
         next_arrival_t = next_state.request.arrival_s
         num_arrivals = 0
+        # index of next_state within the sorted request list (list-trace
+        # runs only; feeds the idle-gap fold horizon below)
+        arr_index = 0
 
         records: List[ServedRequest] = []
         collector: Optional[StreamingMetricsCollector] = None
@@ -723,15 +782,59 @@ class TokenServingEngine:
                     handoffs=state.handoffs,
                 ))
 
+        # single-class non-paged pools take the straight-line path in the
+        # main loop: a completed step only ever re-dispatches its own
+        # instance, so the pump/dispatch closures are inlined out of the
+        # hot loop
+        fast_completer = (not multi_class and not self._paged
+                          and not has_roles)
+
+        # ---- idle-gap fold horizon ---------------------------------------
+        # In the fast regime with no KV admission gate anywhere (every
+        # runtime ``_admits_all``) and a materialized trace, an arrival
+        # that lands while some *other* instance is idle is absorbed by
+        # that instance the moment it arrives (the arrival pump offers
+        # idle instances the queue in id order, and an admit-all idle
+        # instance always takes the head), so the queue stays empty and
+        # none of the folding instance's skipped boundaries could have
+        # admitted anything.  A folding instance may therefore run past
+        # the next ``spare`` arrivals — one per other idle instance — and
+        # stop only at the first arrival that could actually reach *its*
+        # queue.  This extends fast-forward folding across idle-cluster
+        # gaps; timestamps are unchanged because the fold still walks
+        # boundary by boundary, it just stops later.
+        horizon_fn: Optional[Callable[[InstanceRuntime], float]] = None
+        if (fast_completer and self.multistep and not streaming_trace
+                and self._protos[0][2] is None):
+            fold_requests: List[Request] = requests
+            num_fold_requests = len(fold_requests)
+
+            def _fold_horizon(active: InstanceRuntime) -> float:
+                if next_state is None:
+                    return float("inf")
+                spare = 0
+                for r in runtimes:
+                    if not r.busy and r is not active:
+                        spare += 1
+                if spare == 0:
+                    return next_arrival_t
+                absorbed_until = arr_index + spare
+                if absorbed_until >= num_fold_requests:
+                    return float("inf")
+                return fold_requests[absorbed_until].arrival_s
+
+            horizon_fn = _fold_horizon
+
         def dispatch(runtime: InstanceRuntime, now: float) -> None:
             launch = runtime.dispatch(scheduler, now, stats, gate=gate,
-                                      horizon_s=next_arrival_t)
+                                      horizon_s=next_arrival_t,
+                                      horizon_fn=horizon_fn)
             if launch is not None:
                 completes = launch.completes_at_s
                 if completes is None:
                     completes = now + launch.duration_s
-                heappush(events, (completes, next(seq), _STEP_DONE,
-                                  launch.payload))
+                push_event((completes, next(seq), _STEP_DONE,
+                            launch.payload))
 
         def pump(completer: Optional[InstanceRuntime], now: float) -> None:
             """Offer the queue to every instance at a step boundary.
@@ -781,6 +884,7 @@ class TokenServingEngine:
             the queue at its ready offset — the runtime serializes
             same-step transfers over the one PCIe link, so the offsets
             already stack."""
+            batch: List[Event] = []
             for state, cached_tokens, ready_s in runtime.take_handoffs():
                 target = router.handoff_target(runtimes, state)
                 if target is None:  # pragma: no cover - validation forbids
@@ -792,8 +896,11 @@ class TokenServingEngine:
                                          cached_tokens)
                 state.swapped_on = target.instance_id
                 state.handoff_pending = True
-                heappush(events, (now + ready_s, next(seq),
-                                  _HANDOFF, state))
+                batch.append((now + ready_s, next(seq), _HANDOFF, state))
+            if batch:
+                # one boundary's handoffs post together (they share the
+                # step's timestamp base and resolve buckets in one pass)
+                events.push_many(batch)
 
         # ---- shadow validation (opt-in, read-only) -----------------------
         sanitizer = EngineSanitizer() if self.sanitize else None
@@ -809,14 +916,9 @@ class TokenServingEngine:
                 num_arrivals=num_arrivals, completed=completed,
                 in_flight_handoffs=in_flight)
 
-        # single-class non-paged pools take the straight-line path below:
-        # a completed step only ever re-dispatches its own instance, so
-        # the pump/dispatch closures are inlined out of the hot loop
-        fast_completer = (not multi_class and not self._paged
-                          and not has_roles)
         while True:
             if next_state is not None and (
-                    not events or next_arrival_t <= events[0][0]):
+                    not events or next_arrival_t <= peek_event_time()):
                 now = next_arrival_t
                 scheduler.push(next_state)
                 num_arrivals += 1
@@ -827,6 +929,7 @@ class TokenServingEngine:
                 next_arrival_t = (next_state.request.arrival_s
                                   if next_state is not None
                                   else float("inf"))
+                arr_index += 1
                 pump(None, now)
                 if sanitizer is not None:
                     sanitize_check(now, ("arrival",
@@ -834,7 +937,7 @@ class TokenServingEngine:
                 continue
             if not events:
                 break
-            now, _, kind, payload = heappop(events)
+            now, _, kind, payload = pop_event()
             if kind == _HANDOFF:
                 scheduler.push(payload)
                 pump(None, now)
@@ -847,13 +950,14 @@ class TokenServingEngine:
                     record(state, now)
                 if fast_completer:
                     launch = runtime.dispatch(scheduler, now, stats, None,
-                                              next_arrival_t)
+                                              next_arrival_t,
+                                              horizon_fn=horizon_fn)
                     if launch is not None:
                         completes = launch.completes_at_s
                         if completes is None:
                             completes = now + launch.duration_s
-                        heappush(events, (completes, next(seq), _STEP_DONE,
-                                          launch.payload))
+                        push_event((completes, next(seq), _STEP_DONE,
+                                    launch.payload))
                 else:
                     if has_roles:
                         launch_handoffs(runtime, now)
@@ -868,6 +972,7 @@ class TokenServingEngine:
                 f"engine stalled: {num_arrivals - completed} requests "
                 "never finished (scheduler head permanently blocked)")
 
+        self._save_pricing_caches()
         if collector is not None:
             return self._metrics_streaming(collector, runtimes, stats), []
         if not _is_id_sorted(records):

@@ -777,8 +777,9 @@ class InstanceRuntime:
                  stats: InstanceStats,
                  gate: Optional[Callable[["InstanceRuntime", RequestState],
                                          bool]] = None,
-                 horizon_s: Optional[float] = None
-                 ) -> Optional[StepLaunch]:
+                 horizon_s: Optional[float] = None,
+                 horizon_fn: Optional[Callable[["InstanceRuntime"], float]]
+                 = None) -> Optional[StepLaunch]:
         """Admit/preempt at a step boundary, then form the next step.
 
         ``gate`` is the cluster router's placement veto (None on
@@ -962,7 +963,11 @@ class InstanceRuntime:
             # or chunk edge reproduces the per-event chain exactly.
             limit = None
             if scheduler.peek() is None:
-                limit = horizon_s
+                # the engine's idle-gap horizon (when eligible) extends
+                # the fold past arrivals that other idle instances are
+                # guaranteed to absorb; it is only ever >= horizon_s
+                limit = (horizon_s if horizon_fn is None
+                         else horizon_fn(self))
             elif (scheduler.never_preempts
                     and len(batch) >= max_batch):
                 limit = float("inf")

@@ -701,3 +701,161 @@ class StreamingMetricsCollector:
         return {"queueing_delay": self.queueing, "latency": self.latency,
                 "service_time": self.service, "ttft": self.ttft,
                 "tpot": self.tpot}
+
+
+def merge_streaming_metrics(
+        parts: Sequence[ServingMetrics]) -> ServingMetrics:
+    """Fold streaming-mode metrics from same-configuration runs into one.
+
+    This is the cross-worker aggregation primitive for sharded
+    workloads: run the same engine configuration over ``k`` trace shards
+    (in ``k`` sweep workers, say), then merge the ``k`` streaming
+    metrics objects as if one engine had served the union of the
+    traffic.  Exact counters (requests, tokens, preemptions, swap and
+    handoff tallies, SLO-good counts, busy/step time accounting) sum
+    exactly; the latency distributions merge their log-bucketed
+    histograms, which is *lossless* relative to a single-stream
+    histogram — the merged percentile equals what one collector seeing
+    all samples would report, and therefore stays within the documented
+    relative-error bound of the true order statistic.
+
+    Semantics of the recombined time-weighted fields: ``makespan_s`` is
+    the max over parts (shards share the t=0 origin), while the
+    time-weighted means (``mean_running_batch``, ``mean_kv_occupancy``)
+    recombine weighted by each part's pool time and the busy-normalized
+    means (``mean_kv_fragmentation``, ``mean_kv_shared_fraction``) by
+    each part's busy time — i.e. every mean remains "accumulated
+    quantity over accumulated time".
+
+    All parts must come from the same engine configuration (policy,
+    cluster, router, KV recipe, SLO pin, quantile resolution); a
+    mismatch raises ``ValueError``.
+    """
+    if not parts:
+        raise ValueError("nothing to merge")
+    first = parts[0]
+    for m in parts:
+        if m.metrics_mode != "streaming" or m.streams is None:
+            raise ValueError(
+                "merge_streaming_metrics only merges streaming-mode "
+                "metrics (full mode carries per-request records; merge "
+                "those instead)")
+        config = (m.policy, m.prefill_mode, m.kv_mode, m.kv_block_size,
+                  m.kv_total_blocks, m.cluster, m.router, m.num_instances,
+                  m.num_nodes_per_instance, m.kv_prefix_sharing, m.slo_pin)
+        if config != (first.policy, first.prefill_mode, first.kv_mode,
+                      first.kv_block_size, first.kv_total_blocks,
+                      first.cluster, first.router, first.num_instances,
+                      first.num_nodes_per_instance,
+                      first.kv_prefix_sharing, first.slo_pin):
+            raise ValueError(
+                "cannot merge streaming metrics from different engine "
+                f"configurations: {config!r} vs first part")
+
+    makespan = max(m.makespan_s for m in parts)
+    pool_time = sum(m.makespan_s * m.num_instances for m in parts)
+    busy_time = sum(m.busy_time_s for m in parts)
+
+    streams: Dict[str, StreamingQuantile] = {}
+    assert first.streams is not None  # mypy narrowing  # repro-lint: disable=R005
+    for name, stream in first.streams.items():
+        merged = StreamingQuantile(relative_error=stream.relative_error)
+        for m in parts:
+            assert m.streams is not None  # mypy narrowing  # repro-lint: disable=R005
+            merged.merge(m.streams[name])
+        streams[name] = merged
+
+    by_label: Dict[str, List[InstanceClassMetrics]] = {}
+    label_order: List[str] = []
+    for m in parts:
+        for c in m.per_class:
+            if c.label not in by_label:
+                by_label[c.label] = []
+                label_order.append(c.label)
+            by_label[c.label].append(c)
+    per_class: List[InstanceClassMetrics] = []
+    for label in label_order:
+        group = by_label[label]
+        if len(group) != len(parts):
+            raise ValueError(
+                f"instance class {label!r} is missing from some parts")
+        head = group[0]
+        class_makespan = max(c.makespan_s for c in group)
+        class_pool = sum(c.makespan_s * c.num_instances for c in group)
+        per_class.append(InstanceClassMetrics(
+            label=head.label,
+            num_instances=head.num_instances,
+            num_nodes=head.num_nodes,
+            role=head.role,
+            requests=sum(c.requests for c in group),
+            generated_tokens=sum(c.generated_tokens for c in group),
+            makespan_s=class_makespan,
+            busy_time_s=sum(c.busy_time_s for c in group),
+            batch_time_s=sum(c.batch_time_s for c in group),
+            ttft_count=sum(c.ttft_count for c in group),
+            ttft_sum_s=sum(c.ttft_sum_s for c in group),
+            preemptions=sum(c.preemptions for c in group),
+            mean_kv_occupancy=(
+                sum(c.mean_kv_occupancy * c.makespan_s * c.num_instances
+                    for c in group) / class_pool if class_pool > 0 else 0.0),
+            peak_kv_occupancy=max(c.peak_kv_occupancy for c in group),
+            kv_total_blocks=head.kv_total_blocks,
+            swap_out_count=sum(c.swap_out_count for c in group),
+            swap_in_count=sum(c.swap_in_count for c in group),
+            prefix_hits=sum(c.prefix_hits for c in group),
+            prefill_tokens_saved=sum(c.prefill_tokens_saved
+                                     for c in group),
+            handoffs_out=sum(c.handoffs_out for c in group),
+            handoffs_in=sum(c.handoffs_in for c in group),
+            handoff_time_s=sum(c.handoff_time_s for c in group),
+        ))
+
+    return ServingMetrics(
+        num_requests=sum(m.num_requests for m in parts),
+        num_instances=first.num_instances,
+        num_nodes_per_instance=first.num_nodes_per_instance,
+        makespan_s=makespan,
+        generated_tokens=sum(m.generated_tokens for m in parts),
+        preemptions=sum(m.preemptions for m in parts),
+        policy=first.policy,
+        prefill_mode=first.prefill_mode,
+        busy_time_s=busy_time,
+        prefill_tokens_processed=sum(m.prefill_tokens_processed
+                                     for m in parts),
+        decode_step_time_s=sum(m.decode_step_time_s for m in parts),
+        prefill_step_time_s=sum(m.prefill_step_time_s for m in parts),
+        mixed_step_time_s=sum(m.mixed_step_time_s for m in parts),
+        kv_mode=first.kv_mode,
+        kv_block_size=first.kv_block_size,
+        kv_total_blocks=first.kv_total_blocks,
+        mean_running_batch=(
+            sum(m.mean_running_batch * m.makespan_s * m.num_instances
+                for m in parts) / pool_time if pool_time > 0 else 0.0),
+        mean_kv_occupancy=(
+            sum(m.mean_kv_occupancy * m.makespan_s * m.num_instances
+                for m in parts) / pool_time if pool_time > 0 else 0.0),
+        peak_kv_occupancy=max(m.peak_kv_occupancy for m in parts),
+        mean_kv_fragmentation=(
+            sum(m.mean_kv_fragmentation * m.busy_time_s for m in parts)
+            / busy_time if busy_time > 0 else 0.0),
+        swap_out_count=sum(m.swap_out_count for m in parts),
+        swap_in_count=sum(m.swap_in_count for m in parts),
+        swapped_bytes=sum(m.swapped_bytes for m in parts),
+        swap_time_s=sum(m.swap_time_s for m in parts),
+        handoff_count=sum(m.handoff_count for m in parts),
+        handoff_time_s=sum(m.handoff_time_s for m in parts),
+        kv_prefix_sharing=first.kv_prefix_sharing,
+        prefix_hits=sum(m.prefix_hits for m in parts),
+        prefill_tokens_saved=sum(m.prefill_tokens_saved for m in parts),
+        cow_copies=sum(m.cow_copies for m in parts),
+        mean_kv_shared_fraction=(
+            sum(m.mean_kv_shared_fraction * m.busy_time_s for m in parts)
+            / busy_time if busy_time > 0 else 0.0),
+        cluster=first.cluster,
+        router=first.router,
+        per_class=per_class,
+        metrics_mode="streaming",
+        streams=streams,
+        slo_pin=first.slo_pin,
+        slo_good_requests=sum(m.slo_good_requests for m in parts),
+    )

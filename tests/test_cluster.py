@@ -43,6 +43,11 @@ from repro.workloads.traces import (
     multi_tenant_trace,
 )
 
+# Golden-timestamp guard modules run in the dedicated serial CI pass
+# (never under pytest-xdist) so a bit-exact failure is attributable
+# to the code, not to worker scheduling.
+pytestmark = pytest.mark.serial
+
 # ---------------------------------------------------------------------------
 # golden timestamps: (admitted_s, first_token_s, finish_s) per request id,
 # recorded from the PR 3 engine (pre-cluster-refactor HEAD) on seeded

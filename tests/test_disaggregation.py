@@ -40,6 +40,11 @@ from repro.workloads.traces import (
     bursty_trace,
 )
 
+# Golden-timestamp guard modules run in the dedicated serial CI pass
+# (never under pytest-xdist) so a bit-exact failure is attributable
+# to the code, not to worker scheduling.
+pytestmark = pytest.mark.serial
+
 DISAGG = "1x2n:prefill,2x1n:decode"
 
 

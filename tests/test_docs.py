@@ -75,14 +75,16 @@ def test_serving_md_documents_every_serve_surface():
                  "--prefill-mode", "--mixed-step-token-budget",
                  "--compare-prefill", "--instances", "--router",
                  "--compare-router", "--trace-file", "--swap-priority",
-                 "--compare-disaggregation"):
+                 "--compare-disaggregation", "--workers",
+                 "--pricing-cache", "--grid"):
         assert flag in text, f"docs/serving.md must document {flag}"
 
 
 @pytest.mark.parametrize("argv", _documented_cli_commands(),
                          ids=lambda argv: " ".join(argv))
 def test_documented_cli_commands_run(argv, capsys):
-    assert argv[0] == "serve", "serving.md documents the serve subcommand"
+    assert argv[0] in ("serve", "sweep"), \
+        "the serving-facing docs document the serve/sweep subcommands"
     exit_code = main(argv + ["--requests", "6"])
     captured = capsys.readouterr()
     assert exit_code == 0, captured.err

@@ -25,6 +25,11 @@ from repro.workloads.traces import (
     multi_tenant_trace,
 )
 
+# Golden-timestamp guard modules run in the dedicated serial CI pass
+# (never under pytest-xdist) so a bit-exact failure is attributable
+# to the code, not to worker scheduling.
+pytestmark = pytest.mark.serial
+
 # ---------------------------------------------------------------------------
 # golden timestamps: (admitted_s, first_token_s, finish_s) per request id,
 # recorded from the pre-mixed-prefill engine (PR 2 head) on seeded traces.

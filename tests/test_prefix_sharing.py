@@ -27,6 +27,11 @@ from repro.workloads.traces import (
     multi_turn_trace,
 )
 
+# Golden-timestamp guard modules run in the dedicated serial CI pass
+# (never under pytest-xdist) so a bit-exact failure is attributable
+# to the code, not to worker scheduling.
+pytestmark = pytest.mark.serial
+
 
 def _with_prompt_ids(trace: RequestTrace) -> RequestTrace:
     """The same trace with synthetic prompt token ids attached — every

@@ -45,6 +45,8 @@ TRIGGERS = {
     "R004": "def enqueue(item, queue=[]):\n    queue.append(item)\n",
     "R005": "def free(n):\n    assert n >= 0\n    return n\n",
     "R006": "blocks = {1, 2, 3}\nfor block in blocks:\n    print(block)\n",
+    "R007": ("from concurrent.futures import ProcessPoolExecutor\n"
+             "pool = ProcessPoolExecutor(max_workers=4)\n"),
 }
 
 #: Additional spellings each rule must also catch.
@@ -72,6 +74,12 @@ EXTRA_TRIGGERS = {
         "ids = set(table)\nfirst = ids.pop()\n",
         "out = [x for x in set(items)]\n",
     ],
+    "R007": [
+        "import multiprocessing\npool = multiprocessing.Pool(4)\n",
+        "import multiprocessing as mp\np = mp.Process(target=work)\n",
+        ("import concurrent.futures\n"
+         "pool = concurrent.futures.ProcessPoolExecutor()\n"),
+    ],
 }
 
 #: Idiomatic simulator code that must NOT trigger anything.
@@ -91,6 +99,14 @@ CLEAN = [
     "for block in sorted({3, 1, 2}):\n    print(block)\n",
     # list.pop() is positional, not an unordered pick
     "stack = [1, 2, 3]\ntop = stack.pop()\n",
+    # an explicit per-worker seed handoff via initializer= satisfies R007
+    ("from concurrent.futures import ProcessPoolExecutor\n"
+     "pool = ProcessPoolExecutor(max_workers=4, initializer=seed_worker)\n"),
+    # bare Pool/Process names are not assumed to be process forks
+    "pool = Pool(4)\nworker = Process()\n",
+    # thread pools share the parent's seeded RNG objects; not a fork
+    ("from concurrent.futures import ThreadPoolExecutor\n"
+     "pool = ThreadPoolExecutor(max_workers=4)\n"),
 ]
 
 

@@ -28,6 +28,11 @@ from repro.sanitize import EngineSanitizer, check_kv_invariants, sanitize_enable
 from repro.serving.engine import TokenServingEngine
 from repro.workloads.traces import synthetic_trace
 
+# Golden-timestamp guard modules run in the dedicated serial CI pass
+# (never under pytest-xdist) so a bit-exact failure is attributable
+# to the code, not to worker scheduling.
+pytestmark = pytest.mark.serial
+
 GOLDEN_CONFIG = dict(cluster="2x2n", kv_mode="paged",
                      kv_budget_bytes=1 << 26, prefill_mode="mixed",
                      kv_prefix_sharing=True, router="prefix_aware")

@@ -188,3 +188,100 @@ class TestStreamingVsFullParity:
         with pytest.raises(ValueError, match="streaming"):
             TokenServingEngine(num_instances=1,
                                slo=(TTFT_SLO_S, TPOT_SLO_S))
+
+
+class TestMergeAcrossShards:
+    """Satellite of the parallel-sweep issue: streaming aggregates from
+    independent shards of a workload must merge into one estimator that
+    answers like a single stream over all samples."""
+
+    def test_quantile_merge_is_lossless_vs_single_stream(self):
+        """The histogram merge adds bucket counts, so a merged estimator
+        is *exactly* the single-stream estimator over the concatenated
+        samples — and both stay within the 1% acceptance bound of the
+        true order statistic."""
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-1.0, sigma=1.3, size=24_000)
+        single = StreamingQuantile()
+        for v in samples:
+            single.add(float(v))
+        shards = [StreamingQuantile() for _ in range(5)]
+        for i, v in enumerate(samples):
+            shards[i % 5].add(float(v))
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged.merge(shard)
+        assert merged.count == single.count == len(samples)
+        assert merged.total == pytest.approx(single.total, rel=1e-12)
+        assert merged.min == single.min
+        assert merged.max == single.max
+        for p in (0.10, 0.50, 0.90, 0.99, 0.999):
+            assert merged.percentile(p) == single.percentile(p)
+            exact = float(np.quantile(samples, p, method="lower"))
+            assert merged.percentile(p) == pytest.approx(exact, rel=0.01)
+
+    def test_quantile_merge_rejects_mismatched_resolution(self):
+        with pytest.raises(ValueError, match="resolution"):
+            StreamingQuantile(relative_error=0.005).merge(
+                StreamingQuantile(relative_error=0.01))
+
+    def test_metrics_merge_matches_pooled_full_records(self):
+        """Run three independent trace shards through the same config in
+        both modes; the merged streaming aggregate must answer within 1%
+        of the percentile over the *pooled* full-mode records, and every
+        shared counter must be an exact sum."""
+        from repro.serving.metrics import merge_streaming_metrics
+
+        shards = [bursty_trace(2_000, seed=s, mean_prefill=48,
+                               mean_decode=64) for s in (21, 22, 23)]
+        kwargs = dict(num_instances=2, max_batch_size=4)
+        parts, pooled_ttfts, pooled_latencies = [], [], []
+        full_counts = {"num_requests": 0, "generated_tokens": 0,
+                       "preemptions": 0}
+        for shard in shards:
+            full, stream = _run_both_modes(shard, **kwargs)
+            parts.append(stream)
+            full_counts["num_requests"] += full.num_requests
+            full_counts["generated_tokens"] += full.generated_tokens
+            full_counts["preemptions"] += full.preemptions
+        for shard in shards:
+            engine = TokenServingEngine(metrics_mode="full", **kwargs)
+            _, records = engine.run(shard)
+            for r in records:
+                if r.first_token_s is not None:
+                    pooled_ttfts.append(r.first_token_s - r.arrival_s)
+                pooled_latencies.append(r.finish_s - r.arrival_s)
+
+        merged = merge_streaming_metrics(parts)
+        assert merged.num_requests == full_counts["num_requests"]
+        assert merged.generated_tokens == full_counts["generated_tokens"]
+        assert merged.preemptions == full_counts["preemptions"]
+        assert merged.makespan_s == max(p.makespan_s for p in parts)
+        for p in (0.50, 0.90, 0.99):
+            assert merged.ttft_percentile_s(p) == pytest.approx(
+                float(np.quantile(pooled_ttfts, p, method="lower")),
+                rel=0.01)
+            assert merged.latency_percentile_s(p) == pytest.approx(
+                float(np.quantile(pooled_latencies, p, method="lower")),
+                rel=0.01)
+
+    def test_merge_rejects_mixed_configurations(self):
+        from repro.serving.metrics import merge_streaming_metrics
+
+        trace = bursty_trace(60, seed=2)
+        engines = [
+            TokenServingEngine(num_instances=n, metrics_mode="streaming",
+                               slo=(TTFT_SLO_S, TPOT_SLO_S))
+            for n in (1, 2)
+        ]
+        parts = [engine.run(trace)[0] for engine in engines]
+        with pytest.raises(ValueError):
+            merge_streaming_metrics(parts)
+
+    def test_merge_rejects_full_mode_parts(self):
+        from repro.serving.metrics import merge_streaming_metrics
+
+        trace = bursty_trace(60, seed=2)
+        metrics, _ = TokenServingEngine(num_instances=1).run(trace)
+        with pytest.raises(ValueError):
+            merge_streaming_metrics([metrics])

@@ -32,6 +32,10 @@ R005    bare-assert                     ``assert`` guarding a runtime invariant
 R006    unordered-iteration             iterating (or ``.pop()``-ing) a ``set``
                                         in scheduler/router code, where order
                                         feeds the event stream
+R007    unseeded-worker-fork            spawning a process pool / worker
+                                        processes without an explicit per-worker
+                                        seed handoff (``initializer=`` or seeds
+                                        carried in the submitted work items)
 ======  ==============================  ==========================================
 
 Suppression
@@ -114,7 +118,21 @@ RULES: Dict[str, tuple] = {
         "iteration order of a set is not part of the language contract; "
         "sort it (or justify why order cannot reach the event stream)",
     ),
+    "R007": (
+        "unseeded-worker-fork",
+        "worker fan-out without an explicit per-worker seed handoff; forked "
+        "workers inherit parent RNG state, which diverges under spawn — "
+        "pass an initializer= that seeds, or carry seeds in the work items "
+        "(and suppress with a justification)",
+    ),
 }
+
+#: R007 worker-fan-out constructors.  ``ProcessPoolExecutor`` is specific
+#: enough to flag even as a bare name; ``Pool``/``Process`` only when
+#: dotted (``multiprocessing.Pool``, ``mp.Process``) — a bare ``Pool`` is
+#: usually somebody's resource pool, not a process fork.
+_FORK_BARE = {"ProcessPoolExecutor"}
+_FORK_DOTTED = {"ProcessPoolExecutor", "Pool", "Process"}
 
 _WALL_CLOCK_TIME_ATTRS = {
     "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
@@ -274,6 +292,13 @@ class _Checker(ast.NodeVisitor):
                 ["datetime", "date"],
             ):
                 self._emit(node, "R002")
+        # R007: process fan-out without an explicit seed handoff
+        terminal = parts[-1] if parts else ""
+        if terminal in _FORK_DOTTED and (
+            len(parts) > 1 or terminal in _FORK_BARE
+        ):
+            if not any(kw.arg == "initializer" for kw in node.keywords):
+                self._emit(node, "R007")
         # R006: zero-arg .pop() on a set-typed local — order-dependent pick
         if (
             isinstance(node.func, ast.Attribute)
