@@ -22,6 +22,7 @@ from repro.core.accelerator import AcceleratorNode
 from repro.core.config import OptimizationConfig, SystemConfig, paper_system
 from repro.core.kernels.base import KernelTiming
 from repro.core.resources import ResourceUsage, system_resources
+from repro.units import Milliseconds, Seconds, Tokens
 
 #: Host-side cost charged once per generated token: embedding lookup, PCIe
 #: transfer of the embedded vector to every node, and reading back the output
@@ -38,12 +39,12 @@ class TokenLatencyReport:
     """Latency of one decode step."""
 
     cycles: float
-    latency_ms: float
-    context_len: int
+    latency_ms: Milliseconds
+    context_len: Tokens
     num_nodes: int
     breakdown_cycles: Dict[str, float] = field(default_factory=dict)
 
-    def breakdown_ms(self, clock_hz: float) -> Dict[str, float]:
+    def breakdown_ms(self, clock_hz: float) -> Dict[str, Milliseconds]:
         return {k: 1e3 * v / clock_hz for k, v in self.breakdown_cycles.items()}
 
     def matrix_fraction(self) -> float:
@@ -62,14 +63,14 @@ class TokenLatencyReport:
 class ScenarioReport:
     """Latency of a full ``[prefill : decode]`` request."""
 
-    prefill_len: int
-    decode_len: int
-    prefill_ms: float
-    decode_ms: float
+    prefill_len: Tokens
+    decode_len: Tokens
+    prefill_ms: Milliseconds
+    decode_ms: Milliseconds
     num_nodes: int
 
     @property
-    def total_ms(self) -> float:
+    def total_ms(self) -> Milliseconds:
         return self.prefill_ms + self.decode_ms
 
     @property
@@ -77,7 +78,7 @@ class ScenarioReport:
         return self.decode_len
 
     @property
-    def average_decode_token_ms(self) -> float:
+    def average_decode_token_ms(self) -> Milliseconds:
         if self.decode_len == 0:
             return 0.0
         return self.decode_ms / self.decode_len
@@ -122,7 +123,7 @@ class LoopLynxSystem:
     # ------------------------------------------------------------------
     # per-token latency
     # ------------------------------------------------------------------
-    def decode_token_report(self, context_len: Optional[int] = None,
+    def decode_token_report(self, context_len: Optional[Tokens] = None,
                             optimizations: Optional[OptimizationConfig] = None
                             ) -> TokenLatencyReport:
         """Latency of one decode step at the given cached context length."""
@@ -142,14 +143,14 @@ class LoopLynxSystem:
             breakdown_cycles=breakdown,
         )
 
-    def average_token_latency_ms(self, context_len: Optional[int] = None,
+    def average_token_latency_ms(self, context_len: Optional[Tokens] = None,
                                  optimizations: Optional[OptimizationConfig] = None
-                                 ) -> float:
+                                 ) -> Milliseconds:
         """The Table II "token latency" figure: per-token decode latency at
         the reference context length."""
         return self.decode_token_report(context_len, optimizations).latency_ms
 
-    def throughput_tokens_per_second(self, context_len: Optional[int] = None
+    def throughput_tokens_per_second(self, context_len: Optional[Tokens] = None
                                      ) -> float:
         """Steady-state decode throughput (Table III)."""
         latency_ms = self.average_token_latency_ms(context_len)
@@ -160,9 +161,9 @@ class LoopLynxSystem:
     # ------------------------------------------------------------------
     # prefill and full scenarios
     # ------------------------------------------------------------------
-    def prefill_latency_ms(self, prompt_len: int,
+    def prefill_latency_ms(self, prompt_len: Tokens,
                            optimizations: Optional[OptimizationConfig] = None,
-                           batched: bool = False) -> float:
+                           batched: bool = False) -> Milliseconds:
         """Latency of the prefill stage for a prompt of ``prompt_len`` tokens.
 
         The paper's accelerator streams prompt tokens through the same
@@ -190,9 +191,9 @@ class LoopLynxSystem:
     # ------------------------------------------------------------------
     # step-level API (token-level serving engine)
     # ------------------------------------------------------------------
-    def decode_step_latency_ms(self, context_len: int, batch_size: int = 1,
+    def decode_step_latency_ms(self, context_len: Tokens, batch_size: int = 1,
                                optimizations: Optional[OptimizationConfig] = None
-                               ) -> float:
+                               ) -> Milliseconds:
         """Latency of one decode step that advances ``batch_size`` co-resident
         requests by one token each, all attending over ``context_len`` cached
         positions.
@@ -215,17 +216,17 @@ class LoopLynxSystem:
         cycles = timing.total + self.host_overhead_cycles
         return self.config.hardware.cycles_to_ms(cycles)
 
-    def decode_step_latency_s(self, context_len: int, batch_size: int = 1,
+    def decode_step_latency_s(self, context_len: Tokens, batch_size: int = 1,
                               optimizations: Optional[OptimizationConfig] = None
-                              ) -> float:
+                              ) -> Seconds:
         """Seconds variant of :meth:`decode_step_latency_ms`."""
         return self.decode_step_latency_ms(context_len, batch_size,
                                            optimizations) / 1e3
 
     def mixed_step_latency_ms(self, decode_contexts: Sequence[int],
-                              prefill_tokens: int = 0,
+                              prefill_tokens: Tokens = 0,
                               optimizations: Optional[OptimizationConfig] = None,
-                              prefill_context: int = 0) -> float:
+                              prefill_context: int = 0) -> Milliseconds:
         """Latency of one *mixed* step: every request in ``decode_contexts``
         advances by one decode token while ``prefill_tokens`` prompt tokens of
         co-resident prefilling requests stream through the same pass.
@@ -275,24 +276,24 @@ class LoopLynxSystem:
         return self.config.hardware.cycles_to_ms(cycles)
 
     def mixed_step_latency_s(self, decode_contexts: Sequence[int],
-                             prefill_tokens: int = 0,
+                             prefill_tokens: Tokens = 0,
                              optimizations: Optional[OptimizationConfig] = None,
-                             prefill_context: int = 0) -> float:
+                             prefill_context: int = 0) -> Seconds:
         """Seconds variant of :meth:`mixed_step_latency_ms`."""
         return self.mixed_step_latency_ms(decode_contexts, prefill_tokens,
                                           optimizations,
                                           prefill_context=prefill_context) / 1e3
 
-    def prefill_latency_s(self, prefill_len: int,
+    def prefill_latency_s(self, prefill_len: Tokens,
                           optimizations: Optional[OptimizationConfig] = None,
-                          batched: bool = False) -> float:
+                          batched: bool = False) -> Seconds:
         """Seconds variant of :meth:`prefill_latency_ms` (serving-engine
         callers compose second-denominated timelines)."""
         return self.prefill_latency_ms(prefill_len, optimizations,
                                        batched=batched) / 1e3
 
-    def decode_latency_ms(self, prompt_len: int, decode_len: int,
-                          optimizations: Optional[OptimizationConfig] = None) -> float:
+    def decode_latency_ms(self, prompt_len: Tokens, decode_len: Tokens,
+                          optimizations: Optional[OptimizationConfig] = None) -> Milliseconds:
         """Latency of generating ``decode_len`` tokens after a prompt of
         ``prompt_len`` tokens (context grows as tokens are emitted)."""
         if decode_len < 0:
@@ -305,7 +306,7 @@ class LoopLynxSystem:
             cycles += timing.total + self.host_overhead_cycles
         return hardware.cycles_to_ms(cycles)
 
-    def run_scenario(self, prefill_len: int, decode_len: int,
+    def run_scenario(self, prefill_len: Tokens, decode_len: Tokens,
                      optimizations: Optional[OptimizationConfig] = None,
                      batched_prefill: bool = False) -> ScenarioReport:
         """End-to-end latency of one ``[prefill : decode]`` request
@@ -320,7 +321,7 @@ class LoopLynxSystem:
     # ------------------------------------------------------------------
     # traffic, power inputs, resources
     # ------------------------------------------------------------------
-    def hbm_traffic_bytes_per_token(self, context_len: Optional[int] = None) -> float:
+    def hbm_traffic_bytes_per_token(self, context_len: Optional[Tokens] = None) -> float:
         """Total HBM bytes (weights + KV reads) moved per decode step across
         all nodes; an input to the energy model."""
         context = context_len if context_len is not None else self.config.reference_context_len
@@ -339,7 +340,7 @@ class LoopLynxSystem:
         "fused_ln_res": ("layer_norm", "residual", "gelu_bias"),
     }
 
-    def kernel_utilization(self, context_len: Optional[int] = None) -> Dict[str, float]:
+    def kernel_utilization(self, context_len: Optional[Tokens] = None) -> Dict[str, float]:
         """Per-kernel busy fraction during one decode step — quantifies the
         peak-area-utilization argument of the hybrid design.
 

@@ -1,0 +1,125 @@
+"""Shared plumbing for the project's static-analysis tools.
+
+``tools/repro_lint.py`` (determinism lint) and ``tools/simcheck.py``
+(dimensional analysis + lifecycle exhaustiveness) are separate analyzers
+with separate rule catalogues, but they share one findings model: the
+same ``# repro-lint: disable=<RULE>`` per-line suppression marker, the
+same ``path:line:col: RULE [name] message`` text rendering, and the same
+``--format github`` / ``--format json`` machine-readable output modes
+the CI ``static-analysis`` job uses to annotate PR diffs.  This module
+is that shared layer, so the two tools cannot drift apart on how a
+finding looks or how a suppression is spelled.
+
+The *vocabularies* the tools share (unit suffixes, timestamp words,
+counter prefixes) live in :mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import IO, Dict, List, Mapping, Sequence, Set, Tuple
+
+__all__ = ["Finding", "OUTPUT_FORMATS", "scan_suppressions",
+           "filter_suppressed", "emit_findings"]
+
+#: Output modes both lint CLIs accept via ``--format``.
+OUTPUT_FORMATS: Tuple[str, ...] = ("text", "github", "json")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: where, which rule, and a human-readable message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command form: shown inline on the PR
+        diff when a CI step prints it (title carries the rule ID, the
+        properties must not contain newlines or commas-in-values)."""
+        message = self.message.replace("%", "%25").replace("\r", "%0D")
+        message = message.replace("\n", "%0A")
+        return (f"::error file={self.path},line={self.line},"
+                f"col={self.col},title={self.rule}::{message}")
+
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+def scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule IDs disabled on that line via the
+    ``# repro-lint: disable=R001,U002`` comment marker (``all`` disables
+    every rule on the line)."""
+    disabled: Dict[int, Set[str]] = {}
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_RE.search(tok.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            disabled.setdefault(tok.start[0], set()).update(
+                {"all"} if "all" in ids else ids
+            )
+    except tokenize.TokenError:
+        pass
+    return disabled
+
+
+def filter_suppressed(findings: Sequence[Finding],
+                      source: str) -> List[Finding]:
+    """Drop findings whose line carries a matching suppression marker,
+    and return the survivors sorted by position then rule ID."""
+    disabled = scan_suppressions(source)
+    kept = [f for f in findings
+            if not ({f.rule, "all"} & disabled.get(f.line, set()))]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def emit_findings(findings: Sequence[Finding], *, fmt: str,
+                  rules: Mapping[str, tuple], tool: str,
+                  stream: IO[str]) -> None:
+    """Print ``findings`` in one of :data:`OUTPUT_FORMATS`.
+
+    ``rules`` is the emitting tool's catalogue (ID -> tuple whose first
+    element is the rule name) so the JSON form can carry rule names;
+    ``tool`` names the emitter in the JSON envelope and the trailing
+    text summary.
+    """
+    if fmt == "github":
+        for finding in findings:
+            stream.write(finding.render_github() + "\n")
+    elif fmt == "json":
+        doc = {
+            "tool": tool,
+            "count": len(findings),
+            "findings": [
+                {"path": f.path, "line": f.line, "col": f.col,
+                 "rule": f.rule,
+                 "name": rules[f.rule][0] if f.rule in rules else "",
+                 "message": f.message}
+                for f in findings
+            ],
+        }
+        stream.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    elif fmt == "text":
+        for finding in findings:
+            stream.write(finding.render() + "\n")
+        if findings:
+            stream.write(f"{tool}: {len(findings)} finding(s)\n")
+    else:
+        raise ValueError(f"unknown output format {fmt!r}; "
+                         f"known: {', '.join(OUTPUT_FORMATS)}")

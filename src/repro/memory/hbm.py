@@ -24,6 +24,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.units import Bytes, BytesPerSecond
+
 
 GIB = 1 << 30
 GB = 1_000_000_000
@@ -37,7 +39,7 @@ ALVEO_U50_HBM_CHANNELS = 32
 
 def kv_budget_bytes_per_node(weight_bytes_per_node: int,
                              nodes_per_card: int = 2,
-                             device_bytes: int = ALVEO_U50_HBM_BYTES,
+                             device_bytes: Bytes = ALVEO_U50_HBM_BYTES,
                              reserve_fraction: float = 0.05) -> int:
     """HBM bytes one accelerator node can dedicate to its KV cache.
 
@@ -79,9 +81,9 @@ class HbmConfig:
         overhead entirely.
     """
 
-    peak_bandwidth_bytes_per_s: float = 8.49 * GB
+    peak_bandwidth_bytes_per_s: BytesPerSecond = 8.49 * GB
     clock_hz: float = 285.0e6
-    burst_bytes: int = 32
+    burst_bytes: Bytes = 32
     request_overhead_cycles: int = 16
     max_outstanding: int = 8
 
@@ -132,7 +134,7 @@ class HbmChannel:
         self.requests = 0
 
     # ------------------------------------------------------------------
-    def transfer_cycles(self, num_bytes: int, burst_length_beats: Optional[int] = None) -> float:
+    def transfer_cycles(self, num_bytes: Bytes, burst_length_beats: Optional[int] = None) -> float:
         """Cycles to move ``num_bytes`` over this channel.
 
         ``burst_length_beats`` is the length of each DMA burst in beats; longer
@@ -159,14 +161,14 @@ class HbmChannel:
         overhead = exposed_requests * config.request_overhead_cycles
         return stream_cycles + overhead
 
-    def read(self, num_bytes: int, burst_length_beats: Optional[int] = None) -> float:
+    def read(self, num_bytes: Bytes, burst_length_beats: Optional[int] = None) -> float:
         cycles = self.transfer_cycles(num_bytes, burst_length_beats)
         self.bytes_read += num_bytes
         self.busy_cycles += cycles
         self.requests += 1
         return cycles
 
-    def write(self, num_bytes: int, burst_length_beats: Optional[int] = None) -> float:
+    def write(self, num_bytes: Bytes, burst_length_beats: Optional[int] = None) -> float:
         cycles = self.transfer_cycles(num_bytes, burst_length_beats)
         self.bytes_written += num_bytes
         self.busy_cycles += cycles
@@ -174,7 +176,7 @@ class HbmChannel:
         return cycles
 
     @property
-    def total_bytes(self) -> int:
+    def total_bytes(self) -> Bytes:
         return self.bytes_read + self.bytes_written
 
 
@@ -201,14 +203,14 @@ class HbmSubsystem:
         return len(self.channels)
 
     @property
-    def aggregate_bandwidth_bytes_per_s(self) -> float:
+    def aggregate_bandwidth_bytes_per_s(self) -> BytesPerSecond:
         return self.config.peak_bandwidth_bytes_per_s * self.num_channels
 
     @property
     def bytes_per_cycle(self) -> float:
         return self.config.bytes_per_cycle * self.num_channels
 
-    def striped_read_cycles(self, total_bytes: int,
+    def striped_read_cycles(self, total_bytes: Bytes,
                             burst_length_beats: Optional[int] = None) -> float:
         """Cycles for all channels, working in parallel, to read
         ``total_bytes`` striped evenly across them."""
@@ -222,7 +224,7 @@ class HbmSubsystem:
             cycles = max(cycles, channel.read(per_channel, burst_length_beats))
         return cycles
 
-    def striped_write_cycles(self, total_bytes: int,
+    def striped_write_cycles(self, total_bytes: Bytes,
                              burst_length_beats: Optional[int] = None) -> float:
         if total_bytes < 0:
             raise ValueError("negative transfer size")

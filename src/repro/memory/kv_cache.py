@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro.units import Bytes, Tokens
+
 
 class ModelDims(Protocol):
     """Structural type of anything :meth:`KVCacheLayout.for_model` accepts:
@@ -28,7 +30,7 @@ class ModelDims(Protocol):
     num_layers: int
     num_heads: int
     head_dim: int
-    max_seq_len: int
+    max_seq_len: Tokens
 
 
 def partition_heads(num_heads: int, num_nodes: int) -> List[List[int]]:
@@ -77,7 +79,7 @@ class KVCacheLayout:
     num_layers: int
     num_heads: int
     head_dim: int
-    max_seq_len: int
+    max_seq_len: Tokens
     bytes_per_element: int = 1
     num_nodes: int = 1
 
@@ -112,7 +114,7 @@ class KVCacheLayout:
     def bytes_per_token_per_node(self) -> int:
         return self.num_layers * self.bytes_per_token_per_layer_per_node()
 
-    def read_bytes_per_decode_step_per_node(self, seq_len: int) -> int:
+    def read_bytes_per_decode_step_per_node(self, seq_len: Tokens) -> int:
         """Bytes a node must read from HBM to attend over ``seq_len`` cached
         positions during one decode step (all its heads, K and V)."""
         if seq_len < 0:
@@ -125,7 +127,7 @@ class KVCacheLayout:
         """Total HBM footprint of one node's cache at max sequence length."""
         return self.max_seq_len * self.bytes_per_token_per_node()
 
-    def max_cached_tokens(self, budget_bytes: int) -> int:
+    def max_cached_tokens(self, budget_bytes: Bytes) -> Tokens:
         """How many cached token positions (summed over all co-resident
         sequences) fit one node's KV budget of ``budget_bytes``.
 
@@ -240,7 +242,7 @@ class KVCache:
         sliced._length = self._length
         return sliced
 
-    def memory_bytes(self, bytes_per_element: int = 1) -> int:
+    def memory_bytes(self, bytes_per_element: int = 1) -> Bytes:
         """Footprint of the *used* portion of the cache."""
         return int(2 * self.num_layers * self.num_heads * self._length
                    * self.head_dim * bytes_per_element)

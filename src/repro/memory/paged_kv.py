@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.memory.hbm import kv_budget_bytes_per_node
 from repro.memory.kv_cache import KVCacheLayout
 from repro.network.link import LinkConfig
+from repro.units import Blocks, Bytes, Seconds, Tokens
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.core.multi_node import LoopLynxSystem
@@ -96,9 +97,9 @@ class BlockTable:
     """
 
     request_id: int
-    device_blocks: List[int] = field(default_factory=list)
-    host_blocks: int = 0
-    cached_tokens: int = 0
+    device_blocks: List[Blocks] = field(default_factory=list)
+    host_blocks: Blocks = 0
+    cached_tokens: Tokens = 0
 
     @property
     def is_swapped(self) -> bool:
@@ -177,8 +178,8 @@ class PagedKVManager:
     # constructors
     # ------------------------------------------------------------------
     @staticmethod
-    def for_system(system: "LoopLynxSystem", block_size_tokens: int = 16,
-                   budget_bytes: Optional[int] = None,
+    def for_system(system: "LoopLynxSystem", block_size_tokens: Tokens = 16,
+                   budget_bytes: Optional[Bytes] = None,
                    kv_bytes_per_element: int = 1,
                    host_link: Optional[LinkConfig] = None,
                    prefix_sharing: bool = False) -> "PagedKVManager":
@@ -218,24 +219,24 @@ class PagedKVManager:
         return self.block_size_tokens * self.layout.bytes_per_token_per_node()
 
     @property
-    def used_blocks(self) -> int:
+    def used_blocks(self) -> Blocks:
         """Blocks referenced by at least one live block table (excludes the
         reclaimable prefix-cache tier, which is free capacity on demand)."""
         return self.total_blocks - self.free_blocks
 
     @property
-    def free_blocks(self) -> int:
+    def free_blocks(self) -> Blocks:
         """Blocks an allocation could take right now: the free list plus
         ref==0 cached prefix blocks (reclaimed LRU-first under pressure)."""
         return len(self._free) + len(self._reclaimable)
 
     @property
-    def cached_blocks(self) -> int:
+    def cached_blocks(self) -> Blocks:
         """Device-resident prefix-cache blocks no request references."""
         return len(self._reclaimable)
 
     @property
-    def shared_blocks(self) -> int:
+    def shared_blocks(self) -> Blocks:
         """Device blocks currently referenced by two or more requests."""
         return self._multi_ref
 
@@ -267,7 +268,7 @@ class PagedKVManager:
                      if not t.is_swapped)
         return 1.0 - cached / allocated_tokens
 
-    def blocks_needed(self, num_tokens: int) -> int:
+    def blocks_needed(self, num_tokens: Tokens) -> int:
         """Blocks covering ``num_tokens`` cached positions."""
         if num_tokens < 0:
             raise ValueError("negative token count")
@@ -282,7 +283,7 @@ class PagedKVManager:
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
-    def blocks_missing(self, request_id: int, target_tokens: int) -> int:
+    def blocks_missing(self, request_id: int, target_tokens: Tokens) -> int:
         """Device blocks ``request_id`` still lacks to cover
         ``target_tokens`` cached positions (0 when already covered).  This
         is the single source of truth for the engine's admission gate and
@@ -291,11 +292,11 @@ class PagedKVManager:
             if request_id in self._tables else 0
         return max(0, self.blocks_needed(target_tokens) - held)
 
-    def can_allocate(self, request_id: int, target_tokens: int) -> bool:
+    def can_allocate(self, request_id: int, target_tokens: Tokens) -> bool:
         """Would :meth:`allocate` for ``target_tokens`` positions succeed?"""
         return self.blocks_missing(request_id, target_tokens) <= self.free_blocks
 
-    def allocate(self, request_id: int, target_tokens: int) -> bool:
+    def allocate(self, request_id: int, target_tokens: Tokens) -> bool:
         """Grow ``request_id``'s block table to cover ``target_tokens``
         cached positions; allocation is all-or-nothing (no partial grow).
 
@@ -394,7 +395,7 @@ class PagedKVManager:
             matched.append(block)
         return matched
 
-    def match_prefix_tokens(self, token_ids: Sequence[int]) -> int:
+    def match_prefix_tokens(self, token_ids: Sequence[int]) -> Tokens:
         """Prompt positions a request with this token-id prefix could reuse
         from the pool right now (read-only; the cache-aware router's score).
 
@@ -409,7 +410,7 @@ class PagedKVManager:
             return 0
         return min(matched * self.block_size_tokens, len(token_ids) - 1)
 
-    def allocate_prefix(self, request_id: int, target_tokens: int,
+    def allocate_prefix(self, request_id: int, target_tokens: Tokens,
                         token_ids: Sequence[int]) -> Optional[int]:
         """First allocation for a request carrying prompt token ids: reuse
         every indexed prefix block (bumping refcounts), copy-on-write the
@@ -583,7 +584,7 @@ class PagedKVManager:
         table = self._tables.pop(request_id)
         return num_blocks, table.cached_tokens, bytes_total
 
-    def import_handoff(self, request_id: int, cached_tokens: int) -> int:
+    def import_handoff(self, request_id: int, cached_tokens: Tokens) -> int:
         """Register a handed-off request's KV in this pool's host tier.
 
         The blocks arrive swapped (host-resident): the importing instance
@@ -610,7 +611,7 @@ class PagedKVManager:
         (each node transfers its own head-share)."""
         return num_blocks * self.bytes_per_block_per_node * self.layout.num_nodes
 
-    def swap_transfer_s(self, num_blocks: int) -> float:
+    def swap_transfer_s(self, num_blocks: Blocks) -> Seconds:
         """Seconds to move ``num_blocks`` blocks between device and host.
 
         Nodes on the same card share one PCIe link; cards transfer in
@@ -631,7 +632,7 @@ class PagedKVManager:
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------
-    def max_request_tokens(self, request: "Request") -> int:
+    def max_request_tokens(self, request: "Request") -> Tokens:
         """Cached positions a request occupies at its maximum context."""
         return min(request.prefill_len + request.decode_len,
                    self.layout.max_seq_len)

@@ -15,7 +15,12 @@ re-verifies its structural invariants after **every** event it processes:
   (``kv-*`` checks, promoted from ``tests/test_paged_kv_fuzz.py``);
 * **queue/request conservation** — every arrival is accounted for:
   queued, batched, parked, mid-handoff, or completed
-  (``request-conservation``).
+  (``request-conservation``);
+* **lifecycle-phase consistency** — each request's declared lifecycle
+  phase (:mod:`repro.serving.lifecycle`) matches where the engine
+  actually holds it: batch members are prefilling or decoding (whichever
+  their progress says), parked victims are swapped out, exported prompts
+  are mid-handoff (``lifecycle-phase``).
 
 A violation raises :class:`repro.errors.SanitizerError` with the
 offending engine event attached, so the failure names *where* in the
@@ -162,6 +167,11 @@ class EngineSanitizer:
     """
 
     def __init__(self) -> None:
+        # deferred: engine imports this module at load time, and the
+        # lifecycle spec lives inside the serving package engine belongs
+        # to — importing it here at module scope would close that cycle
+        from repro.serving import lifecycle
+        self._lifecycle = lifecycle
         self.last_time_s = float("-inf")
         #: number of events validated (exposed for overhead accounting
         #: and the sanitizer's own tests)
@@ -189,7 +199,33 @@ class EngineSanitizer:
                   f"{completed} completed + {in_system} in the system",
                   check="request-conservation", event=event)
 
+        lifecycle = self._lifecycle
         for runtime in runtimes:
+            for state in runtime.batch:
+                expected = (lifecycle.PREFILLING
+                            if state.prefill_done < state.prefill_len
+                            else lifecycle.DECODING)
+                if state.phase != expected:
+                    _fail(f"request {state.request.request_id} sits in "
+                          f"instance {runtime.instance_id}'s batch with "
+                          f"prefill {state.prefill_done}/{state.prefill_len} "
+                          f"but phase {state.phase!r} (expected "
+                          f"{expected!r})", check="lifecycle-phase",
+                          event=event)
+            for state in runtime.parked:
+                if state.phase != lifecycle.EVICTED_SWAP:
+                    _fail(f"request {state.request.request_id} is parked on "
+                          f"instance {runtime.instance_id} but in phase "
+                          f"{state.phase!r} (expected "
+                          f"{lifecycle.EVICTED_SWAP!r})",
+                          check="lifecycle-phase", event=event)
+            for state, _, _ in runtime.pending_handoffs:
+                if state.phase != lifecycle.HANDOFF:
+                    _fail(f"request {state.request.request_id} awaits "
+                          f"handoff from instance {runtime.instance_id} but "
+                          f"is in phase {state.phase!r} (expected "
+                          f"{lifecycle.HANDOFF!r})",
+                          check="lifecycle-phase", event=event)
             if runtime.kv is not None:
                 check_kv_invariants(runtime.kv, event=event)
         self.events_checked += 1

@@ -72,6 +72,8 @@ import re
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.units import Bytes
+
 if TYPE_CHECKING:  # pragma: no cover - cluster is imported by instance
     from repro.serving.instance import InstanceRuntime, RequestState
     from repro.workloads.traces import Request
@@ -112,7 +114,7 @@ class InstanceSpec:
 
     count: int
     num_nodes: int
-    kv_budget_bytes: Optional[int] = None
+    kv_budget_bytes: Optional[Bytes] = None
     role: str = "both"
 
     def __post_init__(self) -> None:

@@ -74,6 +74,7 @@ from repro.core.pricing_cache import (
     config_fingerprint,
 )
 from repro.memory.paged_kv import PagedKVManager
+from repro.serving import lifecycle
 from repro.serving.events import BucketedEventQueue, Event
 from repro.serving.cluster import ClusterSpec, Router, make_router, parse_cluster_spec
 from repro.serving.instance import (
@@ -93,6 +94,7 @@ from repro.serving.schedulers import (
     make_scheduler,
 )
 from repro.sanitize import EngineSanitizer, sanitize_enabled
+from repro.units import Seconds, Tokens
 from repro.workloads.traces import Request, RequestTrace, StreamingTrace
 
 #: Accepted values for ``TokenServingEngine(preemption_mode=...)`` (paged
@@ -163,12 +165,12 @@ class ServedRequest:
 
     request_id: int
     instance_id: Optional[int]
-    arrival_s: float
-    admitted_s: float
-    first_token_s: Optional[float]
-    finish_s: float
-    prefill_len: int
-    decode_len: int
+    arrival_s: Seconds
+    admitted_s: Seconds
+    first_token_s: Optional[Seconds]
+    finish_s: Seconds
+    prefill_len: Tokens
+    decode_len: Tokens
     tenant: str = "default"
     priority: int = 0
     preemptions: int = 0
@@ -176,23 +178,23 @@ class ServedRequest:
     handoffs: int = 0
 
     @property
-    def queueing_delay_s(self) -> float:
+    def queueing_delay_s(self) -> Seconds:
         """Seconds from arrival until first admission into a batch."""
         return self.admitted_s - self.arrival_s
 
     @property
-    def service_time_s(self) -> float:
+    def service_time_s(self) -> Seconds:
         """Seconds from first admission to completion (includes any
         re-queued time after a preemption)."""
         return self.finish_s - self.admitted_s
 
     @property
-    def end_to_end_latency_s(self) -> float:
+    def end_to_end_latency_s(self) -> Seconds:
         """Seconds from arrival to the last generated token."""
         return self.finish_s - self.arrival_s
 
     @property
-    def ttft_s(self) -> Optional[float]:
+    def ttft_s(self) -> Optional[Seconds]:
         """Time to first token in seconds, measured from *arrival* (None
         when the request generated nothing)."""
         if self.first_token_s is None:
@@ -200,7 +202,7 @@ class ServedRequest:
         return self.first_token_s - self.arrival_s
 
     @property
-    def tpot_s(self) -> Optional[float]:
+    def tpot_s(self) -> Optional[Seconds]:
         """Mean seconds per output token after the first (``None`` when fewer
         than two tokens were generated — a single token has no inter-token
         gap, and a 0.0 here would drag TPOT percentiles toward zero)."""
@@ -939,6 +941,7 @@ class TokenServingEngine:
                 break
             now, _, kind, payload = pop_event()
             if kind == _HANDOFF:
+                lifecycle.transition(payload, "handoff_arrive")
                 scheduler.push(payload)
                 pump(None, now)
                 if sanitizer is not None:

@@ -34,8 +34,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.multi_node import LoopLynxSystem
 from repro.memory.paged_kv import PagedKVManager
+from repro.serving import lifecycle
 from repro.serving.cluster import INSTANCE_ROLES
 from repro.serving.schedulers import KVAdmissionController, SchedulerPolicy
+from repro.units import Blocks, Seconds, Tokens
 from repro.workloads.traces import Request
 
 
@@ -75,7 +77,7 @@ class RequestState:
                  "decode_done", "admitted_s",
                  "last_admitted_s", "first_token_s", "preemptions",
                  "swap_outs", "instance_id", "swapped_on", "handoffs",
-                 "handoff_pending")
+                 "handoff_pending", "phase")
 
     def __init__(self, request: Request) -> None:
         self.request = request
@@ -110,13 +112,18 @@ class RequestState:
         #: lives in that instance's host pool, so only that instance may
         #: resume it.
         self.swapped_on: Optional[int] = None
+        #: Where in the declared request state machine this request sits
+        #: (see :mod:`repro.serving.lifecycle`); every later write goes
+        #: through ``lifecycle.transition`` — simcheck's L-pass rejects
+        #: any other assignment.
+        self.phase = lifecycle.INITIAL_PHASE
 
     @property
     def prefill_remaining(self) -> int:
         return self.prefill_len - self.prefill_done
 
     @property
-    def context_len(self) -> int:
+    def context_len(self) -> Tokens:
         """Cached positions the next decode step attends over."""
         return self.prefill_done + self.decode_done
 
@@ -139,8 +146,8 @@ class InstanceStats:
     frag_time: float = 0.0       # Σ fragmentation fraction × step seconds
     shared_kv_time: float = 0.0  # Σ shared/cached block fraction × step secs
     peak_kv_occupancy: float = 0.0
-    swap_time_s: float = 0.0     # Σ PCIe transfer seconds spent swapping
-    prefill_tokens: int = 0      # prompt tokens computed (recomputes count)
+    swap_time_s: Seconds = 0.0     # Σ PCIe transfer seconds spent swapping
+    prefill_tokens: Tokens = 0      # prompt tokens computed (recomputes count)
     decode_time: float = 0.0     # Σ pure-decode step seconds
     prefill_time: float = 0.0    # Σ pure-prefill step seconds
     mixed_time: float = 0.0      # Σ mixed prefill+decode step seconds
@@ -148,7 +155,7 @@ class InstanceStats:
     # per-runtime stats only — the engine sums runtimes for cluster totals)
     handoff_out_count: int = 0   # prompts exported to a decode instance
     handoff_in_count: int = 0    # handed-off prompts resumed here
-    handoff_time_s: float = 0.0  # Σ PCIe seconds of handoff transfers
+    handoff_time_s: Seconds = 0.0  # Σ PCIe seconds of handoff transfers
 
 
 @dataclass
@@ -164,9 +171,9 @@ class StepLaunch:
     bit for bit.
     """
 
-    duration_s: float
+    duration_s: Seconds
     payload: Tuple
-    completes_at_s: Optional[float] = None
+    completes_at_s: Optional[Seconds] = None
 
 
 class InstanceRuntime:
@@ -298,7 +305,7 @@ class InstanceRuntime:
             return context_len
         return -(-context_len // bucket) * bucket
 
-    def step_latency_s(self, context_len: int, batch_size: int) -> float:
+    def step_latency_s(self, context_len: Tokens, batch_size: int) -> Seconds:
         """Seconds for one decode step over ``context_len`` cached positions
         with ``batch_size`` co-resident requests (memoized per bucket)."""
         bucket = self.context_bucket
@@ -311,7 +318,7 @@ class InstanceRuntime:
                 self.system.decode_step_latency_s(context_len, batch_size)
         return cached
 
-    def prefill_chunk_latency_s(self, start_pos: int, chunk_len: int) -> float:
+    def prefill_chunk_latency_s(self, start_pos: int, chunk_len: Tokens) -> Seconds:
         """Seconds of token-serial prefill for ``chunk_len`` prompt tokens
         starting at cached position ``start_pos`` (same per-position cost as
         a decode step, which is how the paper's pipeline streams prompts).
@@ -326,7 +333,7 @@ class InstanceRuntime:
                 for pos in range(start_pos, start_pos + chunk_len))
         return cached
 
-    def swap_transfer_s(self, num_blocks: int) -> float:
+    def swap_transfer_s(self, num_blocks: Blocks) -> Seconds:
         """Seconds one swap/handoff transfer of ``num_blocks`` device
         blocks occupies the PCIe link — the block manager's pricing,
         memoized per block count (it is a pure function of the count and
@@ -338,7 +345,7 @@ class InstanceRuntime:
         return cached
 
     def mixed_step_latency_s(self, max_context: int, num_decode: int,
-                             prefill_tokens: int) -> float:
+                             prefill_tokens: Tokens) -> Seconds:
         """Seconds for one mixed step advancing ``num_decode`` requests by a
         token each while streaming ``prefill_tokens`` prompt tokens through
         the same weight pass.  ``max_context`` is the longest cached prefix
@@ -528,7 +535,7 @@ class InstanceRuntime:
         return (state.swapped_on is not None
                 and state.swapped_on == self.instance_id)
 
-    def matched_prefix_tokens(self, request: Request) -> int:
+    def matched_prefix_tokens(self, request: Request) -> Tokens:
         """Prompt positions this instance's prefix cache could serve for
         ``request`` right now (0 without a sharing-enabled paged pool) —
         the cache-aware router's ranking signal."""
@@ -555,6 +562,18 @@ class InstanceRuntime:
         """Move a waiting request into the running batch, claiming KV
         capacity (and paying the swap-in transfer for a swapped-out
         victim resuming in paged ``swap`` mode)."""
+        if state.phase == lifecycle.QUEUED:
+            lifecycle.transition(state, "admit")
+        elif state.phase == lifecycle.EVICTED_SWAP:
+            # a swapped victim resumes exactly where it stopped; a
+            # handed-off prompt arrives with its prefill fully computed,
+            # so it takes the decode resume edge
+            lifecycle.transition(
+                state, "resume_swap_prefill"
+                if state.prefill_len > state.prefill_done
+                else "resume_swap_decode")
+        else:
+            lifecycle.transition(state, "readmit_recompute")
         if state.admitted_s is None:
             state.admitted_s = now
         state.last_admitted_s = now
@@ -611,12 +630,20 @@ class InstanceRuntime:
             self._num_prefilling -= 1
         swapped = False
         if self.kv is not None and self.preemption_mode == "swap":
+            lifecycle.transition(
+                victim, "evict_swap_prefill"
+                if victim.phase == lifecycle.PREFILLING
+                else "evict_swap_decode")
             blocks, _ = self.kv.swap_out(victim.request.request_id)
             self.pending_delay_s += self.swap_transfer_s(blocks)
             victim.swap_outs += 1
             victim.swapped_on = self.instance_id
             swapped = True
         else:
+            lifecycle.transition(
+                victim, "evict_recompute_prefill"
+                if victim.phase == lifecycle.PREFILLING
+                else "evict_recompute_decode")
             self.release(victim)
             victim.reset_progress()
         victim.preemptions += 1
@@ -640,6 +667,7 @@ class InstanceRuntime:
         exactly matching the serial ``pending_delay_s`` charge.  The
         decode instance pays its own swap-in when it admits the request.
         """
+        lifecycle.transition(state, "handoff_export")
         self.batch.remove(state)
         num_blocks, cached_tokens, _ = \
             self.kv.export_handoff(state.request.request_id)
@@ -777,7 +805,7 @@ class InstanceRuntime:
                  stats: InstanceStats,
                  gate: Optional[Callable[["InstanceRuntime", RequestState],
                                          bool]] = None,
-                 horizon_s: Optional[float] = None,
+                 horizon_s: Optional[Seconds] = None,
                  horizon_fn: Optional[Callable[["InstanceRuntime"], float]]
                  = None) -> Optional[StepLaunch]:
         """Admit/preempt at a step boundary, then form the next step.
@@ -1112,9 +1140,12 @@ class InstanceRuntime:
             if token_ids:
                 kv.register_prefix(state.request.request_id, token_ids)
         if state.decode_len == 0:
+            lifecycle.transition(state, "finish_prefill_only")
             self._finish(state, finished)
         elif self.role == "prefill":
             self._begin_handoff(state)
+        else:
+            lifecycle.transition(state, "prefill_complete")
 
     def complete_step(self, payload: Tuple, now: float,
                       stats: InstanceStats) -> List[RequestState]:
@@ -1128,6 +1159,7 @@ class InstanceRuntime:
                 if state.first_token_s is None:
                     state.first_token_s = now
                 if state.decode_done >= state.decode_len:
+                    lifecycle.transition(state, "finish_decode")
                     self._finish(state, finished)
         elif kind == "decode_k":
             # k folded decode steps completing at once: the first token of
@@ -1139,6 +1171,7 @@ class InstanceRuntime:
                     state.first_token_s = t_first
                 state.decode_done += steps
                 if state.decode_done >= state.decode_len:
+                    lifecycle.transition(state, "finish_decode")
                     self._finish(state, finished)
         elif kind == "prefill":
             target.prefill_done += chunk
@@ -1154,6 +1187,7 @@ class InstanceRuntime:
                 if state.first_token_s is None:
                     state.first_token_s = now
                 if state.decode_done >= state.decode_len:
+                    lifecycle.transition(state, "finish_decode")
                     self._finish(state, finished)
             for state, tokens in chunks:
                 state.prefill_done += tokens

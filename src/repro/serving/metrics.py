@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - engine imports metrics
     from repro.serving.instance import RequestState
 
 from repro.energy.power import FpgaPowerModel
+from repro.units import Blocks, Bytes, Joules, Seconds, Tokens
 
 #: Accepted values for the engine's ``metrics_mode``.
 METRICS_MODES = ("full", "streaming")
@@ -162,20 +163,20 @@ class InstanceClassMetrics:
     #: zero requests while doing most of the compute.
     role: str = "both"
     requests: int = 0
-    generated_tokens: int = 0
-    makespan_s: float = 0.0
-    busy_time_s: float = 0.0
-    batch_time_s: float = 0.0
-    ttfts_s: List[float] = field(default_factory=list)
-    tpots_s: List[Optional[float]] = field(default_factory=list)
+    generated_tokens: Tokens = 0
+    makespan_s: Seconds = 0.0
+    busy_time_s: Seconds = 0.0
+    batch_time_s: Seconds = 0.0
+    ttfts_s: List[Seconds] = field(default_factory=list)
+    tpots_s: List[Optional[Seconds]] = field(default_factory=list)
     #: Streaming-mode fallback for :attr:`mean_ttft_s` when the per-request
     #: lists are not kept (per-class percentiles are full-fidelity only).
     ttft_count: int = 0
-    ttft_sum_s: float = 0.0
+    ttft_sum_s: Seconds = 0.0
     preemptions: int = 0
     mean_kv_occupancy: float = 0.0
     peak_kv_occupancy: float = 0.0
-    kv_total_blocks: int = 0
+    kv_total_blocks: Blocks = 0
     swap_out_count: int = 0
     swap_in_count: int = 0
     #: Prefix-sharing traffic of this class's pools (zero with the
@@ -185,7 +186,7 @@ class InstanceClassMetrics:
     prefill_tokens_saved: int = 0
     handoffs_out: int = 0
     handoffs_in: int = 0
-    handoff_time_s: float = 0.0
+    handoff_time_s: Seconds = 0.0
     _tpot_view: Optional[Tuple[int, List[float]]] = field(
         default=None, init=False, repr=False, compare=False)
 
@@ -219,17 +220,17 @@ class InstanceClassMetrics:
         return self.batch_time_s / capacity
 
     @property
-    def mean_ttft_s(self) -> float:
+    def mean_ttft_s(self) -> Seconds:
         if self.ttfts_s:
             return sum(self.ttfts_s) / len(self.ttfts_s)
         if self.ttft_count:
             return self.ttft_sum_s / self.ttft_count
         return 0.0
 
-    def ttft_percentile_s(self, fraction: float) -> float:
+    def ttft_percentile_s(self, fraction: float) -> Seconds:
         return percentile(self.ttfts_s, fraction)
 
-    def tpot_percentile_s(self, fraction: float) -> float:
+    def tpot_percentile_s(self, fraction: float) -> Seconds:
         return percentile(self._tpot_values(), fraction)
 
 
@@ -290,34 +291,34 @@ class ServingMetrics:
     num_requests: int
     num_instances: int
     num_nodes_per_instance: int
-    makespan_s: float
-    generated_tokens: int
-    queueing_delays_s: List[float] = field(default_factory=list)
-    end_to_end_latencies_s: List[float] = field(default_factory=list)
-    service_times_s: List[float] = field(default_factory=list)
-    ttfts_s: List[float] = field(default_factory=list)
-    tpots_s: List[Optional[float]] = field(default_factory=list)
+    makespan_s: Seconds
+    generated_tokens: Tokens
+    queueing_delays_s: List[Seconds] = field(default_factory=list)
+    end_to_end_latencies_s: List[Seconds] = field(default_factory=list)
+    service_times_s: List[Seconds] = field(default_factory=list)
+    ttfts_s: List[Seconds] = field(default_factory=list)
+    tpots_s: List[Optional[Seconds]] = field(default_factory=list)
     preemptions: int = 0
     policy: str = "fifo-exclusive"
     prefill_mode: str = "exclusive"
-    busy_time_s: float = 0.0
+    busy_time_s: Seconds = 0.0
     prefill_tokens_processed: int = 0
-    decode_step_time_s: float = 0.0
-    prefill_step_time_s: float = 0.0
-    mixed_step_time_s: float = 0.0
+    decode_step_time_s: Seconds = 0.0
+    prefill_step_time_s: Seconds = 0.0
+    mixed_step_time_s: Seconds = 0.0
     kv_mode: str = "none"
     kv_block_size: int = 0
-    kv_total_blocks: int = 0
+    kv_total_blocks: Blocks = 0
     mean_running_batch: float = 0.0
     mean_kv_occupancy: float = 0.0
     peak_kv_occupancy: float = 0.0
     mean_kv_fragmentation: float = 0.0
     swap_out_count: int = 0
     swap_in_count: int = 0
-    swapped_bytes: int = 0
-    swap_time_s: float = 0.0
+    swapped_bytes: Bytes = 0
+    swap_time_s: Seconds = 0.0
     handoff_count: int = 0
-    handoff_time_s: float = 0.0
+    handoff_time_s: Seconds = 0.0
     #: Whether the run had hash-based prefix sharing enabled on its paged
     #: pools (the counters below stay zero with it off, but the flag
     #: distinguishes "off" from "on but nothing matched").
@@ -374,7 +375,7 @@ class ServingMetrics:
         return self.num_requests / self.makespan_s
 
     @property
-    def mean_queueing_delay_s(self) -> float:
+    def mean_queueing_delay_s(self) -> Seconds:
         if self.queueing_delays_s:
             return sum(self.queueing_delays_s) / len(self.queueing_delays_s)
         if self.streams is not None:
@@ -421,7 +422,7 @@ class ServingMetrics:
             return 0.0
         return self.mixed_step_time_s / self.busy_time_s
 
-    def latency_percentile_s(self, fraction: float) -> float:
+    def latency_percentile_s(self, fraction: float) -> Seconds:
         if not self.end_to_end_latencies_s and self.streams is not None:
             return self.streams["latency"].percentile(fraction)
         return percentile(self.end_to_end_latencies_s, fraction)
@@ -437,14 +438,14 @@ class ServingMetrics:
         return self.streams is not None and self.streams["ttft"].count > 0
 
     @property
-    def mean_ttft_s(self) -> float:
+    def mean_ttft_s(self) -> Seconds:
         if self.ttfts_s:
             return sum(self.ttfts_s) / len(self.ttfts_s)
         if self.streams is not None:
             return self.streams["ttft"].mean
         return 0.0
 
-    def ttft_percentile_s(self, fraction: float) -> float:
+    def ttft_percentile_s(self, fraction: float) -> Seconds:
         """Time-to-first-token percentile (arrival to first generated token)."""
         if not self.ttfts_s and self.streams is not None:
             return self.streams["ttft"].percentile(fraction)
@@ -461,7 +462,7 @@ class ServingMetrics:
             self._tpot_view = cached
         return cached[1]
 
-    def tpot_percentile_s(self, fraction: float) -> float:
+    def tpot_percentile_s(self, fraction: float) -> Seconds:
         """Time-per-output-token percentile (mean inter-token gap after the
         first token, one value per request).  Requests with fewer than two
         generated tokens have no inter-token gap and are excluded instead of
@@ -470,7 +471,7 @@ class ServingMetrics:
             return self.streams["tpot"].percentile(fraction)
         return percentile(self._tpot_values(), fraction)
 
-    def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
+    def slo_attainment(self, ttft_slo_s: Seconds, tpot_slo_s: Seconds) -> float:
         """Fraction of requests meeting both the TTFT and TPOT SLOs.
 
         Requires token-level data; the i-th entries of ``ttfts_s`` and
@@ -530,7 +531,7 @@ class ServingMetrics:
                            ttft_slo_s, tpot_slo_s, result)
         return result
 
-    def slo_goodput_rps(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
+    def slo_goodput_rps(self, ttft_slo_s: Seconds, tpot_slo_s: Seconds) -> float:
         """SLO-meeting requests served per second of makespan."""
         if self.makespan_s <= 0:
             return 0.0
@@ -538,7 +539,7 @@ class ServingMetrics:
                 * self.num_requests / self.makespan_s)
 
     def energy_joules(self, power_model: Optional[FpgaPowerModel] = None,
-                      nodes_per_card: int = 2) -> float:
+                      nodes_per_card: int = 2) -> Joules:
         """Total deployment energy over the makespan (all instances powered).
 
         Heterogeneous clusters sum per-class (each class has its own node

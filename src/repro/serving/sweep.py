@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.serving.metrics import ServingMetrics, merge_streaming_metrics
 from repro.workloads.traces import RequestTrace
+from repro.units import Seconds
 
 #: Named trace generators a :class:`TraceSpec` can reference.  Specs
 #: carry (name, kwargs) instead of a materialized trace so each worker
@@ -138,7 +139,7 @@ class SweepOutcome:
 
     results: List[JobResult]
     workers: int
-    wall_s: float
+    wall_s: Seconds
 
     @property
     def failures(self) -> List[JobResult]:

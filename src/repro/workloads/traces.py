@@ -29,6 +29,7 @@ from typing import Callable, Iterator, List, Mapping, Optional, Sequence, \
 import numpy as np
 
 from repro.workloads.scenarios import Scenario
+from repro.units import RequestsPerSecond, Seconds, Tokens
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,22 +51,22 @@ class Request:
     """
 
     request_id: int
-    arrival_s: float
+    arrival_s: Seconds
     scenario: Scenario
     tenant: str = "default"
     priority: int = 0
     prompt_token_ids: Optional[Tuple[int, ...]] = None
 
     @property
-    def prefill_len(self) -> int:
+    def prefill_len(self) -> Tokens:
         return self.scenario.prefill_len
 
     @property
-    def decode_len(self) -> int:
+    def decode_len(self) -> Tokens:
         return self.scenario.decode_len
 
     @property
-    def total_tokens(self) -> int:
+    def total_tokens(self) -> Tokens:
         return self.scenario.total_tokens
 
 
@@ -82,27 +83,27 @@ class RequestTrace:
         return iter(self.requests)
 
     @property
-    def total_prefill_tokens(self) -> int:
+    def total_prefill_tokens(self) -> Tokens:
         return sum(r.prefill_len for r in self.requests)
 
     @property
-    def total_decode_tokens(self) -> int:
+    def total_decode_tokens(self) -> Tokens:
         return sum(r.decode_len for r in self.requests)
 
     @property
-    def first_arrival_s(self) -> float:
+    def first_arrival_s(self) -> Seconds:
         if not self.requests:
             return 0.0
         return min(r.arrival_s for r in self.requests)
 
     @property
-    def last_arrival_s(self) -> float:
+    def last_arrival_s(self) -> Seconds:
         if not self.requests:
             return 0.0
         return max(r.arrival_s for r in self.requests)
 
     @property
-    def duration_s(self) -> float:
+    def duration_s(self) -> Seconds:
         """Span between the first and last arrival (0 for empty or
         single-request traces)."""
         if not self.requests:
@@ -175,8 +176,8 @@ def _finalize(requests: List[Request]) -> RequestTrace:
 
 def synthetic_trace(num_requests: int, seed: int = 0,
                     mean_prefill: int = 64, mean_decode: int = 256,
-                    max_seq_len: int = 1024,
-                    arrival_rate_per_s: float = 1.0) -> RequestTrace:
+                    max_seq_len: Tokens = 1024,
+                    arrival_rate_per_s: RequestsPerSecond = 1.0) -> RequestTrace:
     """Generate a reproducible synthetic request trace.
 
     Prompt and generation lengths are drawn from log-normal distributions
@@ -216,10 +217,10 @@ def _draw_scenario(rng: np.random.Generator, mean_prefill: int, mean_decode: int
 
 def bursty_trace(num_requests: int, seed: int = 0,
                  mean_prefill: int = 64, mean_decode: int = 256,
-                 max_seq_len: int = 1024,
+                 max_seq_len: Tokens = 1024,
                  burst_size: int = 8,
-                 burst_rate_per_s: float = 20.0,
-                 idle_gap_s: float = 4.0) -> RequestTrace:
+                 burst_rate_per_s: RequestsPerSecond = 20.0,
+                 idle_gap_s: Seconds = 4.0) -> RequestTrace:
     """Bursty arrivals: tight clusters of requests separated by idle gaps.
 
     Within a burst, inter-arrival times are exponential at
@@ -253,10 +254,10 @@ def bursty_trace(num_requests: int, seed: int = 0,
 
 def synthetic_azure_trace(num_requests: int = 1_000_000, seed: int = 0,
                           mean_prefill: int = 128, mean_decode: int = 64,
-                          max_seq_len: int = 1024,
-                          mean_rate_per_s: float = 50.0,
+                          max_seq_len: Tokens = 1024,
+                          mean_rate_per_s: RequestsPerSecond = 50.0,
                           diurnal_amplitude: float = 0.5,
-                          day_length_s: float = 86_400.0,
+                          day_length_s: Seconds = 86_400.0,
                           chunk_size: int = 65_536) -> StreamingTrace:
     """An Azure-LLM-inference-shaped synthetic trace at production scale.
 
@@ -337,7 +338,7 @@ REPLAY_COLUMNS = ("arrival_s", "prompt_tokens", "output_tokens", "tenant")
 
 
 def replay_trace(path: Union[str, Path],
-                 max_seq_len: int = 1024,
+                 max_seq_len: Tokens = 1024,
                  column_map: Optional[Mapping[str, str]] = None,
                  streaming: bool = False
                  ) -> Union[RequestTrace, "StreamingTrace"]:
@@ -513,7 +514,7 @@ class TenantSpec:
     """Traffic profile of one tenant in a multi-tenant trace."""
 
     name: str
-    arrival_rate_per_s: float = 1.0
+    arrival_rate_per_s: RequestsPerSecond = 1.0
     mean_prefill: int = 64
     mean_decode: int = 256
     priority: int = 0
@@ -551,8 +552,8 @@ class BurstyTenantSpec:
     mean_prefill: int = 64
     mean_decode: int = 256
     burst_size: int = 8
-    burst_rate_per_s: float = 20.0
-    idle_gap_s: float = 4.0
+    burst_rate_per_s: RequestsPerSecond = 20.0
+    idle_gap_s: Seconds = 4.0
     priority: int = 0
 
     def __post_init__(self) -> None:
@@ -579,7 +580,7 @@ DEFAULT_BURSTY_TENANTS: tuple = (
 
 def bursty_multi_tenant_trace(
         tenants: Sequence[BurstyTenantSpec] = DEFAULT_BURSTY_TENANTS,
-        seed: int = 0, max_seq_len: int = 1024) -> RequestTrace:
+        seed: int = 0, max_seq_len: Tokens = 1024) -> RequestTrace:
     """Merge independent *bursty* streams of several tenants into one trace.
 
     Unlike :func:`multi_tenant_trace` (independent Poisson streams), every
@@ -609,13 +610,13 @@ def bursty_multi_tenant_trace(
 
 def multi_turn_trace(num_requests: int, seed: int = 0,
                      turns_per_session: int = 4,
-                     system_prompt_len: int = 48,
-                     mean_user_tokens: int = 24,
+                     system_prompt_len: Tokens = 48,
+                     mean_user_tokens: Tokens = 24,
                      mean_decode: int = 48,
-                     think_time_s: float = 4.0,
-                     session_rate_per_s: float = 0.5,
-                     max_seq_len: int = 1024,
-                     assumed_tpot_s: float = 0.02) -> RequestTrace:
+                     think_time_s: Seconds = 4.0,
+                     session_rate_per_s: RequestsPerSecond = 0.5,
+                     max_seq_len: Tokens = 1024,
+                     assumed_tpot_s: Seconds = 0.02) -> RequestTrace:
     """Multi-turn conversations: each turn re-arrives with the prior turns
     as its prompt prefix.
 
@@ -696,7 +697,7 @@ def multi_turn_trace(num_requests: int, seed: int = 0,
 
 def multi_tenant_trace(num_requests: int, seed: int = 0,
                        tenants: Sequence[TenantSpec] = DEFAULT_TENANTS,
-                       max_seq_len: int = 1024) -> RequestTrace:
+                       max_seq_len: Tokens = 1024) -> RequestTrace:
     """Merge independent Poisson streams of several tenants into one trace.
 
     Each tenant has its own arrival rate, request-shape distribution and

@@ -146,3 +146,30 @@ class TestTrafficAndResources:
         assert all(0.0 <= value <= 1.0 for value in utilization.values())
         # the Fused MP kernel dominates a decode step
         assert utilization["fused_mp"] > utilization["fused_ln_res"]
+
+
+class TestSecondsMillisecondsParity:
+    """The ``*_latency_s`` surfaces are exact /1e3 rescalings of their
+    ``*_latency_ms`` twins — the serving engine composes the seconds
+    variants into timelines, so any drift between the two families is a
+    silent unit bug (the class of defect ``tools/simcheck.py`` lints
+    for statically; this pins the runtime contract)."""
+
+    def test_decode_step_latency_s_matches_ms(self, systems):
+        system = systems[2]
+        for context, batch in ((0, 1), (64, 1), (768, 4)):
+            assert (system.decode_step_latency_s(context, batch)
+                    == system.decode_step_latency_ms(context, batch) / 1e3)
+
+    def test_mixed_step_latency_s_matches_ms(self, systems):
+        system = systems[2]
+        contexts = [32, 128, 512]
+        assert (system.mixed_step_latency_s(contexts, prefill_tokens=16)
+                == system.mixed_step_latency_ms(contexts,
+                                                prefill_tokens=16) / 1e3)
+
+    def test_prefill_latency_s_matches_ms(self, systems):
+        system = systems[2]
+        for batched in (False, True):
+            assert (system.prefill_latency_s(128, batched=batched)
+                    == system.prefill_latency_ms(128, batched=batched) / 1e3)

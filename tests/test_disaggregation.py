@@ -30,6 +30,7 @@ from repro.serving.cluster import (
     make_router,
     parse_cluster_spec,
 )
+from repro.serving import lifecycle
 from repro.serving.engine import TokenServingEngine
 from repro.serving.instance import InstanceRuntime, RequestState
 from repro.workloads.scenarios import Scenario
@@ -181,6 +182,7 @@ class TestHandoffPrimitives:
                                        scenario=Scenario(32, 8)))
                   for i in range(2)]
         for state in states:
+            lifecycle.transition(state, "admit")
             runtime.batch.append(state)
             assert kv.allocate(state.request.request_id, 32)
             state.prefill_done = 32

@@ -154,9 +154,10 @@ def test_clean_idioms_stay_clean(source):
 
 def test_catalogue_has_at_least_six_documented_rules():
     assert len(repro_lint.RULES) >= 6
-    for rule_id, (name, message) in repro_lint.RULES.items():
+    for rule_id, (name, message, fixture) in repro_lint.RULES.items():
         assert rule_id.startswith("R") and name and message
         assert rule_id in TRIGGERS, f"{rule_id} has no trigger fixture"
+        assert fixture == f"tests/test_repro_lint.py::TRIGGERS[{rule_id!r}]"
 
 
 def test_src_tree_lints_clean():
@@ -196,3 +197,29 @@ def test_rules_documented_in_development_guide():
     guide = (ROOT / "docs" / "development.md").read_text()
     for rule_id in repro_lint.RULES:
         assert rule_id in guide, f"{rule_id} missing from docs/development.md"
+
+
+def test_cli_output_formats(tmp_path):
+    """The shared ``--format`` flag (``repro.lintkit``): ``github`` emits
+    workflow-command annotations CI surfaces inline on the PR diff,
+    ``json`` a machine-readable findings document."""
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nstamp = time.time()\n")
+
+    gh = subprocess.run(
+        [sys.executable, str(LINTER), "--format", "github", str(dirty)],
+        capture_output=True, text=True)
+    assert gh.returncode == 1
+    line = gh.stdout.splitlines()[0]
+    assert line.startswith("::error file=") and "title=R002" in line
+
+    js = subprocess.run(
+        [sys.executable, str(LINTER), "--format", "json", str(dirty)],
+        capture_output=True, text=True)
+    assert js.returncode == 1
+    doc = json.loads(js.stdout)
+    assert doc["tool"] == "repro-lint"
+    assert doc["count"] >= 1
+    assert any(f["rule"] == "R002" for f in doc["findings"])

@@ -1,0 +1,305 @@
+"""The simulator static checker's own contract (``tools/simcheck.py``).
+
+Mirrors ``tests/test_repro_lint.py`` for the whole-program pass:
+
+* **per-rule fixtures** — for every rule ID one minimal program that
+  must fire exactly that rule (the catalogue's fixture references point
+  into :data:`TRIGGERS`), plus the same program silenced by the shared
+  ``# repro-lint: disable=<RULE>`` marker;
+* **negative fixtures** — idiomatic simulator code (same-unit
+  arithmetic, explicit conversions, id-vs-count bounds checks) must
+  stay clean;
+* **the repository itself** — ``src/`` must check clean, which is what
+  the CI ``static-analysis`` job enforces with ``python
+  tools/simcheck.py src/ --format github``;
+* **spec/runtime agreement** — the edges simcheck parses out of
+  ``repro/serving/lifecycle.py`` are exactly the edges the runtime
+  module declares.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+CHECKER = ROOT / "tools" / "simcheck.py"
+
+_spec = importlib.util.spec_from_file_location("simcheck", CHECKER)
+simcheck = importlib.util.module_from_spec(_spec)
+sys.modules["simcheck"] = simcheck  # dataclasses resolve the module
+_spec.loader.exec_module(simcheck)
+
+
+def check(modules):
+    """Run both passes over ``modules`` — a list of (path, source)."""
+    return simcheck.check_modules(
+        [simcheck.parse_module(source, path) for path, source in modules])
+
+
+# A strict-surface path (unit annotations required there) and a plain one.
+STRICT = "src/repro/serving/metrics.py"
+PLAIN = "fixture.py"
+
+# Minimal lifecycle spec: the basename is what marks it as the spec.
+SPEC_PATH = "spec/lifecycle.py"
+SPEC = """\
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+INITIAL_PHASE = QUEUED
+
+EDGES = (
+    LifecycleEdge("start", QUEUED, RUNNING, hook="starts"),
+    LifecycleEdge("finish", RUNNING, DONE),
+)
+"""
+
+DRIVER_CLEAN = """\
+def drive(state):
+    transition(state, "start")
+    state.starts += 1
+
+def wrap_up(state):
+    transition(state, "finish")
+"""
+
+#: rule ID -> modules [(path, source), ...] that must fire exactly that
+#: rule, exactly once.  The catalogue's fixture references point here.
+TRIGGERS = {
+    "U001": [(PLAIN, """\
+def step(duration_s, num_tokens):
+    return duration_s + num_tokens
+""")],
+    "U002": [(PLAIN, """\
+def wait(chunk_tokens):
+    return chunk_tokens
+
+def caller(delay_s):
+    return wait(delay_s)
+""")],
+    "U003": [(STRICT, """\
+def makespan_s(count):
+    return 0.0
+""")],
+    "L001": [(SPEC_PATH, SPEC), (PLAIN, DRIVER_CLEAN + """\
+
+def bail(state):
+    transition(state, "abort")
+""")],
+    "L002": [(SPEC_PATH, SPEC.replace(
+        '    LifecycleEdge("finish", RUNNING, DONE),\n',
+        '    LifecycleEdge("finish", RUNNING, DONE),\n'
+        '    LifecycleEdge("abort", RUNNING, DONE),\n')),
+        (PLAIN, DRIVER_CLEAN)],
+    "L003": [(SPEC_PATH, SPEC), (PLAIN, """\
+def drive(state):
+    transition(state, "start")
+
+def wrap_up(state):
+    transition(state, "finish")
+""")],
+}
+
+#: rule ID -> the corrected program: same shape, zero findings.
+CLEAN = {
+    "U001": [(PLAIN, """\
+def step(duration_s, extra_s):
+    return duration_s + extra_s
+""")],
+    "U002": [(PLAIN, """\
+def wait(chunk_tokens):
+    return chunk_tokens
+
+def caller(num_tokens):
+    return wait(num_tokens)
+""")],
+    "U003": [(STRICT, """\
+from repro.units import Seconds
+
+
+def makespan_s(count) -> Seconds:
+    return 0.0
+""")],
+    "L001": [(SPEC_PATH, SPEC), (PLAIN, DRIVER_CLEAN)],
+    "L002": [(SPEC_PATH, SPEC), (PLAIN, DRIVER_CLEAN)],
+    "L003": [(SPEC_PATH, SPEC), (PLAIN, DRIVER_CLEAN)],
+}
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("rule", sorted(TRIGGERS))
+    def test_trigger_fires_exactly_once(self, rule):
+        findings = check(TRIGGERS[rule])
+        assert [f.rule for f in findings] == [rule], findings
+
+    @pytest.mark.parametrize("rule", sorted(CLEAN))
+    def test_corrected_fixture_is_clean(self, rule):
+        assert check(CLEAN[rule]) == []
+
+    @pytest.mark.parametrize("rule", sorted(TRIGGERS))
+    def test_disable_comment_suppresses(self, rule):
+        (finding,) = check(TRIGGERS[rule])
+        silenced = []
+        for path, source in TRIGGERS[rule]:
+            if path == finding.path:
+                lines = source.splitlines()
+                lines[finding.line - 1] += (
+                    f"  # repro-lint: disable={rule}")
+                source = "\n".join(lines) + "\n"
+            silenced.append((path, source))
+        assert check(silenced) == []
+
+    def test_catalogue_fixture_refs_resolve_here(self):
+        for rule_id, (_, _, fixture) in simcheck.RULES.items():
+            assert fixture == (
+                f"tests/test_simcheck.py::TRIGGERS[{rule_id!r}]")
+            assert rule_id in TRIGGERS
+            assert rule_id in CLEAN
+        assert set(TRIGGERS) == set(simcheck.RULES)
+
+
+class TestNegativeFixtures:
+    """Idiomatic simulator code must not be flagged."""
+
+    def test_same_unit_arithmetic_is_clean(self):
+        assert check([(PLAIN, """\
+def elapsed(finish_s, start_s):
+    return finish_s - start_s
+""")]) == []
+
+    def test_explicit_division_converts_units(self):
+        # Conversion by an explicit factor is the sanctioned idiom: the
+        # checker only constrains +/-/comparison, never * and /.
+        assert check([(PLAIN, """\
+def seconds(latency_ms):
+    return latency_ms / 1e3
+""")]) == []
+
+    def test_block_id_vs_block_count_is_unifiable(self):
+        assert check([(PLAIN, """\
+from repro.units import BlockId
+
+
+def in_range(block: BlockId, total_blocks):
+    return block < total_blocks
+""")]) == []
+
+    def test_now_is_a_timestamp(self):
+        assert check([(PLAIN, """\
+def deadline(now, timeout_s):
+    return now + timeout_s
+""")]) == []
+
+    def test_unit_preserving_builtins_carry_units(self):
+        assert check([(PLAIN, """\
+def worst(latency_s, timeout_s):
+    return max(latency_s, timeout_s) + timeout_s
+""")]) == []
+
+    def test_plain_module_needs_no_annotations(self):
+        # U003 is scoped to the strict surface; helper scripts stay free.
+        assert check([(PLAIN, """\
+def makespan_s(count):
+    return 0.0
+""")]) == []
+
+
+class TestSpecAgreement:
+    """The statically parsed edge set is the runtime's declared set."""
+
+    def test_extracted_edges_match_runtime_declaration(self):
+        from repro.serving import lifecycle
+
+        source = (ROOT / "src/repro/serving/lifecycle.py").read_text()
+        module = simcheck.parse_module(source, "src/repro/serving/lifecycle.py")
+        spec = simcheck.extract_lifecycle_spec(module)
+        assert spec is not None
+        assert set(spec.edges) == set(lifecycle.EDGES_BY_NAME)
+        for name, edge in spec.edges.items():
+            declared = lifecycle.EDGES_BY_NAME[name]
+            assert (edge.src, edge.dst, edge.hook) == (
+                declared.src, declared.dst, declared.hook)
+
+
+class TestRepositoryWall:
+    def test_src_tree_is_clean(self):
+        assert check_src() == []
+
+    def test_cli_clean_exit_zero(self):
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), "src/"],
+            cwd=ROOT, capture_output=True, text=True)
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_cli_findings_exit_one(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TRIGGERS["U001"][0][1])
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), str(bad)],
+            cwd=ROOT, capture_output=True, text=True)
+        assert result.returncode == 1
+        assert "U001" in result.stdout
+
+    def test_cli_github_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TRIGGERS["U001"][0][1])
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), "--format", "github", str(bad)],
+            cwd=ROOT, capture_output=True, text=True)
+        assert result.returncode == 1
+        line = result.stdout.splitlines()[0]
+        assert line.startswith("::error file=")
+        assert "title=U001" in line
+
+    def test_cli_json_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(TRIGGERS["U002"][0][1])
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), "--format", "json", str(bad)],
+            cwd=ROOT, capture_output=True, text=True)
+        assert result.returncode == 1
+        doc = json.loads(result.stdout)
+        assert doc["tool"] == "simcheck"
+        assert doc["count"] == 1
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "U002"
+        assert finding["name"] == "unit-mismatched-call"
+
+    def test_cli_list_rules(self):
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), "--list-rules"],
+            cwd=ROOT, capture_output=True, text=True)
+        assert result.returncode == 0
+        for rule_id in simcheck.RULES:
+            assert rule_id in result.stdout
+        assert "tests/test_simcheck.py::TRIGGERS" in result.stdout
+
+
+def check_src():
+    return simcheck.check_paths([str(ROOT / "src")])
+
+
+class TestDocsCatalogue:
+    """docs/development.md documents every rule and every unit alias."""
+
+    @pytest.fixture(scope="class")
+    def docs(self):
+        return (ROOT / "docs" / "development.md").read_text()
+
+    def test_every_rule_documented(self, docs):
+        for rule_id, (name, _, _) in simcheck.RULES.items():
+            assert rule_id in docs
+            assert name in docs
+
+    def test_every_unit_alias_documented(self, docs):
+        from repro.units import UNIT_ALIASES
+
+        for alias in UNIT_ALIASES:
+            assert alias in docs
+
+    def test_suppression_marker_documented(self, docs):
+        assert "repro-lint: disable=" in docs

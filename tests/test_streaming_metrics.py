@@ -285,3 +285,108 @@ class TestMergeAcrossShards:
         metrics, _ = TokenServingEngine(num_instances=1).run(trace)
         with pytest.raises(ValueError):
             merge_streaming_metrics([metrics])
+
+
+def _streaming_part(*, makespan_s, num_instances=2, **extra):
+    """A hand-built streaming-mode part with empty latency streams.
+
+    The merge audit cares about the *recombination arithmetic* (weighted
+    means, exact unit conversions), which an engine run would obscure
+    behind simulated traffic; synthetic parts make the expected numbers
+    exact."""
+    from repro.serving.metrics import ServingMetrics, StreamingQuantile
+
+    streams = {name: StreamingQuantile() for name in
+               ("queueing_delay", "latency", "service_time", "ttft", "tpot")}
+    return ServingMetrics(
+        num_requests=extra.pop("num_requests", 0),
+        num_instances=num_instances,
+        num_nodes_per_instance=1,
+        makespan_s=makespan_s,
+        generated_tokens=extra.pop("generated_tokens", 0),
+        metrics_mode="streaming",
+        streams=streams,
+        **extra,
+    )
+
+
+class TestMergeWeightingAndUnitsAudit:
+    """Regression pins from the dimensional audit of the merge path.
+
+    ``merge_streaming_metrics`` recombines every time-weighted mean as
+    "accumulated quantity over accumulated time" and ``summary()``
+    converts bytes to MiB by an exact power of two.  These tests pin
+    both against the classic failure modes: mean-of-means (wrong unless
+    all parts weigh the same) and decimal-vs-binary megabyte drift.
+    """
+
+    def test_merged_class_ttft_is_weighted_recompute_not_mean_of_means(self):
+        from repro.serving.metrics import (
+            InstanceClassMetrics,
+            merge_streaming_metrics,
+        )
+
+        # Deliberately lopsided shards: one TTFT sample of 10 s vs nine
+        # samples averaging 1 s.  The pooled mean is 19/10 = 1.9 s; a
+        # mean-of-means would report (10 + 1) / 2 = 5.5 s.
+        part_a = _streaming_part(
+            makespan_s=10.0,
+            per_class=[InstanceClassMetrics(
+                label="pool", num_instances=2, num_nodes=1,
+                makespan_s=10.0, ttft_count=1, ttft_sum_s=10.0)])
+        part_b = _streaming_part(
+            makespan_s=10.0,
+            per_class=[InstanceClassMetrics(
+                label="pool", num_instances=2, num_nodes=1,
+                makespan_s=10.0, ttft_count=9, ttft_sum_s=9.0)])
+
+        merged = merge_streaming_metrics([part_a, part_b])
+        (pool,) = merged.per_class
+        assert pool.ttft_count == 10
+        assert pool.ttft_sum_s == pytest.approx(19.0)
+        assert pool.mean_ttft_s == pytest.approx(1.9)
+        assert pool.mean_ttft_s != pytest.approx(5.5)  # mean-of-means
+
+    def test_merged_time_weighted_means_recombine_by_pool_time(self):
+        from repro.serving.metrics import merge_streaming_metrics
+
+        # Pool times 20 and 10 instance-seconds; busy times 10 and 5 s.
+        part_a = _streaming_part(
+            makespan_s=10.0, busy_time_s=10.0, mean_running_batch=4.0,
+            mean_kv_occupancy=0.5, mean_kv_fragmentation=0.2)
+        part_b = _streaming_part(
+            makespan_s=5.0, busy_time_s=5.0, mean_running_batch=1.0,
+            mean_kv_occupancy=0.2, mean_kv_fragmentation=0.5)
+
+        merged = merge_streaming_metrics([part_a, part_b])
+        assert merged.makespan_s == 10.0  # max, not sum
+        assert merged.busy_time_s == pytest.approx(15.0)
+        # (4.0 * 20 + 1.0 * 10) / 30, not the naive (4.0 + 1.0) / 2
+        assert merged.mean_running_batch == pytest.approx(3.0)
+        assert merged.mean_running_batch != pytest.approx(2.5)
+        # (0.5 * 20 + 0.2 * 10) / 30
+        assert merged.mean_kv_occupancy == pytest.approx(0.4)
+        # busy-normalized: (0.2 * 10 + 0.5 * 5) / 15
+        assert merged.mean_kv_fragmentation == pytest.approx(0.3)
+
+    def test_summary_swapped_mib_is_exact_mebibytes(self):
+        from repro.serving.metrics import ServingMetrics
+
+        metrics = ServingMetrics(
+            num_requests=0, num_instances=1, num_nodes_per_instance=1,
+            makespan_s=1.0, generated_tokens=0, kv_mode="paged",
+            swapped_bytes=5 * 2**20 + 2**19)
+        # Binary mebibytes (2**20), not decimal megabytes (1e6): 5.5 MiB
+        # exactly, with no floating-point slack.
+        assert metrics.summary()["swapped_mib"] == 5.5
+
+    def test_merge_preserves_exact_byte_counters(self):
+        from repro.serving.metrics import merge_streaming_metrics
+
+        part_a = _streaming_part(makespan_s=1.0, kv_mode="paged",
+                                 swapped_bytes=3 * 2**20)
+        part_b = _streaming_part(makespan_s=1.0, kv_mode="paged",
+                                 swapped_bytes=2**19)
+        merged = merge_streaming_metrics([part_a, part_b])
+        assert merged.swapped_bytes == 3 * 2**20 + 2**19
+        assert merged.summary()["swapped_mib"] == 3.5

@@ -94,5 +94,8 @@ def test_ci_runs_the_static_analysis_gates():
     workflow = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
     assert "static-analysis" in workflow
     assert "repro_lint" in workflow
+    assert "simcheck" in workflow
     assert "mypy" in workflow
     assert "ruff" in workflow
+    # both project linters annotate the PR diff inline
+    assert workflow.count("--format github") >= 2

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Fast local static-analysis path — the same ladder the CI
+# static-analysis job runs, in escalating specificity:
+#
+#   ruff        generic hygiene (skipped when not installed)
+#   mypy        the strict-typing ladder from pyproject.toml (skipped
+#               when not installed)
+#   repro_lint  determinism rules (unseeded RNGs, wall-clock reads, ...)
+#   simcheck    whole-program units + lifecycle exhaustiveness (parses
+#               each file once and shares the ASTs across both passes)
+#
+# Every stage runs even when an earlier one fails; the summary at the
+# end lists what passed, what failed, and what was skipped, and the
+# exit code is non-zero iff any stage failed.  Run it from anywhere:
+# paths are resolved relative to the repository root.
+
+set -u
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+declare -a PASSED=() FAILED=() SKIPPED=()
+
+run_stage() {
+    local name="$1"; shift
+    echo "==> $name: $*"
+    if "$@"; then
+        PASSED+=("$name")
+    else
+        FAILED+=("$name")
+    fi
+}
+
+maybe_stage() {
+    # Skip (don't fail) when the tool isn't importable locally — the
+    # container bakes in the core toolchain but not every dev extra;
+    # CI always has the full set via requirements-dev.txt.
+    local name="$1" module="$2"; shift 2
+    if python -c "import $module" >/dev/null 2>&1; then
+        run_stage "$name" "$@"
+    else
+        echo "==> $name: skipped ($module not installed)"
+        SKIPPED+=("$name")
+    fi
+}
+
+maybe_stage ruff ruff python -m ruff check src tools tests benchmarks
+maybe_stage mypy mypy python -m mypy
+run_stage repro_lint python tools/repro_lint.py src/
+run_stage simcheck python tools/simcheck.py src/
+
+echo
+echo "check.sh summary:"
+[ "${#PASSED[@]}" -gt 0 ] && echo "  passed:  ${PASSED[*]}"
+[ "${#SKIPPED[@]}" -gt 0 ] && echo "  skipped: ${SKIPPED[*]}"
+if [ "${#FAILED[@]}" -gt 0 ]; then
+    echo "  FAILED:  ${FAILED[*]}"
+    exit 1
+fi
+exit 0

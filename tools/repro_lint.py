@@ -59,64 +59,73 @@ from __future__ import annotations
 
 import argparse
 import ast
-import io
 import os
 import re
 import sys
-import tokenize
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Sequence, Set
+
+# The shared findings model and suffix vocabulary live in the package so
+# this tool and tools/simcheck.py cannot drift apart; resolve src/ from
+# the repo layout so `python tools/repro_lint.py` works without an
+# installed package or PYTHONPATH.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.lintkit import (  # noqa: E402  (path bootstrap above)
+    OUTPUT_FORMATS, Finding, emit_findings, filter_suppressed,
+)
+from repro.units import (  # noqa: E402
+    COUNTER_PREFIXES, TIMESTAMP_NAME_WORDS, TIMESTAMP_SUFFIXES,
+)
 
 __all__ = ["Finding", "RULES", "lint_source", "lint_path", "main"]
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One lint hit: where, which rule, and a human-readable message."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+#: Rule catalogue: ID -> (name, one-line description, fixture reference).
+#: Kept flat so ``--list-rules``, the docs table, and the fixture tests
+#: are generated from one source.
+def _fixture(rule_id: str) -> str:
+    return f"tests/test_repro_lint.py::TRIGGERS[{rule_id!r}]"
 
 
-#: Rule catalogue: ID -> (name, one-line description).  Kept flat so both
-#: ``--list-rules`` and the docs table are generated from one source.
 RULES: Dict[str, tuple] = {
     "R001": (
         "unseeded-random",
         "module-level random.*/np.random.* call draws from hidden global RNG "
         "state; use random.Random(seed) / np.random.default_rng(seed)",
+        _fixture("R001"),
     ),
     "R002": (
         "wall-clock",
         "wall-clock read in simulation code; simulated time must come from "
         "the event loop, never the host clock",
+        _fixture("R002"),
     ),
     "R003": (
         "float-timestamp-equality",
         "== / != between simulated timestamps; float arithmetic is not "
         "associative — compare orderings or use an explicit tolerance",
+        _fixture("R003"),
     ),
     "R004": (
         "mutable-default-arg",
         "mutable default argument is shared across calls; default to None "
         "and materialise inside the function",
+        _fixture("R004"),
     ),
     "R005": (
         "bare-assert",
         "assert guarding a runtime invariant in library code is stripped "
         "under python -O; raise a typed error instead",
+        _fixture("R005"),
     ),
     "R006": (
         "unordered-iteration",
         "iteration order of a set is not part of the language contract; "
         "sort it (or justify why order cannot reach the event stream)",
+        _fixture("R006"),
     ),
     "R007": (
         "unseeded-worker-fork",
@@ -124,6 +133,7 @@ RULES: Dict[str, tuple] = {
         "workers inherit parent RNG state, which diverges under spawn — "
         "pass an initializer= that seeds, or carry seeds in the work items "
         "(and suppress with a justification)",
+        _fixture("R007"),
     ),
 }
 
@@ -150,14 +160,16 @@ _MUTABLE_FACTORY_ATTRS = {"defaultdict", "Counter", "OrderedDict", "deque"}
 
 #: Identifiers that look like simulated timestamps.  Matched against the
 #: terminal name of a ``Name``/``Attribute`` operand of ``==`` / ``!=``.
+#: Built from the shared vocabulary in :mod:`repro.units` so simcheck's
+#: unit seeding and this rule agree on what a timestamp looks like.
 _TIMESTAMP_RE = re.compile(
-    r"(^|_)(time|times|timestamp|arrival|arrivals|deadline|finish|start|now|"
-    r"makespan|tick)($|_)|(_s|_ts|_at)$"
+    r"(^|_)(" + "|".join(TIMESTAMP_NAME_WORDS) + r")($|_)|("
+    + "|".join(TIMESTAMP_SUFFIXES) + r")$"
 )
 
 #: Counter-style prefixes: ``num_arrivals`` counts events, it does not
 #: carry a simulated time — integer equality on it is exact and fine.
-_COUNTER_RE = re.compile(r"^(num|n|count|total|idx|index)_")
+_COUNTER_RE = re.compile(r"^(" + "|".join(COUNTER_PREFIXES) + r")_")
 
 
 def _terminal_name(node: ast.AST) -> str:
@@ -215,7 +227,7 @@ class _Checker(ast.NodeVisitor):
     # -- helpers ---------------------------------------------------------
 
     def _emit(self, node: ast.AST, rule: str) -> None:
-        name, message = RULES[rule]
+        name, message = RULES[rule][:2]
         self.findings.append(
             Finding(
                 path=self.path,
@@ -379,42 +391,12 @@ class _Checker(ast.NodeVisitor):
     visit_GeneratorExp = _visit_comp
 
 
-_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
-
-
-def _suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> rule IDs disabled on that line."""
-    disabled: Dict[int, Set[str]] = {}
-    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-    try:
-        for tok in tokens:
-            if tok.type != tokenize.COMMENT:
-                continue
-            match = _DISABLE_RE.search(tok.string)
-            if match is None:
-                continue
-            ids = {part.strip() for part in match.group(1).split(",")}
-            disabled.setdefault(tok.start[0], set()).update(
-                {"all"} if "all" in ids else ids
-            )
-    except tokenize.TokenError:
-        pass
-    return disabled
-
-
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source text; returns surviving findings, sorted."""
     tree = ast.parse(source, filename=path)
     checker = _Checker(path)
     checker.visit(tree)
-    disabled = _suppressions(source)
-    findings = [
-        f
-        for f in checker.findings
-        if not ({f.rule, "all"} & disabled.get(f.line, set()))
-    ]
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
-    return findings
+    return filter_suppressed(checker.findings, source)
 
 
 def _iter_py_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -435,9 +417,10 @@ def lint_path(paths: Sequence[str]) -> List[Finding]:
 
 
 def _print_rules() -> None:
-    for rule_id, (name, message) in sorted(RULES.items()):
+    for rule_id, (name, message, fixture) in sorted(RULES.items()):
         print(f"{rule_id}  {name}")
         print(f"      {message}")
+        print(f"      fixtures: {fixture}")
 
 
 def main(argv: Iterable[str] | None = None) -> int:
@@ -448,6 +431,11 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    parser.add_argument(
+        "--format", choices=OUTPUT_FORMATS, default="text",
+        help="output mode: human text, GitHub workflow-command "
+             "annotations, or a JSON findings document",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.list_rules:
         _print_rules()
@@ -455,12 +443,9 @@ def main(argv: Iterable[str] | None = None) -> int:
     if not args.paths:
         parser.error("no paths given (try: python tools/repro_lint.py src/)")
     findings = lint_path(args.paths)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"repro-lint: {len(findings)} finding(s)")
-        return 1
-    return 0
+    emit_findings(findings, fmt=args.format, rules=RULES,
+                  tool="repro-lint", stream=sys.stdout)
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":
